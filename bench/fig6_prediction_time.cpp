@@ -1,0 +1,100 @@
+// Figure 6: wall-clock time of a single memory-requirement prediction, for
+// varying interval sizes (8/16/32 MB), all functions; plus the J48 vs
+// RandomForest comparison of §7.1.2. These are *real* measured nanoseconds on
+// this repo's tree implementations (the one experiment that is not simulated).
+//
+// Expected shape: microsecond-scale J48 predictions, well under the 1 ms
+// budget; RandomForest an order of magnitude (or more) slower at similar
+// accuracy, which is why the paper selects J48.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/trace_util.h"
+#include "src/common/stats.h"
+#include "src/ml/j48.h"
+#include "src/ml/random_forest.h"
+
+namespace ofc {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Measures per-prediction latency of `model` over the dataset's feature rows.
+Samples MeasurePredictions(const ml::Classifier& model, const ml::Dataset& data,
+                           int rounds) {
+  Samples out;
+  int sink = 0;
+  for (int r = 0; r < rounds; ++r) {
+    for (const ml::Instance& inst : data.instances()) {
+      const auto start = Clock::now();
+      sink += model.Predict(inst.features);
+      const auto end = Clock::now();
+      out.Add(std::chrono::duration<double, std::micro>(end - start).count());
+    }
+  }
+  // Defeat dead-code elimination of the measured call.
+  asm volatile("" : : "r"(sink));
+  return out;
+}
+
+void Run() {
+  bench::Banner("Memory-prediction latency (real wall clock)",
+                "Figure 6 + §7.1.2 (J48 median ~3 us, p99 ~13 us at 16 MB intervals; "
+                "RandomForest ~106 us median)");
+
+  bench::Table table(
+      {"Interval size", "Algorithm", "median (us)", "p90 (us)", "p99 (us)", "max (us)"});
+  for (Bytes interval : {MiB(8), MiB(16), MiB(32)}) {
+    const core::MemoryIntervals intervals(interval, GiB(2));
+    Samples j48_samples;
+    Samples forest_samples;
+    int function_index = 0;
+    for (const workloads::FunctionSpec& spec : workloads::AllFunctions()) {
+      const ml::Dataset data =
+          bench::BuildMemoryDataset(spec, intervals, 400, 4000 + function_index++);
+      ml::J48 j48;
+      if (!j48.Train(data).ok()) {
+        continue;
+      }
+      const Samples s = MeasurePredictions(j48, data, 2);
+      for (double v : s.values()) {
+        j48_samples.Add(v);
+      }
+      if (interval == MiB(16)) {  // The paper's RandomForest reference point.
+        ml::RandomForest forest(ml::RandomForestOptions{.num_trees = 20, .seed = 3});
+        if (forest.Train(data).ok()) {
+          const Samples f = MeasurePredictions(forest, data, 1);
+          for (double v : f.values()) {
+            forest_samples.Add(v);
+          }
+        }
+      }
+    }
+    table.AddRow({FormatBytes(interval), "J48", bench::Fmt("%.2f", j48_samples.Median()),
+                  bench::Fmt("%.2f", j48_samples.Percentile(0.9)),
+                  bench::Fmt("%.2f", j48_samples.Percentile(0.99)),
+                  bench::Fmt("%.2f", j48_samples.Max())});
+    if (forest_samples.count() > 0) {
+      table.AddRow({FormatBytes(interval), "RandomForest",
+                    bench::Fmt("%.2f", forest_samples.Median()),
+                    bench::Fmt("%.2f", forest_samples.Percentile(0.9)),
+                    bench::Fmt("%.2f", forest_samples.Percentile(0.99)),
+                    bench::Fmt("%.2f", forest_samples.Max())});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nBudget check: the paper requires predictions well under 1 ms on the\n"
+      "invocation critical path (§5.1.1). J48 should sit in the microsecond range\n"
+      "with RandomForest 1-2 orders of magnitude slower.\n");
+}
+
+}  // namespace
+}  // namespace ofc
+
+int main() {
+  ofc::Run();
+  return 0;
+}

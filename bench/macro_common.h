@@ -1,0 +1,121 @@
+// Macro-experiment runner (§7.2.2) shared by the Figure 9, Figure 10 and
+// Table 2 benches: FAASLOAD drives one tenant per function — the six Figure 7
+// wand_* functions plus the map_reduce and THIS pipelines — for 30 simulated
+// minutes with exponential(60 s) arrivals, under a tenant booking profile, on
+// either vanilla OWK-Swift or OFC.
+#ifndef OFC_BENCH_MACRO_COMMON_H_
+#define OFC_BENCH_MACRO_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/faasload/environment.h"
+#include "src/faasload/injector.h"
+
+namespace ofc::bench {
+
+struct MacroConfig {
+  faasload::Mode mode = faasload::Mode::kOwkSwift;
+  faasload::TenantProfile profile = faasload::TenantProfile::kNormal;
+  int tenants_per_function = 1;  // 3 reproduces the 24-tenant variant.
+  SimDuration duration = Minutes(30);
+  double mean_interval_s = 60.0;  // Exponential arrivals, lambda = 60 s.
+  std::uint64_t seed = 2021;
+  int pretrain_invocations = 1000;  // Offline ML stage (artifact ships this).
+  SimDuration cache_sample_period = Seconds(30);
+};
+
+struct CacheSample {
+  double minute = 0;
+  Bytes capacity = 0;
+  Bytes used = 0;
+};
+
+struct MacroResult {
+  MacroConfig config;
+  std::vector<faasload::TenantResult> tenants;
+  faas::PlatformStats platform_stats;
+  // OFC-only internals (zeroed for baselines).
+  core::CacheScalingStats cache_stats;
+  core::OfcPredictionStats prediction_stats;
+  core::ProxyStats proxy_stats;
+  std::vector<CacheSample> cache_series;
+  Bytes ephemeral_bytes = 0;  // Data produced by all invocations.
+};
+
+inline MacroResult RunMacro(const MacroConfig& config) {
+  faasload::EnvironmentOptions env_options;
+  env_options.platform.num_workers = 4;
+  // The paper's workers are 512 GB machines; the invoker pools must absorb the
+  // pipeline fan-outs' concurrent 2 GB-booked sandboxes under the naive profile
+  // without queueing.
+  env_options.platform.worker_memory = GiB(160);
+  env_options.seed = config.seed;
+  faasload::Environment env(config.mode, env_options);
+
+  faasload::LoadInjector injector(&env, config.profile, config.seed);
+
+  struct TenantTemplate {
+    const char* function;
+    bool pipeline;
+    Bytes input;
+  };
+  const TenantTemplate kTemplates[] = {
+      {"wand_blur", false, 0},   {"wand_resize", false, 0}, {"wand_sepia", false, 0},
+      {"wand_rotate", false, 0}, {"wand_denoise", false, 0}, {"wand_edge", false, 0},
+      {"map_reduce", true, MiB(30)}, {"THIS", true, MiB(125)},
+  };
+  for (int copy = 0; copy < config.tenants_per_function; ++copy) {
+    for (const TenantTemplate& tmpl : kTemplates) {
+      faasload::TenantSpec spec;
+      spec.name = std::string(tmpl.function) + "#" + std::to_string(copy);
+      spec.function = tmpl.function;
+      spec.is_pipeline = tmpl.pipeline;
+      spec.mean_interval_s = config.mean_interval_s;
+      // More tenants -> more distinct inputs per function (FAASLOAD prepares a
+      // dataset per tenant), which pressures the cache as in the 24-tenant run.
+      spec.dataset_objects = config.tenants_per_function == 1 ? 3 : 12;
+      spec.pipeline_input_size = tmpl.input;
+      const Status status = injector.AddTenant(spec);
+      if (!status.ok()) {
+        std::fprintf(stderr, "AddTenant(%s): %s\n", spec.name.c_str(),
+                     status.ToString().c_str());
+      }
+    }
+  }
+
+  injector.PretrainModels(config.pretrain_invocations);
+
+  MacroResult result;
+  result.config = config;
+  if (env.ofc() != nullptr) {
+    injector.AddSampler(config.cache_sample_period, [&env, &result] {
+      CacheSample sample;
+      sample.minute = ToSeconds(env.loop().now()) / 60.0;
+      sample.capacity = env.cluster()->TotalCapacity();
+      sample.used = env.cluster()->TotalUsed();
+      result.cache_series.push_back(sample);
+    });
+  }
+
+  injector.Run(config.duration);
+
+  result.tenants = injector.results();
+  result.platform_stats = env.platform().stats();
+  if (env.ofc() != nullptr) {
+    result.cache_stats = env.ofc()->cache_agent().stats();
+    result.prediction_stats = env.ofc()->prediction_stats();
+    result.proxy_stats = env.ofc()->proxy().stats();
+  }
+  for (const faasload::TenantResult& tenant : result.tenants) {
+    for (const auto& record : tenant.invocations) {
+      result.ephemeral_bytes += record.output_bytes;
+    }
+  }
+  return result;
+}
+
+}  // namespace ofc::bench
+
+#endif  // OFC_BENCH_MACRO_COMMON_H_

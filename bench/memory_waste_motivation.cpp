@@ -1,0 +1,164 @@
+// §2.2.1 + Figure 1 motivation: how much worker memory do over-provisioning
+// and sandbox keep-alive actually waste?
+//
+// A vanilla OWK-Swift deployment runs all 19 functions for 30 minutes with a
+// realistic arrival mix (steady Poisson + rare + bursty tenants, per the
+// Serverless-in-the-Wild characterization the paper cites). The bench reports
+// the two waste sources the paper quantifies:
+//   * over-booking: the AWS survey's "54 % of sandboxes configured with 512 MB
+//     or more, but average/median used memory of 65 MB / 29 MB";
+//   * keep-alive: sandboxes stay resident for 600 s between invocations, so
+//     the busy fraction of sandbox lifetime is tiny.
+// The final row is the punchline: the average hoardable memory — exactly the
+// pool OFC's cache runs on.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/common/stats.h"
+#include "src/faasload/environment.h"
+#include "src/faasload/injector.h"
+
+namespace ofc {
+namespace {
+
+struct WasteResult {
+  double booked_512_share = 0;   // Share of sandboxes booked >= 512 MB.
+  double used_mean_mb = 0;
+  double used_median_mb = 0;
+  double overbooking_factor = 0;  // mean(booked / used).
+  double busy_fraction = 0;       // exec time / sandbox uptime.
+  double hoardable_gb_mean = 0;   // mean over samples of (reserved - predicted need).
+};
+
+WasteResult RunProfile(faasload::TenantProfile profile) {
+  faasload::EnvironmentOptions options;
+  options.platform.num_workers = 4;
+  options.platform.worker_memory = GiB(64);
+  options.seed = 7331;
+  faasload::Environment env(faasload::Mode::kOwkSwift, options);
+  faasload::LoadInjector injector(&env, profile, 11);
+
+  int index = 0;
+  for (const workloads::FunctionSpec& spec : workloads::AllFunctions()) {
+    faasload::TenantSpec tenant;
+    tenant.name = "t-" + spec.name;
+    tenant.function = spec.name;
+    tenant.dataset_objects = 3;
+    switch (index++ % 3) {
+      case 0:  // Steady.
+        tenant.arrivals = faasload::ArrivalPattern::kExponential;
+        tenant.mean_interval_s = 60;
+        break;
+      case 1:  // Rare ("invoked once per 10 minutes or less").
+        tenant.arrivals = faasload::ArrivalPattern::kExponential;
+        tenant.mean_interval_s = 600;
+        break;
+      case 2:  // Bursty.
+        tenant.arrivals = faasload::ArrivalPattern::kBursty;
+        tenant.mean_interval_s = 300;
+        tenant.burst_size = 8;
+        tenant.burst_spacing_s = 2.0;
+        break;
+    }
+    if (!injector.AddTenant(tenant).ok()) {
+      std::fprintf(stderr, "tenant setup failed for %s\n", spec.name.c_str());
+    }
+  }
+
+  // Sample sandbox occupancy every 15 s.
+  Samples reserved_gb;
+  Samples sandbox_count;
+  injector.AddSampler(Seconds(15), [&env, &reserved_gb, &sandbox_count] {
+    Bytes reserved = 0;
+    std::size_t sandboxes = 0;
+    for (int w = 0; w < env.platform().num_workers(); ++w) {
+      reserved += env.platform().SandboxReserved(w);
+      sandboxes += env.platform().NumSandboxes(w);
+    }
+    reserved_gb.Add(static_cast<double>(reserved) / 1e9);
+    sandbox_count.Add(static_cast<double>(sandboxes));
+  });
+
+  const SimDuration duration = Minutes(30);
+  injector.Run(duration);
+
+  WasteResult result;
+  Samples used_mb;
+  RunningStat overbooking;
+  SimDuration busy_time = 0;
+  std::size_t booked_512 = 0;
+  std::size_t invocations = 0;
+  for (const faasload::TenantResult& tenant : injector.results()) {
+    const Bytes booked = env.platform().GetFunction(tenant.function)->booked_memory;
+    for (const auto& record : tenant.invocations) {
+      used_mb.Add(static_cast<double>(record.memory_used) / 1e6);
+      overbooking.Add(static_cast<double>(booked) /
+                      std::max<double>(1.0, static_cast<double>(record.memory_used)));
+      busy_time += record.startup_time + record.extract_time + record.compute_time +
+                   record.load_time;
+      booked_512 += booked >= MiB(512);
+      ++invocations;
+    }
+  }
+  result.booked_512_share =
+      invocations == 0 ? 0 : static_cast<double>(booked_512) / invocations;
+  result.used_mean_mb = used_mb.Mean();
+  result.used_median_mb = used_mb.Median();
+  result.overbooking_factor = overbooking.mean();
+  // Sandbox uptime from the occupancy samples (count x sampling period).
+  const double uptime_s = sandbox_count.Mean() * ToSeconds(duration);
+  result.busy_fraction = uptime_s <= 0 ? 0 : ToSeconds(busy_time) / uptime_s;
+  // Hoardable: booked-but-unused memory while sandboxes are resident. The
+  // resident need is approximated by the mean used memory per sandbox.
+  const double resident_need_gb =
+      sandbox_count.Mean() * result.used_mean_mb / 1e3;
+  result.hoardable_gb_mean = std::max(0.0, reserved_gb.Mean() - resident_need_gb);
+  return result;
+}
+
+void Run() {
+  bench::Banner("Memory waste from over-booking and keep-alive",
+                "§2.2.1 + Figure 1 (AWS survey: 54% of sandboxes >= 512 MB, "
+                "65 MB mean / 29 MB median used)");
+
+  bench::Table table({"Metric", "naive", "normal", "advanced"});
+  WasteResult results[3];
+  const faasload::TenantProfile profiles[] = {faasload::TenantProfile::kNaive,
+                                              faasload::TenantProfile::kNormal,
+                                              faasload::TenantProfile::kAdvanced};
+  for (int i = 0; i < 3; ++i) {
+    results[i] = RunProfile(profiles[i]);
+  }
+  auto row = [&](const std::string& name, auto getter, const char* format) {
+    table.AddRow({name, bench::Fmt(format, getter(results[0])),
+                  bench::Fmt(format, getter(results[1])),
+                  bench::Fmt(format, getter(results[2]))});
+  };
+  row("Sandboxes booked >= 512 MB (%)",
+      [](const WasteResult& r) { return 100.0 * r.booked_512_share; }, "%.0f");
+  row("Used memory, mean (MB)", [](const WasteResult& r) { return r.used_mean_mb; },
+      "%.0f");
+  row("Used memory, median (MB)", [](const WasteResult& r) { return r.used_median_mb; },
+      "%.0f");
+  row("Over-booking factor (booked/used)",
+      [](const WasteResult& r) { return r.overbooking_factor; }, "%.1f");
+  row("Sandbox busy fraction (%)",
+      [](const WasteResult& r) { return 100.0 * r.busy_fraction; }, "%.2f");
+  row("Hoardable memory, mean (GB)",
+      [](const WasteResult& r) { return r.hoardable_gb_mean; }, "%.1f");
+  table.Print();
+
+  std::printf(
+      "\nExpected shape: most booked memory goes unused (the naive profile books\n"
+      "2 GB everywhere for ~100-400 MB of actual use), and sandboxes are busy for\n"
+      "well under 10%% of their kept-alive lifetime — the idle remainder is the\n"
+      "pool OFC's opportunistic cache repurposes.\n");
+}
+
+}  // namespace
+}  // namespace ofc
+
+int main() {
+  ofc::Run();
+  return 0;
+}

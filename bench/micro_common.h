@@ -1,0 +1,220 @@
+// Scenario runner shared by the Figure 3 and Figure 7 benches: executes one
+// function (or pipeline) at a controlled input size under a given
+// mode x cache-state scenario and reports the measured ETL breakdown.
+//
+// Scenarios (§7.2.1): LH (local hit — the input's master copy is cached on the
+// worker that runs the function), M (miss — input only in the RSDS), RH
+// (remote hit — cached, but mastered on a different worker). Baselines ignore
+// the scenario (they have no cache). All runs measure a *warm-sandbox*
+// invocation so cold-start noise does not pollute the E/T/L comparison.
+#ifndef OFC_BENCH_MICRO_COMMON_H_
+#define OFC_BENCH_MICRO_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "src/faasload/environment.h"
+#include "src/faasload/injector.h"
+#include "src/workloads/media.h"
+#include "src/workloads/pipelines.h"
+
+namespace ofc::bench {
+
+enum class CacheScenario { kLocalHit, kMiss, kRemoteHit };
+
+inline std::string ScenarioName(faasload::Mode mode, CacheScenario scenario) {
+  if (mode != faasload::Mode::kOfc) {
+    return faasload::ModeName(mode);
+  }
+  switch (scenario) {
+    case CacheScenario::kLocalHit:
+      return "OFC-LH";
+    case CacheScenario::kMiss:
+      return "OFC-M";
+    case CacheScenario::kRemoteHit:
+      return "OFC-RH";
+  }
+  return "OFC";
+}
+
+struct EtlBreakdown {
+  double extract_s = 0;
+  double compute_s = 0;
+  double load_s = 0;
+  double total_s = 0;  // Wall clock (tasks overlap in pipelines).
+  // Share of E&L among the summed phase times (Figure 3's stacked bars).
+  double EOverTotal() const {
+    const double phases = extract_s + compute_s + load_s;
+    return phases <= 0 ? 0 : (extract_s + load_s) / phases;
+  }
+};
+
+inline faasload::EnvironmentOptions MicroEnvOptions(
+    std::uint64_t seed, const std::optional<store::StoreProfile>& rsds_profile) {
+  faasload::EnvironmentOptions options;
+  options.platform.num_workers = 4;
+  options.platform.worker_memory = GiB(8);
+  options.seed = seed;
+  options.rsds_profile = rsds_profile;
+  return options;
+}
+
+// Runs `function` on an input of ~`input_size` bytes; returns the breakdown of
+// the measured (second, warm) invocation. `rsds_profile` optionally overrides
+// the store latency (the Figure 3 motivation uses S3).
+inline EtlBreakdown RunSingleFunction(
+    faasload::Mode mode, CacheScenario scenario, const std::string& function,
+    Bytes input_size, std::uint64_t seed,
+    std::optional<store::StoreProfile> rsds_profile = std::nullopt) {
+  const workloads::FunctionSpec* spec = workloads::FindFunction(function);
+  faasload::Environment env(mode, MicroEnvOptions(seed, rsds_profile));
+  faas::FunctionConfig config;
+  config.spec = *spec;
+  config.booked_memory = GiB(2);
+  (void)env.platform().RegisterFunction(config);
+
+  Rng rng(seed);
+  if (env.ofc() != nullptr) {
+    Rng pretrain_rng = rng.Fork();
+    env.ofc()->trainer().Pretrain(*spec, 1000, pretrain_rng);
+  }
+
+  workloads::MediaGenerator generator(rng.Fork());
+  const workloads::MediaDescriptor warm_media =
+      generator.GenerateWithByteSize(spec->kind, input_size);
+  const workloads::MediaDescriptor target_media =
+      generator.GenerateWithByteSize(spec->kind, input_size);
+  env.rsds().Seed("bench/warm", warm_media.byte_size, faas::MediaToTags(warm_media));
+  env.rsds().Seed("bench/target", target_media.byte_size, faas::MediaToTags(target_media));
+  const std::vector<double> args = workloads::SampleArgs(*spec, rng);
+
+  auto invoke = [&](const std::string& key, const workloads::MediaDescriptor& media) {
+    faas::InvocationRecord out;
+    bool done = false;
+    env.platform().Invoke(function, {faas::InputObject{key, media}}, args,
+                          [&](const faas::InvocationRecord& r) {
+                            out = r;
+                            done = true;
+                          });
+    // Bounded drive: periodic OFC timers keep the loop non-empty forever.
+    const SimTime deadline = env.loop().now() + Minutes(10);
+    while (!done && env.loop().now() < deadline && env.loop().Step()) {
+    }
+    return out;
+  };
+
+  // Warm the sandbox with a different object (keeps the target uncached).
+  const faas::InvocationRecord warmup = invoke("bench/warm", warm_media);
+
+  if (mode == faasload::Mode::kOfc) {
+    if (scenario == CacheScenario::kLocalHit) {
+      // Prime: a first access admits the target on the sandbox's worker.
+      (void)invoke("bench/target", target_media);
+    } else if (scenario == CacheScenario::kRemoteHit) {
+      // Admit the target with its master on a *different* node than the warm
+      // sandbox's worker. That node has no sandboxes (hence no hoard), so give
+      // its cache instance explicit capacity for the staged object.
+      const int other = (warmup.worker + 1) % env.platform().num_workers();
+      const auto meta = env.rsds().Stat("bench/target");
+      (void)env.cluster()->SetCapacity(other, meta->size + MiB(64));
+      bool done = false;
+      env.cluster()->Write(other, "bench/target", meta->size, meta->latest_version,
+                           rc::ObjectClass::kInput, /*dirty=*/false,
+                           [&](Status) { done = true; });
+      while (!done && env.loop().Step()) {
+      }
+    }
+  }
+
+  const faas::InvocationRecord measured = invoke("bench/target", target_media);
+  EtlBreakdown out;
+  out.extract_s = ToSeconds(measured.extract_time);
+  out.compute_s = ToSeconds(measured.compute_time);
+  out.load_s = ToSeconds(measured.load_time);
+  out.total_s = ToSeconds(measured.total);
+  return out;
+}
+
+// Runs a pipeline over ~`input_size` bytes of chunked input.
+inline EtlBreakdown RunPipeline(
+    faasload::Mode mode, CacheScenario scenario, const std::string& pipeline_name,
+    Bytes input_size, std::uint64_t seed,
+    std::optional<store::StoreProfile> rsds_profile = std::nullopt) {
+  const workloads::PipelineSpec* pipeline = workloads::FindPipeline(pipeline_name);
+  faasload::Environment env(mode, MicroEnvOptions(seed, rsds_profile));
+  Rng rng(seed);
+  for (const workloads::PipelineStage& stage : pipeline->stages) {
+    const workloads::FunctionSpec* fn = workloads::FindFunction(stage.function);
+    if (env.platform().GetFunction(fn->name) == nullptr) {
+      faas::FunctionConfig config;
+      config.spec = *fn;
+      config.booked_memory = GiB(2);
+      (void)env.platform().RegisterFunction(config);
+      if (env.ofc() != nullptr) {
+        Rng pretrain_rng = rng.Fork();
+        env.ofc()->trainer().Pretrain(*fn, 1000, pretrain_rng);
+      }
+    }
+  }
+
+  workloads::MediaGenerator generator(rng.Fork());
+  auto make_chunks = [&](const std::string& prefix) {
+    std::vector<faas::InputObject> chunks;
+    const int n = pipeline->NumChunks(input_size);
+    const Bytes chunk_size = input_size / n;
+    for (int c = 0; c < n; ++c) {
+      const workloads::MediaDescriptor media =
+          generator.GenerateWithByteSize(pipeline->input_kind, chunk_size);
+      const std::string key = prefix + std::to_string(c);
+      env.rsds().Seed(key, media.byte_size, faas::MediaToTags(media));
+      chunks.push_back(faas::InputObject{key, media});
+    }
+    return chunks;
+  };
+  const auto warm_chunks = make_chunks("bench/warm");
+  const auto target_chunks = make_chunks("bench/target");
+
+  auto run = [&](const std::vector<faas::InputObject>& chunks) {
+    faas::PipelineRecord out;
+    bool done = false;
+    env.platform().InvokePipeline(*pipeline, chunks, [&](const faas::PipelineRecord& r) {
+      out = r;
+      done = true;
+    });
+    const SimTime deadline = env.loop().now() + Minutes(60);
+    while (!done && env.loop().now() < deadline && env.loop().Step()) {
+    }
+    return out;
+  };
+
+  // Warm sandboxes for every stage on a disjoint chunk set.
+  (void)run(warm_chunks);
+
+  if (mode == faasload::Mode::kOfc) {
+    if (scenario == CacheScenario::kLocalHit) {
+      (void)run(target_chunks);  // Primes the target chunks near their readers.
+    } else if (scenario == CacheScenario::kRemoteHit) {
+      for (const faas::InputObject& chunk : target_chunks) {
+        const auto meta = env.rsds().Stat(chunk.key);
+        bool done = false;
+        env.cluster()->Write(0, chunk.key, meta->size, meta->latest_version,
+                             rc::ObjectClass::kInput, /*dirty=*/false,
+                             [&](Status) { done = true; });
+        while (!done && env.loop().Step()) {
+        }
+      }
+    }
+  }
+
+  const faas::PipelineRecord measured = run(target_chunks);
+  EtlBreakdown out;
+  out.extract_s = ToSeconds(measured.extract_time);
+  out.compute_s = ToSeconds(measured.compute_time);
+  out.load_s = ToSeconds(measured.load_time);
+  out.total_s = ToSeconds(measured.total);
+  return out;
+}
+
+}  // namespace ofc::bench
+
+#endif  // OFC_BENCH_MICRO_COMMON_H_

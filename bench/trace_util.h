@@ -1,0 +1,64 @@
+// Synthetic invocation-trace datasets for the ML benches (Table 1, Figures 5
+// and 6, maturation): per-function labelled datasets built from the workload
+// generative models, mirroring the training data the FaaSLoad monitoring
+// pipeline produces in the artifact.
+#ifndef OFC_BENCH_TRACE_UTIL_H_
+#define OFC_BENCH_TRACE_UTIL_H_
+
+#include "src/core/intervals.h"
+#include "src/ml/dataset.h"
+#include "src/sim/latency.h"
+#include "src/store/object_store.h"
+#include "src/workloads/functions.h"
+#include "src/workloads/media.h"
+
+namespace ofc::bench {
+
+// Dataset labelled with memory intervals.
+inline ml::Dataset BuildMemoryDataset(const workloads::FunctionSpec& spec,
+                                      const core::MemoryIntervals& intervals, int n,
+                                      std::uint64_t seed) {
+  ml::Dataset data(
+      ml::Schema(workloads::FeatureAttributes(spec), intervals.ClassAttribute()));
+  Rng rng(seed);
+  workloads::MediaGenerator generator(rng.Fork());
+  for (int i = 0; i < n; ++i) {
+    const workloads::MediaDescriptor media = generator.Generate(spec.kind);
+    const std::vector<double> args = workloads::SampleArgs(spec, rng);
+    const workloads::InvocationDemand demand =
+        workloads::ComputeDemand(spec, media, args, &rng);
+    ml::Instance instance;
+    instance.features = workloads::ExtractFeatures(spec, media, args);
+    instance.label = intervals.Label(demand.memory);
+    (void)data.Add(std::move(instance));
+  }
+  return data;
+}
+
+// Dataset labelled with the §5.2 caching-benefit boolean.
+inline ml::Dataset BuildBenefitDataset(const workloads::FunctionSpec& spec,
+                                       const store::StoreProfile& rsds, int n,
+                                       std::uint64_t seed) {
+  ml::Dataset data(ml::Schema(workloads::FeatureAttributes(spec),
+                              ml::Attribute::Nominal("benefit", {"no", "yes"})));
+  Rng rng(seed);
+  workloads::MediaGenerator generator(rng.Fork());
+  for (int i = 0; i < n; ++i) {
+    const workloads::MediaDescriptor media = generator.Generate(spec.kind);
+    const std::vector<double> args = workloads::SampleArgs(spec, rng);
+    const workloads::InvocationDemand demand =
+        workloads::ComputeDemand(spec, media, args, &rng);
+    const SimDuration e = rsds.read.Cost(media.byte_size);
+    const SimDuration l = rsds.write.Cost(demand.output_size);
+    const double total = static_cast<double>(e + demand.compute + l);
+    ml::Instance instance;
+    instance.features = workloads::ExtractFeatures(spec, media, args);
+    instance.label = total > 0 && static_cast<double>(e + l) / total > 0.5 ? 1 : 0;
+    (void)data.Add(std::move(instance));
+  }
+  return data;
+}
+
+}  // namespace ofc::bench
+
+#endif  // OFC_BENCH_TRACE_UTIL_H_

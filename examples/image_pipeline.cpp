@@ -1,0 +1,80 @@
+// ServerlessBench-style Image Processing pipeline (§7's fourth multi-stage
+// application): extract-metadata -> transform -> thumbnail over a single
+// image, repeated over a batch of uploads.
+//
+// Demonstrates OFC's pipeline handling on a latency-sensitive interactive
+// flow: every stage's output is the next stage's input, so the cache removes
+// two RSDS round-trips per image plus write-back-buffers the final thumbnail.
+//
+// Run: ./build/examples/image_pipeline
+#include <cstdio>
+
+#include "src/common/stats.h"
+#include "src/faasload/environment.h"
+#include "src/faasload/injector.h"
+
+using namespace ofc;
+
+namespace {
+
+Samples RunBatch(faasload::Mode mode, int images) {
+  faasload::EnvironmentOptions options;
+  options.platform.num_workers = 4;
+  options.seed = 31;
+  faasload::Environment env(mode, options);
+
+  const workloads::PipelineSpec* pipeline = workloads::FindPipeline("image_processing");
+  Rng rng(17);
+  for (const workloads::PipelineStage& stage : pipeline->stages) {
+    faas::FunctionConfig config;
+    config.spec = *workloads::FindFunction(stage.function);
+    config.tenant = "photo-app";
+    config.booked_memory = GiB(2);
+    (void)env.platform().RegisterFunction(config);
+    if (env.ofc() != nullptr) {
+      Rng pretrain_rng = rng.Fork();
+      env.ofc()->trainer().Pretrain(config.spec, 1000, pretrain_rng);
+    }
+  }
+
+  workloads::MediaGenerator generator(rng.Fork());
+  Samples latencies_ms;
+  for (int i = 0; i < images; ++i) {
+    const workloads::MediaDescriptor photo =
+        generator.GenerateWithByteSize(workloads::InputKind::kImage, MiB(2));
+    const std::string key = "uploads/img-" + std::to_string(i);
+    env.rsds().Seed(key, photo.byte_size, faas::MediaToTags(photo));
+
+    faas::PipelineRecord record;
+    bool done = false;
+    env.platform().InvokePipeline(*pipeline, {faas::InputObject{key, photo}},
+                                  [&](const faas::PipelineRecord& r) {
+                                    record = r;
+                                    done = true;
+                                  });
+    while (!done && env.loop().Step()) {
+    }
+    latencies_ms.Add(ToMillis(record.total));
+  }
+  return latencies_ms;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kImages = 25;
+  std::printf("Image Processing pipeline (meta -> transform -> thumbnail), %d uploads\n\n",
+              kImages);
+  std::printf("%-10s %-12s %-12s %-12s\n", "mode", "median (ms)", "p95 (ms)", "max (ms)");
+  for (faasload::Mode mode :
+       {faasload::Mode::kOwkSwift, faasload::Mode::kOwkRedis, faasload::Mode::kOfc}) {
+    const Samples latencies = RunBatch(mode, kImages);
+    std::printf("%-10s %-12.1f %-12.1f %-12.1f\n", faasload::ModeName(mode).c_str(),
+                latencies.Median(), latencies.Percentile(0.95), latencies.Max());
+  }
+  std::printf(
+      "\nAfter the first upload warms the stage sandboxes, OFC's per-image latency\n"
+      "approaches the in-memory (Redis) baseline without any dedicated cache\n"
+      "resources: the pipeline's intermediates never leave worker RAM.\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// MapReduce word count over a 30 MB text corpus — the paper's flagship
+// analytics pipeline (§2.2.3, Figure 7i).
+//
+// The corpus is split into 512 KiB chunk objects; a map task per chunk emits
+// per-chunk counts, and one reduce task merges them. The example runs the same
+// pipeline on vanilla OWK-Swift and on OFC and prints the ETL breakdown: with
+// OFC, intermediate map outputs live only in the RAM cache and are dropped
+// when the pipeline finishes, so the E and L columns collapse.
+//
+// Run: ./build/examples/mapreduce_wordcount
+#include <cstdio>
+
+#include "src/faasload/environment.h"
+#include "src/faasload/injector.h"
+
+using namespace ofc;
+
+namespace {
+
+faas::PipelineRecord RunWordCount(faasload::Mode mode) {
+  faasload::EnvironmentOptions options;
+  options.platform.num_workers = 4;
+  options.seed = 99;
+  faasload::Environment env(mode, options);
+
+  const workloads::PipelineSpec* pipeline = workloads::FindPipeline("map_reduce");
+  Rng rng(5);
+  for (const workloads::PipelineStage& stage : pipeline->stages) {
+    faas::FunctionConfig config;
+    config.spec = *workloads::FindFunction(stage.function);
+    config.tenant = "analytics-team";
+    config.booked_memory = GiB(1);
+    (void)env.platform().RegisterFunction(config);
+    if (env.ofc() != nullptr) {
+      Rng pretrain_rng = rng.Fork();
+      env.ofc()->trainer().Pretrain(config.spec, 1000, pretrain_rng);
+    }
+  }
+
+  // Upload the corpus as chunk objects.
+  workloads::MediaGenerator generator(rng.Fork());
+  std::vector<faas::InputObject> chunks;
+  const Bytes corpus = MiB(30);
+  const int num_chunks = pipeline->NumChunks(corpus);
+  for (int c = 0; c < num_chunks; ++c) {
+    const workloads::MediaDescriptor chunk = generator.GenerateWithByteSize(
+        workloads::InputKind::kText, corpus / num_chunks);
+    const std::string key = "corpus/part-" + std::to_string(c);
+    env.rsds().Seed(key, chunk.byte_size, faas::MediaToTags(chunk));
+    chunks.push_back(faas::InputObject{key, chunk});
+  }
+
+  faas::PipelineRecord record;
+  bool done = false;
+  env.platform().InvokePipeline(*pipeline, chunks, [&](const faas::PipelineRecord& r) {
+    record = r;
+    done = true;
+  });
+  while (!done && env.loop().Step()) {
+  }
+  return record;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("MapReduce word count over 30 MiB (60 chunks, 60 map + 1 reduce tasks)\n\n");
+  std::printf("%-10s %-10s %-10s %-10s %-12s %s\n", "mode", "E sum", "T sum", "L sum",
+              "wall clock", "tasks");
+  for (faasload::Mode mode : {faasload::Mode::kOwkSwift, faasload::Mode::kOfc}) {
+    const faas::PipelineRecord record = RunWordCount(mode);
+    std::printf("%-10s %-10s %-10s %-10s %-12s %zu\n",
+                faasload::ModeName(mode).c_str(),
+                FormatDuration(record.extract_time).c_str(),
+                FormatDuration(record.compute_time).c_str(),
+                FormatDuration(record.load_time).c_str(),
+                FormatDuration(record.total).c_str(), record.num_tasks);
+  }
+  std::printf(
+      "\nOFC absorbs the chunk reads and buffers the intermediate map outputs in\n"
+      "worker RAM (they never reach the object store), cutting the E/L phases.\n");
+  return 0;
+}

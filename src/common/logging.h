@@ -1,0 +1,47 @@
+// Minimal leveled logging. Off by default so simulations stay quiet; benches and
+// examples can raise the level. Not thread-safe by design: the whole simulator is
+// single-threaded and deterministic.
+#ifndef OFC_COMMON_LOGGING_H_
+#define OFC_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ofc {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the level is disabled.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace ofc
+
+#define OFC_LOG(level)                                                      \
+  (static_cast<int>(::ofc::LogLevel::k##level) <                            \
+   static_cast<int>(::ofc::GetLogLevel()))                                  \
+      ? (void)0                                                             \
+      : ::ofc::internal::LogVoidify() &                                     \
+            ::ofc::internal::LogMessage(::ofc::LogLevel::k##level, __FILE__, __LINE__).stream()
+
+#endif  // OFC_COMMON_LOGGING_H_

@@ -1,0 +1,121 @@
+// Status and Result<T>: error handling primitives used across all OFC libraries.
+//
+// Library code never throws across module boundaries; fallible operations return
+// Status (no payload) or Result<T> (payload or error), in the spirit of
+// absl::Status / zx::result.
+#ifndef OFC_COMMON_STATUS_H_
+#define OFC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace ofc {
+
+// Canonical error space, deliberately small: these map onto the failure modes the
+// OFC design cares about (missing objects, capacity violations, races on versions).
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kResourceExhausted,  // e.g. sandbox OOM, cache capacity violation
+  kUnavailable,        // e.g. crashed server, no capacity on any node
+  kAborted,            // e.g. version conflict on a conditional write
+  kDeadlineExceeded,
+  kInternal,
+};
+
+// Human-readable name for a status code ("OK", "NOT_FOUND", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+// A success-or-error value. Cheap to copy on the OK path (no message allocated).
+class [[nodiscard]] Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "NOT_FOUND: no such object".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status OkStatus() { return Status::Ok(); }
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status InvalidArgumentError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnavailableError(std::string message);
+Status AbortedError(std::string message);
+Status DeadlineExceededError(std::string message);
+Status InternalError(std::string message);
+
+// A value of type T or an error Status. Accessing value() on an error aborts, so
+// callers must test ok() first (or use value_or()).
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : state_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    assert(!std::get<Status>(state_).ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(state_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  T value_or(T fallback) const& { return ok() ? std::get<T>(state_) : std::move(fallback); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+// Propagates an error Status from an expression, mirroring RETURN_IF_ERROR.
+#define OFC_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::ofc::Status ofc_status_internal_ = (expr);    \
+    if (!ofc_status_internal_.ok()) {               \
+      return ofc_status_internal_;                  \
+    }                                               \
+  } while (false)
+
+}  // namespace ofc
+
+#endif  // OFC_COMMON_STATUS_H_

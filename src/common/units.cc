@@ -1,0 +1,50 @@
+#include "src/common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ofc {
+
+namespace {
+
+std::string FormatWithUnit(double value, const char* unit) {
+  char buf[64];
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f %s", value, unit);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f %s", value, unit);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string FormatBytes(Bytes bytes) {
+  const double b = static_cast<double>(bytes);
+  if (bytes < KiB(1)) {
+    return FormatWithUnit(b, "B");
+  }
+  if (bytes < MiB(1)) {
+    return FormatWithUnit(b / 1024.0, "KiB");
+  }
+  if (bytes < GiB(1)) {
+    return FormatWithUnit(b / (1024.0 * 1024.0), "MiB");
+  }
+  return FormatWithUnit(b / (1024.0 * 1024.0 * 1024.0), "GiB");
+}
+
+std::string FormatDuration(SimDuration d) {
+  const double us = static_cast<double>(d);
+  if (d < Millis(1)) {
+    return FormatWithUnit(us, "us");
+  }
+  if (d < Seconds(1)) {
+    return FormatWithUnit(us / 1e3, "ms");
+  }
+  if (d < Minutes(2)) {
+    return FormatWithUnit(us / 1e6, "s");
+  }
+  return FormatWithUnit(us / 6e7, "min");
+}
+
+}  // namespace ofc

@@ -1,0 +1,44 @@
+// Byte-size and simulated-time units shared by every OFC module.
+//
+// Simulated time is a plain microsecond count (SimTime / SimDuration). Keeping it
+// integral (rather than std::chrono) makes event-queue ordering and arithmetic in
+// the discrete-event simulator trivially deterministic across platforms.
+#ifndef OFC_COMMON_UNITS_H_
+#define OFC_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ofc {
+
+// ---- Bytes -------------------------------------------------------------------
+
+using Bytes = std::int64_t;
+
+constexpr Bytes KiB(std::int64_t n) { return n * 1024; }
+constexpr Bytes MiB(std::int64_t n) { return n * 1024 * 1024; }
+constexpr Bytes GiB(std::int64_t n) { return n * 1024 * 1024 * 1024; }
+
+// "12.5 MB"-style rendering for logs and bench output.
+std::string FormatBytes(Bytes bytes);
+
+// ---- Simulated time ----------------------------------------------------------
+
+// Absolute simulated time and durations, both in microseconds.
+using SimTime = std::int64_t;
+using SimDuration = std::int64_t;
+
+constexpr SimDuration Micros(std::int64_t n) { return n; }
+constexpr SimDuration Millis(std::int64_t n) { return n * 1000; }
+constexpr SimDuration Seconds(std::int64_t n) { return n * 1000 * 1000; }
+constexpr SimDuration Minutes(std::int64_t n) { return Seconds(n * 60); }
+
+constexpr double ToMillis(SimDuration d) { return static_cast<double>(d) / 1e3; }
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / 1e6; }
+
+// "1.234 ms" / "12.3 s"-style rendering.
+std::string FormatDuration(SimDuration d);
+
+}  // namespace ofc
+
+#endif  // OFC_COMMON_UNITS_H_

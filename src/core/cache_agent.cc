@@ -1,0 +1,271 @@
+#include "src/core/cache_agent.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace ofc::core {
+
+CacheAgent::CacheAgent(sim::EventLoop* loop, rc::Cluster* cluster, CacheAgentOptions options)
+    : loop_(loop), cluster_(cluster), options_(options) {
+  const std::size_t n = static_cast<std::size_t>(cluster_->num_nodes());
+  hoard_.assign(n, 0);
+  limits_.assign(n, 0);
+  slack_.assign(n, options_.initial_slack);
+  churn_accum_.assign(n, 0);
+  churn_windows_.assign(n, SlidingTimeWindow(options_.churn_window));
+}
+
+Bytes CacheAgent::CapacityTarget(int worker) const {
+  const std::size_t w = static_cast<std::size_t>(worker);
+  // The hoardable amount, bounded by the physically free memory on the node.
+  const Bytes physical = options_.worker_memory - limits_[w];
+  return std::max<Bytes>(0, std::min(hoard_[w], physical) - slack_[w]);
+}
+
+void CacheAgent::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  ApplyAllTargets();
+  loop_->ScheduleAfter(options_.sweep_period, [this] { SweepTick(); });
+  loop_->ScheduleAfter(options_.churn_sample_period, [this] { ChurnSampleTick(); });
+  loop_->ScheduleAfter(options_.slack_adjust_period, [this] { SlackAdjustTick(); });
+}
+
+void CacheAgent::SweepTick() {
+  SweepOnce();
+  loop_->ScheduleAfter(options_.sweep_period, [this] { SweepTick(); });
+}
+
+void CacheAgent::ChurnSampleTick() {
+  // §6.4: the local memory churn is measured every 60 s.
+  for (std::size_t w = 0; w < churn_accum_.size(); ++w) {
+    churn_windows_[w].Add(loop_->now(), static_cast<double>(churn_accum_[w]));
+    churn_accum_[w] = 0;
+  }
+  loop_->ScheduleAfter(options_.churn_sample_period, [this] { ChurnSampleTick(); });
+}
+
+void CacheAgent::SlackAdjustTick() {
+  // §6.4: the slack pool is re-estimated every 120 s from the churn window.
+  for (std::size_t w = 0; w < slack_.size(); ++w) {
+    const double mean_churn = churn_windows_[w].MeanAt(loop_->now());
+    const Bytes estimate = static_cast<Bytes>(mean_churn);
+    slack_[w] = std::clamp(std::max(estimate, options_.initial_slack / 2), options_.min_slack,
+                           options_.max_slack);
+    ApplyTarget(static_cast<int>(w));
+  }
+  loop_->ScheduleAfter(options_.slack_adjust_period, [this] { SlackAdjustTick(); });
+}
+
+void CacheAgent::SweepOnce() {
+  const SimTime now = loop_->now();
+  for (int node = 0; node < cluster_->num_nodes(); ++node) {
+    for (const std::string& key : cluster_->KeysOn(node)) {
+      const auto obj = cluster_->Inspect(key);
+      if (!obj.ok()) {
+        continue;
+      }
+      // Only consider objects that have been resident for at least one sweep
+      // period; otherwise every freshly admitted object would be purged.
+      if (now - obj->created_at < options_.sweep_period) {
+        continue;
+      }
+      const bool cold = obj->access_count < options_.sweep_min_access ||
+                        now - obj->last_access > options_.sweep_max_idle;
+      if (!cold) {
+        continue;
+      }
+      if (obj->dirty) {
+        if (writeback_) {
+          ++stats_.writebacks_triggered;
+          const std::string k = key;
+          writeback_(k, [this, k](Status status) {
+            if (status.ok()) {
+              (void)cluster_->Remove(k);
+              ++stats_.objects_swept;
+            }
+          });
+        }
+        continue;
+      }
+      (void)cluster_->Remove(key);
+      ++stats_.objects_swept;
+    }
+  }
+}
+
+void CacheAgent::OnSandboxMemoryChange(const faas::SandboxMemoryEvent& event) {
+  const std::size_t w = static_cast<std::size_t>(event.worker);
+  hoard_[w] += event.new_hoard() - event.old_hoard();
+  limits_[w] += event.new_limit - event.old_limit;
+  assert(hoard_[w] >= 0);
+  assert(limits_[w] >= 0);
+  churn_accum_[w] += std::abs(event.new_limit - event.old_limit);
+  ApplyTarget(event.worker);
+}
+
+void CacheAgent::ApplyAllTargets() {
+  for (int w = 0; w < cluster_->num_nodes(); ++w) {
+    ApplyTarget(w);
+  }
+}
+
+void CacheAgent::ApplyTarget(int worker) {
+  const Bytes target = CapacityTarget(worker);
+  const Bytes current = cluster_->Capacity(worker);
+  if (target == current) {
+    return;
+  }
+  SimDuration duration = 0;
+  if (target > current) {
+    // Scale up: capacity grows, nothing to reclaim.
+    if (cluster_->SetCapacity(worker, target, &duration).ok()) {
+      ++stats_.scale_ups;
+      stats_.scale_up_time += duration;
+    }
+    return;
+  }
+  // Scale down.
+  const Bytes used = cluster_->Used(worker);
+  bool migrated = false;
+  bool evicted = false;
+  if (used > target) {
+    const Bytes freed = FreeBytes(worker, used - target, &migrated, &evicted);
+    if (cluster_->Used(worker) > target) {
+      // Could not free enough synchronously (e.g. everything dirty, write-backs
+      // in flight): shrink to what is feasible now and retry shortly.
+      (void)freed;
+      const Bytes feasible = std::max(target, cluster_->Used(worker));
+      SimDuration partial = 0;
+      if (cluster_->SetCapacity(worker, feasible, &partial).ok()) {
+        stats_.scale_down_time += partial;
+      }
+      loop_->ScheduleAfter(Millis(50), [this, worker] { ApplyTarget(worker); });
+      return;
+    }
+  }
+  if (cluster_->SetCapacity(worker, target, &duration).ok()) {
+    stats_.scale_down_time += duration;
+    if (migrated) {
+      ++stats_.scale_downs_migration;
+    } else if (evicted) {
+      ++stats_.scale_downs_eviction;
+    } else {
+      ++stats_.scale_downs_plain;
+    }
+  }
+}
+
+Bytes CacheAgent::FreeBytes(int worker, Bytes needed, bool* migrated, bool* evicted) {
+  Bytes freed = 0;
+  std::vector<std::string> keys = cluster_->KeysOn(worker);
+
+  // Phase 1: discard persisted output objects (final outputs first, §6.4).
+  for (const std::string& key : keys) {
+    if (freed >= needed) {
+      return freed;
+    }
+    const auto obj = cluster_->Inspect(key);
+    if (!obj.ok()) {
+      continue;
+    }
+    const bool output = obj->object_class != rc::ObjectClass::kInput;
+    if (output && obj->persisted && !obj->dirty) {
+      freed += obj->size;
+      (void)cluster_->Remove(key);
+      ++stats_.objects_evicted;
+      *evicted = true;
+      stats_.scale_down_time += options_.eviction_op_cost;
+    }
+  }
+
+  // Phase 2: trigger write-back of dirty outputs; they free memory when the
+  // persistor completes (asynchronous, so not counted in `freed`).
+  for (const std::string& key : keys) {
+    const auto obj = cluster_->Inspect(key);
+    if (!obj.ok() || !obj->dirty || obj->object_class == rc::ObjectClass::kInput) {
+      continue;
+    }
+    if (writeback_) {
+      ++stats_.writebacks_triggered;
+      const std::string k = key;
+      writeback_(k, [this, k](Status status) {
+        if (status.ok()) {
+          (void)cluster_->Remove(k);
+        }
+      });
+    }
+  }
+
+  // Phase 3: input objects, LRU order. Prefer migrating the master copy to a
+  // backup node (keeps the object cached, no data transfer); evict when no
+  // backup can host it.
+  std::vector<rc::CachedObject> inputs;
+  for (const std::string& key : keys) {
+    const auto obj = cluster_->Inspect(key);
+    if (obj.ok() && obj->master == worker && obj->object_class == rc::ObjectClass::kInput) {
+      inputs.push_back(*obj);
+    }
+  }
+  std::sort(inputs.begin(), inputs.end(),
+            [](const rc::CachedObject& a, const rc::CachedObject& b) {
+              return a.last_access < b.last_access;
+            });
+  for (const rc::CachedObject& obj : inputs) {
+    if (freed >= needed) {
+      break;
+    }
+    const auto migration = cluster_->MigrateMaster(obj.key);
+    if (migration.ok()) {
+      freed += obj.size;
+      ++stats_.objects_migrated;
+      *migrated = true;
+      stats_.scale_down_time += migration->duration;
+      continue;
+    }
+    freed += obj.size;
+    (void)cluster_->Remove(obj.key);
+    ++stats_.objects_evicted;
+    *evicted = true;
+    stats_.scale_down_time += options_.eviction_op_cost;
+  }
+  return freed;
+}
+
+bool CacheAgent::ReleaseForSandbox(int worker, Bytes bytes) {
+  const std::size_t w = static_cast<std::size_t>(worker);
+  // The monitor needs `bytes` more for sandboxes: permanently move the target
+  // down by raising the mirrored reservation (the platform will report the
+  // actual sandbox change right after; reconciliation happens in
+  // OnSandboxMemoryChange, so here we only make room).
+  const Bytes target = std::max<Bytes>(0, CapacityTarget(worker) - bytes);
+  const Bytes used = cluster_->Used(worker);
+  bool migrated = false;
+  bool evicted = false;
+  if (used > target) {
+    FreeBytes(worker, used - target, &migrated, &evicted);
+    if (cluster_->Used(worker) > target) {
+      return false;
+    }
+  }
+  SimDuration duration = 0;
+  if (!cluster_->SetCapacity(worker, target, &duration).ok()) {
+    return false;
+  }
+  stats_.scale_down_time += duration;
+  if (migrated) {
+    ++stats_.scale_downs_migration;
+  } else if (evicted) {
+    ++stats_.scale_downs_eviction;
+  } else {
+    ++stats_.scale_downs_plain;
+  }
+  (void)w;
+  return true;
+}
+
+}  // namespace ofc::core

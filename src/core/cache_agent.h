@@ -1,0 +1,129 @@
+// CacheAgent (§6.3, §6.4): manages each worker's share of the cache.
+//
+// The agent hoards the memory booked-but-unused by the worker's sandboxes
+// (including idle, kept-alive ones — §2.2.1's two waste sources): the
+// per-worker cache capacity target is
+//
+//     min( sum over sandboxes of (booked - cgroup limit),
+//          worker_memory - sum of cgroup limits )  -  slack_pool
+//
+// re-applied on every sandbox creation/resize/destruction (per-invocation
+// resizes run asynchronously, off the critical path). The slack pool guards
+// against capacity violations from in-flight asynchronous scale-ups: it starts
+// at 100 MB and is re-estimated every 120 s from a sliding window of 60 s
+// memory-churn samples.
+//
+// Shrinking follows the paper's reclamation order:
+//   1. discard output objects already persisted to the RSDS;
+//   2. trigger write-back of dirty output objects (discarded on completion);
+//   3. evict input objects on an LRU basis — but first try to keep hot inputs
+//      cached by migrating their master copy to a backup node (§6.4's
+//      no-transfer promotion).
+//
+// Independently, a periodic sweep (every 300 s) evicts objects that are cold:
+// n_access < 5 or idle for more than 30 minutes (§6.3).
+#ifndef OFC_CORE_CACHE_AGENT_H_
+#define OFC_CORE_CACHE_AGENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/common/units.h"
+#include "src/faas/platform.h"
+#include "src/ramcloud/cluster.h"
+#include "src/sim/event_loop.h"
+
+namespace ofc::core {
+
+struct CacheAgentOptions {
+  Bytes worker_memory = GiB(8);
+  Bytes initial_slack = MiB(100);
+  Bytes min_slack = MiB(64);
+  Bytes max_slack = GiB(1);
+  SimDuration churn_sample_period = Seconds(60);
+  SimDuration slack_adjust_period = Seconds(120);
+  SimDuration churn_window = Seconds(300);
+  SimDuration sweep_period = Seconds(300);
+  std::uint32_t sweep_min_access = 5;     // Evict when n_access < 5 ...
+  SimDuration sweep_max_idle = Minutes(30);  // ... or idle > 30 min.
+  SimDuration eviction_op_cost = Micros(120);  // Per-object eviction overhead.
+};
+
+struct CacheScalingStats {
+  std::uint64_t scale_ups = 0;
+  SimDuration scale_up_time = 0;
+  std::uint64_t scale_downs_plain = 0;      // No eviction, no migration.
+  std::uint64_t scale_downs_migration = 0;  // Required master migration.
+  std::uint64_t scale_downs_eviction = 0;   // Required object eviction.
+  SimDuration scale_down_time = 0;
+  std::uint64_t objects_migrated = 0;
+  std::uint64_t objects_evicted = 0;
+  std::uint64_t objects_swept = 0;
+  std::uint64_t writebacks_triggered = 0;
+};
+
+class CacheAgent {
+ public:
+  // Write-back trigger: asks the Proxy's persistor machinery to push a dirty
+  // object to the RSDS; the completion callback reports the outcome.
+  using WritebackFn =
+      std::function<void(const std::string& key, std::function<void(Status)> done)>;
+
+  CacheAgent(sim::EventLoop* loop, rc::Cluster* cluster, CacheAgentOptions options);
+
+  // Arms the periodic sweep / slack-estimation timers and sets the initial
+  // capacity of every node to the full hoardable amount.
+  void Start();
+
+  void set_writeback(WritebackFn writeback) { writeback_ = std::move(writeback); }
+
+  // Sandbox memory change (from the platform hooks). Adjusts the hoard and
+  // re-applies the cache capacity target opportunistically.
+  void OnSandboxMemoryChange(const faas::SandboxMemoryEvent& event);
+
+  // Monitor rescue support (§5.3.1): synchronously releases `bytes` of cache
+  // capacity on `worker` so a struggling sandbox can grow. Returns false when
+  // the cache cannot free enough.
+  bool ReleaseForSandbox(int worker, Bytes bytes);
+
+  // Reapplies the capacity target for one worker (or all).
+  void ApplyTarget(int worker);
+  void ApplyAllTargets();
+
+  // One §6.3 sweep pass over every node; normally timer-driven, exposed for
+  // tests and benches.
+  void SweepOnce();
+
+  Bytes slack(int worker) const { return slack_[static_cast<std::size_t>(worker)]; }
+  // Sum of (booked - limit) across the worker's live sandboxes.
+  Bytes hoard(int worker) const { return hoard_[static_cast<std::size_t>(worker)]; }
+  Bytes CapacityTarget(int worker) const;
+  const CacheScalingStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
+
+ private:
+  // Frees at least `needed` bytes of mastered objects on `worker` following the
+  // reclamation order. Returns the bytes actually freed synchronously.
+  Bytes FreeBytes(int worker, Bytes needed, bool* migrated, bool* evicted);
+  void SweepTick();
+  void ChurnSampleTick();
+  void SlackAdjustTick();
+
+  sim::EventLoop* loop_;
+  rc::Cluster* cluster_;
+  CacheAgentOptions options_;
+  WritebackFn writeback_;
+  std::vector<Bytes> hoard_;   // Booked-but-unused memory, mirrored from hooks.
+  std::vector<Bytes> limits_;  // Sum of cgroup limits (physical usage bound).
+  std::vector<Bytes> slack_;
+  std::vector<Bytes> churn_accum_;
+  std::vector<SlidingTimeWindow> churn_windows_;
+  CacheScalingStats stats_;
+  bool started_ = false;
+};
+
+}  // namespace ofc::core
+
+#endif  // OFC_CORE_CACHE_AGENT_H_

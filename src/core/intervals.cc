@@ -1,0 +1,42 @@
+#include "src/core/intervals.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ofc::core {
+
+MemoryIntervals::MemoryIntervals(Bytes interval_size, Bytes max_memory)
+    : interval_size_(interval_size),
+      max_memory_(max_memory),
+      num_classes_(static_cast<int>((max_memory + interval_size - 1) / interval_size)) {
+  assert(interval_size > 0);
+  assert(num_classes_ >= 2);
+}
+
+int MemoryIntervals::Label(Bytes memory) const {
+  if (memory < 0) {
+    return 0;
+  }
+  const Bytes cls = memory / interval_size_;
+  return static_cast<int>(std::min<Bytes>(cls, num_classes_ - 1));
+}
+
+Bytes MemoryIntervals::UpperBound(int cls) const {
+  cls = std::clamp(cls, 0, num_classes_ - 1);
+  return static_cast<Bytes>(cls + 1) * interval_size_;
+}
+
+Bytes MemoryIntervals::ConservativeAllocation(int cls) const {
+  return UpperBound(std::min(cls + 1, num_classes_ - 1));
+}
+
+ml::Attribute MemoryIntervals::ClassAttribute() const {
+  std::vector<std::string> names;
+  names.reserve(static_cast<std::size_t>(num_classes_));
+  for (int c = 0; c < num_classes_; ++c) {
+    names.push_back("m" + std::to_string(c));
+  }
+  return ml::Attribute::Nominal("mem_interval", std::move(names));
+}
+
+}  // namespace ofc::core

@@ -1,0 +1,46 @@
+// Memory-interval classification (§5.1.1): OWK permits sandbox memory in
+// [0, 2 GB]; OFC divides this range into fixed-size intervals and formulates
+// memory prediction as classification over interval indexes. The allocated
+// amount is the upper bound of the predicted interval — conservatively bumped
+// to the *next* interval once the model is mature (§5.3.1).
+#ifndef OFC_CORE_INTERVALS_H_
+#define OFC_CORE_INTERVALS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/ml/dataset.h"
+
+namespace ofc::core {
+
+class MemoryIntervals {
+ public:
+  explicit MemoryIntervals(Bytes interval_size = MiB(16), Bytes max_memory = GiB(2));
+
+  Bytes interval_size() const { return interval_size_; }
+  Bytes max_memory() const { return max_memory_; }
+  int num_classes() const { return num_classes_; }
+
+  // Interval index containing `memory` (clamped to the last class).
+  int Label(Bytes memory) const;
+
+  // Upper bound of interval `cls`: (cls + 1) x interval_size.
+  Bytes UpperBound(int cls) const;
+
+  // §5.3.1 conservative allocation: the upper bound of the next interval.
+  Bytes ConservativeAllocation(int cls) const;
+
+  // Nominal class attribute ("m0".."m127") for building training datasets. The
+  // value order matches interval order, which makes EO-accuracy meaningful.
+  ml::Attribute ClassAttribute() const;
+
+ private:
+  Bytes interval_size_;
+  Bytes max_memory_;
+  int num_classes_;
+};
+
+}  // namespace ofc::core
+
+#endif  // OFC_CORE_INTERVALS_H_

@@ -1,0 +1,173 @@
+#include "src/core/ofc_system.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/common/logging.h"
+
+namespace ofc::core {
+
+OfcSystem::OfcSystem(sim::EventLoop* loop, rc::Cluster* cluster, store::ObjectStore* rsds,
+                     OfcOptions options)
+    : cluster_(cluster),
+      options_(options),
+      registry_(options.model),
+      predictor_(&registry_),
+      trainer_(&registry_, options.rsds_estimate),
+      cache_agent_(loop, cluster, options.cache_agent),
+      proxy_(loop, cluster, rsds, options.proxy) {
+  cache_agent_.set_writeback([this](const std::string& key, std::function<void(Status)> done) {
+    proxy_.Writeback(key, std::move(done));
+  });
+}
+
+void OfcSystem::Start() {
+  cache_agent_.Start();
+  proxy_.InstallWebhooks();
+}
+
+void OfcSystem::ResetStats() {
+  prediction_stats_ = {};
+  proxy_.ResetStats();
+  cache_agent_.ResetStats();
+}
+
+faas::PlatformHooks::Sizing OfcSystem::SizeInvocation(
+    const faas::FunctionConfig& fn, const std::vector<faas::InputObject>& inputs,
+    const std::vector<double>& args) {
+  const workloads::MediaDescriptor media = faas::Platform::AggregateMedia(inputs);
+  const Prediction prediction =
+      predictor_.Predict(fn.spec, media, args, fn.booked_memory);
+  if (prediction.from_model) {
+    ++prediction_stats_.model_predictions;
+  } else {
+    ++prediction_stats_.booked_fallbacks;
+  }
+  return Sizing{prediction.memory, prediction.should_cache};
+}
+
+std::size_t OfcSystem::PickSandbox(const std::vector<faas::SandboxInfo>& candidates,
+                                   Bytes wanted_limit,
+                                   const std::vector<faas::InputObject>& inputs) {
+  if (!options_.locality_routing) {
+    return PlatformHooks::PickSandbox(candidates, wanted_limit, inputs);
+  }
+  // §6.5, decreasing priority: (i) smallest |current - wanted| memory delta,
+  // (ii) headroom is enforced by the platform, (iii) data locality with the
+  // master cached copy, (iv) most recently used.
+  int master = -1;
+  if (!inputs.empty()) {
+    const auto result = cluster_->MasterOf(inputs.front().key);
+    if (result.ok()) {
+      master = *result;
+    }
+  }
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    const auto delta = [&](std::size_t j) {
+      return std::llabs(candidates[j].current_limit - wanted_limit);
+    };
+    if (delta(i) != delta(best)) {
+      if (delta(i) < delta(best)) {
+        best = i;
+      }
+      continue;
+    }
+    const bool i_local = candidates[i].worker == master;
+    const bool best_local = candidates[best].worker == master;
+    if (i_local != best_local) {
+      if (i_local) {
+        best = i;
+      }
+      continue;
+    }
+    if (candidates[i].last_used > candidates[best].last_used) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+int OfcSystem::PickWorkerForNewSandbox(const faas::FunctionConfig&,
+                                       const std::vector<faas::InputObject>& inputs,
+                                       const std::vector<int>& candidates) {
+  // §6.5: a new sandbox preferably lands on the node holding the master
+  // (in-memory) copy of the requested object.
+  if (options_.locality_routing && !inputs.empty()) {
+    const auto master = cluster_->MasterOf(inputs.front().key);
+    if (master.ok() &&
+        std::find(candidates.begin(), candidates.end(), *master) != candidates.end()) {
+      return *master;
+    }
+  }
+  return candidates.empty() ? -1 : candidates.front();
+}
+
+void OfcSystem::PersistModels(faas::MetadataStore* store,
+                              std::function<void(Status)> done) {
+  const auto models = registry_.AllModels();
+  auto state = std::make_shared<std::pair<std::size_t, Status>>(models.size(), OkStatus());
+  if (models.empty()) {
+    done(OkStatus());
+    return;
+  }
+  for (const FunctionModel* model : models) {
+    const std::string id = "model/" + model->function();
+    // Last-writer-wins for the trainer: read the current revision, then put.
+    const auto current = store->Stat(id);
+    const std::uint64_t revision = current.ok() ? current->revision : 0;
+    store->Put(id, model->SerializeState(), revision,
+               [state, done](Result<std::uint64_t> put) {
+                 if (!put.ok()) {
+                   state->second = put.status();
+                 }
+                 if (--state->first == 0) {
+                   done(state->second);
+                 }
+               });
+  }
+}
+
+void OfcSystem::LoadModel(faas::MetadataStore* store, const workloads::FunctionSpec& spec,
+                          std::function<void(Status)> done) {
+  FunctionModel& model = registry_.GetOrCreate(spec);
+  store->Get("model/" + spec.name, [&model, done = std::move(done)](Result<faas::Document> doc) {
+    if (!doc.ok()) {
+      done(doc.status());
+      return;
+    }
+    done(model.RestoreState(doc->body));
+  });
+}
+
+void OfcSystem::OnSandboxMemoryChange(const faas::SandboxMemoryEvent& event) {
+  cache_agent_.OnSandboxMemoryChange(event);
+}
+
+bool OfcSystem::TryRaiseMemory(int worker, Bytes current_limit, Bytes needed,
+                               SimDuration expected_compute) {
+  if (expected_compute < options_.monitor_min_compute) {
+    return false;  // Short invocations are not monitored (§5.3.1).
+  }
+  return cache_agent_.ReleaseForSandbox(worker, needed - current_limit);
+}
+
+void OfcSystem::OnInvocationComplete(const faas::FunctionConfig& fn,
+                                     const std::vector<faas::InputObject>& inputs,
+                                     const std::vector<double>& args,
+                                     const faas::InvocationRecord& record) {
+  const workloads::MediaDescriptor media = faas::Platform::AggregateMedia(inputs);
+  const FunctionModel* model = registry_.Find(fn.spec.name);
+  const bool from_model = model != nullptr && model->mature();
+  if (from_model) {
+    if (record.oom_rescued || record.oom_killed) {
+      ++prediction_stats_.bad_predictions;
+    } else {
+      ++prediction_stats_.good_predictions;
+    }
+  }
+  trainer_.RecordInvocation(fn.spec, media, args, record.memory_used, record.compute_time,
+                            record.input_bytes, record.output_bytes);
+}
+
+}  // namespace ofc::core

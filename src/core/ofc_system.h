@@ -1,0 +1,112 @@
+// OfcSystem: the top-level OFC assembly (Figure 4).
+//
+// Owns the color-filled boxes the paper adds to OpenWhisk — Predictor,
+// ModelTrainer, CacheAgent, Proxy — wired against the RAMCloud cluster and the
+// RSDS, and implements the platform hooks:
+//
+//   * SizeInvocation   = Predictor + Sizer (per-invocation M_p, shouldBeCached);
+//   * PickSandbox / PickWorkerForNewSandbox = the §6.5 locality-aware routing;
+//   * OnSandboxMemoryChange = CacheAgent hoarding (vertical scaling, §6.4);
+//   * TryRaiseMemory   = Monitor rescue of under-predicted sandboxes (§5.3.1);
+//   * OnInvocationComplete = Monitor -> ModelTrainer feedback loop.
+#ifndef OFC_CORE_OFC_SYSTEM_H_
+#define OFC_CORE_OFC_SYSTEM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/cache_agent.h"
+#include "src/core/ml_service.h"
+#include "src/core/proxy.h"
+#include "src/faas/metadata_store.h"
+#include "src/faas/platform.h"
+#include "src/ramcloud/cluster.h"
+#include "src/store/object_store.h"
+
+namespace ofc::core {
+
+struct OfcOptions {
+  ModelConfig model;
+  CacheAgentOptions cache_agent;
+  ProxyOptions proxy;
+  // §5.3.1: only invocations expected to run >= 3 s are monitored closely
+  // enough for a mid-flight memory raise.
+  SimDuration monitor_min_compute = Seconds(3);
+  // §6.5 locality-aware routing; disabling it (ablation) falls back to vanilla
+  // OWK placement (home-worker hashing, most-recently-used sandbox).
+  bool locality_routing = true;
+  // RSDS latency estimate used for the caching-benefit labels (§5.2).
+  store::StoreProfile rsds_estimate = store::StoreProfile::Swift();
+};
+
+struct OfcPredictionStats {
+  std::uint64_t model_predictions = 0;  // Sized from a mature model.
+  std::uint64_t booked_fallbacks = 0;   // Immature model: tenant booking used.
+  std::uint64_t good_predictions = 0;   // Completed within the predicted size.
+  std::uint64_t bad_predictions = 0;    // Needed a rescue or an OOM retry.
+};
+
+class OfcSystem : public faas::PlatformHooks {
+ public:
+  OfcSystem(sim::EventLoop* loop, rc::Cluster* cluster, store::ObjectStore* rsds,
+            OfcOptions options);
+
+  // Arms the CacheAgent timers and installs the RSDS webhooks.
+  void Start();
+
+  faas::DataService* data_service() { return &proxy_; }
+  faas::PlatformHooks* hooks() { return this; }
+
+  // ---- Model persistence (§5.1: models live in OWK's metadata database) -------
+
+  // Writes every function's model document ("model/<function>") into `store`;
+  // `done` fires once all puts acknowledged.
+  void PersistModels(faas::MetadataStore* store, std::function<void(Status)> done);
+
+  // Loads the model document for `spec` (if present) into the registry, so a
+  // restarted platform resumes with mature predictors.
+  void LoadModel(faas::MetadataStore* store, const workloads::FunctionSpec& spec,
+                 std::function<void(Status)> done);
+
+  ModelRegistry& registry() { return registry_; }
+  Predictor& predictor() { return predictor_; }
+  ModelTrainer& trainer() { return trainer_; }
+  CacheAgent& cache_agent() { return cache_agent_; }
+  Proxy& proxy() { return proxy_; }
+  const OfcPredictionStats& prediction_stats() const { return prediction_stats_; }
+  void ResetStats();
+
+  // ---- faas::PlatformHooks -------------------------------------------------------
+
+  Sizing SizeInvocation(const faas::FunctionConfig& fn,
+                        const std::vector<faas::InputObject>& inputs,
+                        const std::vector<double>& args) override;
+  std::size_t PickSandbox(const std::vector<faas::SandboxInfo>& candidates,
+                          Bytes wanted_limit,
+                          const std::vector<faas::InputObject>& inputs) override;
+  int PickWorkerForNewSandbox(const faas::FunctionConfig& fn,
+                              const std::vector<faas::InputObject>& inputs,
+                              const std::vector<int>& candidates) override;
+  void OnSandboxMemoryChange(const faas::SandboxMemoryEvent& event) override;
+  bool TryRaiseMemory(int worker, Bytes current_limit, Bytes needed,
+                      SimDuration expected_compute) override;
+  void OnInvocationComplete(const faas::FunctionConfig& fn,
+                            const std::vector<faas::InputObject>& inputs,
+                            const std::vector<double>& args,
+                            const faas::InvocationRecord& record) override;
+
+ private:
+  rc::Cluster* cluster_;
+  OfcOptions options_;
+  ModelRegistry registry_;
+  Predictor predictor_;
+  ModelTrainer trainer_;
+  CacheAgent cache_agent_;
+  Proxy proxy_;
+  OfcPredictionStats prediction_stats_;
+};
+
+}  // namespace ofc::core
+
+#endif  // OFC_CORE_OFC_SYSTEM_H_

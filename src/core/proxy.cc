@@ -1,0 +1,263 @@
+#include "src/core/proxy.h"
+
+#include <memory>
+
+#include "src/common/logging.h"
+#include "src/faas/direct_data_service.h"
+
+namespace ofc::core {
+
+Proxy::Proxy(sim::EventLoop* loop, rc::Cluster* cluster, store::ObjectStore* rsds,
+             ProxyOptions options)
+    : loop_(loop), cluster_(cluster), rsds_(rsds), options_(options) {}
+
+void Proxy::InstallWebhooks() {
+  rsds_->set_read_webhook([this](const std::string& key, std::function<void()> resume) {
+    HandleExternalRead(key, std::move(resume));
+  });
+  rsds_->set_write_webhook([this](const std::string& key, std::function<void()> resume) {
+    HandleExternalWrite(key, std::move(resume));
+  });
+}
+
+void Proxy::Read(const faas::InvocationContext& ctx, const std::string& key,
+                 std::function<void(Result<Bytes>)> done) {
+  cluster_->Read(ctx.worker, key,
+                 [this, ctx, key, done = std::move(done)](Result<rc::CachedObject> hit) {
+    if (hit.ok()) {
+      ++stats_.cache_hits;
+      done(hit->size);
+      return;
+    }
+    ++stats_.cache_misses;
+    // Miss: fetch from the RSDS, then admit off the critical path.
+    rsds_->Get(key, [this, ctx, key, done = std::move(done)](
+                        Result<store::ObjectMetadata> meta) {
+      if (!meta.ok()) {
+        done(meta.status());
+        return;
+      }
+      const Bytes size = meta->size;
+      const store::ObjectVersion version = meta->rsds_version;
+      // Shadow objects are not admitted: the RSDS payload just read is the
+      // *previous* version, and caching it as current would serve stale data
+      // after the in-flight persistor lands.
+      if (ctx.should_cache && !meta->IsShadow() && size > 0 &&
+          size <= options_.max_cacheable_size) {
+        cluster_->Write(ctx.worker, key, size, version, rc::ObjectClass::kInput,
+                        /*dirty=*/false, [this](Status status) {
+                          if (status.ok()) {
+                            ++stats_.admissions;
+                          } else {
+                            ++stats_.admission_failures;
+                          }
+                        });
+      }
+      done(size);  // The function proceeds without waiting for the admission.
+    });
+  });
+}
+
+void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, Bytes size,
+                  const workloads::MediaDescriptor& media,
+                  std::function<void(Status)> done) {
+  const bool intermediate = ctx.pipeline_id != 0 && !ctx.final_stage;
+
+  // Uncacheable or predicted-unhelpful: plain synchronous RSDS write.
+  if (!ctx.should_cache || size <= 0 || size > options_.max_cacheable_size) {
+    ++stats_.direct_writes;
+    rsds_->Put(key, size, faas::MediaToTags(media), std::move(done));
+    return;
+  }
+
+  if (intermediate) {
+    // Pipeline intermediates never touch the RSDS (§6.3): they are consumed by
+    // the next stage and dropped when the pipeline ends. Marked persisted so
+    // reclamation may drop them without a write-back (the RSDS never needs
+    // them), but tracked as intermediates for the end-of-pipeline cleanup.
+    cluster_->Write(ctx.worker, key, size, /*version=*/0, rc::ObjectClass::kIntermediate,
+                    /*dirty=*/false,
+                    [this, ctx, key, size, media, done = std::move(done)](Status status) {
+                      if (!status.ok()) {
+                        // Cache full: fall back to the RSDS so the pipeline
+                        // still makes progress.
+                        ++stats_.direct_writes;
+                        rsds_->Put(key, size, faas::MediaToTags(media), std::move(done));
+                        return;
+                      }
+                      ++stats_.intermediates_cached;
+                      pipeline_intermediates_[ctx.pipeline_id].push_back(key);
+                      done(OkStatus());
+                    });
+    return;
+  }
+
+  if (!options_.write_back) {
+    // Ablation: synchronous persistence. The payload goes straight to the
+    // RSDS; a clean copy is cached for future reads.
+    ++stats_.direct_writes;
+    rsds_->Put(key, size, faas::MediaToTags(media),
+               [this, ctx, key, size, done = std::move(done)](Status status) mutable {
+                 if (!status.ok()) {
+                   done(status);
+                   return;
+                 }
+                 cluster_->Write(ctx.worker, key, size, /*version=*/0,
+                                 rc::ObjectClass::kFinalOutput, /*dirty=*/false,
+                                 [](Status) {});
+                 done(OkStatus());
+               });
+    return;
+  }
+
+  if (!options_.transparent_consistency) {
+    // Relaxed mode: payload goes to the cache only; persistence is lazy (on
+    // eviction), relying on RAMCloud's on-disk replication for durability.
+    cluster_->Write(ctx.worker, key, size, /*version=*/0, rc::ObjectClass::kFinalOutput,
+                    /*dirty=*/true,
+                    [this, key, size, media, done = std::move(done)](Status status) {
+                      if (!status.ok()) {
+                        ++stats_.direct_writes;
+                        rsds_->Put(key, size, faas::MediaToTags(media), std::move(done));
+                        return;
+                      }
+                      ++stats_.cached_writes;
+                      done(OkStatus());
+                    });
+    return;
+  }
+
+  // Transparent mode: shadow object in the RSDS + durable cache write run in
+  // parallel; acknowledge when both are done, then schedule the persistor.
+  struct JoinState {
+    int remaining = 2;
+    Status failure;
+    store::ObjectVersion version = 0;
+    bool cache_ok = true;
+  };
+  auto join = std::make_shared<JoinState>();
+  auto finish = [this, join, key, size, media, done = std::move(done)]() mutable {
+    if (--join->remaining > 0) {
+      return;
+    }
+    if (!join->failure.ok()) {
+      done(join->failure);
+      return;
+    }
+    if (!join->cache_ok) {
+      // Shadow exists but the payload could not be cached: push the payload
+      // directly so the RSDS converges (degenerates to a plain write).
+      ++stats_.direct_writes;
+      rsds_->FinalizePayload(key, join->version, size, std::move(done));
+      return;
+    }
+    ++stats_.cached_writes;
+    SchedulePersistor(key, join->version, size, /*drop_after=*/true);
+    done(OkStatus());
+  };
+
+  ++stats_.shadow_writes;
+  rsds_->PutShadow(key, size, [join, finish](Result<store::ObjectMetadata> meta) mutable {
+    if (!meta.ok()) {
+      join->failure = meta.status();
+    } else {
+      join->version = meta->latest_version;
+    }
+    finish();
+  });
+  cluster_->Write(ctx.worker, key, size, /*version=*/0, rc::ObjectClass::kFinalOutput,
+                  /*dirty=*/true, [join, finish](Status status) mutable {
+                    join->cache_ok = status.ok();
+                    finish();
+                  });
+}
+
+void Proxy::SchedulePersistor(const std::string& key, store::ObjectVersion version, Bytes size,
+                              bool drop_after) {
+  // The persistor runs as a helper FaaS function: one dispatch delay, then the
+  // payload push to the RSDS.
+  loop_->ScheduleAfter(options_.persistor_dispatch, [this, key, version, size, drop_after] {
+    ++stats_.persistor_runs;
+    rsds_->FinalizePayload(key, version, size, [this, key, drop_after](Status status) {
+      if (!status.ok()) {
+        // kAborted: a newer version already reached the RSDS; propagation
+        // order is preserved by dropping the stale push.
+        ++stats_.persistor_conflicts;
+        return;
+      }
+      (void)cluster_->MarkPersisted(key);
+      if (drop_after) {
+        // §6.3: final outputs leave the cache once written back.
+        (void)cluster_->Remove(key);
+      }
+    });
+  });
+}
+
+void Proxy::OnPipelineComplete(std::uint64_t pipeline_id) {
+  auto it = pipeline_intermediates_.find(pipeline_id);
+  if (it == pipeline_intermediates_.end()) {
+    return;
+  }
+  for (const std::string& key : it->second) {
+    if (cluster_->Remove(key).ok()) {
+      ++stats_.intermediates_dropped;
+    }
+  }
+  pipeline_intermediates_.erase(it);
+}
+
+void Proxy::Writeback(const std::string& key, std::function<void(Status)> done) {
+  const auto obj = cluster_->Inspect(key);
+  if (!obj.ok()) {
+    loop_->ScheduleAfter(0, [done = std::move(done), status = obj.status()] { done(status); });
+    return;
+  }
+  if (!obj->dirty) {
+    loop_->ScheduleAfter(0, [done = std::move(done)] { done(OkStatus()); });
+    return;
+  }
+  const Bytes size = obj->size;
+  // Determine the target version from the RSDS shadow when one exists;
+  // otherwise create the object outright (relaxed mode / intermediates).
+  const auto meta = rsds_->Stat(key);
+  ++stats_.persistor_runs;
+  if (meta.ok() && meta->IsShadow()) {
+    rsds_->FinalizePayload(key, meta->latest_version, size,
+                           [this, key, done = std::move(done)](Status status) {
+                             if (status.ok()) {
+                               (void)cluster_->MarkPersisted(key);
+                             }
+                             done(status);
+                           });
+    return;
+  }
+  rsds_->Put(key, size, {}, [this, key, done = std::move(done)](Status status) {
+    if (status.ok()) {
+      (void)cluster_->MarkPersisted(key);
+    }
+    done(status);
+  });
+}
+
+void Proxy::HandleExternalRead(const std::string& key, std::function<void()> resume) {
+  const auto meta = rsds_->Stat(key);
+  if (!meta.ok() || !meta->IsShadow()) {
+    resume();
+    return;
+  }
+  // Boost the persistor: the external read completes only once the latest
+  // payload is in the RSDS (§6.2).
+  ++stats_.external_read_boosts;
+  Writeback(key, [resume = std::move(resume)](Status) { resume(); });
+}
+
+void Proxy::HandleExternalWrite(const std::string& key, std::function<void()> resume) {
+  if (cluster_->Contains(key)) {
+    ++stats_.external_write_invalidations;
+    (void)cluster_->Remove(key);
+  }
+  resume();
+}
+
+}  // namespace ofc::core

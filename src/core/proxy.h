@@ -1,0 +1,117 @@
+// Proxy + rclib (§4, §6.2): OFC's transparent data-plane interposition.
+//
+// Reads and writes issued by function code are captured here and redirected to
+// the RAMCloud cache, with the RSDS kept consistent:
+//
+//   * Read: cache hit (local or remote master) -> serve from RAM. Miss -> read
+//     from the RSDS, then admit the object into the cache off the critical
+//     path, when the benefit model said caching helps and the object fits.
+//   * Write (cached): a *shadow object* — an empty-payload placeholder with a
+//     new version number — is created synchronously in the RSDS while the
+//     payload is written (durably, i.e. replicated) into RAMCloud; the write
+//     is acknowledged when both complete. A *persistor* helper function then
+//     pushes the payload to the RSDS asynchronously; version numbers enforce
+//     in-order propagation. This write-back mechanism is constant-cost in the
+//     output size and "always beneficial even for small payloads".
+//   * Pipeline intermediates are cached but never persisted; the whole set is
+//     dropped when the pipeline completes (§6.3).
+//   * Final outputs are dropped from the cache as soon as they are written
+//     back (§6.3).
+//   * External (non-FaaS) clients keep strong consistency via the RSDS
+//     webhooks: external reads of a shadow object block until a boosted
+//     persistor catches up; external writes invalidate the cached copy first.
+#ifndef OFC_CORE_PROXY_H_
+#define OFC_CORE_PROXY_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/faas/platform.h"
+#include "src/ramcloud/cluster.h"
+#include "src/sim/event_loop.h"
+#include "src/store/object_store.h"
+
+namespace ofc::core {
+
+struct ProxyOptions {
+  Bytes max_cacheable_size = MiB(10);  // §6.3 admission cap.
+  // Scheduling cost of the persistor helper function (an empty-function pass
+  // through the platform, §6.4's ~8 ms end-to-end).
+  SimDuration persistor_dispatch = Millis(8);
+  // When false, tenants opted out of transparent consistency (§6.2 last
+  // paragraph): no shadow objects, writes propagate lazily on eviction only.
+  bool transparent_consistency = true;
+  // §6.2 write-back: acknowledge after shadow + durable cache write, persist
+  // asynchronously. Disabling it (ablation) writes the full payload to the
+  // RSDS synchronously (the cache still serves subsequent reads).
+  bool write_back = true;
+};
+
+struct ProxyStats {
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t admissions = 0;
+  std::uint64_t admission_failures = 0;
+  std::uint64_t shadow_writes = 0;
+  std::uint64_t cached_writes = 0;
+  std::uint64_t direct_writes = 0;
+  std::uint64_t persistor_runs = 0;
+  std::uint64_t persistor_conflicts = 0;  // Out-of-order pushes skipped.
+  std::uint64_t intermediates_cached = 0;
+  std::uint64_t intermediates_dropped = 0;
+  std::uint64_t external_read_boosts = 0;
+  std::uint64_t external_write_invalidations = 0;
+
+  double HitRatio() const {
+    const double total = static_cast<double>(cache_hits + cache_misses);
+    return total <= 0 ? 0.0 : static_cast<double>(cache_hits) / total;
+  }
+};
+
+class Proxy : public faas::DataService {
+ public:
+  Proxy(sim::EventLoop* loop, rc::Cluster* cluster, store::ObjectStore* rsds,
+        ProxyOptions options);
+
+  // Installs the read/write webhooks on the RSDS (§6.2).
+  void InstallWebhooks();
+
+  // ---- faas::DataService --------------------------------------------------------
+
+  void Read(const faas::InvocationContext& ctx, const std::string& key,
+            std::function<void(Result<Bytes>)> done) override;
+  void Write(const faas::InvocationContext& ctx, const std::string& key, Bytes size,
+             const workloads::MediaDescriptor& media,
+             std::function<void(Status)> done) override;
+  void OnPipelineComplete(std::uint64_t pipeline_id) override;
+
+  // ---- CacheAgent integration ----------------------------------------------------
+
+  // Pushes a dirty cached object's payload to the RSDS (persistor boost). The
+  // callback fires once the RSDS holds the payload (object stays cached; the
+  // caller decides whether to drop it).
+  void Writeback(const std::string& key, std::function<void(Status)> done);
+
+  const ProxyStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
+
+ private:
+  void SchedulePersistor(const std::string& key, store::ObjectVersion version, Bytes size,
+                         bool drop_after);
+  void HandleExternalRead(const std::string& key, std::function<void()> resume);
+  void HandleExternalWrite(const std::string& key, std::function<void()> resume);
+
+  sim::EventLoop* loop_;
+  rc::Cluster* cluster_;
+  store::ObjectStore* rsds_;
+  ProxyOptions options_;
+  ProxyStats stats_;
+  // Intermediate objects written per in-flight pipeline (§6.3 cleanup).
+  std::unordered_map<std::uint64_t, std::vector<std::string>> pipeline_intermediates_;
+};
+
+}  // namespace ofc::core
+
+#endif  // OFC_CORE_PROXY_H_

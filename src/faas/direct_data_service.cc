@@ -1,0 +1,39 @@
+#include "src/faas/direct_data_service.h"
+
+namespace ofc::faas {
+
+store::Tags MediaToTags(const workloads::MediaDescriptor& media) {
+  store::Tags tags;
+  tags["kind"] = workloads::InputKindName(media.kind);
+  tags["format"] = std::to_string(media.format);
+  if (media.width > 0) {
+    tags["width"] = std::to_string(media.width);
+    tags["height"] = std::to_string(media.height);
+  }
+  if (media.duration_s > 0) {
+    tags["duration_s"] = std::to_string(media.duration_s);
+  }
+  if (media.channels > 0) {
+    tags["channels"] = std::to_string(media.channels);
+  }
+  return tags;
+}
+
+void DirectDataService::Read(const InvocationContext&, const std::string& key,
+                             std::function<void(Result<Bytes>)> done) {
+  rsds_->Get(key, [done = std::move(done)](Result<store::ObjectMetadata> meta) {
+    if (!meta.ok()) {
+      done(meta.status());
+      return;
+    }
+    done(meta->size);
+  });
+}
+
+void DirectDataService::Write(const InvocationContext&, const std::string& key, Bytes size,
+                              const workloads::MediaDescriptor& media,
+                              std::function<void(Status)> done) {
+  rsds_->Put(key, size, MediaToTags(media), std::move(done));
+}
+
+}  // namespace ofc::faas

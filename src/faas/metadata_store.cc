@@ -1,0 +1,77 @@
+#include "src/faas/metadata_store.h"
+
+#include <utility>
+
+namespace ofc::faas {
+
+MetadataStore::MetadataStore(sim::EventLoop* loop, Rng rng, sim::LatencyModel latency)
+    : loop_(loop), rng_(rng), latency_(latency) {}
+
+void MetadataStore::Put(const std::string& id, std::string body,
+                        std::uint64_t expected_revision, PutCallback done) {
+  const SimDuration cost = latency_.Cost(static_cast<Bytes>(body.size()), &rng_);
+  loop_->ScheduleAfter(cost, [this, id, body = std::move(body), expected_revision,
+                              done = std::move(done)]() mutable {
+    auto it = documents_.find(id);
+    const std::uint64_t current = it == documents_.end() ? 0 : it->second.revision;
+    if (expected_revision != current) {
+      done(AbortedError("revision conflict on " + id));
+      return;
+    }
+    Document& doc = documents_[id];
+    doc.id = id;
+    doc.revision = current + 1;
+    doc.body = std::move(body);
+    done(doc.revision);
+  });
+}
+
+void MetadataStore::Get(const std::string& id, GetCallback done) {
+  auto it = documents_.find(id);
+  const SimDuration cost =
+      latency_.Cost(it == documents_.end() ? 0 : static_cast<Bytes>(it->second.body.size()),
+                    &rng_);
+  loop_->ScheduleAfter(cost, [this, id, done = std::move(done)]() {
+    auto it2 = documents_.find(id);
+    if (it2 == documents_.end()) {
+      done(NotFoundError("no document: " + id));
+      return;
+    }
+    done(it2->second);
+  });
+}
+
+void MetadataStore::Delete(const std::string& id, std::uint64_t expected_revision,
+                           Callback done) {
+  loop_->ScheduleAfter(latency_.Cost(0, &rng_), [this, id, expected_revision,
+                                                 done = std::move(done)]() {
+    auto it = documents_.find(id);
+    if (it == documents_.end()) {
+      done(NotFoundError("no document: " + id));
+      return;
+    }
+    if (it->second.revision != expected_revision) {
+      done(AbortedError("revision conflict on " + id));
+      return;
+    }
+    documents_.erase(it);
+    done(OkStatus());
+  });
+}
+
+Result<Document> MetadataStore::Stat(const std::string& id) const {
+  auto it = documents_.find(id);
+  if (it == documents_.end()) {
+    return NotFoundError("no document: " + id);
+  }
+  return it->second;
+}
+
+void MetadataStore::Seed(const std::string& id, std::string body) {
+  Document& doc = documents_[id];
+  doc.id = id;
+  doc.revision += 1;
+  doc.body = std::move(body);
+}
+
+}  // namespace ofc::faas

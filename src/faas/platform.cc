@@ -1,0 +1,672 @@
+#include "src/faas/platform.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <functional>
+
+#include "src/common/logging.h"
+
+namespace ofc::faas {
+
+// ---- Default hooks: vanilla OpenWhisk behaviour ---------------------------------
+
+PlatformHooks::Sizing PlatformHooks::SizeInvocation(const FunctionConfig& fn,
+                                                    const std::vector<InputObject>&,
+                                                    const std::vector<double>&) {
+  return Sizing{fn.booked_memory, false};
+}
+
+std::size_t PlatformHooks::PickSandbox(const std::vector<SandboxInfo>& candidates, Bytes,
+                                       const std::vector<InputObject>&) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < candidates.size(); ++i) {
+    if (candidates[i].last_used > candidates[best].last_used) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+int PlatformHooks::PickWorkerForNewSandbox(const FunctionConfig&,
+                                           const std::vector<InputObject>&,
+                                           const std::vector<int>& candidates) {
+  return candidates.empty() ? -1 : candidates.front();
+}
+
+void PlatformHooks::OnSandboxMemoryChange(const SandboxMemoryEvent&) {}
+
+bool PlatformHooks::TryRaiseMemory(int, Bytes, Bytes, SimDuration) { return false; }
+
+void PlatformHooks::OnInvocationComplete(const FunctionConfig&,
+                                         const std::vector<InputObject>&,
+                                         const std::vector<double>&,
+                                         const InvocationRecord&) {}
+
+// ---- Platform ---------------------------------------------------------------------
+
+Platform::Platform(sim::EventLoop* loop, PlatformOptions options, DataService* data,
+                   PlatformHooks* hooks, Rng rng)
+    : loop_(loop), options_(options), data_(data), hooks_(hooks), rng_(rng) {
+  assert(loop_ != nullptr && data_ != nullptr);
+  if (hooks_ == nullptr) {
+    default_hooks_ = std::make_unique<PlatformHooks>();
+    hooks_ = default_hooks_.get();
+  }
+  worker_reserved_.assign(static_cast<std::size_t>(options_.num_workers), 0);
+  worker_alive_.assign(static_cast<std::size_t>(options_.num_workers), true);
+}
+
+Status Platform::RegisterFunction(FunctionConfig config) {
+  if (config.spec.name.empty()) {
+    return InvalidArgumentError("function needs a name");
+  }
+  config.booked_memory =
+      std::clamp(config.booked_memory, options_.min_sandbox_memory, options_.max_sandbox_memory);
+  auto [it, inserted] = functions_.emplace(config.spec.name, std::move(config));
+  if (!inserted) {
+    return AlreadyExistsError("function already registered: " + it->first);
+  }
+  return OkStatus();
+}
+
+const FunctionConfig* Platform::GetFunction(const std::string& name) const {
+  auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+FunctionConfig* Platform::GetMutableFunction(const std::string& name) {
+  auto it = functions_.find(name);
+  return it == functions_.end() ? nullptr : &it->second;
+}
+
+Bytes Platform::SandboxReserved(int worker) const {
+  return worker_reserved_[static_cast<std::size_t>(worker)];
+}
+
+Bytes Platform::WorkerFree(int worker) const {
+  return options_.worker_memory - worker_reserved_[static_cast<std::size_t>(worker)];
+}
+
+std::size_t Platform::NumSandboxes(int worker) const {
+  std::size_t count = 0;
+  for (const auto& [id, sandbox] : sandboxes_) {
+    count += sandbox.worker == worker;
+  }
+  return count;
+}
+
+std::size_t Platform::NumIdleSandboxes(const std::string& function) const {
+  std::size_t count = 0;
+  for (const auto& [id, sandbox] : sandboxes_) {
+    count += sandbox.function == function && !sandbox.busy;
+  }
+  return count;
+}
+
+int Platform::HomeWorker(const FunctionConfig& fn) const {
+  const std::size_t hash = std::hash<std::string>{}(fn.spec.name + "|" + fn.tenant);
+  return static_cast<int>(hash % static_cast<std::size_t>(options_.num_workers));
+}
+
+void Platform::Invoke(const std::string& function, std::vector<InputObject> inputs,
+                      std::vector<double> args, InvokeCallback done) {
+  auto request = std::make_shared<Request>();
+  request->id = next_invocation_id_++;
+  request->function = function;
+  request->inputs = std::move(inputs);
+  request->args = std::move(args);
+  request->done = std::move(done);
+  request->arrival = loop_->now();
+  request->output_key = "out/" + function + "/" + std::to_string(request->id);
+  InvokeInternal(std::move(request));
+}
+
+void Platform::InvokeInternal(std::shared_ptr<Request> request) {
+  ++stats_.invocations;
+  Dispatch(std::move(request));
+}
+
+workloads::MediaDescriptor Platform::AggregateMedia(const std::vector<InputObject>& inputs) {
+  if (inputs.empty()) {
+    workloads::MediaDescriptor desc;
+    desc.kind = workloads::InputKind::kText;
+    desc.byte_size = KiB(1);
+    return desc;
+  }
+  workloads::MediaDescriptor desc = inputs.front().media;
+  Bytes total = 0;
+  for (const InputObject& input : inputs) {
+    total += input.media.byte_size;
+  }
+  // Multi-object inputs scale the content volume along the dominant axis.
+  if (desc.byte_size > 0 && total != desc.byte_size) {
+    const double scale = static_cast<double>(total) / static_cast<double>(desc.byte_size);
+    switch (desc.kind) {
+      case workloads::InputKind::kImage: {
+        desc.width = static_cast<int>(desc.width * std::sqrt(scale));
+        desc.height = static_cast<int>(desc.height * std::sqrt(scale));
+        break;
+      }
+      case workloads::InputKind::kAudio:
+      case workloads::InputKind::kVideo:
+        desc.duration_s *= scale;
+        break;
+      case workloads::InputKind::kText:
+        break;
+    }
+  }
+  desc.byte_size = total;
+  return desc;
+}
+
+void Platform::Dispatch(std::shared_ptr<Request> request) {
+  const FunctionConfig* fn = GetFunction(request->function);
+  if (fn == nullptr) {
+    InvocationRecord record;
+    record.id = request->id;
+    record.function = request->function;
+    record.failed = true;
+    ++stats_.failed_invocations;
+    loop_->ScheduleAfter(0, [request, record] { request->done(record); });
+    return;
+  }
+
+  if (!request->has_demand) {
+    request->demand =
+        workloads::ComputeDemand(fn->spec, AggregateMedia(request->inputs), request->args, &rng_);
+    request->has_demand = true;
+  }
+
+  PlatformHooks::Sizing sizing;
+  if (request->forced_limit > 0) {
+    sizing.memory_limit = request->forced_limit;
+    sizing.should_cache = false;  // The OOM-retry path runs conservatively.
+  } else {
+    sizing = hooks_->SizeInvocation(*fn, request->inputs, request->args);
+  }
+  sizing.memory_limit =
+      std::clamp(sizing.memory_limit, options_.min_sandbox_memory, options_.max_sandbox_memory);
+
+  // 1. Prefer an idle warm sandbox of this function (avoids cold start).
+  std::vector<SandboxInfo> idle;
+  for (const auto& [id, sandbox] : sandboxes_) {
+    if (!sandbox.busy && sandbox.function == request->function) {
+      idle.push_back(SandboxInfo{sandbox.id, sandbox.worker, sandbox.limit, sandbox.last_used});
+    }
+  }
+  if (!idle.empty()) {
+    const std::size_t pick =
+        std::min(hooks_->PickSandbox(idle, sizing.memory_limit, request->inputs),
+                 idle.size() - 1);
+    Sandbox* sandbox = FindSandbox(idle[pick].sandbox_id);
+    assert(sandbox != nullptr);
+    if (sandbox->keepalive_event != 0) {
+      loop_->Cancel(sandbox->keepalive_event);
+      sandbox->keepalive_event = 0;
+    }
+    sandbox->busy = true;
+    // The cgroup limit grows within the booked reservation, so no scheduler
+    // capacity check applies; the update runs asynchronously (§6.4), costing
+    // only dispatch overhead on the critical path.
+    SetSandboxLimit(sandbox, sizing.memory_limit);
+    ++stats_.warm_starts;
+    RunOnSandbox(std::move(request), sandbox, sizing, /*cold=*/false,
+                 options_.dispatch_overhead);
+    return;
+  }
+
+  // 2. Create a new sandbox; the scheduler reserves the booked amount.
+  const int worker = PlaceNewSandbox(*fn, request->inputs, fn->booked_memory);
+  if (worker < 0) {
+    ++stats_.queued_requests;
+    wait_queue_.push_back(std::move(request));
+    return;
+  }
+  Sandbox sandbox;
+  sandbox.id = next_sandbox_id_++;
+  sandbox.function = request->function;
+  sandbox.worker = worker;
+  sandbox.busy = true;
+  sandbox.booked = fn->booked_memory;
+  sandbox.limit = 0;
+  sandbox.last_used = loop_->now();
+  auto [it, inserted] = sandboxes_.emplace(sandbox.id, sandbox);
+  assert(inserted);
+  worker_reserved_[static_cast<std::size_t>(worker)] += sandbox.booked;
+  SetSandboxLimit(&it->second, sizing.memory_limit);
+  ++stats_.cold_starts;
+  RunOnSandbox(std::move(request), &it->second, sizing, /*cold=*/true,
+               options_.dispatch_overhead + options_.cold_start);
+}
+
+int Platform::PlaceNewSandbox(const FunctionConfig& fn, const std::vector<InputObject>& inputs,
+                              Bytes limit) {
+  auto candidates = [&]() {
+    std::vector<int> fits;
+    const int home = HomeWorker(fn);
+    for (int i = 0; i < options_.num_workers; ++i) {
+      const int w = (home + i) % options_.num_workers;
+      if (worker_alive_[static_cast<std::size_t>(w)] && WorkerFree(w) >= limit) {
+        fits.push_back(w);
+      }
+    }
+    return fits;
+  };
+
+  std::vector<int> fits = candidates();
+  // Reclaim idle sandboxes (globally LRU) until some worker has capacity, as
+  // the invoker does under memory pressure.
+  while (fits.empty()) {
+    std::uint64_t victim = 0;
+    SimTime oldest = 0;
+    for (const auto& [id, sandbox] : sandboxes_) {
+      if (!sandbox.busy && (victim == 0 || sandbox.last_used < oldest)) {
+        victim = id;
+        oldest = sandbox.last_used;
+      }
+    }
+    if (victim == 0) {
+      return -1;
+    }
+    ++stats_.sandbox_reclaims;
+    DestroySandbox(victim);
+    fits = candidates();
+  }
+  const int choice = hooks_->PickWorkerForNewSandbox(fn, inputs, fits);
+  if (choice >= 0 && std::find(fits.begin(), fits.end(), choice) != fits.end()) {
+    return choice;
+  }
+  return fits.front();
+}
+
+void Platform::SetSandboxLimit(Sandbox* sandbox, Bytes new_limit) {
+  if (sandbox->limit == new_limit) {
+    return;
+  }
+  SandboxMemoryEvent event;
+  event.worker = sandbox->worker;
+  event.booked = sandbox->booked;
+  event.old_limit = sandbox->limit;
+  event.new_limit = new_limit;
+  sandbox->limit = new_limit;
+  hooks_->OnSandboxMemoryChange(event);
+}
+
+void Platform::RunOnSandbox(std::shared_ptr<Request> request, Sandbox* sandbox,
+                            PlatformHooks::Sizing sizing, bool cold, SimDuration startup) {
+  InvocationRecord record;
+  record.id = request->id;
+  record.function = request->function;
+  record.worker = sandbox->worker;
+  record.cold_start = cold;
+  record.retries = request->retries;
+  record.oom_killed = request->oom_killed;
+  record.memory_limit = sandbox->limit;
+  record.memory_used = request->demand.memory;
+  record.should_cache = sizing.should_cache;
+  record.startup_time = startup;
+  record.output_key = request->output_key;
+
+  request->running_worker = sandbox->worker;
+  in_flight_[request->id] = request;
+
+  const std::uint64_t sandbox_id = sandbox->id;
+  const std::uint64_t epoch = request->crash_epoch;
+  loop_->ScheduleAfter(startup, [this, request = std::move(request), sandbox_id, epoch,
+                                 record]() mutable {
+    if (request->crash_epoch != epoch) {
+      return;  // The worker crashed during startup; the retry owns the request.
+    }
+    const workloads::InvocationDemand demand = request->demand;
+    ExecutePhases(std::move(request), sandbox_id, record, demand);
+  });
+}
+
+void Platform::ExecutePhases(std::shared_ptr<Request> request, std::uint64_t sandbox_id,
+                             InvocationRecord record, workloads::InvocationDemand demand) {
+  // ---- Extract phase: read inputs sequentially through the data service. ----
+  InvocationContext ctx;
+  ctx.invocation_id = request->id;
+  ctx.function = request->function;
+  ctx.worker = record.worker;
+  ctx.pipeline_id = request->pipeline_id;
+  ctx.final_stage = request->final_stage;
+  ctx.should_cache = record.should_cache;
+
+  // The record accumulates across asynchronous phases; share it rather than
+  // copying it into each continuation.
+  auto rec = std::make_shared<InvocationRecord>(record);
+  auto next_input = std::make_shared<std::size_t>(0);
+  const SimTime extract_start = loop_->now();
+  const std::uint64_t epoch = request->crash_epoch;
+
+  // Declared as a shared recursive lambda so the chain can continue across
+  // asynchronous reads. The lambda holds only a weak self-reference — a strong
+  // capture would form a shared_ptr cycle and leak the closure (plus the
+  // request it captures) for every invocation.
+  auto read_next = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_read_next = read_next;
+  *read_next = [this, request, sandbox_id, rec, demand, ctx, next_input, extract_start,
+                epoch, weak_read_next]() {
+    if (request->crash_epoch != epoch) {
+      return;  // Worker crashed mid-flight; a retry owns the request now.
+    }
+    if (*next_input >= request->inputs.size()) {
+      rec->extract_time = loop_->now() - extract_start;
+
+      // ---- Memory-limit check (OOM semantics, §5.3.1). ----
+      SimDuration compute = demand.compute;
+      if (demand.memory > rec->memory_limit) {
+        Sandbox* sandbox = FindSandbox(sandbox_id);
+        if (sandbox != nullptr &&
+            hooks_->TryRaiseMemory(sandbox->worker, sandbox->limit, demand.memory,
+                                   demand.compute)) {
+          SetSandboxLimit(sandbox, demand.memory);
+          rec->memory_limit = sandbox->limit;
+          rec->oom_rescued = true;
+          ++stats_.oom_rescues;
+          compute += options_.cgroup_resize;  // Monitor raises the cap mid-run.
+        } else {
+          // OOM kill partway through the transform phase.
+          ++stats_.oom_kills;
+          rec->oom_killed = true;
+          loop_->ScheduleAfter(compute / 2,
+                               [this, request, sandbox_id, rec, epoch]() mutable {
+                                 if (request->crash_epoch != epoch) {
+                                   return;
+                                 }
+                                 FailAndMaybeRetry(std::move(request), sandbox_id, *rec);
+                               });
+          return;
+        }
+      }
+
+      // ---- Transform phase. ----
+      rec->compute_time = compute;
+      loop_->ScheduleAfter(compute, [this, request, sandbox_id, rec, demand, ctx,
+                                     epoch]() mutable {
+        if (request->crash_epoch != epoch) {
+          return;
+        }
+        // ---- Load phase: write the output object. ----
+        const SimTime load_start = loop_->now();
+        const FunctionConfig* fn = GetFunction(request->function);
+        workloads::MediaDescriptor out_media =
+            fn != nullptr ? workloads::OutputMedia(fn->spec, AggregateMedia(request->inputs),
+                                                   demand.output_size)
+                          : workloads::MediaDescriptor{};
+        rec->output_media = out_media;
+        rec->output_bytes = demand.output_size;
+        data_->Write(ctx, request->output_key, demand.output_size, out_media,
+                     [this, request, sandbox_id, rec, load_start,
+                      epoch](Status status) mutable {
+                       if (request->crash_epoch != epoch) {
+                         return;
+                       }
+                       rec->load_time = loop_->now() - load_start;
+                       if (!status.ok()) {
+                         FailAndMaybeRetry(std::move(request), sandbox_id, *rec);
+                         return;
+                       }
+                       FinishInvocation(std::move(request), sandbox_id, *rec);
+                     });
+      });
+      return;
+    }
+    const std::string& key = request->inputs[*next_input].key;
+    ++*next_input;
+    // The read callback holds the strong reference that keeps the chain alive
+    // across the asynchronous hop.
+    auto self = weak_read_next.lock();
+    assert(self != nullptr);
+    data_->Read(ctx, key, [this, rec, self, key](Result<Bytes> size) {
+      if (!size.ok()) {
+        OFC_LOG(Warning) << "read failed for " << key << ": " << size.status().ToString();
+      } else {
+        rec->input_bytes += *size;
+      }
+      (*self)();  // The epoch guard at its head covers crashes.
+    });
+  };
+  (*read_next)();
+}
+
+void Platform::CrashWorker(int worker) {
+  if (!worker_alive_[static_cast<std::size_t>(worker)]) {
+    return;
+  }
+  worker_alive_[static_cast<std::size_t>(worker)] = false;
+  ++stats_.worker_crashes;
+
+  // The worker's sandboxes are gone (busy ones included).
+  for (auto it = sandboxes_.begin(); it != sandboxes_.end();) {
+    if (it->second.worker != worker) {
+      ++it;
+      continue;
+    }
+    Sandbox& sandbox = it->second;
+    if (sandbox.keepalive_event != 0) {
+      loop_->Cancel(sandbox.keepalive_event);
+    }
+    SetSandboxLimit(&sandbox, 0);
+    worker_reserved_[static_cast<std::size_t>(worker)] -= sandbox.booked;
+    it = sandboxes_.erase(it);
+  }
+
+  // Abort in-flight invocations on the worker and re-dispatch them elsewhere
+  // (§6.1: the platform retries failed invocations; functions are expected to
+  // have idempotent side effects).
+  std::vector<std::shared_ptr<Request>> victims;
+  for (const auto& [id, request] : in_flight_) {
+    if (request->running_worker == worker) {
+      victims.push_back(request);
+    }
+  }
+  for (auto& request : victims) {
+    in_flight_.erase(request->id);
+    request->crash_epoch = ++crash_epoch_;  // Invalidates stale continuations.
+    request->running_worker = -1;
+    ++request->retries;
+    ++stats_.crash_retries;
+    ++stats_.retries;
+    loop_->ScheduleAfter(options_.retry_delay, [this, request]() mutable {
+      Dispatch(std::move(request));
+    });
+  }
+  DrainWaitQueue();
+}
+
+void Platform::RestoreWorker(int worker) {
+  worker_alive_[static_cast<std::size_t>(worker)] = true;
+  DrainWaitQueue();
+}
+
+void Platform::FailAndMaybeRetry(std::shared_ptr<Request> request, std::uint64_t sandbox_id,
+                                 InvocationRecord record) {
+  in_flight_.erase(request->id);
+  ReleaseSandbox(sandbox_id);
+  const FunctionConfig* fn = GetFunction(request->function);
+  if (record.oom_killed && request->retries == 0 && fn != nullptr) {
+    // §5.3.1: immediate retry with the tenant-booked limit.
+    ++stats_.retries;
+    request->retries = 1;
+    request->oom_killed = true;
+    request->forced_limit = fn->booked_memory;
+    loop_->ScheduleAfter(options_.retry_delay,
+                         [this, request = std::move(request)]() mutable {
+                           Dispatch(std::move(request));
+                         });
+    return;
+  }
+  record.failed = true;
+  record.total = loop_->now() - request->arrival;
+  ++stats_.failed_invocations;
+  if (fn != nullptr) {
+    hooks_->OnInvocationComplete(*fn, request->inputs, request->args, record);
+  }
+  request->done(record);
+  DrainWaitQueue();
+}
+
+void Platform::FinishInvocation(std::shared_ptr<Request> request, std::uint64_t sandbox_id,
+                                InvocationRecord record) {
+  record.total = loop_->now() - request->arrival;
+  in_flight_.erase(request->id);
+  ReleaseSandbox(sandbox_id);
+  const FunctionConfig* fn = GetFunction(request->function);
+  if (fn != nullptr) {
+    hooks_->OnInvocationComplete(*fn, request->inputs, request->args, record);
+  }
+  request->done(record);
+  DrainWaitQueue();
+}
+
+void Platform::ReleaseSandbox(std::uint64_t sandbox_id) {
+  Sandbox* sandbox = FindSandbox(sandbox_id);
+  if (sandbox == nullptr) {
+    return;
+  }
+  sandbox->busy = false;
+  sandbox->last_used = loop_->now();
+  ArmKeepAlive(sandbox);
+}
+
+void Platform::ArmKeepAlive(Sandbox* sandbox) {
+  if (sandbox->keepalive_event != 0) {
+    loop_->Cancel(sandbox->keepalive_event);
+  }
+  const std::uint64_t id = sandbox->id;
+  sandbox->keepalive_event =
+      loop_->ScheduleAfter(options_.keep_alive, [this, id] { DestroySandbox(id); });
+}
+
+void Platform::DestroySandbox(std::uint64_t sandbox_id) {
+  auto it = sandboxes_.find(sandbox_id);
+  if (it == sandboxes_.end()) {
+    return;
+  }
+  Sandbox& sandbox = it->second;
+  assert(!sandbox.busy);
+  if (sandbox.keepalive_event != 0) {
+    loop_->Cancel(sandbox.keepalive_event);
+  }
+  SetSandboxLimit(&sandbox, 0);
+  worker_reserved_[static_cast<std::size_t>(sandbox.worker)] -= sandbox.booked;
+  sandboxes_.erase(it);
+  DrainWaitQueue();
+}
+
+Platform::Sandbox* Platform::FindSandbox(std::uint64_t id) {
+  auto it = sandboxes_.find(id);
+  return it == sandboxes_.end() ? nullptr : &it->second;
+}
+
+void Platform::DrainWaitQueue() {
+  // Scheduled asynchronously: DestroySandbox can fire inside PlaceNewSandbox's
+  // reclaim loop, and a synchronous drain would steal the capacity it is in the
+  // middle of freeing.
+  if (wait_queue_.empty() || drain_scheduled_) {
+    return;
+  }
+  drain_scheduled_ = true;
+  loop_->ScheduleAfter(0, [this] {
+    drain_scheduled_ = false;
+    std::deque<std::shared_ptr<Request>> pending;
+    pending.swap(wait_queue_);
+    for (auto& request : pending) {
+      Dispatch(std::move(request));
+    }
+  });
+}
+
+// ---- Pipelines ---------------------------------------------------------------------
+
+void Platform::InvokePipeline(const workloads::PipelineSpec& spec,
+                              std::vector<InputObject> chunks, PipelineCallback done) {
+  struct PipeState {
+    workloads::PipelineSpec spec;
+    PipelineRecord record;
+    std::vector<InputObject> objects;
+    std::size_t stage = 0;
+    SimTime start = 0;
+    PipelineCallback done;
+  };
+  auto state = std::make_shared<PipeState>();
+  state->spec = spec;
+  state->record.id = next_pipeline_id_++;
+  state->record.pipeline = spec.name;
+  state->objects = std::move(chunks);
+  state->start = loop_->now();
+  state->done = std::move(done);
+
+  // Declared shared so stage completion can recursively launch the next stage.
+  // Weak self-capture: the task-completion callbacks hold the strong
+  // references, so the closure is freed when the pipeline finishes (a strong
+  // capture would leak it, and the whole pipeline state, per run).
+  auto run_stage = std::make_shared<std::function<void()>>();
+  std::weak_ptr<std::function<void()>> weak_run_stage = run_stage;
+  *run_stage = [this, state, weak_run_stage]() {
+    if (state->stage >= state->spec.stages.size()) {
+      state->record.total = loop_->now() - state->start;
+      data_->OnPipelineComplete(state->record.id);
+      state->done(state->record);
+      return;
+    }
+    const workloads::PipelineStage& stage = state->spec.stages[state->stage];
+    const FunctionConfig* fn = GetFunction(stage.function);
+    if (fn == nullptr || state->objects.empty()) {
+      state->record.failed = true;
+      state->record.total = loop_->now() - state->start;
+      state->done(state->record);
+      return;
+    }
+
+    // Partition the previous stage's objects across this stage's tasks.
+    const std::size_t num_tasks =
+        stage.fixed_tasks > 0
+            ? std::min<std::size_t>(static_cast<std::size_t>(stage.fixed_tasks),
+                                    state->objects.size())
+            : state->objects.size();
+    std::vector<std::vector<InputObject>> task_inputs(num_tasks);
+    for (std::size_t i = 0; i < state->objects.size(); ++i) {
+      task_inputs[i % num_tasks].push_back(state->objects[i]);
+    }
+
+    auto outputs = std::make_shared<std::vector<InputObject>>(num_tasks);
+    auto remaining = std::make_shared<std::size_t>(num_tasks);
+    const bool final_stage = state->stage + 1 == state->spec.stages.size();
+    for (std::size_t t = 0; t < num_tasks; ++t) {
+      auto request = std::make_shared<Request>();
+      request->id = next_invocation_id_++;
+      request->function = stage.function;
+      request->inputs = std::move(task_inputs[t]);
+      request->args = workloads::SampleArgs(fn->spec, rng_);
+      request->arrival = loop_->now();
+      request->pipeline_id = state->record.id;
+      request->final_stage = final_stage;
+      request->output_key = "pipe/" + std::to_string(state->record.id) + "/s" +
+                            std::to_string(state->stage) + "/t" + std::to_string(t);
+      auto self = weak_run_stage.lock();
+      assert(self != nullptr);
+      request->done = [this, state, outputs, remaining, t, self](
+                          const InvocationRecord& record) {
+        state->record.extract_time += record.extract_time;
+        state->record.compute_time += record.compute_time;
+        state->record.load_time += record.load_time;
+        state->record.failed |= record.failed;
+        ++state->record.num_tasks;
+        (*outputs)[t] = InputObject{record.output_key, record.output_media};
+        if (--*remaining == 0) {
+          state->objects = std::move(*outputs);
+          ++state->stage;
+          (*self)();
+        }
+      };
+      InvokeInternal(std::move(request));
+    }
+  };
+  (*run_stage)();
+}
+
+}  // namespace ofc::faas

@@ -1,0 +1,44 @@
+#include "src/faasload/environment.h"
+
+namespace ofc::faasload {
+
+std::string ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kOwkSwift:
+      return "OWK-Swift";
+    case Mode::kOwkRedis:
+      return "OWK-Redis";
+    case Mode::kOfc:
+      return "OFC";
+  }
+  return "unknown";
+}
+
+Environment::Environment(Mode mode, EnvironmentOptions options) : mode_(mode) {
+  Rng rng(options.seed);
+  const store::StoreProfile profile = options.rsds_profile.value_or(
+      mode == Mode::kOwkRedis ? store::StoreProfile::Redis() : store::StoreProfile::Swift());
+  rsds_ = std::make_unique<store::ObjectStore>(
+      &loop_, profile, rng.Fork(), mode == Mode::kOwkRedis ? "redis" : "swift");
+
+  if (mode == Mode::kOfc) {
+    // One RAMCloud storage server per invoker node (§6.1).
+    rc::ClusterOptions cluster_options = options.cluster;
+    cluster_options.default_capacity = 0;  // The CacheAgent sets real targets.
+    cluster_ = std::make_unique<rc::Cluster>(&loop_, options.platform.num_workers,
+                                             cluster_options, rng.Fork());
+    core::OfcOptions ofc_options = options.ofc;
+    ofc_options.cache_agent.worker_memory = options.platform.worker_memory;
+    ofc_ = std::make_unique<core::OfcSystem>(&loop_, cluster_.get(), rsds_.get(), ofc_options);
+    platform_ = std::make_unique<faas::Platform>(&loop_, options.platform,
+                                                 ofc_->data_service(), ofc_->hooks(),
+                                                 rng.Fork());
+    ofc_->Start();
+  } else {
+    direct_ = std::make_unique<faas::DirectDataService>(rsds_.get());
+    platform_ = std::make_unique<faas::Platform>(&loop_, options.platform, direct_.get(),
+                                                 /*hooks=*/nullptr, rng.Fork());
+  }
+}
+
+}  // namespace ofc::faasload

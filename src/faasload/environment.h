@@ -1,0 +1,63 @@
+// Experiment environments: the three configurations compared throughout §7.
+//
+//   * kOwkSwift — vanilla OpenWhisk, all data in the Swift RSDS (worst case);
+//   * kOwkRedis — vanilla OpenWhisk, all data in a Redis IMOC (best case);
+//   * kOfc      — OpenWhisk + OFC (RAMCloud cache, ML sizing, Swift RSDS).
+//
+// An Environment bundles the event loop, stores, cluster, OFC assembly and
+// platform with consistent seeding so that benches construct them in one call.
+#ifndef OFC_FAASLOAD_ENVIRONMENT_H_
+#define OFC_FAASLOAD_ENVIRONMENT_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/core/ofc_system.h"
+#include "src/faas/direct_data_service.h"
+#include "src/faas/platform.h"
+#include "src/ramcloud/cluster.h"
+#include "src/sim/event_loop.h"
+#include "src/store/object_store.h"
+
+namespace ofc::faasload {
+
+enum class Mode { kOwkSwift, kOwkRedis, kOfc };
+
+std::string ModeName(Mode mode);
+
+struct EnvironmentOptions {
+  faas::PlatformOptions platform;
+  rc::ClusterOptions cluster;
+  core::OfcOptions ofc;
+  std::uint64_t seed = 42;
+  // Overrides the RSDS latency profile (default: Swift for kOwkSwift/kOfc,
+  // Redis for kOwkRedis). The Figure 3 motivation experiment uses S3.
+  std::optional<store::StoreProfile> rsds_profile;
+};
+
+class Environment {
+ public:
+  Environment(Mode mode, EnvironmentOptions options);
+
+  Mode mode() const { return mode_; }
+  sim::EventLoop& loop() { return loop_; }
+  store::ObjectStore& rsds() { return *rsds_; }
+  faas::Platform& platform() { return *platform_; }
+  // Null in baseline modes.
+  rc::Cluster* cluster() { return cluster_.get(); }
+  core::OfcSystem* ofc() { return ofc_.get(); }
+
+ private:
+  Mode mode_;
+  sim::EventLoop loop_;
+  std::unique_ptr<store::ObjectStore> rsds_;
+  std::unique_ptr<rc::Cluster> cluster_;
+  std::unique_ptr<core::OfcSystem> ofc_;
+  std::unique_ptr<faas::DirectDataService> direct_;
+  std::unique_ptr<faas::Platform> platform_;
+};
+
+}  // namespace ofc::faasload
+
+#endif  // OFC_FAASLOAD_ENVIRONMENT_H_

@@ -1,0 +1,123 @@
+// FAASLOAD (§7.2.2): the multi-tenant load injector used for the macro
+// experiments. Emulates tenants with one function (or pipeline) each, prepares
+// their input datasets in the RSDS, fires invocations on a periodic or
+// exponential (Poisson) schedule, and collects per-tenant records.
+//
+// Tenant memory-booking profiles (§7.2.2):
+//   * naive    — always books OWK's maximum (2 GB);
+//   * advanced — books the maximum usage observed in previous runs;
+//   * normal   — books 1.7x the advanced amount (common practice, [39]).
+#ifndef OFC_FAASLOAD_INJECTOR_H_
+#define OFC_FAASLOAD_INJECTOR_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/faasload/environment.h"
+#include "src/workloads/media.h"
+#include "src/workloads/pipelines.h"
+
+namespace ofc::faasload {
+
+enum class TenantProfile { kNormal, kNaive, kAdvanced };
+
+std::string TenantProfileName(TenantProfile profile);
+
+// Invocation arrival process. Shahrad et al. (the paper's [37]) observe that
+// real FaaS traffic mixes steady Poisson-like functions with rare and bursty
+// ones, and that "45 % of applications are invoked once per hour or less" —
+// the source of the keep-alive waste OFC harvests.
+enum class ArrivalPattern {
+  kExponential,  // Poisson arrivals with the given mean interval.
+  kPeriodic,     // Fixed interval.
+  kBursty,       // Long exponential gaps separating short back-to-back bursts.
+};
+
+struct TenantSpec {
+  std::string name;
+  std::string function;   // Single-stage function name or pipeline name.
+  bool is_pipeline = false;
+  // Mean inter-arrival (exponential/periodic) or mean gap between bursts.
+  double mean_interval_s = 60.0;
+  ArrivalPattern arrivals = ArrivalPattern::kExponential;
+  // Bursty only: invocations per burst and intra-burst spacing.
+  int burst_size = 5;
+  double burst_spacing_s = 1.0;
+  // Input dataset: number of distinct objects prepared in the RSDS. FAASLOAD
+  // "prepares the input data for the invocations of each function".
+  int dataset_objects = 3;
+  // Target byte size per dataset object; 0 draws from the natural content
+  // distribution.
+  Bytes object_size = 0;
+  // Pipelines: total input volume, split into chunk objects.
+  Bytes pipeline_input_size = MiB(30);
+};
+
+struct TenantResult {
+  std::string name;
+  std::string function;
+  std::vector<faas::InvocationRecord> invocations;
+  std::vector<faas::PipelineRecord> pipelines;
+  SimDuration TotalExecutionTime() const;
+  std::size_t FailureCount() const;
+};
+
+// Estimates the booked memory for a function under a tenant profile. The
+// "advanced" estimate samples the demand model over the input distribution,
+// standing in for "previous runs" telemetry.
+Bytes BookedMemoryFor(const workloads::FunctionSpec& spec, TenantProfile profile,
+                      Bytes platform_max, std::uint64_t seed);
+
+class LoadInjector {
+ public:
+  LoadInjector(Environment* env, TenantProfile profile, std::uint64_t seed);
+
+  // Registers the tenant's function(s) with the platform under the profile's
+  // booking and prepares its dataset in the RSDS.
+  Status AddTenant(TenantSpec spec);
+
+  // Pretrains OFC models offline (no-op in baseline modes) so macro runs start
+  // with mature predictors, as the artifact's offline ML stage does.
+  void PretrainModels(int invocations_per_function);
+
+  // Schedules all invocations within [0, duration] and runs the event loop
+  // until every scheduled invocation completed.
+  void Run(SimDuration duration);
+
+  // Periodically samples f(now) during Run (Figure 10's cache-size series).
+  void AddSampler(SimDuration period, std::function<void()> sampler);
+
+  const std::vector<TenantResult>& results() const { return results_; }
+  const TenantResult* ResultFor(const std::string& tenant) const;
+
+ private:
+  struct Tenant {
+    TenantSpec spec;
+    std::vector<faas::InputObject> dataset;            // Single-stage pool.
+    std::vector<faas::InputObject> pipeline_chunks;    // Pipeline input chunks.
+    Rng rng;
+    std::size_t result_index = 0;
+  };
+
+  void ScheduleTenant(Tenant& tenant, SimDuration horizon);
+  void FireInvocation(Tenant& tenant);
+
+  Environment* env_;
+  TenantProfile profile_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Tenant>> tenants_;
+  std::vector<TenantResult> results_;
+  std::size_t in_flight_ = 0;
+  struct SamplerSpec {
+    SimDuration period;
+    std::function<void()> fn;
+  };
+  std::vector<SamplerSpec> samplers_;
+  SimTime horizon_end_ = 0;
+};
+
+}  // namespace ofc::faasload
+
+#endif  // OFC_FAASLOAD_INJECTOR_H_

@@ -1,0 +1,18 @@
+#include "src/ml/classifier.h"
+
+namespace ofc::ml {
+
+std::vector<double> Classifier::PredictDistribution(const std::vector<double>& features) const {
+  std::vector<double> dist(schema_.num_classes(), 0.0);
+  const int label = Predict(features);
+  if (label >= 0 && static_cast<std::size_t>(label) < dist.size()) {
+    dist[static_cast<std::size_t>(label)] = 1.0;
+  }
+  return dist;
+}
+
+Status Classifier::Observe(const Instance&) {
+  return FailedPreconditionError(Name() + " is not an incremental learner");
+}
+
+}  // namespace ofc::ml

@@ -1,0 +1,46 @@
+// Common interface for the four tree classifiers evaluated in Table 1.
+#ifndef OFC_ML_CLASSIFIER_H_
+#define OFC_ML_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/ml/dataset.h"
+
+namespace ofc::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  // Builds the model from scratch. Must be callable repeatedly (retraining).
+  virtual Status Train(const Dataset& data) = 0;
+
+  // Predicted class index for a feature vector matching the training schema.
+  // Requires a successful Train() (or, for incremental learners, Observe()).
+  virtual int Predict(const std::vector<double>& features) const = 0;
+
+  // Class-probability distribution; default implementation puts all mass on
+  // Predict()'s answer.
+  virtual std::vector<double> PredictDistribution(const std::vector<double>& features) const;
+
+  // Incremental learners override this; batch learners return
+  // kFailedPrecondition and rely on Train().
+  virtual Status Observe(const Instance& instance);
+
+  virtual std::string Name() const = 0;
+
+  // Rough model size (node count) for reporting.
+  virtual std::size_t NumNodes() const = 0;
+
+ protected:
+  // Stored schema for prediction-time checks.
+  Schema schema_;
+  bool trained_ = false;
+};
+
+}  // namespace ofc::ml
+
+#endif  // OFC_ML_CLASSIFIER_H_

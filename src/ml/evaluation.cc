@@ -1,0 +1,169 @@
+#include "src/ml/evaluation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ofc::ml {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : n_(num_classes), cells_(num_classes * num_classes, 0.0) {}
+
+void ConfusionMatrix::Add(int truth, int predicted, double weight) {
+  assert(truth >= 0 && static_cast<std::size_t>(truth) < n_);
+  assert(predicted >= 0 && static_cast<std::size_t>(predicted) < n_);
+  cells_[static_cast<std::size_t>(truth) * n_ + static_cast<std::size_t>(predicted)] += weight;
+  total_ += weight;
+}
+
+double ConfusionMatrix::count(int truth, int predicted) const {
+  return cells_[static_cast<std::size_t>(truth) * n_ + static_cast<std::size_t>(predicted)];
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ <= 0.0) {
+    return 0.0;
+  }
+  double correct = 0.0;
+  for (std::size_t c = 0; c < n_; ++c) {
+    correct += cells_[c * n_ + c];
+  }
+  return correct / total_;
+}
+
+double ConfusionMatrix::ExactOrOverAccuracy() const {
+  if (total_ <= 0.0) {
+    return 0.0;
+  }
+  double eo = 0.0;
+  for (std::size_t t = 0; t < n_; ++t) {
+    for (std::size_t p = t; p < n_; ++p) {
+      eo += cells_[t * n_ + p];
+    }
+  }
+  return eo / total_;
+}
+
+double ConfusionMatrix::UnderpredictionsWithin(int k) const {
+  double under = 0.0;
+  double within = 0.0;
+  for (std::size_t t = 0; t < n_; ++t) {
+    for (std::size_t p = 0; p < t; ++p) {
+      under += cells_[t * n_ + p];
+      if (static_cast<int>(t - p) <= k) {
+        within += cells_[t * n_ + p];
+      }
+    }
+  }
+  return under <= 0.0 ? 1.0 : within / under;
+}
+
+double ConfusionMatrix::UnderpredictionRate() const {
+  if (total_ <= 0.0) {
+    return 0.0;
+  }
+  double under = 0.0;
+  for (std::size_t t = 0; t < n_; ++t) {
+    for (std::size_t p = 0; p < t; ++p) {
+      under += cells_[t * n_ + p];
+    }
+  }
+  return under / total_;
+}
+
+double ConfusionMatrix::OverpredictionRate() const {
+  if (total_ <= 0.0) {
+    return 0.0;
+  }
+  double over = 0.0;
+  for (std::size_t t = 0; t < n_; ++t) {
+    for (std::size_t p = t + 1; p < n_; ++p) {
+      over += cells_[t * n_ + p];
+    }
+  }
+  return over / total_;
+}
+
+double ConfusionMatrix::Precision(int positive_class) const {
+  const std::size_t p = static_cast<std::size_t>(positive_class);
+  double predicted_positive = 0.0;
+  for (std::size_t t = 0; t < n_; ++t) {
+    predicted_positive += cells_[t * n_ + p];
+  }
+  return predicted_positive <= 0.0 ? 0.0 : count(positive_class, positive_class) /
+                                               predicted_positive;
+}
+
+double ConfusionMatrix::Recall(int positive_class) const {
+  const std::size_t t = static_cast<std::size_t>(positive_class);
+  double actual_positive = 0.0;
+  for (std::size_t p = 0; p < n_; ++p) {
+    actual_positive += cells_[t * n_ + p];
+  }
+  return actual_positive <= 0.0 ? 0.0 : count(positive_class, positive_class) / actual_positive;
+}
+
+double ConfusionMatrix::FMeasure(int positive_class) const {
+  const double precision = Precision(positive_class);
+  const double recall = Recall(positive_class);
+  return precision + recall <= 0.0 ? 0.0 : 2.0 * precision * recall / (precision + recall);
+}
+
+void ConfusionMatrix::Merge(const ConfusionMatrix& other) {
+  assert(n_ == other.n_);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i] += other.cells_[i];
+  }
+  total_ += other.total_;
+}
+
+CrossValidationResult CrossValidate(const ClassifierFactory& factory, const Dataset& data,
+                                    int folds, Rng& rng) {
+  assert(folds >= 2);
+  const std::size_t k = static_cast<std::size_t>(folds);
+  CrossValidationResult result{ConfusionMatrix(data.schema().num_classes()), {}};
+
+  // Stratified fold assignment: shuffle indices within each class, then deal
+  // them round-robin across folds.
+  std::vector<std::vector<std::size_t>> by_class(data.schema().num_classes());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    by_class[static_cast<std::size_t>(data.instance(i).label)].push_back(i);
+  }
+  std::vector<std::size_t> fold_of(data.size(), 0);
+  std::size_t deal = 0;
+  for (auto& members : by_class) {
+    for (std::size_t i = members.size(); i > 1; --i) {
+      std::swap(members[i - 1], members[rng.Index(i)]);
+    }
+    for (std::size_t idx : members) {
+      fold_of[idx] = deal++ % k;
+    }
+  }
+
+  for (std::size_t fold = 0; fold < k; ++fold) {
+    Dataset train(data.schema());
+    std::vector<std::size_t> test_indices;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      if (fold_of[i] == fold) {
+        test_indices.push_back(i);
+      } else {
+        (void)train.Add(data.instance(i));
+      }
+    }
+    if (train.empty() || test_indices.empty()) {
+      continue;
+    }
+    std::unique_ptr<Classifier> model = factory();
+    if (!model->Train(train).ok()) {
+      continue;
+    }
+    for (std::size_t i : test_indices) {
+      const Instance& inst = data.instance(i);
+      const int predicted = model->Predict(inst.features);
+      result.confusion.Add(inst.label, predicted, 1.0);
+      result.errors.push_back(predicted - inst.label);
+    }
+  }
+  return result;
+}
+
+}  // namespace ofc::ml

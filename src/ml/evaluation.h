@@ -1,0 +1,71 @@
+// Model evaluation: confusion matrices, the paper's exact-or-over (EO) metric
+// for ordered interval classes (§5.3.1), precision/recall/F-measure for the
+// cache-benefit model (§7.1.1), and stratified k-fold cross-validation (the
+// paper uses cross-validation against overfitting, §7.1.1).
+#ifndef OFC_ML_EVALUATION_H_
+#define OFC_ML_EVALUATION_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/ml/classifier.h"
+
+namespace ofc::ml {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void Add(int truth, int predicted, double weight = 1.0);
+
+  std::size_t num_classes() const { return n_; }
+  double count(int truth, int predicted) const;
+  double total() const { return total_; }
+
+  // Fraction of exactly correct predictions.
+  double Accuracy() const;
+
+  // Exact-or-over: predicted index >= true index. Meaningful only when class
+  // indices are ordered (memory intervals).
+  double ExactOrOverAccuracy() const;
+
+  // Among underpredictions (predicted < truth), the fraction with
+  // truth - predicted <= k. Returns 1.0 when there are no underpredictions.
+  double UnderpredictionsWithin(int k) const;
+
+  double UnderpredictionRate() const;
+  double OverpredictionRate() const;
+
+  // One-vs-rest metrics for `positive_class`.
+  double Precision(int positive_class) const;
+  double Recall(int positive_class) const;
+  double FMeasure(int positive_class) const;
+
+  // Merges another matrix of the same arity (fold aggregation).
+  void Merge(const ConfusionMatrix& other);
+
+ private:
+  std::size_t n_;
+  std::vector<double> cells_;  // row-major [truth][predicted]
+  double total_ = 0.0;
+};
+
+using ClassifierFactory = std::function<std::unique_ptr<Classifier>()>;
+
+struct CrossValidationResult {
+  ConfusionMatrix confusion;
+  // Signed prediction errors in class-index units (predicted - truth), one per
+  // test instance; feeds the Figure 5 error distribution.
+  std::vector<int> errors;
+};
+
+// Stratified k-fold cross-validation. The factory builds a fresh classifier per
+// fold. Folds are stratified by class so small classes appear in every fold.
+CrossValidationResult CrossValidate(const ClassifierFactory& factory, const Dataset& data,
+                                    int folds, Rng& rng);
+
+}  // namespace ofc::ml
+
+#endif  // OFC_ML_EVALUATION_H_

@@ -1,0 +1,116 @@
+// HoeffdingTree (VFDT, Domingos & Hulten 2000; stress-tested by Holmes et al.
+// 2005, the paper's reference [20]): an incremental decision tree that splits a
+// leaf once the Hoeffding bound guarantees the observed best attribute is the
+// true best with probability 1 - delta.
+//
+// Leaf prediction strategy: kNaiveBayesAdaptive (MOA's default) tracks, per
+// leaf, whether the majority-class vote or a naive-Bayes model over the leaf's
+// sufficient statistics has been more accurate on the training stream, and
+// predicts with the winner — usually a large accuracy gain on small streams.
+//
+// Included because Table 1 evaluates it as the natural "incremental model
+// update" candidate (§5.1.1); it loses to J48-with-retraining on accuracy, which
+// is why OFC keeps a curated training set and retrains instead.
+#ifndef OFC_ML_HOEFFDING_TREE_H_
+#define OFC_ML_HOEFFDING_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/ml/classifier.h"
+
+namespace ofc::ml {
+
+// Per-leaf prediction strategy (see the file comment).
+enum class LeafPrediction { kMajorityClass, kNaiveBayesAdaptive };
+
+struct HoeffdingTreeOptions {
+  // Split confidence / tie parameters. The MOA defaults (delta = 1e-7,
+  // tie = 0.05) assume millions-of-instances streams; a leaf would need >3000
+  // instances per split decision. OFC datasets are function-invocation logs in
+  // the hundreds-to-thousands (§7.1.3), so we default to a more eager bound.
+  double delta = 0.01;
+  // Split anyway once the bound is this tight. Far larger than MOA's 0.05:
+  // the OFC feature sets contain strongly correlated attributes (file size vs
+  // content volume), whose near-equal gains would otherwise block splitting
+  // forever on invocation-log-sized data (the classic VFDT tie problem).
+  double tie_threshold = 0.5;
+  int grace_period = 15;   // Instances between split attempts at a leaf.
+  int numeric_bins = 16;   // Candidate thresholds per numeric attribute.
+  int max_nodes = 8192;    // Growth cap.
+  LeafPrediction leaf_prediction = LeafPrediction::kNaiveBayesAdaptive;
+};
+
+class HoeffdingTree : public Classifier {
+ public:
+  explicit HoeffdingTree(HoeffdingTreeOptions options = {}) : options_(options) {}
+
+  // Batch training = one incremental pass, matching the MOA/Weka adapter.
+  Status Train(const Dataset& data) override;
+  Status Observe(const Instance& instance) override;
+  int Predict(const std::vector<double>& features) const override;
+  std::vector<double> PredictDistribution(const std::vector<double>& features) const override;
+  std::string Name() const override { return "HoeffdingTree"; }
+  std::size_t NumNodes() const override { return num_nodes_; }
+
+  // Prepares an empty tree for Observe() streams with the given schema.
+  Status Reset(const Schema& schema);
+
+ private:
+  // Per-class Gaussian sufficient statistics for one numeric attribute.
+  struct GaussianEstimator {
+    double weight = 0.0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    void Add(double x, double w);
+    double variance() const { return weight <= 1.0 ? 0.0 : m2 / (weight - 1.0); }
+    // Probability mass of this Gaussian at or below x.
+    double CdfBelow(double x) const;
+  };
+
+  struct LeafStats {
+    std::vector<double> class_counts;
+    // [numeric attr slot][class] Gaussian; attribute-global observed range.
+    std::vector<std::vector<GaussianEstimator>> gaussians;
+    std::vector<double> attr_min;
+    std::vector<double> attr_max;
+    // [nominal attr slot][value][class] counts.
+    std::vector<std::vector<std::vector<double>>> nominal_counts;
+    double weight_at_last_attempt = 0.0;
+    // Adaptive leaf-prediction bookkeeping: training-stream accuracy of the
+    // majority-class vote vs the naive-Bayes model at this leaf.
+    double majority_correct = 0.0;
+    double nb_correct = 0.0;
+  };
+
+  struct Node {
+    // Split payload (attr < 0 => leaf).
+    int attr = -1;
+    bool numeric_split = false;
+    double threshold = 0.0;
+    std::vector<std::unique_ptr<Node>> children;
+    // Leaf payload.
+    std::unique_ptr<LeafStats> stats;
+    // Retained majority info for prediction at internal nodes / unseen values.
+    std::vector<double> class_counts_snapshot;
+    bool IsLeaf() const { return attr < 0; }
+  };
+
+  std::unique_ptr<Node> MakeLeaf();
+  void MaybeSplit(Node* leaf);
+  const Node* Descend(const std::vector<double>& features) const;
+  Node* DescendMutable(const std::vector<double>& features);
+  double TotalWeight(const LeafStats& stats) const;
+  // Naive-Bayes class prediction from a leaf's sufficient statistics.
+  int NaiveBayesPredict(const LeafStats& stats, const std::vector<double>& features) const;
+  // The leaf's prediction under the configured strategy.
+  int LeafPredict(const LeafStats& stats, const std::vector<double>& features) const;
+
+  HoeffdingTreeOptions options_;
+  std::unique_ptr<Node> root_;
+  std::size_t num_nodes_ = 0;
+};
+
+}  // namespace ofc::ml
+
+#endif  // OFC_ML_HOEFFDING_TREE_H_

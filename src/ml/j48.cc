@@ -1,0 +1,420 @@
+#include "src/ml/j48.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "src/ml/tree_math.h"
+
+namespace ofc::ml {
+
+namespace {
+
+double Log2(double x) { return std::log(x) * 1.4426950408889634; }
+
+bool IsMissing(double value) { return std::isnan(value); }
+
+double SumOf(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) {
+    s += x;
+  }
+  return s;
+}
+
+// Weighted training errors if this distribution is predicted by majority.
+double LeafErrors(const std::vector<double>& dist) {
+  return SumOf(dist) - dist[ArgMax(dist)];
+}
+
+struct CandidateSplit {
+  int attr = -1;
+  bool numeric = false;
+  double threshold = 0.0;
+  double gain = 0.0;
+  double gain_ratio = 0.0;
+  bool valid = false;
+};
+
+}  // namespace
+
+Status J48::Train(const Dataset& data) {
+  if (data.empty()) {
+    return InvalidArgumentError("J48: empty training set");
+  }
+  if (data.schema().num_classes() < 2) {
+    return InvalidArgumentError("J48: need at least two classes");
+  }
+  schema_ = data.schema();
+  std::vector<WeightedIndex> items(data.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i] = WeightedIndex{i, data.instance(i).weight};
+  }
+  std::vector<double> dist(schema_.num_classes(), 0.0);
+  for (const WeightedIndex& item : items) {
+    dist[static_cast<std::size_t>(data.instance(item.index).label)] += item.weight;
+  }
+  root_ = Build(data, items, 0, dist);
+  if (options_.prune) {
+    Prune(root_.get());
+  }
+  trained_ = true;
+  return OkStatus();
+}
+
+std::unique_ptr<J48::Node> J48::MakeLeaf(const std::vector<double>& dist) const {
+  auto node = std::make_unique<Node>();
+  node->class_dist = dist;
+  node->majority = static_cast<int>(ArgMax(dist));
+  node->weight = SumOf(dist);
+  return node;
+}
+
+std::unique_ptr<J48::Node> J48::Build(const Dataset& data,
+                                      const std::vector<WeightedIndex>& items, int depth,
+                                      const std::vector<double>& parent_dist) {
+  if (items.empty()) {
+    // Empty branch: inherit the parent's majority but carry zero weight so
+    // pruning-time error estimates do not double-count the parent's instances.
+    auto leaf = std::make_unique<Node>();
+    leaf->class_dist.assign(parent_dist.size(), 0.0);
+    leaf->majority = static_cast<int>(ArgMax(parent_dist));
+    leaf->weight = 0.0;
+    return leaf;
+  }
+  std::vector<double> dist(schema_.num_classes(), 0.0);
+  for (const WeightedIndex& item : items) {
+    dist[static_cast<std::size_t>(data.instance(item.index).label)] += item.weight;
+  }
+  const double total = SumOf(dist);
+
+  // Stopping conditions: too small, pure, or depth guard.
+  const double node_entropy = Entropy(dist);
+  if (total < 2.0 * options_.min_leaf_weight || node_entropy <= 0.0 ||
+      depth >= options_.max_depth) {
+    return MakeLeaf(dist);
+  }
+
+  // Evaluate one candidate split per attribute. Instances whose value for the
+  // attribute is missing are excluded from the gain computation; the gain is
+  // scaled by the known fraction (C4.5).
+  const std::size_t num_features = schema_.num_features();
+  std::vector<CandidateSplit> candidates(num_features);
+  for (std::size_t a = 0; a < num_features; ++a) {
+    const Attribute& attr = schema_.feature(a);
+    CandidateSplit& cand = candidates[a];
+    cand.attr = static_cast<int>(a);
+
+    std::vector<WeightedIndex> known;
+    known.reserve(items.size());
+    double known_weight = 0.0;
+    std::vector<double> known_dist(dist.size(), 0.0);
+    for (const WeightedIndex& item : items) {
+      const double value = data.instance(item.index).features[a];
+      if (!IsMissing(value)) {
+        known.push_back(item);
+        known_weight += item.weight;
+        known_dist[static_cast<std::size_t>(data.instance(item.index).label)] +=
+            item.weight;
+      }
+    }
+    if (known_weight < 2.0 * options_.min_leaf_weight) {
+      continue;
+    }
+    const double known_fraction = known_weight / total;
+    const double known_entropy = Entropy(known_dist);
+
+    if (attr.kind == AttributeKind::kNominal) {
+      // Multiway split, one branch per nominal value.
+      std::vector<std::vector<double>> branches(attr.num_values(),
+                                                std::vector<double>(dist.size(), 0.0));
+      for (const WeightedIndex& item : known) {
+        const Instance& inst = data.instance(item.index);
+        branches[static_cast<std::size_t>(inst.features[a])]
+                [static_cast<std::size_t>(inst.label)] += item.weight;
+      }
+      // C4.5 requires at least two branches with min_leaf weight.
+      std::size_t sufficient = 0;
+      for (const auto& branch : branches) {
+        if (SumOf(branch) >= options_.min_leaf_weight) {
+          ++sufficient;
+        }
+      }
+      if (sufficient < 2) {
+        continue;
+      }
+      cand.numeric = false;
+      cand.gain = known_fraction * (known_entropy - PartitionEntropy(branches));
+      const double si = SplitInformation(branches);
+      if (cand.gain > 1e-9 && si > 1e-9) {
+        cand.gain_ratio = cand.gain / si;
+        cand.valid = true;
+      }
+    } else {
+      // Numeric: scan sorted known values for the best binary threshold.
+      std::vector<WeightedIndex> sorted = known;
+      std::sort(sorted.begin(), sorted.end(), [&](const WeightedIndex& x,
+                                                  const WeightedIndex& y) {
+        return data.instance(x.index).features[a] < data.instance(y.index).features[a];
+      });
+      std::vector<double> left(dist.size(), 0.0);
+      std::vector<double> right = known_dist;
+      double left_total = 0.0;
+      double best_gain = -1.0;
+      double best_threshold = 0.0;
+      double best_split_info = 0.0;
+      std::size_t num_boundaries = 0;
+      for (std::size_t pos = 0; pos + 1 < sorted.size(); ++pos) {
+        const Instance& inst = data.instance(sorted[pos].index);
+        left[static_cast<std::size_t>(inst.label)] += sorted[pos].weight;
+        left_total += sorted[pos].weight;
+        right[static_cast<std::size_t>(inst.label)] -= sorted[pos].weight;
+        const double v = inst.features[a];
+        const double v_next = data.instance(sorted[pos + 1].index).features[a];
+        if (v_next <= v) {
+          continue;  // Not a boundary between distinct values.
+        }
+        ++num_boundaries;
+        if (left_total < options_.min_leaf_weight ||
+            known_weight - left_total < options_.min_leaf_weight) {
+          continue;
+        }
+        const std::vector<std::vector<double>> branches = {left, right};
+        const double gain = known_entropy - PartitionEntropy(branches);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_threshold = (v + v_next) / 2.0;
+          best_split_info = SplitInformation(branches);
+        }
+      }
+      if (best_gain <= 1e-9 || num_boundaries == 0) {
+        continue;
+      }
+      // C4.5's MDL correction: distributing log2(#candidate thresholds) bits of
+      // threshold-choice cost over the instances.
+      const double corrected =
+          known_fraction * best_gain -
+          Log2(static_cast<double>(num_boundaries)) / total;
+      if (corrected <= 1e-9 || best_split_info <= 1e-9) {
+        continue;
+      }
+      cand.numeric = true;
+      cand.threshold = best_threshold;
+      cand.gain = corrected;
+      cand.gain_ratio = corrected / best_split_info;
+      cand.valid = true;
+    }
+  }
+
+  // C4.5 selection: best gain ratio among splits with at-least-average gain.
+  double gain_sum = 0.0;
+  std::size_t gain_count = 0;
+  for (const CandidateSplit& cand : candidates) {
+    if (cand.valid) {
+      gain_sum += cand.gain;
+      ++gain_count;
+    }
+  }
+  if (gain_count == 0) {
+    return MakeLeaf(dist);
+  }
+  const double avg_gain = gain_sum / static_cast<double>(gain_count);
+  const CandidateSplit* best = nullptr;
+  for (const CandidateSplit& cand : candidates) {
+    if (!cand.valid || cand.gain + 1e-9 < avg_gain) {
+      continue;
+    }
+    if (best == nullptr || cand.gain_ratio > best->gain_ratio) {
+      best = &cand;
+    }
+  }
+  if (best == nullptr) {
+    return MakeLeaf(dist);
+  }
+
+  // Partition known instances by branch; missing-valued instances descend
+  // every non-empty branch with proportional fractional weight.
+  auto node = std::make_unique<Node>();
+  node->class_dist = dist;
+  node->majority = static_cast<int>(ArgMax(dist));
+  node->weight = total;
+  node->attr = best->attr;
+  node->numeric_split = best->numeric;
+  node->threshold = best->threshold;
+
+  const std::size_t a = static_cast<std::size_t>(best->attr);
+  const std::size_t num_branches =
+      best->numeric ? 2 : schema_.feature(a).num_values();
+  std::vector<std::vector<WeightedIndex>> partitions(num_branches);
+  std::vector<double> branch_weights(num_branches, 0.0);
+  std::vector<WeightedIndex> missing;
+  for (const WeightedIndex& item : items) {
+    const double value = data.instance(item.index).features[a];
+    if (IsMissing(value)) {
+      missing.push_back(item);
+      continue;
+    }
+    const std::size_t branch =
+        best->numeric ? (value <= best->threshold ? 0u : 1u)
+                      : static_cast<std::size_t>(value);
+    partitions[branch].push_back(item);
+    branch_weights[branch] += item.weight;
+  }
+  const double known_total = SumOf(branch_weights);
+  if (known_total > 0.0) {
+    constexpr double kMinFraction = 1e-4;  // Drop negligible fractions.
+    for (const WeightedIndex& item : missing) {
+      for (std::size_t b = 0; b < num_branches; ++b) {
+        const double fraction = branch_weights[b] / known_total;
+        if (fraction > kMinFraction) {
+          partitions[b].push_back(WeightedIndex{item.index, item.weight * fraction});
+        }
+      }
+    }
+  }
+  for (const auto& part : partitions) {
+    node->children.push_back(Build(data, part, depth + 1, dist));
+  }
+  return node;
+}
+
+double J48::Prune(Node* node) {
+  const double leaf_estimate =
+      LeafErrors(node->class_dist) +
+      PessimisticExtraErrors(SumOf(node->class_dist), LeafErrors(node->class_dist),
+                             options_.confidence);
+  if (node->IsLeaf()) {
+    return leaf_estimate;
+  }
+  double subtree_estimate = 0.0;
+  for (const auto& child : node->children) {
+    subtree_estimate += Prune(child.get());
+  }
+  // Subtree replacement: collapse when a leaf is (pessimistically) no worse.
+  if (leaf_estimate <= subtree_estimate + 0.1) {
+    node->attr = -1;
+    node->children.clear();
+    return leaf_estimate;
+  }
+  return subtree_estimate;
+}
+
+void J48::Accumulate(const Node* node, const std::vector<double>& features, double weight,
+                     std::vector<double>& dist) const {
+  while (!node->IsLeaf()) {
+    const std::size_t a = static_cast<std::size_t>(node->attr);
+    const double value = features[a];
+    if (IsMissing(value)) {
+      // Blend the children's answers by their training weights.
+      double child_total = 0.0;
+      for (const auto& child : node->children) {
+        child_total += child->weight;
+      }
+      if (child_total <= 0.0) {
+        break;  // Degenerate: answer from this node's own distribution.
+      }
+      for (const auto& child : node->children) {
+        if (child->weight > 0.0) {
+          Accumulate(child.get(), features, weight * child->weight / child_total, dist);
+        }
+      }
+      return;
+    }
+    std::size_t branch;
+    if (node->numeric_split) {
+      branch = value <= node->threshold ? 0 : 1;
+    } else {
+      branch = static_cast<std::size_t>(value);
+      if (branch >= node->children.size()) {
+        break;  // Unseen nominal value: fall back to this node's distribution.
+      }
+    }
+    const Node* child = node->children[branch].get();
+    if (child->weight <= 0.0) {
+      break;  // Empty branch: the parent distribution is the best evidence.
+    }
+    node = child;
+  }
+  // Contribute this node's (normalized) class distribution.
+  const double total = SumOf(node->class_dist);
+  if (total > 0.0) {
+    for (std::size_t c = 0; c < dist.size(); ++c) {
+      dist[c] += weight * node->class_dist[c] / total;
+    }
+  } else if (!dist.empty()) {
+    dist[static_cast<std::size_t>(node->majority)] += weight;
+  }
+}
+
+int J48::Predict(const std::vector<double>& features) const {
+  assert(trained_);
+  // Fast path: fully observed features descend a single path, allocation-free
+  // (prediction sits on the invocation critical path, Figure 6).
+  bool has_missing = false;
+  for (double value : features) {
+    if (IsMissing(value)) {
+      has_missing = true;
+      break;
+    }
+  }
+  if (!has_missing) {
+    const Node* node = root_.get();
+    while (!node->IsLeaf()) {
+      const std::size_t a = static_cast<std::size_t>(node->attr);
+      std::size_t branch;
+      if (node->numeric_split) {
+        branch = features[a] <= node->threshold ? 0 : 1;
+      } else {
+        branch = static_cast<std::size_t>(features[a]);
+        if (branch >= node->children.size()) {
+          break;
+        }
+      }
+      const Node* child = node->children[branch].get();
+      if (child->weight <= 0.0) {
+        break;
+      }
+      node = child;
+    }
+    return node->majority;
+  }
+  std::vector<double> dist(schema_.num_classes(), 0.0);
+  Accumulate(root_.get(), features, 1.0, dist);
+  return static_cast<int>(ArgMax(dist));
+}
+
+std::vector<double> J48::PredictDistribution(const std::vector<double>& features) const {
+  assert(trained_);
+  std::vector<double> dist(schema_.num_classes(), 0.0);
+  Accumulate(root_.get(), features, 1.0, dist);
+  return dist;
+}
+
+std::size_t J48::CountNodes(const Node* node) {
+  if (node == nullptr) {
+    return 0;
+  }
+  std::size_t n = 1;
+  for (const auto& child : node->children) {
+    n += CountNodes(child.get());
+  }
+  return n;
+}
+
+std::size_t J48::MaxDepth(const Node* node) {
+  if (node == nullptr) {
+    return 0;
+  }
+  std::size_t deepest = 0;
+  for (const auto& child : node->children) {
+    deepest = std::max(deepest, MaxDepth(child.get()));
+  }
+  return deepest + 1;
+}
+
+std::size_t J48::NumNodes() const { return CountNodes(root_.get()); }
+
+std::size_t J48::Depth() const { return MaxDepth(root_.get()); }
+
+}  // namespace ofc::ml

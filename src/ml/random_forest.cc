@@ -1,0 +1,61 @@
+#include "src/ml/random_forest.h"
+
+#include "src/common/rng.h"
+#include "src/ml/tree_math.h"
+
+namespace ofc::ml {
+
+Status RandomForest::Train(const Dataset& data) {
+  if (data.empty()) {
+    return InvalidArgumentError("RandomForest: empty training set");
+  }
+  schema_ = data.schema();
+  trees_.clear();
+  Rng rng(options_.seed);
+  for (int t = 0; t < options_.num_trees; ++t) {
+    // Bootstrap sample (with replacement, same size as the original).
+    Dataset bag(data.schema());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const Instance& inst = data.instance(rng.Index(data.size()));
+      OFC_RETURN_IF_ERROR(bag.Add(inst));
+    }
+    RandomTreeOptions tree_options = options_.tree;
+    tree_options.seed = rng.NextU64();
+    auto tree = std::make_unique<RandomTree>(tree_options);
+    OFC_RETURN_IF_ERROR(tree->Train(bag));
+    trees_.push_back(std::move(tree));
+  }
+  trained_ = true;
+  return OkStatus();
+}
+
+std::vector<double> RandomForest::PredictDistribution(
+    const std::vector<double>& features) const {
+  std::vector<double> votes(schema_.num_classes(), 0.0);
+  for (const auto& tree : trees_) {
+    const std::vector<double> dist = tree->PredictDistribution(features);
+    for (std::size_t c = 0; c < votes.size(); ++c) {
+      votes[c] += dist[c];
+    }
+  }
+  if (!trees_.empty()) {
+    for (double& v : votes) {
+      v /= static_cast<double>(trees_.size());
+    }
+  }
+  return votes;
+}
+
+int RandomForest::Predict(const std::vector<double>& features) const {
+  return static_cast<int>(ArgMax(PredictDistribution(features)));
+}
+
+std::size_t RandomForest::NumNodes() const {
+  std::size_t n = 0;
+  for (const auto& tree : trees_) {
+    n += tree->NumNodes();
+  }
+  return n;
+}
+
+}  // namespace ofc::ml

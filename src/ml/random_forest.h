@@ -1,0 +1,38 @@
+// RandomForest (Breiman 2001): bagged RandomTrees with majority voting over the
+// trees' class distributions. Accuracy is on par with J48 on the OFC workloads
+// (Table 1) but prediction walks every tree, which is why the paper rejects it
+// on latency grounds (Figure 6: ~106 µs vs ~3 µs medians).
+#ifndef OFC_ML_RANDOM_FOREST_H_
+#define OFC_ML_RANDOM_FOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/ml/random_tree.h"
+
+namespace ofc::ml {
+
+struct RandomForestOptions {
+  int num_trees = 30;
+  RandomTreeOptions tree;
+  std::uint64_t seed = 1;
+};
+
+class RandomForest : public Classifier {
+ public:
+  explicit RandomForest(RandomForestOptions options = {}) : options_(options) {}
+
+  Status Train(const Dataset& data) override;
+  int Predict(const std::vector<double>& features) const override;
+  std::vector<double> PredictDistribution(const std::vector<double>& features) const override;
+  std::string Name() const override { return "RandomForest"; }
+  std::size_t NumNodes() const override;
+
+ private:
+  RandomForestOptions options_;
+  std::vector<std::unique_ptr<RandomTree>> trees_;
+};
+
+}  // namespace ofc::ml
+
+#endif  // OFC_ML_RANDOM_FOREST_H_

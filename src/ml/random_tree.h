@@ -1,0 +1,56 @@
+// RandomTree: an unpruned decision tree that considers a random subset of
+// K = floor(log2(#features)) + 1 attributes at each node (Weka's RandomTree
+// default), selecting by information gain. Used standalone (Table 1 row) and as
+// the base learner of RandomForest.
+#ifndef OFC_ML_RANDOM_TREE_H_
+#define OFC_ML_RANDOM_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/ml/classifier.h"
+
+namespace ofc::ml {
+
+struct RandomTreeOptions {
+  int num_attributes = 0;  // <=0: floor(log2(F)) + 1.
+  double min_leaf_weight = 1.0;
+  int max_depth = 60;
+  std::uint64_t seed = 1;
+};
+
+class RandomTree : public Classifier {
+ public:
+  explicit RandomTree(RandomTreeOptions options = {}) : options_(options) {}
+
+  Status Train(const Dataset& data) override;
+  int Predict(const std::vector<double>& features) const override;
+  std::vector<double> PredictDistribution(const std::vector<double>& features) const override;
+  std::string Name() const override { return "RandomTree"; }
+  std::size_t NumNodes() const override;
+
+ private:
+  struct Node {
+    std::vector<double> class_dist;
+    int majority = 0;
+    double weight = 0.0;
+    int attr = -1;
+    bool numeric_split = false;
+    double threshold = 0.0;
+    std::vector<std::unique_ptr<Node>> children;
+    bool IsLeaf() const { return attr < 0; }
+  };
+
+  std::unique_ptr<Node> Build(const Dataset& data, const std::vector<std::size_t>& indices,
+                              int depth, Rng& rng, const std::vector<double>& parent_dist);
+  const Node* Descend(const std::vector<double>& features) const;
+  static std::size_t CountNodes(const Node* node);
+
+  RandomTreeOptions options_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace ofc::ml
+
+#endif  // OFC_ML_RANDOM_TREE_H_

@@ -1,0 +1,35 @@
+// Shared information-theory and statistics helpers for the tree learners.
+#ifndef OFC_ML_TREE_MATH_H_
+#define OFC_ML_TREE_MATH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace ofc::ml {
+
+// Shannon entropy (bits) of a weight distribution. Zero-weight distributions
+// have zero entropy.
+double Entropy(const std::vector<double>& class_weights);
+
+// Entropy of a partition: sum over branches of (w_branch / w_total) * H(branch).
+double PartitionEntropy(const std::vector<std::vector<double>>& branch_class_weights);
+
+// Split information term used by the C4.5 gain ratio: entropy of branch sizes.
+double SplitInformation(const std::vector<std::vector<double>>& branch_class_weights);
+
+// Inverse of the standard normal CDF (Acklam's rational approximation; relative
+// error < 1.15e-9). Used by the pessimistic error estimate.
+double NormalInverse(double p);
+
+// Weka-compatible pessimistic additional-error estimate: given a leaf covering
+// N (weighted) instances with e (weighted) errors, returns the extra errors to
+// add so the estimate is an upper confidence bound at level (1 - confidence).
+// C4.5's default confidence factor is 0.25.
+double PessimisticExtraErrors(double n, double e, double confidence);
+
+// argmax over a distribution (first index on ties).
+std::size_t ArgMax(const std::vector<double>& values);
+
+}  // namespace ofc::ml
+
+#endif  // OFC_ML_TREE_MATH_H_

@@ -1,0 +1,476 @@
+#include "src/ramcloud/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/logging.h"
+
+namespace ofc::rc {
+
+Cluster::Cluster(sim::EventLoop* loop, int num_nodes, ClusterOptions options, Rng rng)
+    : loop_(loop), options_(options), rng_(rng) {
+  assert(num_nodes > 0);
+  nodes_.resize(static_cast<std::size_t>(num_nodes));
+  for (NodeStats& node : nodes_) {
+    node.memory_capacity = options_.default_capacity;
+  }
+  logs_.assign(static_cast<std::size_t>(num_nodes), SegmentedLog(options_.log));
+}
+
+int Cluster::CheckNode(int node) const {
+  assert(node >= 0 && node < num_nodes());
+  return node;
+}
+
+Bytes Cluster::FreeMemory(int node) const {
+  const NodeStats& stats = nodes_[CheckNode(node)];
+  if (!stats.alive) {
+    return 0;
+  }
+  return std::max<Bytes>(0, stats.memory_capacity - logs_[node].footprint());
+}
+
+Result<std::pair<int, SegmentedLog::EntryId>> Cluster::PlaceInLog(
+    int prefer, Bytes size, SimDuration* cleaning_cost) {
+  // Candidate order: preferred node first, then by free memory descending.
+  std::vector<int> candidates;
+  if (prefer >= 0 && prefer < num_nodes() && nodes_[prefer].alive) {
+    candidates.push_back(prefer);
+  }
+  std::vector<int> rest;
+  for (int n = 0; n < num_nodes(); ++n) {
+    if (n != prefer && nodes_[n].alive) {
+      rest.push_back(n);
+    }
+  }
+  std::sort(rest.begin(), rest.end(),
+            [&](int a, int b) { return FreeMemory(a) > FreeMemory(b); });
+  candidates.insert(candidates.end(), rest.begin(), rest.end());
+
+  for (int node : candidates) {
+    auto entry = logs_[node].Append(size, nodes_[node].memory_capacity, cleaning_cost);
+    if (entry.ok()) {
+      SyncUsed(node);
+      return std::make_pair(node, *entry);
+    }
+  }
+  return ResourceExhaustedError("no node has cache capacity");
+}
+
+std::vector<int> Cluster::PickBackups(int master, int count) const {
+  std::vector<int> candidates;
+  for (int n = 0; n < num_nodes(); ++n) {
+    if (n != master && nodes_[n].alive) {
+      candidates.push_back(n);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](int a, int b) { return nodes_[a].disk_used < nodes_[b].disk_used; });
+  if (static_cast<int>(candidates.size()) > count) {
+    candidates.resize(static_cast<std::size_t>(count));
+  }
+  return candidates;
+}
+
+Status Cluster::ApplyWrite(int client_node, const std::string& key, Bytes size,
+                           std::uint64_t version, ObjectClass object_class, bool dirty,
+                           SimDuration* cost) {
+  if (size <= 0 || size > options_.max_object_size) {
+    ++stats_.write_rejects;
+    return InvalidArgumentError("object size outside cacheable range");
+  }
+
+  // An update replaces the old entry; prefer keeping the existing master.
+  int prefer = client_node;
+  auto it = objects_.find(key);
+  if (it != objects_.end()) {
+    const CachedObject& existing = it->second;
+    prefer = existing.master;
+    (void)logs_[existing.master].Free(existing.log_entry);
+    SyncUsed(existing.master);
+    for (int b : existing.backups) {
+      nodes_[b].disk_used -= existing.size;
+    }
+    objects_.erase(it);
+  }
+
+  SimDuration cleaning_cost = 0;
+  const auto placement = PlaceInLog(prefer, size, &cleaning_cost);
+  if (!placement.ok()) {
+    ++stats_.write_rejects;
+    return placement.status();
+  }
+  const int master = placement->first;
+
+  CachedObject obj;
+  obj.key = key;
+  obj.size = size;
+  obj.version = version;
+  obj.object_class = object_class;
+  obj.dirty = dirty;
+  obj.persisted = !dirty;
+  obj.created_at = loop_->now();
+  obj.last_access = loop_->now();
+  obj.master = master;
+  obj.log_entry = placement->second;
+  obj.backups = PickBackups(master, options_.replication_factor);
+  for (int b : obj.backups) {
+    nodes_[b].disk_used += size;
+  }
+  objects_.emplace(key, obj);
+  ++stats_.writes;
+  ++nodes_[master].writes_served;
+
+  // Master write + parallel replication to backup durable buffers, plus any
+  // cleaner pass the append triggered.
+  const SimDuration access =
+      (client_node == master ? options_.local_access : options_.remote_access)
+          .Cost(size, &rng_);
+  const SimDuration replicate =
+      obj.backups.empty() ? 0 : options_.remote_access.Cost(size, &rng_);
+  *cost += access + replicate + cleaning_cost;
+  return OkStatus();
+}
+
+void Cluster::Write(int client_node, const std::string& key, Bytes size,
+                    std::uint64_t version, ObjectClass object_class, bool dirty,
+                    Callback done) {
+  SimDuration cost = 0;
+  const Status status = ApplyWrite(client_node, key, size, version, object_class, dirty,
+                                   &cost);
+  loop_->ScheduleAfter(cost, [done = std::move(done), status] { done(status); });
+}
+
+void Cluster::ConditionalWrite(int client_node, const std::string& key, Bytes size,
+                               std::uint64_t expected_version, std::uint64_t new_version,
+                               ObjectClass object_class, bool dirty, Callback done) {
+  auto it = objects_.find(key);
+  const std::uint64_t current = it == objects_.end() ? 0 : it->second.version;
+  if (current != expected_version) {
+    ++stats_.version_conflicts;
+    loop_->ScheduleAfter(options_.local_access.Cost(0, &rng_),
+                         [done = std::move(done), key] {
+                           done(AbortedError("version mismatch: " + key));
+                         });
+    return;
+  }
+  SimDuration cost = 0;
+  const Status status = ApplyWrite(client_node, key, size, new_version, object_class,
+                                   dirty, &cost);
+  loop_->ScheduleAfter(cost, [done = std::move(done), status] { done(status); });
+}
+
+void Cluster::Commit(int client_node, std::vector<TxWrite> writes, Callback done) {
+  // Validation phase: every expected version must hold (and sizes be legal)
+  // before anything is applied — mismatches abort with no side effects.
+  for (const TxWrite& write : writes) {
+    auto it = objects_.find(write.key);
+    const std::uint64_t current = it == objects_.end() ? 0 : it->second.version;
+    if (current != write.expected_version) {
+      ++stats_.version_conflicts;
+      loop_->ScheduleAfter(options_.remote_access.Cost(0, &rng_),
+                           [done = std::move(done), key = write.key] {
+                             done(AbortedError("transaction conflict on " + key));
+                           });
+      return;
+    }
+    if (write.size <= 0 || write.size > options_.max_object_size) {
+      loop_->ScheduleAfter(0, [done = std::move(done)] {
+        done(InvalidArgumentError("transaction write outside cacheable range"));
+      });
+      return;
+    }
+  }
+  // Apply phase. A capacity failure mid-way is surfaced as kResourceExhausted;
+  // earlier writes of the transaction are rolled back by removal.
+  SimDuration cost = options_.remote_access.Cost(0, &rng_);  // Prepare round.
+  std::vector<std::string> applied;
+  for (const TxWrite& write : writes) {
+    const Status status = ApplyWrite(client_node, write.key, write.size,
+                                     write.new_version, write.object_class, write.dirty,
+                                     &cost);
+    if (!status.ok()) {
+      for (const std::string& key : applied) {
+        (void)Remove(key);
+      }
+      loop_->ScheduleAfter(cost, [done = std::move(done), status] { done(status); });
+      return;
+    }
+    applied.push_back(write.key);
+  }
+  ++stats_.transactions_committed;
+  loop_->ScheduleAfter(cost, [done = std::move(done)] { done(OkStatus()); });
+}
+
+void Cluster::Read(int client_node, const std::string& key, ReadCallback done) {
+  auto it = objects_.find(key);
+  ++stats_.reads;
+  if (it == objects_.end()) {
+    ++stats_.read_misses;
+    loop_->ScheduleAfter(options_.local_access.Cost(0, &rng_),
+                         [done = std::move(done), key] {
+                           done(NotFoundError("cache miss: " + key));
+                         });
+    return;
+  }
+  CachedObject& obj = it->second;
+  obj.access_count += 1;
+  obj.last_access = loop_->now();
+  const bool local = obj.master == client_node;
+  if (local) {
+    ++stats_.read_hits_local;
+  } else {
+    ++stats_.read_hits_remote;
+  }
+  ++nodes_[obj.master].reads_served;
+  const SimDuration cost =
+      (local ? options_.local_access : options_.remote_access).Cost(obj.size, &rng_);
+  CachedObject snapshot = obj;
+  loop_->ScheduleAfter(cost, [done = std::move(done), snapshot = std::move(snapshot)] {
+    done(snapshot);
+  });
+}
+
+Result<int> Cluster::MasterOf(const std::string& key) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return NotFoundError("no master: " + key);
+  }
+  return it->second.master;
+}
+
+Result<CachedObject> Cluster::Inspect(const std::string& key) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return NotFoundError("inspect: " + key);
+  }
+  return it->second;
+}
+
+std::vector<std::string> Cluster::KeysOn(int node) const {
+  std::vector<std::string> keys;
+  for (const auto& [key, obj] : objects_) {
+    if (obj.master == node) {
+      keys.push_back(key);
+    }
+  }
+  return keys;
+}
+
+Status Cluster::Remove(const std::string& key) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return NotFoundError("remove: " + key);
+  }
+  const CachedObject& obj = it->second;
+  (void)logs_[obj.master].Free(obj.log_entry);
+  SyncUsed(obj.master);
+  for (int b : obj.backups) {
+    nodes_[b].disk_used -= obj.size;
+  }
+  objects_.erase(it);
+  ++stats_.evictions;
+  return OkStatus();
+}
+
+Status Cluster::MarkPersisted(const std::string& key) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return NotFoundError("mark persisted: " + key);
+  }
+  it->second.dirty = false;
+  it->second.persisted = true;
+  return OkStatus();
+}
+
+Status Cluster::SetObjectClass(const std::string& key, ObjectClass object_class) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return NotFoundError("set class: " + key);
+  }
+  it->second.object_class = object_class;
+  return OkStatus();
+}
+
+Status Cluster::SetCapacity(int node, Bytes capacity, SimDuration* out_duration) {
+  NodeStats& stats = nodes_[CheckNode(node)];
+  if (capacity < 0) {
+    return InvalidArgumentError("negative capacity");
+  }
+  SimDuration duration = options_.control_op_cost;
+  if (capacity < logs_[node].footprint()) {
+    // Fragmented: a cleaner pass may compact the log under the new bound.
+    const CleanResult cleaned = logs_[node].Clean(capacity);
+    duration += cleaned.duration;
+    if (capacity < logs_[node].footprint()) {
+      return FailedPreconditionError("capacity below log footprint; evict or migrate first");
+    }
+  }
+  stats.memory_capacity = capacity;
+  if (out_duration != nullptr) {
+    *out_duration = duration;
+  }
+  return OkStatus();
+}
+
+Result<MigrationResult> Cluster::MigrateMaster(const std::string& key) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return NotFoundError("migrate: " + key);
+  }
+  CachedObject& obj = it->second;
+  // Elect a backup that can absorb the object into its log, most-free first.
+  std::vector<int> order = obj.backups;
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return FreeMemory(a) > FreeMemory(b); });
+  int new_master = -1;
+  SegmentedLog::EntryId new_entry = 0;
+  SimDuration cleaning_cost = 0;
+  for (int b : order) {
+    if (!nodes_[b].alive) {
+      continue;
+    }
+    auto entry = logs_[b].Append(obj.size, nodes_[b].memory_capacity, &cleaning_cost);
+    if (entry.ok()) {
+      new_master = b;
+      new_entry = *entry;
+      break;
+    }
+  }
+  if (new_master < 0) {
+    return ResourceExhaustedError("no backup can host the master copy: " + key);
+  }
+  const int old_master = obj.master;
+  // The new master already holds an on-disk replica: it loads the object from
+  // local disk. The old master demotes to backup, keeping an on-disk copy —
+  // replication factor is preserved with zero inter-node transfer (§6.4).
+  (void)logs_[old_master].Free(obj.log_entry);
+  SyncUsed(old_master);
+  SyncUsed(new_master);
+  nodes_[new_master].disk_used -= obj.size;
+  nodes_[old_master].disk_used += obj.size;
+  std::replace(obj.backups.begin(), obj.backups.end(), new_master, old_master);
+  obj.master = new_master;
+  obj.log_entry = new_entry;
+  ++stats_.migrations;
+
+  MigrationResult result;
+  result.old_master = old_master;
+  result.new_master = new_master;
+  // Almost pure local-disk load: the promotion RPC itself is tens of
+  // microseconds (§7.2.1: 0.18 ms at 8 MB .. 13.5 ms at 1 GB).
+  result.duration = options_.disk_read.Cost(obj.size, &rng_) + Micros(30) + cleaning_cost;
+  return result;
+}
+
+RecoveryResult Cluster::CrashNode(int node) {
+  NodeStats& crashed = nodes_[CheckNode(node)];
+  crashed.alive = false;
+  // The crashed node's DRAM contents are gone.
+  logs_[node] = SegmentedLog(options_.log);
+  crashed.memory_used = 0;
+
+  RecoveryResult result;
+  std::vector<SimDuration> per_node_load(nodes_.size(), 0);
+
+  std::vector<std::string> to_drop;
+  for (auto& [key, obj] : objects_) {
+    if (obj.master == node) {
+      // Promote a surviving backup (partitioned recovery: spread by free mem).
+      std::vector<int> order = obj.backups;
+      std::sort(order.begin(), order.end(),
+                [&](int a, int b) { return FreeMemory(a) > FreeMemory(b); });
+      int new_master = -1;
+      SegmentedLog::EntryId new_entry = 0;
+      for (int b : order) {
+        if (!nodes_[b].alive) {
+          continue;
+        }
+        auto entry = logs_[b].Append(obj.size, nodes_[b].memory_capacity, nullptr);
+        if (entry.ok()) {
+          new_master = b;
+          new_entry = *entry;
+          break;
+        }
+      }
+      if (new_master < 0) {
+        to_drop.push_back(key);
+        ++result.objects_lost;
+        continue;
+      }
+      SyncUsed(new_master);
+      nodes_[new_master].disk_used -= obj.size;
+      obj.backups.erase(std::find(obj.backups.begin(), obj.backups.end(), new_master));
+      obj.master = new_master;
+      obj.log_entry = new_entry;
+      per_node_load[static_cast<std::size_t>(new_master)] +=
+          options_.disk_read.Cost(obj.size, &rng_);
+      ++result.objects_recovered;
+      // Restore the replication factor: the promotion consumed one on-disk
+      // copy, so the coordinator re-replicates to a fresh backup.
+      while (static_cast<int>(obj.backups.size()) < options_.replication_factor) {
+        int fresh = -1;
+        for (int candidate : PickBackups(obj.master, num_nodes())) {
+          if (std::find(obj.backups.begin(), obj.backups.end(), candidate) ==
+              obj.backups.end()) {
+            fresh = candidate;
+            break;
+          }
+        }
+        if (fresh < 0) {
+          break;  // Not enough distinct alive nodes.
+        }
+        obj.backups.push_back(fresh);
+        nodes_[fresh].disk_used += obj.size;
+      }
+    }
+    // Re-replicate backup copies that lived on the crashed node.
+    auto backup_it = std::find(obj.backups.begin(), obj.backups.end(), node);
+    if (backup_it != obj.backups.end()) {
+      obj.backups.erase(backup_it);
+      nodes_[node].disk_used -= obj.size;
+      for (int candidate : PickBackups(obj.master, num_nodes())) {
+        if (std::find(obj.backups.begin(), obj.backups.end(), candidate) ==
+            obj.backups.end()) {
+          obj.backups.push_back(candidate);
+          nodes_[candidate].disk_used += obj.size;
+          break;
+        }
+      }
+    }
+  }
+  for (const std::string& key : to_drop) {
+    auto it = objects_.find(key);
+    for (int b : it->second.backups) {
+      nodes_[b].disk_used -= it->second.size;
+    }
+    objects_.erase(it);
+  }
+  // Makespan of the parallel partitioned reload.
+  for (SimDuration d : per_node_load) {
+    result.duration = std::max(result.duration, d);
+  }
+  return result;
+}
+
+void Cluster::RestartNode(int node) { nodes_[CheckNode(node)].alive = true; }
+
+Bytes Cluster::TotalUsed() const {
+  Bytes total = 0;
+  for (const NodeStats& node : nodes_) {
+    total += node.memory_used;
+  }
+  return total;
+}
+
+Bytes Cluster::TotalCapacity() const {
+  Bytes total = 0;
+  for (const NodeStats& node : nodes_) {
+    if (node.alive) {
+      total += node.memory_capacity;
+    }
+  }
+  return total;
+}
+
+}  // namespace ofc::rc

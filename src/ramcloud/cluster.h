@@ -1,0 +1,240 @@
+// A RAMCloud-style distributed in-memory key-value store (Ousterhout et al.,
+// TOCS 2015), extended the way OFC extends RAMCloud (§6.1, §6.3, §6.4):
+//
+//   * every worker node runs a storage server holding a *master* role (primary,
+//     in-memory copies of some objects) and a *backup* role (on-disk replicas of
+//     other nodes' objects);
+//   * per-object read-access counters (n_access) and last-access timestamps
+//     (T_access) feed OFC's periodic eviction policy;
+//   * per-node memory capacity is dynamically adjustable (vertical scaling);
+//   * an optimized master-migration protocol promotes a backup replica to
+//     master — the object is loaded from the new master's local disk, so *no
+//     inter-node transfer happens* (§6.4);
+//   * object classes (input / pipeline-intermediate / final-output) and dirty
+//     bits support OFC's admission, write-back, and reclamation policies;
+//   * fail-stop crashes with fast partitioned recovery from backups.
+//
+// The cluster is a facade over per-node state driven by the shared event loop;
+// data-path operations are asynchronous with calibrated latency models, while
+// management-plane operations mutate state synchronously and *report* their
+// simulated control-path duration for the caller to account (Figure 8).
+#ifndef OFC_RAMCLOUD_CLUSTER_H_
+#define OFC_RAMCLOUD_CLUSTER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/ramcloud/segmented_log.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/latency.h"
+
+namespace ofc::rc {
+
+enum class ObjectClass {
+  kInput,         // Read by functions from the RSDS.
+  kIntermediate,  // Produced mid-pipeline; dropped when the pipeline completes.
+  kFinalOutput,   // Produced by the last stage; dropped once persisted.
+};
+
+struct CachedObject {
+  std::string key;
+  Bytes size = 0;
+  std::uint64_t version = 0;  // Mirrors the RSDS latest_version of this payload.
+  ObjectClass object_class = ObjectClass::kInput;
+  bool dirty = false;      // Payload newer than what the RSDS holds.
+  bool persisted = true;   // !dirty, tracked separately for final outputs.
+  std::uint32_t access_count = 0;  // OFC extension: n_access.
+  SimTime last_access = 0;         // OFC extension: T_access.
+  SimTime created_at = 0;
+  int master = -1;
+  std::vector<int> backups;
+  // Entry in the master's log-structured memory.
+  SegmentedLog::EntryId log_entry = 0;
+};
+
+struct ClusterOptions {
+  int replication_factor = 2;       // Number of on-disk backup copies.
+  Bytes max_object_size = MiB(10);  // OFC raises RAMCloud's 1 MB cap to 10 MB.
+  Bytes default_capacity = MiB(512);
+  // Master memory is log-structured (segments + cleaner), as in RAMCloud.
+  SegmentedLogOptions log;
+  // Control-plane cost of a memory-pool reconfiguration (Figure 8: ~289 us for
+  // a shrink without migration/eviction).
+  SimDuration control_op_cost = Micros(250);
+  sim::LatencyModel local_access = sim::LatencyProfiles::RamcloudLocal();
+  sim::LatencyModel remote_access = sim::LatencyProfiles::RamcloudRemote();
+  sim::LatencyModel disk_read = sim::LatencyProfiles::BackupDiskRead();
+  sim::LatencyModel disk_write = sim::LatencyProfiles::BackupDiskWrite();
+};
+
+struct NodeStats {
+  Bytes memory_capacity = 0;
+  Bytes memory_used = 0;
+  Bytes disk_used = 0;
+  bool alive = true;
+  std::uint64_t reads_served = 0;
+  std::uint64_t writes_served = 0;
+};
+
+struct MigrationResult {
+  int old_master = -1;
+  int new_master = -1;
+  SimDuration duration = 0;  // Disk load at the new master; no network transfer.
+};
+
+struct RecoveryResult {
+  std::size_t objects_recovered = 0;
+  std::size_t objects_lost = 0;  // No surviving backup (under-replicated).
+  SimDuration duration = 0;      // Parallel partitioned recovery makespan.
+};
+
+struct ClusterStats {
+  std::uint64_t reads = 0;
+  std::uint64_t read_hits_local = 0;
+  std::uint64_t read_hits_remote = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t write_rejects = 0;
+  std::uint64_t version_conflicts = 0;  // Conditional writes / commits aborted.
+  std::uint64_t transactions_committed = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t evictions = 0;
+};
+
+class Cluster {
+ public:
+  using Callback = std::function<void(Status)>;
+  using ReadCallback = std::function<void(Result<CachedObject>)>;
+
+  Cluster(sim::EventLoop* loop, int num_nodes, ClusterOptions options, Rng rng);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  const ClusterOptions& options() const { return options_; }
+
+  // ---- Data path -------------------------------------------------------------
+
+  // Writes (creates or updates) an object. The master is preferably
+  // `client_node`; if it lacks memory, the coordinator picks the node with the
+  // most free memory. Completion fires after the master copy is in RAM and the
+  // replication RPCs to the backups' durable buffers have been acknowledged
+  // (disk flush continues in the background, as in RAMCloud).
+  void Write(int client_node, const std::string& key, Bytes size, std::uint64_t version,
+             ObjectClass object_class, bool dirty, Callback done);
+
+  // Reads an object from its master; latency depends on whether `client_node`
+  // is the master (local) or not (remote). Bumps n_access / T_access.
+  void Read(int client_node, const std::string& key, ReadCallback done);
+
+  // Conditional write (RAMCloud's reject rules, the primitive behind the
+  // linearizable extensions of the paper's [24]): applies only when the cached
+  // object's current version equals `expected_version` (0 = must not exist);
+  // otherwise fails with kAborted and changes nothing.
+  void ConditionalWrite(int client_node, const std::string& key, Bytes size,
+                        std::uint64_t expected_version, std::uint64_t new_version,
+                        ObjectClass object_class, bool dirty, Callback done);
+
+  // All-or-nothing multi-object commit (Sinfonia-style mini-transaction):
+  // every write's expected version is validated first; on any mismatch the
+  // whole transaction aborts without side effects.
+  struct TxWrite {
+    std::string key;
+    Bytes size = 0;
+    std::uint64_t expected_version = 0;  // 0 = the object must not exist.
+    std::uint64_t new_version = 0;
+    ObjectClass object_class = ObjectClass::kInput;
+    bool dirty = false;
+  };
+  void Commit(int client_node, std::vector<TxWrite> writes, Callback done);
+
+  // ---- Coordinator queries (synchronous, control plane) ----------------------
+
+  bool Contains(const std::string& key) const { return objects_.contains(key); }
+  Result<int> MasterOf(const std::string& key) const;
+  Result<CachedObject> Inspect(const std::string& key) const;
+  std::size_t NumObjects() const { return objects_.size(); }
+
+  // Keys mastered on `node`, unsorted (CacheAgent applies its own policy order).
+  std::vector<std::string> KeysOn(int node) const;
+
+  // ---- Object management ------------------------------------------------------
+
+  // Drops an object everywhere (memory + disk bookkeeping).
+  Status Remove(const std::string& key);
+  // Marks the payload as persisted in the RSDS (persistor completion).
+  Status MarkPersisted(const std::string& key);
+  Status SetObjectClass(const std::string& key, ObjectClass object_class);
+
+  // ---- Vertical scaling --------------------------------------------------------
+
+  Bytes Capacity(int node) const { return nodes_[CheckNode(node)].memory_capacity; }
+  // Live bytes mastered on the node (what eviction policies reason about).
+  Bytes Used(int node) const { return nodes_[CheckNode(node)].memory_used; }
+  // Physically allocatable memory: capacity minus the log's segment footprint
+  // (which exceeds the live bytes under fragmentation until the cleaner runs).
+  Bytes FreeMemory(int node) const;
+  const NodeStats& node_stats(int node) const { return nodes_[CheckNode(node)]; }
+  const SegmentedLog& node_log(int node) const { return logs_[CheckNode(node)]; }
+
+  // Adjusts the node's memory pool. Fails with kFailedPrecondition when
+  // shrinking below current usage — the CacheAgent must first migrate or evict.
+  // On success, reports the control-plane duration via `out_duration`.
+  Status SetCapacity(int node, Bytes capacity, SimDuration* out_duration = nullptr);
+
+  // ---- Optimized migration (§6.4) ----------------------------------------------
+
+  // Moves the master role for `key` to one of its backup nodes (which already
+  // holds an on-disk copy): the new master loads the object from local disk and
+  // the old master demotes itself to backup. State changes are immediate; the
+  // returned duration is the simulated cost for the caller to account.
+  Result<MigrationResult> MigrateMaster(const std::string& key);
+
+  // ---- Fault tolerance -----------------------------------------------------------
+
+  // Fail-stop crash: all objects mastered on `node` are recovered by promoting
+  // backups, partitioned across the surviving nodes (parallel makespan).
+  // Objects with no surviving replica are dropped and counted as lost. Backup
+  // copies on the crashed node are re-replicated to other nodes.
+  RecoveryResult CrashNode(int node);
+  void RestartNode(int node);
+
+  const ClusterStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
+
+  // Total memory in use across alive nodes (Figure 10 series).
+  Bytes TotalUsed() const;
+  Bytes TotalCapacity() const;
+
+ private:
+  int CheckNode(int node) const;
+  // Appends `size` bytes into some node's log, preferring `prefer` then the
+  // node with the most free memory. Returns (node, entry) or an error; adds
+  // cleaning time into `*cleaning_cost`.
+  Result<std::pair<int, SegmentedLog::EntryId>> PlaceInLog(int prefer, Bytes size,
+                                                           SimDuration* cleaning_cost);
+  // Picks `count` backup nodes distinct from `master`, least-loaded-disk first.
+  std::vector<int> PickBackups(int master, int count) const;
+  void SyncUsed(int node) { nodes_[node].memory_used = logs_[node].live_bytes(); }
+  // Synchronous core of Write: frees any previous entry, places the payload in
+  // a log, installs the object, and accumulates the simulated data-path cost.
+  Status ApplyWrite(int client_node, const std::string& key, Bytes size,
+                    std::uint64_t version, ObjectClass object_class, bool dirty,
+                    SimDuration* cost);
+
+  sim::EventLoop* loop_;
+  ClusterOptions options_;
+  Rng rng_;
+  std::vector<NodeStats> nodes_;
+  std::vector<SegmentedLog> logs_;
+  std::unordered_map<std::string, CachedObject> objects_;
+  ClusterStats stats_;
+};
+
+}  // namespace ofc::rc
+
+#endif  // OFC_RAMCLOUD_CLUSTER_H_

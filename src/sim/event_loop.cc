@@ -1,0 +1,75 @@
+#include "src/sim/event_loop.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ofc::sim {
+
+EventLoop::EventId EventLoop::ScheduleAfter(SimDuration delay, Callback cb) {
+  assert(delay >= 0);
+  return ScheduleAt(now_ + delay, std::move(cb));
+}
+
+EventLoop::EventId EventLoop::ScheduleAt(SimTime when, Callback cb) {
+  assert(when >= now_);
+  const EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  return id;
+}
+
+bool EventLoop::Cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) {
+    return false;
+  }
+  callbacks_.erase(it);
+  ++cancelled_;
+  return true;
+}
+
+void EventLoop::Dispatch(const Event& ev) {
+  auto it = callbacks_.find(ev.id);
+  if (it == callbacks_.end()) {
+    --cancelled_;  // Cancelled event: drop its queue slot.
+    return;
+  }
+  Callback cb = std::move(it->second);
+  callbacks_.erase(it);
+  now_ = ev.when;
+  cb();
+}
+
+void EventLoop::Run() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    Dispatch(ev);
+  }
+}
+
+void EventLoop::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    Dispatch(ev);
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+bool EventLoop::Step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    const bool live = callbacks_.contains(ev.id);
+    Dispatch(ev);
+    if (live) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace ofc::sim

@@ -1,0 +1,80 @@
+// Deterministic discrete-event simulation core.
+//
+// Every component of the reproduced system (FaaS platform, RAMCloud cluster,
+// object store, load injector) schedules callbacks on one EventLoop. Events at
+// equal timestamps run in scheduling order (a monotonically increasing sequence
+// number breaks ties), so a (seed, workload) pair fully determines a run.
+#ifndef OFC_SIM_EVENT_LOOP_H_
+#define OFC_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace ofc::sim {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `cb` to run at now() + delay (delay >= 0). Returns an id usable
+  // with Cancel().
+  EventId ScheduleAfter(SimDuration delay, Callback cb);
+
+  // Schedules `cb` at an absolute time (>= now()).
+  EventId ScheduleAt(SimTime when, Callback cb);
+
+  // Cancels a pending event. Returns false if it already ran or was cancelled.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue is empty.
+  void Run();
+
+  // Runs events with timestamps <= deadline, then sets now() to deadline.
+  void RunUntil(SimTime deadline);
+
+  // Runs exactly one event if any is pending; returns whether one ran.
+  bool Step();
+
+  std::size_t pending_events() const { return queue_.size() - cancelled_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    EventId id;
+    // Ordering for a min-queue via std::greater.
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void Dispatch(const Event& ev);
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Callbacks keyed by event id; a cancelled event keeps its queue slot but has
+  // no callback entry, so Dispatch() skips it.
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::size_t cancelled_ = 0;
+};
+
+}  // namespace ofc::sim
+
+#endif  // OFC_SIM_EVENT_LOOP_H_

@@ -1,0 +1,19 @@
+#include "src/sim/latency.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ofc::sim {
+
+SimDuration LatencyModel::Cost(Bytes size, Rng* rng) const {
+  double total = static_cast<double>(base);
+  if (size > 0 && bytes_per_second > 0) {
+    total += static_cast<double>(size) / bytes_per_second * 1e6;
+  }
+  if (rng != nullptr && jitter_fraction > 0.0) {
+    total *= rng->Uniform(1.0 - jitter_fraction, 1.0 + jitter_fraction);
+  }
+  return std::max<SimDuration>(0, static_cast<SimDuration>(std::llround(total)));
+}
+
+}  // namespace ofc::sim

@@ -1,0 +1,187 @@
+#include "src/store/object_store.h"
+
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace ofc::store {
+
+std::string MakeKey(const std::string& container, const std::string& name) {
+  return container + "/" + name;
+}
+
+ObjectStore::ObjectStore(sim::EventLoop* loop, StoreProfile profile, Rng rng,
+                         std::string name)
+    : loop_(loop), profile_(profile), rng_(rng), name_(std::move(name)) {}
+
+ObjectStore::ObjectStore(sim::EventLoop* loop, sim::LatencyModel request_latency, Rng rng,
+                         std::string name, std::optional<sim::LatencyModel> control_latency)
+    : ObjectStore(loop,
+                  StoreProfile{request_latency, request_latency,
+                               control_latency.value_or(sim::LatencyModel{
+                                   request_latency.base, 0.0,
+                                   request_latency.jitter_fraction})},
+                  rng, std::move(name)) {}
+
+void ObjectStore::After(SimDuration delay, std::function<void()> fn) {
+  loop_->ScheduleAfter(delay, std::move(fn));
+}
+
+SimDuration ObjectStore::ControlCost() { return profile_.control.Cost(0, &rng_); }
+
+SimDuration ObjectStore::ReadCost(Bytes size) { return profile_.read.Cost(size, &rng_); }
+
+SimDuration ObjectStore::WriteCost(Bytes size) { return profile_.write.Cost(size, &rng_); }
+
+void ObjectStore::Put(const std::string& key, Bytes size, Tags tags, Callback done) {
+  const SimDuration cost = WriteCost(size);
+  After(cost, [this, key, size, tags = std::move(tags), done = std::move(done)]() mutable {
+    ObjectMetadata& obj = objects_[key];
+    const bool fresh = obj.key.empty();
+    obj.key = key;
+    obj.size = size;
+    obj.pending_size = 0;
+    obj.latest_version = next_version_++;
+    obj.rsds_version = obj.latest_version;
+    obj.tags = std::move(tags);
+    if (fresh) {
+      obj.created_at = loop_->now();
+    }
+    obj.modified_at = loop_->now();
+    ++stats_.writes;
+    stats_.bytes_written += size;
+    done(OkStatus());
+  });
+}
+
+void ObjectStore::PutShadow(const std::string& key, Bytes pending_size, MetaCallback done) {
+  After(ControlCost(), [this, key, pending_size, done = std::move(done)]() {
+    ObjectMetadata& obj = objects_[key];
+    const bool fresh = obj.key.empty();
+    obj.key = key;
+    obj.pending_size = pending_size;
+    obj.latest_version = next_version_++;
+    if (fresh) {
+      obj.created_at = loop_->now();
+      obj.rsds_version = 0;
+    }
+    obj.modified_at = loop_->now();
+    ++stats_.shadow_writes;
+    done(obj);
+  });
+}
+
+void ObjectStore::FinalizePayload(const std::string& key, ObjectVersion version, Bytes size,
+                                  Callback done) {
+  const SimDuration cost = WriteCost(size);
+  After(cost, [this, key, version, size, done = std::move(done)]() {
+    auto it = objects_.find(key);
+    if (it == objects_.end()) {
+      done(NotFoundError("finalize: " + key));
+      return;
+    }
+    ObjectMetadata& obj = it->second;
+    if (version <= obj.rsds_version) {
+      done(AbortedError("finalize out of order: " + key));
+      return;
+    }
+    obj.rsds_version = version;
+    obj.size = size;
+    if (obj.rsds_version == obj.latest_version) {
+      obj.pending_size = 0;
+    }
+    obj.modified_at = loop_->now();
+    ++stats_.payload_finalizes;
+    stats_.bytes_written += size;
+    done(OkStatus());
+  });
+}
+
+void ObjectStore::Get(const std::string& key, MetaCallback done) {
+  auto it = objects_.find(key);
+  // Cost is computed up front from the current size; a miss costs one RTT.
+  const SimDuration cost = it == objects_.end() ? ControlCost() : ReadCost(it->second.size);
+  After(cost, [this, key, done = std::move(done)]() {
+    auto it2 = objects_.find(key);
+    if (it2 == objects_.end()) {
+      done(NotFoundError("get: " + key));
+      return;
+    }
+    ++stats_.reads;
+    stats_.bytes_read += it2->second.size;
+    done(it2->second);
+  });
+}
+
+void ObjectStore::Head(const std::string& key, MetaCallback done) {
+  After(ControlCost(), [this, key, done = std::move(done)]() {
+    auto it = objects_.find(key);
+    if (it == objects_.end()) {
+      done(NotFoundError("head: " + key));
+      return;
+    }
+    done(it->second);
+  });
+}
+
+void ObjectStore::Delete(const std::string& key, Callback done) {
+  After(ControlCost(), [this, key, done = std::move(done)]() {
+    if (objects_.erase(key) == 0) {
+      done(NotFoundError("delete: " + key));
+      return;
+    }
+    ++stats_.deletes;
+    done(OkStatus());
+  });
+}
+
+void ObjectStore::ExternalRead(const std::string& key, MetaCallback done) {
+  if (read_webhook_) {
+    // The webhook must complete (e.g. waiting on a persistor boost) before the
+    // external read proceeds against the store.
+    read_webhook_(key, [this, key, done = std::move(done)]() mutable {
+      Get(key, std::move(done));
+    });
+    return;
+  }
+  Get(key, std::move(done));
+}
+
+void ObjectStore::ExternalWrite(const std::string& key, Bytes size, Callback done) {
+  if (write_webhook_) {
+    write_webhook_(key, [this, key, size, done = std::move(done)]() mutable {
+      Put(key, size, {}, std::move(done));
+    });
+    return;
+  }
+  Put(key, size, {}, std::move(done));
+}
+
+Result<ObjectMetadata> ObjectStore::Stat(const std::string& key) const {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return NotFoundError("stat: " + key);
+  }
+  return it->second;
+}
+
+Bytes ObjectStore::TotalBytes() const {
+  Bytes total = 0;
+  for (const auto& [key, obj] : objects_) {
+    total += obj.size;
+  }
+  return total;
+}
+
+void ObjectStore::Seed(const std::string& key, Bytes size, Tags tags) {
+  ObjectMetadata& obj = objects_[key];
+  obj.key = key;
+  obj.size = size;
+  obj.latest_version = next_version_++;
+  obj.rsds_version = obj.latest_version;
+  obj.tags = std::move(tags);
+  obj.created_at = loop_->now();
+  obj.modified_at = loop_->now();
+}
+
+}  // namespace ofc::store

@@ -1,0 +1,181 @@
+// ObjectStore: the remote shared data store (RSDS) substrate.
+//
+// Models a Swift/S3-style object store as used by OFC (§3, §6.2): containers of
+// versioned objects with metadata tags, plus the two OFC-specific extensions the
+// paper adds to Swift (15 LoC there):
+//   * shadow objects — an empty-payload placeholder carrying two version
+//     numbers (latest vs RSDS-resident), created synchronously on the write path
+//     so external readers can detect a stale payload;
+//   * webhooks — read/write interposition handlers, used to block external
+//     reads until the persistor catches up and to invalidate cached copies on
+//     external writes.
+//
+// The same class also serves as the Redis-style IMOC baseline (OWK-Redis): only
+// the latency profile differs. All operations are asynchronous on the shared
+// sim::EventLoop with calibrated latency models.
+#ifndef OFC_STORE_OBJECT_STORE_H_
+#define OFC_STORE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/latency.h"
+
+namespace ofc::store {
+
+using ObjectVersion = std::uint64_t;
+
+// Key = "container/object"; helpers keep call sites tidy.
+std::string MakeKey(const std::string& container, const std::string& name);
+
+// Feature tags extracted at object-creation time (§5.1.2: extraction runs as a
+// background task so it is off the invocation critical path).
+using Tags = std::map<std::string, std::string>;
+
+struct ObjectMetadata {
+  std::string key;
+  Bytes size = 0;                 // Size of the payload resident in the RSDS.
+  Bytes pending_size = 0;         // Size the shadow version will have once persisted.
+  ObjectVersion latest_version = 0;  // Most recent logical version (cache-visible).
+  ObjectVersion rsds_version = 0;    // Version whose payload the RSDS holds.
+  Tags tags;
+  SimTime created_at = 0;
+  SimTime modified_at = 0;
+
+  // A shadow object's payload has not yet been persisted by a persistor task.
+  bool IsShadow() const { return rsds_version < latest_version; }
+};
+
+struct StoreStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t shadow_writes = 0;
+  std::uint64_t payload_finalizes = 0;
+  std::uint64_t deletes = 0;
+  Bytes bytes_read = 0;
+  Bytes bytes_written = 0;
+};
+
+// Latency profile of a store deployment. Reads and writes are priced
+// separately (object stores replicate synchronously on write: Swift/S3 writes
+// are several times slower than reads); control operations (HEAD/DELETE/shadow
+// puts) carry no payload.
+struct StoreProfile {
+  sim::LatencyModel read;
+  sim::LatencyModel write;
+  sim::LatencyModel control;
+
+  // Swift deployment of §7 (same-switch cluster; ~11 ms metadata ops).
+  static StoreProfile Swift() {
+    return StoreProfile{sim::LatencyModel{Millis(18), 120e6, 0.05},
+                        sim::LatencyModel{Millis(42), 90e6, 0.05},
+                        sim::LatencyModel{Millis(11), 0.0, 0.05}};
+  }
+  // AWS S3 as used in the §2.2.3 motivation experiment.
+  static StoreProfile S3() {
+    return StoreProfile{sim::LatencyModel{Millis(28), 80e6, 0.10},
+                        sim::LatencyModel{Millis(60), 60e6, 0.10},
+                        sim::LatencyModel{Millis(16), 0.0, 0.10}};
+  }
+  // Redis IMOC as measured through a FaaS runtime's client stack (OWK-Redis
+  // baseline; §2.2.3's ElastiCache): network RTT plus (de)serialization put the
+  // per-operation cost in the milliseconds, an order of magnitude below the
+  // RSDS but far above raw in-memory access.
+  static StoreProfile Redis() {
+    return StoreProfile{sim::LatencyModel{Millis(5), 250e6, 0.05},
+                        sim::LatencyModel{Millis(7), 220e6, 0.05},
+                        sim::LatencyModel{Millis(2), 0.0, 0.05}};
+  }
+};
+
+class ObjectStore {
+ public:
+  using Callback = std::function<void(Status)>;
+  using MetaCallback = std::function<void(Result<ObjectMetadata>)>;
+
+  // Webhooks receive the key and a `resume` continuation; the store completes
+  // the triggering external operation only after `resume` runs, which lets the
+  // handler wait for a persistor (§6.2).
+  using Webhook = std::function<void(const std::string& key, std::function<void()> resume)>;
+
+  ObjectStore(sim::EventLoop* loop, StoreProfile profile, Rng rng, std::string name);
+
+  // Convenience: symmetric read/write latency (unit tests, simple setups);
+  // control ops default to the request model's fixed cost.
+  ObjectStore(sim::EventLoop* loop, sim::LatencyModel request_latency, Rng rng,
+              std::string name,
+              std::optional<sim::LatencyModel> control_latency = std::nullopt);
+
+  const std::string& name() const { return name_; }
+
+  // ---- FaaS-side data path (used by functions and the persistor) ----
+
+  // Full-payload write: creates or replaces the object; bumps both versions.
+  void Put(const std::string& key, Bytes size, Tags tags, Callback done);
+
+  // Shadow write: synchronously records a placeholder for a new version whose
+  // payload currently lives only in the cache. Constant latency (empty body).
+  void PutShadow(const std::string& key, Bytes pending_size, MetaCallback done);
+
+  // Persistor push: installs the payload for `version`. Out-of-order pushes
+  // (version <= rsds_version) return kAborted so successive updates propagate
+  // in order (§6.2). Unknown keys return kNotFound.
+  void FinalizePayload(const std::string& key, ObjectVersion version, Bytes size,
+                       Callback done);
+
+  // Payload read; latency scales with the object size.
+  void Get(const std::string& key, MetaCallback done);
+
+  // Metadata-only read; constant latency.
+  void Head(const std::string& key, MetaCallback done);
+
+  void Delete(const std::string& key, Callback done);
+
+  // ---- External-client path (non-FaaS applications; triggers webhooks) ----
+
+  void ExternalRead(const std::string& key, MetaCallback done);
+  void ExternalWrite(const std::string& key, Bytes size, Callback done);
+
+  void set_read_webhook(Webhook hook) { read_webhook_ = std::move(hook); }
+  void set_write_webhook(Webhook hook) { write_webhook_ = std::move(hook); }
+
+  // ---- Management / test plane (synchronous, zero simulated cost) ----
+
+  Result<ObjectMetadata> Stat(const std::string& key) const;
+  bool Exists(const std::string& key) const { return objects_.contains(key); }
+  std::size_t NumObjects() const { return objects_.size(); }
+  Bytes TotalBytes() const;
+  const StoreStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = {}; }
+  // Seeds an object instantly (dataset preparation in FaaSLoad).
+  void Seed(const std::string& key, Bytes size, Tags tags);
+
+ private:
+  void After(SimDuration delay, std::function<void()> fn);
+  SimDuration ControlCost();
+  SimDuration ReadCost(Bytes size);
+  SimDuration WriteCost(Bytes size);
+
+  sim::EventLoop* loop_;
+  StoreProfile profile_;
+  Rng rng_;
+  std::string name_;
+  std::unordered_map<std::string, ObjectMetadata> objects_;
+  Webhook read_webhook_;
+  Webhook write_webhook_;
+  StoreStats stats_;
+  ObjectVersion next_version_ = 1;
+};
+
+}  // namespace ofc::store
+
+#endif  // OFC_STORE_OBJECT_STORE_H_

@@ -1,0 +1,108 @@
+// Generative models of the paper's cloud functions.
+//
+// The artifact evaluates 19 single-stage multimedia functions (6 of them named
+// in Figure 7, plus sharp_resize from Figure 3) and 4 multi-stage pipelines. We
+// model each function by its resource demands:
+//
+//   memory  = base + decoded_footprint x (copies + arg_coeff x normalized_arg)
+//             x (1 + noise)
+//   compute = processed_bytes x per-MB cost x (1 + arg factor)
+//   output  = input_bytes x output_ratio x arg^output_arg_power
+//
+// where decoded_footprint comes from the media descriptor (pixels, PCM samples,
+// frame volume), NOT from the stored byte size. Combined with the hidden
+// entropy factor in MediaDescriptor this yields exactly the paper's Figure 2
+// structure: wide memory scatter against byte size alone, learnable structure
+// against {dimensions, duration, format, argument} feature sets.
+#ifndef OFC_WORKLOADS_FUNCTIONS_H_
+#define OFC_WORKLOADS_FUNCTIONS_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/units.h"
+#include "src/ml/dataset.h"
+#include "src/workloads/media.h"
+
+namespace ofc::workloads {
+
+struct ArgSpec {
+  std::string name;
+  double lo = 0.0;
+  double hi = 1.0;
+  bool integer = false;
+};
+
+struct FunctionSpec {
+  std::string name;
+  InputKind kind = InputKind::kImage;
+  std::vector<ArgSpec> args;
+
+  // Memory model.
+  double base_mem_mb = 40.0;   // Language runtime + library baseline.
+  double mem_copies = 5.0;     // Decoded-footprint multiples held at peak.
+  double mem_arg_coeff = 0.0;  // Additional multiples per normalized arg[0].
+  double mem_noise = 0.012;  // Relative sigma of run-to-run variation.
+
+  // Compute model (Transform phase).
+  double work_scale = 1.0;          // Fraction of decoded bytes processed.
+  double compute_us_per_mb = 20.0;  // Per decoded-MB-processed cost.
+  double compute_arg_coeff = 0.0;   // Multiplier per normalized arg[0].
+
+  // Output model (Load phase payload).
+  double output_ratio = 1.0;        // Output bytes per input byte.
+  double output_arg_power = 0.0;    // Output scales with arg[0]^power (resize).
+  // Media kind of the produced object; defaults to the input kind. Stages that
+  // change modality (e.g. video decode -> raw frame data) must set this so the
+  // next pipeline stage models its input correctly.
+  std::optional<InputKind> output_kind;
+};
+
+// Ground-truth resource demands of one invocation.
+struct InvocationDemand {
+  Bytes memory = 0;        // Peak resident memory of the sandbox.
+  SimDuration compute = 0;  // Transform-phase duration.
+  Bytes output_size = 0;   // Load-phase payload.
+};
+
+// Samples argument values uniformly from each ArgSpec range.
+std::vector<double> SampleArgs(const FunctionSpec& spec, Rng& rng);
+
+// Evaluates the generative model. `rng` may be null for the noise-free mean.
+InvocationDemand ComputeDemand(const FunctionSpec& spec, const MediaDescriptor& media,
+                               const std::vector<double>& args, Rng* rng);
+
+// Descriptor of the object a function writes: same-kind outputs keep the input
+// descriptor with content scaled to the new byte size; modality-changing
+// outputs (spec.output_kind) become plain data descriptors.
+MediaDescriptor OutputMedia(const FunctionSpec& spec, const MediaDescriptor& input,
+                            Bytes output_size);
+
+// ---- ML feature plumbing (§5.1.2) ---------------------------------------------
+
+// Feature attributes for this function: common features (file size, format) +
+// per-kind descriptive features + the function-specific arguments.
+std::vector<ml::Attribute> FeatureAttributes(const FunctionSpec& spec);
+
+// Feature vector matching FeatureAttributes for a concrete invocation.
+std::vector<double> ExtractFeatures(const FunctionSpec& spec, const MediaDescriptor& media,
+                                    const std::vector<double>& args);
+
+// ---- Registries -----------------------------------------------------------------
+
+// The 19 single-stage functions (Figure 7's six wand_* functions, Figure 3's
+// sharp_resize, and 12 more spanning image/audio/video/text).
+const std::vector<FunctionSpec>& AllFunctions();
+
+// Stage functions used by the four pipelines (MapReduce word count, THIS,
+// IMAD, ServerlessBench Image Processing).
+const std::vector<FunctionSpec>& PipelineStageFunctions();
+
+// Looks up a function in either registry; nullptr when absent.
+const FunctionSpec* FindFunction(const std::string& name);
+
+}  // namespace ofc::workloads
+
+#endif  // OFC_WORKLOADS_FUNCTIONS_H_

@@ -1,0 +1,56 @@
+#include "src/workloads/pipelines.h"
+
+#include <algorithm>
+
+namespace ofc::workloads {
+
+int PipelineSpec::NumChunks(Bytes total) const {
+  if (total <= 0) {
+    return 1;
+  }
+  return static_cast<int>(std::max<Bytes>(1, (total + chunk_size - 1) / chunk_size));
+}
+
+namespace {
+
+std::vector<PipelineSpec> BuildPipelines() {
+  std::vector<PipelineSpec> pipelines;
+  pipelines.push_back({.name = "map_reduce",
+                       .input_kind = InputKind::kText,
+                       .chunk_size = KiB(512),
+                       .stages = {{"mr_map", 0}, {"mr_reduce", 1}}});
+  pipelines.push_back({.name = "THIS",
+                       .input_kind = InputKind::kVideo,
+                       .chunk_size = MiB(2),
+                       .stages = {{"this_decode", 0}, {"this_detect", 0}, {"this_merge", 1}}});
+  pipelines.push_back({.name = "IMAD",
+                       .input_kind = InputKind::kText,
+                       .chunk_size = MiB(1),
+                       .stages = {{"imad_unpack", 0},
+                                  {"imad_static_analysis", 0},
+                                  {"imad_verdict", 1}}});
+  pipelines.push_back({.name = "image_processing",
+                       .input_kind = InputKind::kImage,
+                       .chunk_size = MiB(10),
+                       .stages = {{"ip_extract_meta", 1}, {"ip_transform", 1},
+                                  {"ip_thumbnail", 1}}});
+  return pipelines;
+}
+
+}  // namespace
+
+const std::vector<PipelineSpec>& AllPipelines() {
+  static const std::vector<PipelineSpec> kPipelines = BuildPipelines();
+  return kPipelines;
+}
+
+const PipelineSpec* FindPipeline(const std::string& name) {
+  for (const PipelineSpec& spec : AllPipelines()) {
+    if (spec.name == name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace ofc::workloads

@@ -1,0 +1,40 @@
+// The four multi-stage applications of the evaluation (§7): MapReduce word
+// count, THIS (Thousand Island Scanner), IMAD, and the ServerlessBench Image
+// Processing pipeline.
+//
+// Following §3, large inputs (up to hundreds of MB) are split into many small
+// chunk objects; a pipeline is a barrier-synchronized sequence of stages where
+// a stage either runs one task per input object (fan-out, fixed_tasks == 0) or
+// a fixed number of tasks (fan-in / merge stages).
+#ifndef OFC_WORKLOADS_PIPELINES_H_
+#define OFC_WORKLOADS_PIPELINES_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+#include "src/workloads/functions.h"
+
+namespace ofc::workloads {
+
+struct PipelineStage {
+  std::string function;  // Name resolvable via FindFunction().
+  int fixed_tasks = 0;   // 0 = one task per object emitted by the previous stage.
+};
+
+struct PipelineSpec {
+  std::string name;
+  InputKind input_kind = InputKind::kText;
+  Bytes chunk_size = KiB(512);  // Input split granularity.
+  std::vector<PipelineStage> stages;
+
+  // Number of chunk objects an input of `total` bytes is split into.
+  int NumChunks(Bytes total) const;
+};
+
+const std::vector<PipelineSpec>& AllPipelines();
+const PipelineSpec* FindPipeline(const std::string& name);
+
+}  // namespace ofc::workloads
+
+#endif  // OFC_WORKLOADS_PIPELINES_H_

@@ -1,0 +1,227 @@
+// Unit tests for src/common: Status/Result, units, RNG, stats.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/common/stats.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace ofc {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = NotFoundError("no such object");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such object");
+}
+
+TEST(StatusTest, AllErrorConstructorsSetDistinctCodes) {
+  std::set<StatusCode> codes = {
+      NotFoundError("").code(),           AlreadyExistsError("").code(),
+      InvalidArgumentError("").code(),    FailedPreconditionError("").code(),
+      ResourceExhaustedError("").code(),  UnavailableError("").code(),
+      AbortedError("").code(),            DeadlineExceededError("").code(),
+      InternalError("").code()};
+  EXPECT_EQ(codes.size(), 9u);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = InvalidArgumentError("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(UnitsTest, ByteHelpers) {
+  EXPECT_EQ(KiB(1), 1024);
+  EXPECT_EQ(MiB(1), 1024 * 1024);
+  EXPECT_EQ(GiB(2), 2LL * 1024 * 1024 * 1024);
+}
+
+TEST(UnitsTest, TimeHelpers) {
+  EXPECT_EQ(Millis(1), 1000);
+  EXPECT_EQ(Seconds(1), 1000000);
+  EXPECT_EQ(Minutes(2), 120 * 1000000LL);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(5)), 5.0);
+}
+
+TEST(UnitsTest, Formatting) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(MiB(10)), "10 MiB");
+  EXPECT_EQ(FormatDuration(Micros(250)), "250 us");
+  EXPECT_EQ(FormatDuration(Millis(12)), "12 ms");
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a.NextU64() == b.NextU64();
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformIntBoundsInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.UniformInt(3, 8);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 8);
+    saw_lo |= v == 3;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(11);
+  RunningStat stat;
+  for (int i = 0; i < 20000; ++i) {
+    stat.Add(rng.Gaussian(10.0, 2.0));
+  }
+  EXPECT_NEAR(stat.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stat.stddev(), 2.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  RunningStat stat;
+  for (int i = 0; i < 20000; ++i) {
+    stat.Add(rng.Exponential(60.0));
+  }
+  EXPECT_NEAR(stat.mean(), 60.0, 2.0);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(17);
+  std::vector<double> weights = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) {
+    ++counts[rng.WeightedIndex(weights)];
+  }
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[1], 3.0, 0.4);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(21);
+  Rng child = parent.Fork();
+  // The child stream must not simply replay the parent.
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    equal += parent.NextU64() == child.NextU64();
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RunningStatTest, Basics) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.stddev(), 2.1380899, 1e-6);
+}
+
+TEST(SamplesTest, Percentiles) {
+  Samples s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 100.0);
+  EXPECT_NEAR(s.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(0.99), 99.01, 0.01);
+}
+
+TEST(SamplesTest, EmptyIsZero) {
+  Samples s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Median(), 0.0);
+}
+
+TEST(HistogramTest, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(-1.0);   // clamps to bucket 0
+  h.Add(0.5);
+  h.Add(9.9);
+  h.Add(25.0);   // clamps to last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.BucketLow(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.BucketHigh(1), 4.0);
+  EXPECT_FALSE(h.ToString("test").empty());
+}
+
+TEST(SlidingTimeWindowTest, ExpiresOldSamples) {
+  SlidingTimeWindow w(Seconds(60));
+  w.Add(Seconds(0), 100.0);
+  w.Add(Seconds(30), 50.0);
+  EXPECT_DOUBLE_EQ(w.MeanAt(Seconds(30)), 75.0);
+  // At t=90s the t=0 sample is outside the 60 s window.
+  EXPECT_DOUBLE_EQ(w.MeanAt(Seconds(90)), 50.0);
+  EXPECT_EQ(w.CountAt(Seconds(200)), 0u);
+}
+
+TEST(SlidingTimeWindowTest, MaxTracksWindow) {
+  SlidingTimeWindow w(Seconds(10));
+  w.Add(Seconds(1), 5.0);
+  w.Add(Seconds(2), 9.0);
+  w.Add(Seconds(3), 3.0);
+  EXPECT_DOUBLE_EQ(w.MaxAt(Seconds(3)), 9.0);
+  EXPECT_DOUBLE_EQ(w.MaxAt(Seconds(13)), 3.0);
+}
+
+}  // namespace
+}  // namespace ofc

@@ -1,0 +1,372 @@
+// Unit tests for the FaaS platform: sandbox lifecycle, cold/warm starts,
+// keep-alive, OOM semantics, capacity reclaim, pipelines.
+#include <gtest/gtest.h>
+
+#include "src/faas/direct_data_service.h"
+#include "src/faas/platform.h"
+#include "src/sim/event_loop.h"
+#include "src/store/object_store.h"
+
+namespace ofc::faas {
+namespace {
+
+workloads::FunctionSpec TinySpec(const std::string& name, double base_mem_mb = 100,
+                                 double compute_us_per_mb = 50) {
+  workloads::FunctionSpec spec;
+  spec.name = name;
+  spec.kind = workloads::InputKind::kImage;
+  spec.base_mem_mb = base_mem_mb;
+  spec.mem_copies = 5.0;
+  spec.mem_noise = 0.0;
+  spec.compute_us_per_mb = compute_us_per_mb;
+  return spec;
+}
+
+workloads::MediaDescriptor TinyImage(Bytes byte_size = KiB(64), int side = 800) {
+  workloads::MediaDescriptor media;
+  media.kind = workloads::InputKind::kImage;
+  media.width = side;
+  media.height = side;
+  media.byte_size = byte_size;
+  return media;
+}
+
+class PlatformTest : public ::testing::Test {
+ protected:
+  PlatformTest()
+      : rsds_(&loop_, sim::LatencyModel{Millis(5), 200e6, 0.0}, Rng(1), "rsds"),
+        data_(&rsds_) {}
+
+  void MakePlatform(PlatformOptions options, PlatformHooks* hooks = nullptr) {
+    platform_ = std::make_unique<Platform>(&loop_, options, &data_, hooks, Rng(2));
+  }
+
+  void RegisterTiny(const std::string& name, Bytes booked = MiB(512)) {
+    FunctionConfig config;
+    config.spec = TinySpec(name);
+    config.booked_memory = booked;
+    ASSERT_TRUE(platform_->RegisterFunction(config).ok());
+  }
+
+  InvocationRecord InvokeSync(const std::string& fn, Bytes input_size = KiB(64)) {
+    rsds_.Seed("in/obj", input_size, {});
+    InvocationRecord out;
+    bool done = false;
+    platform_->Invoke(fn, {InputObject{"in/obj", TinyImage(input_size)}}, {},
+                      [&](const InvocationRecord& r) {
+                        out = r;
+                        done = true;
+                      });
+    // Step (not Run): draining the whole queue would also fire the sandbox
+    // keep-alive timer and destroy the warm sandbox under test.
+    while (!done && loop_.Step()) {
+    }
+    EXPECT_TRUE(done);
+    return out;
+  }
+
+  sim::EventLoop loop_;
+  store::ObjectStore rsds_;
+  DirectDataService data_;
+  std::unique_ptr<Platform> platform_;
+};
+
+TEST_F(PlatformTest, RegisterRejectsDuplicates) {
+  MakePlatform({});
+  RegisterTiny("f");
+  FunctionConfig config;
+  config.spec = TinySpec("f");
+  EXPECT_EQ(platform_->RegisterFunction(config).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(PlatformTest, UnknownFunctionFails) {
+  MakePlatform({});
+  InvocationRecord record = InvokeSync("nope");
+  EXPECT_TRUE(record.failed);
+}
+
+TEST_F(PlatformTest, FirstInvocationIsColdSecondIsWarm) {
+  MakePlatform({});
+  RegisterTiny("f");
+  const InvocationRecord first = InvokeSync("f");
+  EXPECT_TRUE(first.cold_start);
+  EXPECT_FALSE(first.failed);
+  const InvocationRecord second = InvokeSync("f");
+  EXPECT_FALSE(second.cold_start);
+  EXPECT_LT(second.startup_time, first.startup_time);
+  EXPECT_EQ(platform_->stats().cold_starts, 1u);
+  EXPECT_EQ(platform_->stats().warm_starts, 1u);
+}
+
+TEST_F(PlatformTest, PhasesAreMeasured) {
+  MakePlatform({});
+  RegisterTiny("f");
+  const InvocationRecord record = InvokeSync("f", MiB(1));
+  EXPECT_GT(record.extract_time, 0);
+  EXPECT_GT(record.compute_time, 0);
+  EXPECT_GT(record.load_time, 0);
+  EXPECT_GE(record.total,
+            record.startup_time + record.extract_time + record.compute_time + record.load_time);
+  EXPECT_EQ(record.input_bytes, MiB(1));
+  EXPECT_GT(record.output_bytes, 0);
+  EXPECT_TRUE(rsds_.Exists(record.output_key));
+}
+
+TEST_F(PlatformTest, KeepAliveDestroysIdleSandbox) {
+  PlatformOptions options;
+  options.keep_alive = Seconds(600);
+  MakePlatform(options);
+  RegisterTiny("f");
+  (void)InvokeSync("f");
+  EXPECT_EQ(platform_->NumSandboxes(0) + platform_->NumSandboxes(1) +
+                platform_->NumSandboxes(2) + platform_->NumSandboxes(3),
+            1u);
+  loop_.RunUntil(loop_.now() + Seconds(601));
+  std::size_t total = 0;
+  for (int w = 0; w < platform_->num_workers(); ++w) {
+    total += platform_->NumSandboxes(w);
+  }
+  EXPECT_EQ(total, 0u);
+}
+
+TEST_F(PlatformTest, SandboxReservationTracksBookedMemory) {
+  MakePlatform({});
+  RegisterTiny("f", MiB(512));
+  const InvocationRecord record = InvokeSync("f");
+  EXPECT_EQ(platform_->SandboxReserved(record.worker), MiB(512));
+  EXPECT_EQ(record.memory_limit, MiB(512));
+}
+
+TEST_F(PlatformTest, OomKillTriggersRetryWithBookedMemory) {
+  MakePlatform({});
+  // Booked 2 GB, but the hook below will underprovision the first run.
+  struct UnderpredictHooks : PlatformHooks {
+    Sizing SizeInvocation(const FunctionConfig& fn, const std::vector<InputObject>&,
+                          const std::vector<double>&) override {
+      ++calls;
+      if (calls == 1) {
+        return Sizing{MiB(64), false};  // Way below the ~115 MB actual demand.
+      }
+      return Sizing{fn.booked_memory, false};
+    }
+    int calls = 0;
+  } hooks;
+  MakePlatform({}, &hooks);
+  FunctionConfig config;
+  config.spec = TinySpec("f");
+  config.booked_memory = GiB(1);
+  ASSERT_TRUE(platform_->RegisterFunction(config).ok());
+
+  const InvocationRecord record = InvokeSync("f", MiB(1));
+  EXPECT_FALSE(record.failed);
+  EXPECT_TRUE(record.oom_killed);
+  EXPECT_EQ(record.retries, 1);
+  EXPECT_EQ(record.memory_limit, GiB(1));  // Retried with the booked amount.
+  EXPECT_EQ(platform_->stats().oom_kills, 1u);
+  EXPECT_EQ(platform_->stats().retries, 1u);
+}
+
+TEST_F(PlatformTest, MonitorRescueAvoidsOomKill) {
+  struct RescueHooks : PlatformHooks {
+    Sizing SizeInvocation(const FunctionConfig&, const std::vector<InputObject>&,
+                          const std::vector<double>&) override {
+      return Sizing{MiB(64), false};
+    }
+    bool TryRaiseMemory(int, Bytes, Bytes, SimDuration expected_compute) override {
+      // §5.3.1: rescue only long-running invocations.
+      return expected_compute >= Seconds(3);
+    }
+  } hooks;
+  MakePlatform({}, &hooks);
+  // Long compute: 100 ms/decoded-MB over a ~45 MB raster -> > 3 s.
+  FunctionConfig config;
+  config.spec = TinySpec("slow", /*base_mem_mb=*/100, /*compute_us_per_mb=*/100000);
+  config.booked_memory = GiB(1);
+  ASSERT_TRUE(platform_->RegisterFunction(config).ok());
+
+  rsds_.Seed("in/obj", MiB(2), {});
+  InvocationRecord record;
+  platform_->Invoke("slow", {InputObject{"in/obj", TinyImage(MiB(2), 4000)}}, {},
+                    [&](const InvocationRecord& r) { record = r; });
+  loop_.Run();
+  EXPECT_FALSE(record.failed);
+  EXPECT_FALSE(record.oom_killed);
+  EXPECT_TRUE(record.oom_rescued);
+  EXPECT_EQ(record.retries, 0);
+  EXPECT_GE(record.memory_limit, record.memory_used);
+  EXPECT_EQ(platform_->stats().oom_rescues, 1u);
+}
+
+TEST_F(PlatformTest, CapacityPressureReclaimsIdleSandboxes) {
+  PlatformOptions options;
+  options.num_workers = 1;
+  options.worker_memory = GiB(1);
+  MakePlatform(options);
+  RegisterTiny("a", MiB(512));
+  FunctionConfig config;
+  config.spec = TinySpec("b");
+  config.booked_memory = MiB(768);
+  ASSERT_TRUE(platform_->RegisterFunction(config).ok());
+
+  (void)InvokeSync("a");  // Leaves one idle 512 MiB sandbox.
+  const InvocationRecord record = InvokeSync("b");  // Needs 768 MiB: must reclaim.
+  EXPECT_FALSE(record.failed);
+  EXPECT_EQ(platform_->stats().sandbox_reclaims, 1u);
+  EXPECT_EQ(platform_->NumIdleSandboxes("a"), 0u);
+}
+
+TEST_F(PlatformTest, HooksObserveSandboxMemoryChanges) {
+  struct TrackingHooks : PlatformHooks {
+    void OnSandboxMemoryChange(const SandboxMemoryEvent& event) override {
+      delta += event.new_limit - event.old_limit;
+      booked = event.booked;
+      ++events;
+    }
+    Bytes delta = 0;
+    Bytes booked = 0;
+    int events = 0;
+  } hooks;
+  MakePlatform({}, &hooks);
+  RegisterTiny("f", MiB(256));
+  (void)InvokeSync("f");
+  EXPECT_EQ(hooks.delta, MiB(256));  // Creation (default sizing = booked).
+  EXPECT_EQ(hooks.booked, MiB(256));
+  loop_.RunUntil(loop_.now() + Seconds(601));  // Keep-alive expiry.
+  EXPECT_EQ(hooks.delta, 0);         // Destruction released it.
+  EXPECT_GE(hooks.events, 2);
+}
+
+TEST_F(PlatformTest, PipelineRunsAllStages) {
+  MakePlatform({});
+  for (const char* name : {"s1", "s2", "s3"}) {
+    FunctionConfig config;
+    config.spec = TinySpec(name);
+    config.spec.kind = workloads::InputKind::kText;
+    config.booked_memory = MiB(256);
+    ASSERT_TRUE(platform_->RegisterFunction(config).ok());
+  }
+  workloads::PipelineSpec pipeline;
+  pipeline.name = "test_pipe";
+  pipeline.input_kind = workloads::InputKind::kText;
+  pipeline.stages = {{"s1", 0}, {"s2", 0}, {"s3", 1}};
+
+  std::vector<InputObject> chunks;
+  for (int c = 0; c < 4; ++c) {
+    const std::string key = "in/chunk" + std::to_string(c);
+    rsds_.Seed(key, KiB(256), {});
+    workloads::MediaDescriptor media;
+    media.kind = workloads::InputKind::kText;
+    media.byte_size = KiB(256);
+    chunks.push_back(InputObject{key, media});
+  }
+  PipelineRecord record;
+  bool done = false;
+  platform_->InvokePipeline(pipeline, chunks, [&](const PipelineRecord& r) {
+    record = r;
+    done = true;
+  });
+  loop_.Run();
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(record.failed);
+  // 4 fan-out tasks x 2 stages + 1 merge task.
+  EXPECT_EQ(record.num_tasks, 9u);
+  EXPECT_GT(record.extract_time, 0);
+  EXPECT_GT(record.compute_time, 0);
+  EXPECT_GT(record.load_time, 0);
+  EXPECT_GT(record.total, 0);
+}
+
+TEST_F(PlatformTest, AggregateMediaSumsBytes) {
+  std::vector<InputObject> inputs;
+  inputs.push_back(InputObject{"a", TinyImage(KiB(100))});
+  inputs.push_back(InputObject{"b", TinyImage(KiB(200))});
+  const auto media = Platform::AggregateMedia(inputs);
+  EXPECT_EQ(media.byte_size, KiB(300));
+  EXPECT_EQ(Platform::AggregateMedia({}).byte_size, KiB(1));
+}
+
+TEST_F(PlatformTest, WorkerCrashRetriesInFlightInvocations) {
+  PlatformOptions options;
+  options.num_workers = 2;
+  MakePlatform(options);
+  // Slow compute so the crash lands mid-transform.
+  FunctionConfig config;
+  config.spec = TinySpec("slow", 100, /*compute_us_per_mb=*/200000);
+  config.booked_memory = GiB(1);
+  ASSERT_TRUE(platform_->RegisterFunction(config).ok());
+
+  rsds_.Seed("in/obj", MiB(1), {});
+  InvocationRecord record;
+  bool done = false;
+  platform_->Invoke("slow", {InputObject{"in/obj", TinyImage(MiB(1), 3000)}}, {},
+                    [&](const InvocationRecord& r) {
+                      record = r;
+                      done = true;
+                    });
+  // Let it get into the transform phase, then crash its worker.
+  loop_.RunUntil(loop_.now() + Millis(400));
+  ASSERT_FALSE(done);
+  int victim = -1;
+  for (int w = 0; w < 2; ++w) {
+    if (platform_->NumSandboxes(w) > 0) {
+      victim = w;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  platform_->CrashWorker(victim);
+  EXPECT_FALSE(platform_->WorkerAlive(victim));
+  EXPECT_EQ(platform_->NumSandboxes(victim), 0u);
+
+  while (!done && loop_.Step()) {
+  }
+  ASSERT_TRUE(done);
+  EXPECT_FALSE(record.failed);  // Retried on the surviving worker.
+  EXPECT_NE(record.worker, victim);
+  EXPECT_GE(record.retries, 1);
+  EXPECT_EQ(platform_->stats().worker_crashes, 1u);
+  EXPECT_EQ(platform_->stats().crash_retries, 1u);
+  // Exactly one completion (no stale double-fire from the dead execution).
+  loop_.RunUntil(loop_.now() + Seconds(30));
+  EXPECT_EQ(platform_->stats().failed_invocations, 0u);
+}
+
+TEST_F(PlatformTest, CrashedWorkerReceivesNoPlacements) {
+  PlatformOptions options;
+  options.num_workers = 2;
+  MakePlatform(options);
+  RegisterTiny("f");
+  platform_->CrashWorker(0);
+  for (int i = 0; i < 4; ++i) {
+    const InvocationRecord record = InvokeSync("f");
+    EXPECT_FALSE(record.failed);
+    EXPECT_EQ(record.worker, 1);
+  }
+  platform_->RestoreWorker(0);
+  EXPECT_TRUE(platform_->WorkerAlive(0));
+}
+
+TEST_F(PlatformTest, CrashReleasesReservations) {
+  PlatformOptions options;
+  options.num_workers = 1;
+  MakePlatform(options);
+  RegisterTiny("f", MiB(512));
+  (void)InvokeSync("f");
+  ASSERT_EQ(platform_->SandboxReserved(0), MiB(512));
+  platform_->CrashWorker(0);
+  EXPECT_EQ(platform_->SandboxReserved(0), 0);
+}
+
+TEST_F(PlatformTest, DispatchOverheadAppliesToWarmStart) {
+  PlatformOptions options;
+  options.dispatch_overhead = Millis(8);
+  options.cold_start = Millis(180);
+  MakePlatform(options);
+  RegisterTiny("f");
+  const InvocationRecord cold = InvokeSync("f");
+  EXPECT_EQ(cold.startup_time, Millis(188));
+  const InvocationRecord warm = InvokeSync("f");
+  EXPECT_EQ(warm.startup_time, Millis(8));
+}
+
+}  // namespace
+}  // namespace ofc::faas

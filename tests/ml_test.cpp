@@ -1,0 +1,542 @@
+// Unit tests for the ML library: dataset, tree math, the four classifiers of
+// Table 1, and the evaluation harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/ml/dataset.h"
+#include "src/ml/evaluation.h"
+#include "src/ml/hoeffding_tree.h"
+#include "src/ml/j48.h"
+#include "src/ml/random_forest.h"
+#include "src/ml/random_tree.h"
+#include "src/ml/tree_math.h"
+
+namespace ofc::ml {
+namespace {
+
+Schema TwoFeatureSchema() {
+  return Schema({Attribute::Numeric("x"), Attribute::Nominal("color", {"red", "green", "blue"})},
+                Attribute::Nominal("class", {"a", "b"}));
+}
+
+// A dataset with a crisp two-level rule: class = b iff (x > 5 and color != blue).
+Dataset RuleDataset(int n, std::uint64_t seed) {
+  Dataset data(TwoFeatureSchema());
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Uniform(0.0, 10.0);
+    const double color = static_cast<double>(rng.UniformInt(0, 2));
+    const int label = (x > 5.0 && color != 2.0) ? 1 : 0;
+    EXPECT_TRUE(data.Add({{x, color}, label, 1.0}).ok());
+  }
+  return data;
+}
+
+// A noisy multi-class problem over 3 numeric features; the label is a banded
+// function of a hidden combination, which mimics the memory-interval task.
+Dataset BandedDataset(int n, int num_classes, std::uint64_t seed, double noise = 0.0) {
+  std::vector<std::string> class_names;
+  for (int c = 0; c < num_classes; ++c) {
+    class_names.push_back("c" + std::to_string(c));
+  }
+  Schema schema({Attribute::Numeric("w"), Attribute::Numeric("h"), Attribute::Numeric("arg")},
+                Attribute::Nominal("band", class_names));
+  Dataset data(schema);
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const double w = rng.Uniform(10, 100);
+    const double h = rng.Uniform(10, 100);
+    const double arg = rng.Uniform(0, 4);
+    double score = w * h * (1.0 + 0.2 * arg);
+    score *= 1.0 + noise * rng.Gaussian(0.0, 1.0);
+    int label = static_cast<int>(score / (100.0 * 100.0 * 1.8 / num_classes));
+    label = std::clamp(label, 0, num_classes - 1);
+    EXPECT_TRUE(data.Add({{w, h, arg}, label, 1.0}).ok());
+  }
+  return data;
+}
+
+// ---- Dataset -------------------------------------------------------------
+
+TEST(DatasetTest, RejectsArityMismatch) {
+  Dataset data(TwoFeatureSchema());
+  EXPECT_FALSE(data.Add({{1.0}, 0, 1.0}).ok());
+}
+
+TEST(DatasetTest, RejectsBadLabel) {
+  Dataset data(TwoFeatureSchema());
+  EXPECT_FALSE(data.Add({{1.0, 0.0}, 2, 1.0}).ok());
+  EXPECT_FALSE(data.Add({{1.0, 0.0}, -1, 1.0}).ok());
+}
+
+TEST(DatasetTest, RejectsOutOfRangeNominal) {
+  Dataset data(TwoFeatureSchema());
+  EXPECT_FALSE(data.Add({{1.0, 3.0}, 0, 1.0}).ok());
+  EXPECT_FALSE(data.Add({{1.0, 0.5}, 0, 1.0}).ok());
+}
+
+TEST(DatasetTest, RejectsNonPositiveWeight) {
+  Dataset data(TwoFeatureSchema());
+  EXPECT_FALSE(data.Add({{1.0, 0.0}, 0, 0.0}).ok());
+}
+
+TEST(DatasetTest, ClassDistributionWeighted) {
+  Dataset data(TwoFeatureSchema());
+  ASSERT_TRUE(data.Add({{1.0, 0.0}, 0, 2.0}).ok());
+  ASSERT_TRUE(data.Add({{2.0, 1.0}, 1, 3.0}).ok());
+  const auto dist = data.ClassDistribution();
+  EXPECT_DOUBLE_EQ(dist[0], 2.0);
+  EXPECT_DOUBLE_EQ(dist[1], 3.0);
+  EXPECT_DOUBLE_EQ(data.TotalWeight(), 5.0);
+}
+
+TEST(DatasetTest, FilterKeepsMatching) {
+  Dataset data = RuleDataset(100, 1);
+  Dataset ones = data.Filter([](const Instance& i) { return i.label == 1; });
+  for (const auto& inst : ones.instances()) {
+    EXPECT_EQ(inst.label, 1);
+  }
+  EXPECT_LT(ones.size(), data.size());
+  EXPECT_GT(ones.size(), 0u);
+}
+
+TEST(SchemaTest, FeatureIndexLookup) {
+  Schema s = TwoFeatureSchema();
+  EXPECT_EQ(s.FeatureIndex("x"), 0);
+  EXPECT_EQ(s.FeatureIndex("color"), 1);
+  EXPECT_EQ(s.FeatureIndex("nope"), -1);
+}
+
+// ---- Tree math -------------------------------------------------------------
+
+TEST(TreeMathTest, EntropyKnownValues) {
+  EXPECT_DOUBLE_EQ(Entropy({1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(Entropy({4.0, 0.0}), 0.0);
+  EXPECT_NEAR(Entropy({2.0, 2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Entropy({}), 0.0);
+}
+
+TEST(TreeMathTest, PartitionEntropyPerfectSplitIsZero) {
+  EXPECT_DOUBLE_EQ(PartitionEntropy({{5.0, 0.0}, {0.0, 5.0}}), 0.0);
+}
+
+TEST(TreeMathTest, SplitInformationBalancedBinary) {
+  EXPECT_NEAR(SplitInformation({{2.0, 3.0}, {1.0, 4.0}}), 1.0, 1e-12);
+}
+
+TEST(TreeMathTest, NormalInverseKnownQuantiles) {
+  EXPECT_NEAR(NormalInverse(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalInverse(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(NormalInverse(0.025), -1.959964, 1e-5);
+  EXPECT_NEAR(NormalInverse(0.75), 0.674490, 1e-5);
+}
+
+TEST(TreeMathTest, PessimisticExtraErrorsPositiveAndMonotone) {
+  // More observed errors on the same support -> at least as many extra errors
+  // is not guaranteed, but the estimate must always be positive and bounded.
+  const double e0 = PessimisticExtraErrors(10.0, 0.0, 0.25);
+  const double e2 = PessimisticExtraErrors(10.0, 2.0, 0.25);
+  EXPECT_GT(e0, 0.0);
+  EXPECT_GT(e2, 0.0);
+  EXPECT_LT(e2, 10.0);
+  // Larger support shrinks the correction per instance.
+  EXPECT_GT(PessimisticExtraErrors(10.0, 1.0, 0.25) / 10.0,
+            PessimisticExtraErrors(1000.0, 100.0, 0.25) / 1000.0);
+}
+
+TEST(TreeMathTest, ArgMaxFirstOnTies) {
+  EXPECT_EQ(ArgMax({1.0, 3.0, 3.0}), 1u);
+  EXPECT_EQ(ArgMax({5.0}), 0u);
+}
+
+// ---- J48 -------------------------------------------------------------------
+
+TEST(J48Test, LearnsCrispRule) {
+  Dataset train = RuleDataset(400, 2);
+  Dataset test = RuleDataset(200, 3);
+  J48 model;
+  ASSERT_TRUE(model.Train(train).ok());
+  int correct = 0;
+  for (const auto& inst : test.instances()) {
+    correct += model.Predict(inst.features) == inst.label;
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.95);
+}
+
+TEST(J48Test, RejectsEmptyDataset) {
+  J48 model;
+  EXPECT_FALSE(model.Train(Dataset(TwoFeatureSchema())).ok());
+}
+
+TEST(J48Test, PureDatasetYieldsSingleLeaf) {
+  Dataset data(TwoFeatureSchema());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(data.Add({{static_cast<double>(i), 0.0}, 0, 1.0}).ok());
+  }
+  J48 model;
+  ASSERT_TRUE(model.Train(data).ok());
+  EXPECT_EQ(model.NumNodes(), 1u);
+  EXPECT_EQ(model.Predict({3.0, 1.0}), 0);
+}
+
+TEST(J48Test, PruningShrinksTree) {
+  Dataset train = BandedDataset(600, 6, 5, /*noise=*/0.15);
+  J48 pruned(J48Options{.prune = true});
+  J48 unpruned(J48Options{.prune = false});
+  ASSERT_TRUE(pruned.Train(train).ok());
+  ASSERT_TRUE(unpruned.Train(train).ok());
+  EXPECT_LE(pruned.NumNodes(), unpruned.NumNodes());
+}
+
+TEST(J48Test, PredictDistributionSumsToOne) {
+  Dataset train = BandedDataset(300, 4, 7);
+  J48 model;
+  ASSERT_TRUE(model.Train(train).ok());
+  const auto dist = model.PredictDistribution({50.0, 50.0, 2.0});
+  double sum = 0.0;
+  for (double d : dist) {
+    sum += d;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(J48Test, HandlesWeightedInstances) {
+  // Upweighting class-1 instances shifts ties toward class 1.
+  Dataset data(TwoFeatureSchema());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(data.Add({{1.0, 0.0}, 0, 1.0}).ok());
+    ASSERT_TRUE(data.Add({{1.0, 0.0}, 1, 3.0}).ok());
+  }
+  J48 model;
+  ASSERT_TRUE(model.Train(data).ok());
+  EXPECT_EQ(model.Predict({1.0, 0.0}), 1);
+}
+
+TEST(J48Test, RetrainReplacesModel) {
+  J48 model;
+  Dataset a(TwoFeatureSchema());
+  Dataset b(TwoFeatureSchema());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(a.Add({{1.0, 0.0}, 0, 1.0}).ok());
+    ASSERT_TRUE(b.Add({{1.0, 0.0}, 1, 1.0}).ok());
+  }
+  ASSERT_TRUE(model.Train(a).ok());
+  EXPECT_EQ(model.Predict({1.0, 0.0}), 0);
+  ASSERT_TRUE(model.Train(b).ok());
+  EXPECT_EQ(model.Predict({1.0, 0.0}), 1);
+}
+
+// ---- J48 missing values (C4.5 fractional instances) ---------------------------
+
+constexpr double kMissing = std::numeric_limits<double>::quiet_NaN();
+
+TEST(J48MissingTest, DatasetAcceptsNaNAsMissing) {
+  Dataset data(TwoFeatureSchema());
+  EXPECT_TRUE(data.Add({{kMissing, 0.0}, 0, 1.0}).ok());
+  EXPECT_TRUE(data.Add({{1.0, kMissing}, 1, 1.0}).ok());  // Nominal missing too.
+}
+
+TEST(J48MissingTest, TrainsThroughMissingValues) {
+  // The crisp rule dataset with 20 % of x values knocked out: the tree must
+  // still learn the rule from the known instances.
+  Dataset train(TwoFeatureSchema());
+  Rng rng(101);
+  for (int i = 0; i < 600; ++i) {
+    const double x = rng.Uniform(0.0, 10.0);
+    const double color = static_cast<double>(rng.UniformInt(0, 2));
+    const int label = (x > 5.0 && color != 2.0) ? 1 : 0;
+    const double feature_x = rng.Bernoulli(0.2) ? kMissing : x;
+    ASSERT_TRUE(train.Add({{feature_x, color}, label, 1.0}).ok());
+  }
+  J48 model;
+  ASSERT_TRUE(model.Train(train).ok());
+  Dataset test = RuleDataset(300, 103);
+  int correct = 0;
+  for (const auto& inst : test.instances()) {
+    correct += model.Predict(inst.features) == inst.label;
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.9);
+}
+
+TEST(J48MissingTest, MissingFeatureAtPredictionBlendsBranches) {
+  Dataset train = RuleDataset(500, 107);
+  J48 model;
+  ASSERT_TRUE(model.Train(train).ok());
+  // With x missing, the distribution blends both sides of the x-split: the
+  // result must be a proper distribution, not a crash or a degenerate one-hot
+  // copy of a single branch.
+  const auto dist = model.PredictDistribution({kMissing, 0.0});
+  ASSERT_EQ(dist.size(), 2u);
+  const double sum = dist[0] + dist[1];
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(dist[0], 0.05);  // Both classes keep mass: x <= 5 gives class 0...
+  EXPECT_GT(dist[1], 0.05);  // ...and x > 5 with color red/green gives class 1.
+  // Prediction still works when everything is missing.
+  const int p = model.Predict({kMissing, kMissing});
+  EXPECT_TRUE(p == 0 || p == 1);
+}
+
+TEST(J48MissingTest, FullyObservedPredictionsUnchangedByMissingSupport) {
+  // Sanity: on fully observed data the missing-value machinery is inert.
+  Dataset train = RuleDataset(400, 109);
+  J48 model;
+  ASSERT_TRUE(model.Train(train).ok());
+  EXPECT_EQ(model.Predict({8.0, 0.0}), 1);
+  EXPECT_EQ(model.Predict({2.0, 0.0}), 0);
+  EXPECT_EQ(model.Predict({8.0, 2.0}), 0);
+}
+
+// ---- RandomTree / RandomForest ----------------------------------------------
+
+TEST(RandomTreeTest, LearnsCrispRule) {
+  Dataset train = RuleDataset(600, 11);
+  Dataset test = RuleDataset(200, 12);
+  RandomTree model(RandomTreeOptions{.seed = 5});
+  ASSERT_TRUE(model.Train(train).ok());
+  int correct = 0;
+  for (const auto& inst : test.instances()) {
+    correct += model.Predict(inst.features) == inst.label;
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.9);
+}
+
+TEST(RandomTreeTest, SeedChangesTree) {
+  Dataset train = BandedDataset(400, 4, 13);
+  RandomTree a(RandomTreeOptions{.seed = 1});
+  RandomTree b(RandomTreeOptions{.seed = 2});
+  ASSERT_TRUE(a.Train(train).ok());
+  ASSERT_TRUE(b.Train(train).ok());
+  // Different random attribute subsets almost surely give different shapes.
+  EXPECT_TRUE(a.NumNodes() != b.NumNodes() || a.NumNodes() > 1);
+}
+
+TEST(RandomForestTest, BeatsSingleRandomTreeOnNoisyData) {
+  Dataset train = BandedDataset(500, 6, 17, /*noise=*/0.2);
+  Dataset test = BandedDataset(400, 6, 18, /*noise=*/0.2);
+  RandomTree tree(RandomTreeOptions{.seed = 3});
+  RandomForest forest(RandomForestOptions{.num_trees = 25, .seed = 4});
+  ASSERT_TRUE(tree.Train(train).ok());
+  ASSERT_TRUE(forest.Train(train).ok());
+  int tree_ok = 0;
+  int forest_ok = 0;
+  for (const auto& inst : test.instances()) {
+    tree_ok += tree.Predict(inst.features) == inst.label;
+    forest_ok += forest.Predict(inst.features) == inst.label;
+  }
+  EXPECT_GE(forest_ok, tree_ok);
+}
+
+TEST(RandomForestTest, DistributionAveragesTrees) {
+  Dataset train = RuleDataset(300, 19);
+  RandomForest forest(RandomForestOptions{.num_trees = 10, .seed = 6});
+  ASSERT_TRUE(forest.Train(train).ok());
+  const auto dist = forest.PredictDistribution({8.0, 0.0});
+  double sum = 0.0;
+  for (double d : dist) {
+    sum += d;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_EQ(forest.Predict({8.0, 0.0}), 1);
+}
+
+// ---- HoeffdingTree -----------------------------------------------------------
+
+TEST(HoeffdingTreeTest, LearnsIncrementally) {
+  HoeffdingTree model(HoeffdingTreeOptions{.grace_period = 25});
+  ASSERT_TRUE(model.Reset(TwoFeatureSchema()).ok());
+  Rng rng(23);
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.Uniform(0.0, 10.0);
+    const double color = static_cast<double>(rng.UniformInt(0, 2));
+    const int label = (x > 5.0 && color != 2.0) ? 1 : 0;
+    ASSERT_TRUE(model.Observe({{x, color}, label, 1.0}).ok());
+  }
+  Dataset test = RuleDataset(300, 24);
+  int correct = 0;
+  for (const auto& inst : test.instances()) {
+    correct += model.Predict(inst.features) == inst.label;
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.85);
+  EXPECT_GT(model.NumNodes(), 1u);
+}
+
+TEST(HoeffdingTreeTest, ObserveBeforeResetFails) {
+  HoeffdingTree model;
+  EXPECT_FALSE(model.Observe({{1.0, 0.0}, 0, 1.0}).ok());
+}
+
+TEST(HoeffdingTreeTest, NaiveBayesLeavesBeatMajorityOnSmallStreams) {
+  // Six well-separated Gaussian classes over one feature, but too few samples
+  // for the Hoeffding bound to split: a majority vote is stuck at the modal
+  // class while the NB leaf reads the per-class Gaussians.
+  Schema schema({Attribute::Numeric("x")},
+                Attribute::Nominal("cls", {"c0", "c1", "c2", "c3", "c4", "c5"}));
+  auto make = [&](std::uint64_t seed, int n) {
+    Dataset data(schema);
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i) {
+      const int label = static_cast<int>(rng.UniformInt(0, 5));
+      EXPECT_TRUE(data.Add({{rng.Gaussian(label * 10.0, 1.0)}, label, 1.0}).ok());
+    }
+    return data;
+  };
+  Dataset train = make(77, 120);
+  Dataset test = make(79, 300);
+  // Grace period above the stream length: the tree stays a single leaf, so
+  // the comparison isolates the leaf-prediction strategies.
+  HoeffdingTree nb(HoeffdingTreeOptions{
+      .grace_period = 500, .leaf_prediction = LeafPrediction::kNaiveBayesAdaptive});
+  HoeffdingTree mc(HoeffdingTreeOptions{
+      .grace_period = 500, .leaf_prediction = LeafPrediction::kMajorityClass});
+  ASSERT_TRUE(nb.Train(train).ok());
+  ASSERT_TRUE(mc.Train(train).ok());
+  int nb_ok = 0;
+  int mc_ok = 0;
+  for (const auto& inst : test.instances()) {
+    nb_ok += nb.Predict(inst.features) == inst.label;
+    mc_ok += mc.Predict(inst.features) == inst.label;
+  }
+  EXPECT_GT(nb_ok, mc_ok + 50);
+  EXPECT_GT(static_cast<double>(nb_ok) / test.size(), 0.8);
+}
+
+TEST(HoeffdingTreeTest, BatchTrainWorks) {
+  Dataset train = RuleDataset(2500, 29);
+  HoeffdingTree model(HoeffdingTreeOptions{.grace_period = 25});
+  ASSERT_TRUE(model.Train(train).ok());
+  Dataset test = RuleDataset(200, 31);
+  int correct = 0;
+  for (const auto& inst : test.instances()) {
+    correct += model.Predict(inst.features) == inst.label;
+  }
+  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.8);
+}
+
+// ---- Evaluation --------------------------------------------------------------
+
+TEST(ConfusionMatrixTest, AccuracyAndEO) {
+  ConfusionMatrix m(3);
+  m.Add(0, 0);  // exact
+  m.Add(1, 2);  // over
+  m.Add(2, 0);  // under by 2
+  m.Add(2, 1);  // under by 1
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 0.25);
+  EXPECT_DOUBLE_EQ(m.ExactOrOverAccuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(m.UnderpredictionRate(), 0.5);
+  EXPECT_DOUBLE_EQ(m.OverpredictionRate(), 0.25);
+  EXPECT_DOUBLE_EQ(m.UnderpredictionsWithin(1), 0.5);
+  EXPECT_DOUBLE_EQ(m.UnderpredictionsWithin(2), 1.0);
+}
+
+TEST(ConfusionMatrixTest, PrecisionRecallF) {
+  ConfusionMatrix m(2);
+  // 8 TP, 2 FN, 1 FP, 9 TN for class 1.
+  for (int i = 0; i < 8; ++i) m.Add(1, 1);
+  for (int i = 0; i < 2; ++i) m.Add(1, 0);
+  m.Add(0, 1);
+  for (int i = 0; i < 9; ++i) m.Add(0, 0);
+  EXPECT_NEAR(m.Precision(1), 8.0 / 9.0, 1e-12);
+  EXPECT_NEAR(m.Recall(1), 0.8, 1e-12);
+  const double p = 8.0 / 9.0;
+  EXPECT_NEAR(m.FMeasure(1), 2 * p * 0.8 / (p + 0.8), 1e-12);
+}
+
+TEST(ConfusionMatrixTest, MergeAggregates) {
+  ConfusionMatrix a(2);
+  ConfusionMatrix b(2);
+  a.Add(0, 0);
+  b.Add(1, 1);
+  b.Add(1, 0);
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.total(), 3.0);
+  EXPECT_NEAR(a.Accuracy(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, NoUnderpredictionsMeansWithinIsOne) {
+  ConfusionMatrix m(3);
+  m.Add(0, 0);
+  m.Add(0, 2);
+  EXPECT_DOUBLE_EQ(m.UnderpredictionsWithin(1), 1.0);
+}
+
+TEST(CrossValidationTest, HighAccuracyOnLearnableTask) {
+  Dataset data = RuleDataset(500, 37);
+  Rng rng(41);
+  const auto result =
+      CrossValidate([] { return std::make_unique<J48>(); }, data, 10, rng);
+  EXPECT_GT(result.confusion.Accuracy(), 0.9);
+  EXPECT_EQ(result.errors.size(), data.size());
+}
+
+TEST(CrossValidationTest, ErrorsSignedInIntervalUnits) {
+  Dataset data = BandedDataset(400, 8, 43, /*noise=*/0.1);
+  Rng rng(47);
+  const auto result =
+      CrossValidate([] { return std::make_unique<J48>(); }, data, 5, rng);
+  for (int e : result.errors) {
+    EXPECT_GE(e, -7);
+    EXPECT_LE(e, 7);
+  }
+}
+
+// Parameterized sweep: every classifier must beat a majority-class baseline on
+// the banded task, mirroring the Table 1 comparison setup.
+class AllClassifiersTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<Classifier> Make() const {
+    const std::string name = GetParam();
+    if (name == "J48") {
+      return std::make_unique<J48>();
+    }
+    if (name == "RandomForest") {
+      return std::make_unique<RandomForest>(RandomForestOptions{.num_trees = 15, .seed = 9});
+    }
+    if (name == "RandomTree") {
+      return std::make_unique<RandomTree>(RandomTreeOptions{.seed = 9});
+    }
+    return std::make_unique<HoeffdingTree>(HoeffdingTreeOptions{.grace_period = 25});
+  }
+};
+
+TEST_P(AllClassifiersTest, BeatsMajorityBaseline) {
+  // 3000 instances so that even the stream learner (Hoeffding bound needs
+  // thousands of observations per split) has room to grow.
+  Dataset train = BandedDataset(3000, 5, 53, /*noise=*/0.05);
+  Dataset test = BandedDataset(300, 5, 59, /*noise=*/0.05);
+  auto model = Make();
+  ASSERT_TRUE(model->Train(train).ok());
+
+  const auto train_dist = train.ClassDistribution();
+  const int majority = static_cast<int>(ArgMax(train_dist));
+  int model_ok = 0;
+  int baseline_ok = 0;
+  for (const auto& inst : test.instances()) {
+    model_ok += model->Predict(inst.features) == inst.label;
+    baseline_ok += majority == inst.label;
+  }
+  EXPECT_GT(model_ok, baseline_ok) << model->Name();
+}
+
+TEST_P(AllClassifiersTest, PredictionInRange) {
+  Dataset train = BandedDataset(400, 5, 61);
+  auto model = Make();
+  ASSERT_TRUE(model->Train(train).ok());
+  Rng rng(67);
+  for (int i = 0; i < 100; ++i) {
+    const int p =
+        model->Predict({rng.Uniform(10, 100), rng.Uniform(10, 100), rng.Uniform(0, 4)});
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1Algorithms, AllClassifiersTest,
+                         ::testing::Values("J48", "RandomForest", "RandomTree",
+                                           "HoeffdingTree"));
+
+}  // namespace
+}  // namespace ofc::ml

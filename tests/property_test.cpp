@@ -1,0 +1,294 @@
+// Property-based tests: invariants that must hold across randomized sweeps —
+// cluster accounting under arbitrary operation sequences, interval-labeling
+// algebra, latency-model monotonicity, ML coverage guarantees per function,
+// and event-loop ordering under random schedules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "src/core/intervals.h"
+#include "src/core/ml_service.h"
+#include "src/ml/j48.h"
+#include "src/ramcloud/cluster.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/latency.h"
+#include "src/workloads/functions.h"
+#include "src/workloads/media.h"
+
+namespace ofc {
+namespace {
+
+// ---- Event loop: ordering holds for any random schedule -------------------------
+
+class EventLoopPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EventLoopPropertyTest, CallbacksFireInNondecreasingTimeOrder) {
+  sim::EventLoop loop;
+  Rng rng(GetParam());
+  std::vector<SimTime> fired;
+  for (int i = 0; i < 200; ++i) {
+    loop.ScheduleAfter(rng.UniformInt(0, 10000), [&] { fired.push_back(loop.now()); });
+  }
+  loop.Run();
+  ASSERT_EQ(fired.size(), 200u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+}
+
+TEST_P(EventLoopPropertyTest, CancelledEventsNeverFire) {
+  sim::EventLoop loop;
+  Rng rng(GetParam());
+  int fired = 0;
+  std::vector<sim::EventLoop::EventId> ids;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(loop.ScheduleAfter(rng.UniformInt(0, 1000), [&] { ++fired; }));
+  }
+  int cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 2) {
+    cancelled += loop.Cancel(ids[i]) ? 1 : 0;
+  }
+  loop.Run();
+  EXPECT_EQ(fired + cancelled, 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventLoopPropertyTest, ::testing::Values(1, 7, 42, 1337));
+
+// ---- Latency models: monotone in size, non-negative ------------------------------
+
+class LatencyPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LatencyPropertyTest, CostIsMonotoneInSize) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 50; ++trial) {
+    sim::LatencyModel model{rng.UniformInt(0, Millis(50)),
+                            rng.Uniform(1e6, 1e10), 0.0};
+    const Bytes a = rng.UniformInt(0, MiB(64));
+    const Bytes b = a + rng.UniformInt(0, MiB(64));
+    EXPECT_LE(model.Cost(a), model.Cost(b));
+    EXPECT_GE(model.Cost(0), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatencyPropertyTest, ::testing::Values(3, 99));
+
+// ---- Memory intervals: labeling algebra -------------------------------------------
+
+class IntervalPropertyTest : public ::testing::TestWithParam<Bytes> {};
+
+TEST_P(IntervalPropertyTest, UpperBoundCoversLabelledMemory) {
+  const core::MemoryIntervals intervals(GetParam(), GiB(2));
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const Bytes memory = rng.UniformInt(0, GiB(2) - 1);
+    const int label = intervals.Label(memory);
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, intervals.num_classes());
+    // The interval's upper bound always covers the memory that produced it.
+    EXPECT_GE(intervals.UpperBound(label), memory + 1 - intervals.interval_size());
+    EXPECT_GT(intervals.UpperBound(label), memory - intervals.interval_size());
+    // The conservative allocation covers it outright (§5.3.1).
+    EXPECT_GE(intervals.ConservativeAllocation(label) + intervals.interval_size(),
+              memory);
+    // Labels are monotone in memory.
+    EXPECT_LE(intervals.Label(memory / 2), label);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(IntervalSizes, IntervalPropertyTest,
+                         ::testing::Values(MiB(8), MiB(16), MiB(32)));
+
+// ---- RAMCloud cluster: accounting invariants under random op sequences ------------
+
+class ClusterPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClusterPropertyTest, AccountingStaysConsistent) {
+  sim::EventLoop loop;
+  rc::ClusterOptions options;
+  options.default_capacity = MiB(64);
+  options.replication_factor = 2;
+  rc::Cluster cluster(&loop, 4, options, Rng(11));
+  Rng rng(GetParam());
+  std::map<std::string, Bytes> live;
+
+  for (int step = 0; step < 400; ++step) {
+    const int op = static_cast<int>(rng.UniformInt(0, 3));
+    const std::string key = "k" + std::to_string(rng.UniformInt(0, 30));
+    if (op == 0) {
+      const Bytes size = rng.UniformInt(KiB(1), MiB(4));
+      cluster.Write(static_cast<int>(rng.UniformInt(0, 3)), key, size, 1,
+                    rc::ObjectClass::kInput, rng.Bernoulli(0.3), [&, key, size](Status s) {
+                      if (s.ok()) {
+                        live[key] = size;
+                      }
+                    });
+      loop.Run();
+    } else if (op == 1) {
+      if (cluster.Remove(key).ok()) {
+        live.erase(key);
+      }
+    } else if (op == 2) {
+      (void)cluster.MigrateMaster(key);
+    } else {
+      cluster.Read(static_cast<int>(rng.UniformInt(0, 3)), key,
+                   [](Result<rc::CachedObject>) {});
+      loop.Run();
+    }
+
+    // Invariant 1: total memory used equals the sum of live object sizes.
+    Bytes expected = 0;
+    for (const auto& [k, size] : live) {
+      expected += size;
+    }
+    ASSERT_EQ(cluster.TotalUsed(), expected) << "step " << step;
+    // Invariant 2: per-node accounting is non-negative and within capacity.
+    for (int n = 0; n < 4; ++n) {
+      ASSERT_GE(cluster.Used(n), 0);
+      ASSERT_LE(cluster.Used(n), cluster.Capacity(n));
+      ASSERT_GE(cluster.node_stats(n).disk_used, 0);
+    }
+    // Invariant 3: every object's master differs from all its backups, and
+    // replication is preserved across migrations.
+    for (const auto& [k, size] : live) {
+      const auto obj = cluster.Inspect(k);
+      ASSERT_TRUE(obj.ok());
+      for (int b : obj->backups) {
+        ASSERT_NE(b, obj->master) << k;
+      }
+      ASSERT_LE(obj->backups.size(), 2u);
+    }
+  }
+}
+
+TEST_P(ClusterPropertyTest, CrashRecoveryNeverLosesReplicatedObjects) {
+  sim::EventLoop loop;
+  rc::ClusterOptions options;
+  options.default_capacity = MiB(256);
+  options.replication_factor = 2;
+  rc::Cluster cluster(&loop, 5, options, Rng(13));
+  Rng rng(GetParam());
+  for (int i = 0; i < 60; ++i) {
+    cluster.Write(static_cast<int>(rng.UniformInt(0, 4)), "obj" + std::to_string(i),
+                  rng.UniformInt(KiB(4), MiB(2)), 1, rc::ObjectClass::kInput, false,
+                  [](Status) {});
+  }
+  loop.Run();
+  const std::size_t before = cluster.NumObjects();
+  const int victim = static_cast<int>(rng.UniformInt(0, 4));
+  const auto recovery = cluster.CrashNode(victim);
+  EXPECT_EQ(recovery.objects_lost, 0u);
+  EXPECT_EQ(cluster.NumObjects(), before);
+  // All objects remain readable after the crash.
+  int readable = 0;
+  for (int i = 0; i < 60; ++i) {
+    cluster.Read((victim + 1) % 5, "obj" + std::to_string(i),
+                 [&](Result<rc::CachedObject> obj) { readable += obj.ok(); });
+  }
+  loop.Run();
+  EXPECT_EQ(readable, 60);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusterPropertyTest, ::testing::Values(21, 22, 23));
+
+// ---- Workload demand: positivity and monotonicity across all functions -----------
+
+class DemandPropertyTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DemandPropertyTest, DemandIsPositiveAndMonotoneInContent) {
+  const workloads::FunctionSpec* spec = workloads::FindFunction(GetParam());
+  ASSERT_NE(spec, nullptr);
+  workloads::MediaGenerator generator(Rng(31));
+  Rng rng(37);
+  for (int i = 0; i < 50; ++i) {
+    const auto media = generator.Generate(spec->kind);
+    const auto args = workloads::SampleArgs(*spec, rng);
+    const auto demand = workloads::ComputeDemand(*spec, media, args, nullptr);
+    ASSERT_GT(demand.memory, 0);
+    ASSERT_GT(demand.compute, 0);
+    ASSERT_GT(demand.output_size, 0);
+    // Doubling the content volume cannot reduce any demand (noise-free).
+    workloads::MediaDescriptor bigger = media;
+    switch (media.kind) {
+      case workloads::InputKind::kImage:
+        bigger.width *= 2;
+        break;
+      case workloads::InputKind::kAudio:
+      case workloads::InputKind::kVideo:
+        bigger.duration_s *= 2;
+        break;
+      case workloads::InputKind::kText:
+        bigger.byte_size *= 2;
+        break;
+    }
+    bigger.byte_size = std::max(bigger.byte_size, media.byte_size);
+    const auto bigger_demand = workloads::ComputeDemand(*spec, bigger, args, nullptr);
+    EXPECT_GE(bigger_demand.memory, demand.memory) << spec->name;
+    EXPECT_GE(bigger_demand.compute, demand.compute) << spec->name;
+  }
+}
+
+TEST_P(DemandPropertyTest, ConservativePredictionCoversDemand) {
+  // End-to-end ML property: after enough training, the §5.3.1 conservative
+  // allocation covers the true demand for >= 85 % of fresh inputs.
+  const workloads::FunctionSpec* spec = workloads::FindFunction(GetParam());
+  core::ModelConfig config;
+  core::ModelRegistry registry(config);
+  core::ModelTrainer trainer(&registry, store::StoreProfile::Swift());
+  core::Predictor predictor(&registry);
+  Rng rng(41);
+  trainer.Pretrain(*spec, 1200, rng);
+  if (!registry.Find(spec->name)->mature()) {
+    GTEST_SKIP() << spec->name << " did not mature in 1200 invocations";
+  }
+  workloads::MediaGenerator generator(Rng(43));
+  int covered = 0;
+  const int trials = 100;
+  for (int i = 0; i < trials; ++i) {
+    const auto media = generator.Generate(spec->kind);
+    const auto args = workloads::SampleArgs(*spec, rng);
+    const auto prediction = predictor.Predict(*spec, media, args, GiB(2));
+    const auto demand = workloads::ComputeDemand(*spec, media, args, &rng);
+    covered += prediction.memory >= demand.memory;
+  }
+  EXPECT_GE(covered, 85) << spec->name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFunctions, DemandPropertyTest,
+                         ::testing::Values("wand_blur", "wand_resize", "wand_sepia",
+                                           "wand_rotate", "wand_denoise", "wand_edge",
+                                           "wand_grayscale", "sharp_resize", "face_blur",
+                                           "audio_compress", "speech_to_text",
+                                           "video_grayscale", "text_summarize"));
+
+// ---- J48 determinism: same data -> same tree ---------------------------------------
+
+class J48PropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(J48PropertyTest, TrainingIsDeterministic) {
+  const workloads::FunctionSpec* spec = workloads::FindFunction("wand_sepia");
+  const core::MemoryIntervals intervals;
+  ml::Dataset data(
+      ml::Schema(workloads::FeatureAttributes(*spec), intervals.ClassAttribute()));
+  workloads::MediaGenerator generator{Rng(GetParam())};  // Braces: vexing parse.
+  Rng rng(GetParam() + 1);
+  for (int i = 0; i < 250; ++i) {
+    const auto media = generator.Generate(spec->kind);
+    const auto args = workloads::SampleArgs(*spec, rng);
+    const auto demand = workloads::ComputeDemand(*spec, media, args, &rng);
+    ASSERT_TRUE(data.Add({workloads::ExtractFeatures(*spec, media, args),
+                          intervals.Label(demand.memory), 1.0})
+                    .ok());
+  }
+  ml::J48 a;
+  ml::J48 b;
+  ASSERT_TRUE(a.Train(data).ok());
+  ASSERT_TRUE(b.Train(data).ok());
+  EXPECT_EQ(a.NumNodes(), b.NumNodes());
+  for (const ml::Instance& inst : data.instances()) {
+    ASSERT_EQ(a.Predict(inst.features), b.Predict(inst.features));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, J48PropertyTest, ::testing::Values(51, 52));
+
+}  // namespace
+}  // namespace ofc

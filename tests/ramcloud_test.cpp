@@ -1,0 +1,313 @@
+// Unit tests for the RAMCloud-style cache cluster: placement, replication,
+// access stats, vertical scaling, optimized migration, crash recovery.
+#include <gtest/gtest.h>
+
+#include "src/ramcloud/cluster.h"
+
+namespace ofc::rc {
+namespace {
+
+ClusterOptions TestOptions() {
+  ClusterOptions options;
+  options.replication_factor = 2;
+  options.default_capacity = MiB(256);
+  return options;
+}
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  ClusterTest() : cluster_(&loop_, 4, TestOptions(), Rng(7)) {}
+
+  Status WriteSync(int client, const std::string& key, Bytes size,
+                   ObjectClass cls = ObjectClass::kInput, bool dirty = false) {
+    Status out = InternalError("unset");
+    cluster_.Write(client, key, size, 1, cls, dirty, [&](Status s) { out = s; });
+    loop_.Run();
+    return out;
+  }
+
+  Result<CachedObject> ReadSync(int client, const std::string& key) {
+    Result<CachedObject> out = InternalError("unset");
+    cluster_.Read(client, key, [&](Result<CachedObject> r) { out = std::move(r); });
+    loop_.Run();
+    return out;
+  }
+
+  sim::EventLoop loop_;
+  Cluster cluster_;
+};
+
+TEST_F(ClusterTest, WritePlacesMasterOnClientNode) {
+  ASSERT_TRUE(WriteSync(2, "a", MiB(1)).ok());
+  const auto master = cluster_.MasterOf("a");
+  ASSERT_TRUE(master.ok());
+  EXPECT_EQ(*master, 2);
+  EXPECT_EQ(cluster_.Used(2), MiB(1));
+}
+
+TEST_F(ClusterTest, WriteReplicatesToBackups) {
+  ASSERT_TRUE(WriteSync(0, "a", MiB(2)).ok());
+  const auto obj = cluster_.Inspect("a");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->backups.size(), 2u);
+  for (int b : obj->backups) {
+    EXPECT_NE(b, obj->master);
+    EXPECT_EQ(cluster_.node_stats(b).disk_used, MiB(2));
+  }
+}
+
+TEST_F(ClusterTest, RejectsOversizedObjects) {
+  const Status status = WriteSync(0, "big", MiB(11));
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(cluster_.stats().write_rejects, 1u);
+}
+
+TEST_F(ClusterTest, SpillsToOtherNodeWhenClientFull) {
+  SimDuration d = 0;
+  ASSERT_TRUE(cluster_.SetCapacity(1, MiB(1), &d).ok());
+  ASSERT_TRUE(WriteSync(1, "a", MiB(5)).ok());
+  const auto master = cluster_.MasterOf("a");
+  ASSERT_TRUE(master.ok());
+  EXPECT_NE(*master, 1);
+}
+
+TEST_F(ClusterTest, RejectsWhenClusterFull) {
+  for (int n = 0; n < 4; ++n) {
+    ASSERT_TRUE(cluster_.SetCapacity(n, KiB(1)).ok());
+  }
+  const Status status = WriteSync(0, "a", MiB(1));
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(ClusterTest, ReadTracksAccessStats) {
+  ASSERT_TRUE(WriteSync(0, "a", KiB(64)).ok());
+  loop_.RunUntil(loop_.now() + Seconds(5));
+  ASSERT_TRUE(ReadSync(0, "a").ok());
+  ASSERT_TRUE(ReadSync(3, "a").ok());
+  const auto obj = cluster_.Inspect("a");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->access_count, 2u);
+  EXPECT_GE(obj->last_access, Seconds(5));  // Stamped when the read started.
+  EXPECT_EQ(cluster_.stats().read_hits_local, 1u);
+  EXPECT_EQ(cluster_.stats().read_hits_remote, 1u);
+}
+
+TEST_F(ClusterTest, LocalReadFasterThanRemote) {
+  ASSERT_TRUE(WriteSync(0, "a", MiB(4)).ok());
+  const SimTime t0 = loop_.now();
+  ASSERT_TRUE(ReadSync(0, "a").ok());
+  const SimDuration local = loop_.now() - t0;
+  const SimTime t1 = loop_.now();
+  ASSERT_TRUE(ReadSync(1, "a").ok());
+  const SimDuration remote = loop_.now() - t1;
+  EXPECT_LT(local, remote);
+}
+
+TEST_F(ClusterTest, MissReturnsNotFound) {
+  const auto result = ReadSync(0, "nothing");
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(cluster_.stats().read_misses, 1u);
+}
+
+TEST_F(ClusterTest, UpdateReusesPlacement) {
+  ASSERT_TRUE(WriteSync(2, "a", MiB(1)).ok());
+  ASSERT_TRUE(WriteSync(0, "a", MiB(2)).ok());  // Update from another client.
+  const auto obj = cluster_.Inspect("a");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->master, 2);  // Master unchanged.
+  EXPECT_EQ(obj->size, MiB(2));
+  EXPECT_EQ(cluster_.Used(2), MiB(2));
+  EXPECT_EQ(cluster_.NumObjects(), 1u);
+}
+
+TEST_F(ClusterTest, RemoveReleasesMemoryAndDisk) {
+  ASSERT_TRUE(WriteSync(0, "a", MiB(2)).ok());
+  const auto obj = cluster_.Inspect("a");
+  ASSERT_TRUE(cluster_.Remove("a").ok());
+  EXPECT_EQ(cluster_.Used(0), 0);
+  for (int b : obj->backups) {
+    EXPECT_EQ(cluster_.node_stats(b).disk_used, 0);
+  }
+  EXPECT_FALSE(cluster_.Contains("a"));
+  EXPECT_FALSE(cluster_.Remove("a").ok());
+}
+
+TEST_F(ClusterTest, SetCapacityBelowUsageFails) {
+  ASSERT_TRUE(WriteSync(0, "a", MiB(5)).ok());
+  const Status status = cluster_.SetCapacity(0, MiB(2));
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ClusterTest, MigrationPromotesBackupWithoutTransfer) {
+  ASSERT_TRUE(WriteSync(0, "a", MiB(4)).ok());
+  const auto before = cluster_.Inspect("a");
+  ASSERT_TRUE(before.ok());
+  const auto result = cluster_.MigrateMaster("a");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->old_master, 0);
+  // The new master must be one of the previous backups.
+  EXPECT_TRUE(std::find(before->backups.begin(), before->backups.end(),
+                        result->new_master) != before->backups.end());
+  const auto after = cluster_.Inspect("a");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->master, result->new_master);
+  // The old master keeps an on-disk copy: replication factor preserved.
+  EXPECT_EQ(after->backups.size(), before->backups.size());
+  EXPECT_TRUE(std::find(after->backups.begin(), after->backups.end(), 0) !=
+              after->backups.end());
+  EXPECT_EQ(cluster_.Used(0), 0);
+  EXPECT_EQ(cluster_.Used(result->new_master), MiB(4));
+  EXPECT_GT(result->duration, 0);
+}
+
+TEST_F(ClusterTest, MigrationDurationScalesWithSize) {
+  ASSERT_TRUE(WriteSync(0, "small", MiB(1)).ok());
+  ASSERT_TRUE(WriteSync(0, "large", MiB(8)).ok());
+  const auto small = cluster_.MigrateMaster("small");
+  const auto large = cluster_.MigrateMaster("large");
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_LT(small->duration, large->duration);
+  // §7.2.1 calibration: 8 MB migrates in roughly 0.18 ms.
+  EXPECT_NEAR(static_cast<double>(large->duration), 180.0, 120.0);
+}
+
+TEST_F(ClusterTest, CrashRecoveryPromotesBackups) {
+  ASSERT_TRUE(WriteSync(0, "a", MiB(2)).ok());
+  ASSERT_TRUE(WriteSync(0, "b", MiB(3)).ok());
+  const auto result = cluster_.CrashNode(0);
+  EXPECT_EQ(result.objects_recovered, 2u);
+  EXPECT_EQ(result.objects_lost, 0u);
+  EXPECT_GT(result.duration, 0);
+  for (const std::string& key : {"a", "b"}) {
+    const auto obj = cluster_.Inspect(key);
+    ASSERT_TRUE(obj.ok());
+    EXPECT_NE(obj->master, 0);
+    EXPECT_TRUE(cluster_.node_stats(obj->master).alive);
+    // The promotion consumed one on-disk copy; the coordinator re-replicated
+    // to restore the factor, on alive nodes distinct from the master.
+    EXPECT_EQ(obj->backups.size(), 2u);
+    for (int b : obj->backups) {
+      EXPECT_NE(b, obj->master);
+      EXPECT_NE(b, 0);
+      EXPECT_TRUE(cluster_.node_stats(b).alive);
+    }
+  }
+}
+
+TEST_F(ClusterTest, CrashedBackupsAreReplaced) {
+  ASSERT_TRUE(WriteSync(0, "a", MiB(2)).ok());
+  const auto before = cluster_.Inspect("a");
+  const int backup = before->backups.front();
+  (void)cluster_.CrashNode(backup);
+  const auto after = cluster_.Inspect("a");
+  ASSERT_TRUE(after.ok());
+  for (int b : after->backups) {
+    EXPECT_NE(b, backup);
+  }
+  EXPECT_EQ(after->backups.size(), 2u);
+}
+
+TEST_F(ClusterTest, TotalUsedAndCapacityAggregate) {
+  ASSERT_TRUE(WriteSync(0, "a", MiB(1)).ok());
+  ASSERT_TRUE(WriteSync(1, "b", MiB(2)).ok());
+  EXPECT_EQ(cluster_.TotalUsed(), MiB(3));
+  EXPECT_EQ(cluster_.TotalCapacity(), 4 * MiB(256));
+}
+
+TEST_F(ClusterTest, KeysOnFiltersbyMaster) {
+  ASSERT_TRUE(WriteSync(0, "a", MiB(1)).ok());
+  ASSERT_TRUE(WriteSync(1, "b", MiB(1)).ok());
+  ASSERT_TRUE(WriteSync(0, "c", MiB(1)).ok());
+  EXPECT_EQ(cluster_.KeysOn(0).size(), 2u);
+  EXPECT_EQ(cluster_.KeysOn(1).size(), 1u);
+  EXPECT_EQ(cluster_.KeysOn(3).size(), 0u);
+}
+
+TEST_F(ClusterTest, ConditionalWriteEnforcesVersions) {
+  // Create (expected 0), then CAS-update, then reject a stale CAS.
+  Status create = InternalError("unset");
+  cluster_.ConditionalWrite(0, "a", MiB(1), 0, 5, ObjectClass::kInput, false,
+                            [&](Status s) { create = s; });
+  loop_.Run();
+  ASSERT_TRUE(create.ok());
+  EXPECT_EQ(cluster_.Inspect("a")->version, 5u);
+
+  Status update = InternalError("unset");
+  cluster_.ConditionalWrite(0, "a", MiB(2), 5, 6, ObjectClass::kInput, false,
+                            [&](Status s) { update = s; });
+  loop_.Run();
+  ASSERT_TRUE(update.ok());
+  EXPECT_EQ(cluster_.Inspect("a")->version, 6u);
+  EXPECT_EQ(cluster_.Inspect("a")->size, MiB(2));
+
+  Status stale = OkStatus();
+  cluster_.ConditionalWrite(0, "a", MiB(3), 5, 7, ObjectClass::kInput, false,
+                            [&](Status s) { stale = s; });
+  loop_.Run();
+  EXPECT_EQ(stale.code(), StatusCode::kAborted);
+  EXPECT_EQ(cluster_.Inspect("a")->size, MiB(2));  // Unchanged.
+  EXPECT_EQ(cluster_.stats().version_conflicts, 1u);
+}
+
+TEST_F(ClusterTest, CommitAppliesAllOrNothing) {
+  ASSERT_TRUE(WriteSync(0, "x", MiB(1)).ok());  // version 1.
+  // A transaction touching an existing object and creating a new one.
+  Status committed = InternalError("unset");
+  cluster_.Commit(0,
+                  {{"x", MiB(2), 1, 2, ObjectClass::kInput, false},
+                   {"y", MiB(1), 0, 1, ObjectClass::kFinalOutput, true}},
+                  [&](Status s) { committed = s; });
+  loop_.Run();
+  ASSERT_TRUE(committed.ok());
+  EXPECT_EQ(cluster_.Inspect("x")->version, 2u);
+  EXPECT_TRUE(cluster_.Contains("y"));
+  EXPECT_EQ(cluster_.stats().transactions_committed, 1u);
+
+  // A conflicting transaction aborts without any side effects.
+  Status aborted = OkStatus();
+  cluster_.Commit(0,
+                  {{"x", MiB(3), 1 /*stale*/, 3, ObjectClass::kInput, false},
+                   {"z", MiB(1), 0, 1, ObjectClass::kInput, false}},
+                  [&](Status s) { aborted = s; });
+  loop_.Run();
+  EXPECT_EQ(aborted.code(), StatusCode::kAborted);
+  EXPECT_EQ(cluster_.Inspect("x")->size, MiB(2));
+  EXPECT_FALSE(cluster_.Contains("z"));
+}
+
+TEST_F(ClusterTest, LogFootprintTracksFragmentation) {
+  // Live bytes and physical footprint diverge under churn; the cleaner inside
+  // SetCapacity reconciles them.
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(WriteSync(0, "k" + std::to_string(i), MiB(3)).ok());
+  }
+  for (int i = 0; i < 8; i += 2) {
+    ASSERT_TRUE(cluster_.Remove("k" + std::to_string(i)).ok());
+  }
+  EXPECT_EQ(cluster_.Used(0), MiB(12));  // 4 live objects.
+  EXPECT_GT(cluster_.node_log(0).footprint(), cluster_.Used(0));
+  // Shrinking to just above live size forces a cleaning pass.
+  SimDuration duration = 0;
+  ASSERT_TRUE(cluster_.SetCapacity(0, MiB(16), &duration).ok());
+  EXPECT_LE(cluster_.node_log(0).footprint(), MiB(16));
+  EXPECT_EQ(cluster_.Used(0), MiB(12));  // Live data intact.
+  for (int i = 1; i < 8; i += 2) {
+    EXPECT_TRUE(cluster_.Contains("k" + std::to_string(i)));
+  }
+}
+
+TEST_F(ClusterTest, DirtyFlagAndMarkPersisted) {
+  ASSERT_TRUE(WriteSync(0, "a", MiB(1), ObjectClass::kFinalOutput, /*dirty=*/true).ok());
+  auto obj = cluster_.Inspect("a");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_TRUE(obj->dirty);
+  EXPECT_FALSE(obj->persisted);
+  ASSERT_TRUE(cluster_.MarkPersisted("a").ok());
+  obj = cluster_.Inspect("a");
+  EXPECT_FALSE(obj->dirty);
+  EXPECT_TRUE(obj->persisted);
+}
+
+}  // namespace
+}  // namespace ofc::rc

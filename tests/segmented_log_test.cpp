@@ -1,0 +1,210 @@
+// Unit tests for the RAMCloud-style log-structured memory: segment allocation,
+// jumbo entries, fragmentation, the cleaner, and capacity bounds.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/rng.h"
+#include "src/ramcloud/segmented_log.h"
+
+namespace ofc::rc {
+namespace {
+
+SegmentedLogOptions SmallSegments() {
+  SegmentedLogOptions options;
+  options.segment_size = MiB(1);
+  return options;
+}
+
+TEST(SegmentedLogTest, StartsEmpty) {
+  SegmentedLog log(SmallSegments());
+  EXPECT_EQ(log.live_bytes(), 0);
+  EXPECT_EQ(log.footprint(), 0);
+  EXPECT_EQ(log.num_segments(), 0u);
+  EXPECT_DOUBLE_EQ(log.utilization(), 1.0);
+}
+
+TEST(SegmentedLogTest, AppendAllocatesSegments) {
+  SegmentedLog log(SmallSegments());
+  const auto a = log.Append(KiB(300), MiB(16));
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(log.live_bytes(), KiB(300));
+  EXPECT_EQ(log.footprint(), MiB(1));  // One segment holds it.
+  const auto b = log.Append(KiB(300), MiB(16));
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(log.footprint(), MiB(1));  // Same segment has room.
+  const auto c = log.Append(KiB(600), MiB(16));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(log.footprint(), MiB(2));  // Needs a second segment.
+  EXPECT_NE(*a, *b);
+}
+
+TEST(SegmentedLogTest, JumboEntriesGetDedicatedSegment) {
+  SegmentedLog log(SmallSegments());
+  const auto big = log.Append(MiB(5), MiB(16));
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(log.footprint(), MiB(5));  // Exact-size jumbo segment.
+  EXPECT_EQ(log.num_segments(), 1u);
+  ASSERT_TRUE(log.Free(*big).ok());
+  EXPECT_EQ(log.footprint(), 0);  // Fully dead segments release instantly.
+}
+
+TEST(SegmentedLogTest, CapacityBoundsFootprint) {
+  SegmentedLog log(SmallSegments());
+  ASSERT_TRUE(log.Append(KiB(900), MiB(2)).ok());
+  ASSERT_TRUE(log.Append(KiB(900), MiB(2)).ok());
+  // A third segment would exceed the 2 MiB bound, and nothing can be cleaned.
+  const auto result = log.Append(KiB(900), MiB(2));
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_LE(log.footprint(), MiB(2));
+}
+
+TEST(SegmentedLogTest, FreeLeavesDeadBytesUntilCleaned) {
+  SegmentedLog log(SmallSegments());
+  const auto a = log.Append(KiB(500), MiB(16));
+  const auto b = log.Append(KiB(400), MiB(16));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(log.Free(*a).ok());
+  // The segment still holds b, so its footprint persists; utilization drops.
+  EXPECT_EQ(log.live_bytes(), KiB(400));
+  EXPECT_EQ(log.footprint(), MiB(1));
+  EXPECT_LT(log.utilization(), 0.5);
+}
+
+TEST(SegmentedLogTest, DoubleFreeIsNotFound) {
+  SegmentedLog log(SmallSegments());
+  const auto a = log.Append(KiB(10), MiB(16));
+  ASSERT_TRUE(log.Free(*a).ok());
+  EXPECT_EQ(log.Free(*a).code(), StatusCode::kNotFound);
+  EXPECT_EQ(log.Free(9999).code(), StatusCode::kNotFound);
+}
+
+TEST(SegmentedLogTest, CleanerCompactsFragmentedSegments) {
+  SegmentedLog log(SmallSegments());
+  // Fill 4 segments with pairs of ~512 KiB entries, then kill one entry per
+  // segment: 4 half-dead segments.
+  std::vector<SegmentedLog::EntryId> keep;
+  std::vector<SegmentedLog::EntryId> kill;
+  for (int s = 0; s < 4; ++s) {
+    keep.push_back(*log.Append(KiB(500), MiB(16)));
+    kill.push_back(*log.Append(KiB(500), MiB(16)));
+  }
+  for (auto id : kill) {
+    ASSERT_TRUE(log.Free(id).ok());
+  }
+  EXPECT_EQ(log.footprint(), MiB(4));
+  EXPECT_NEAR(log.utilization(), 0.49, 0.03);
+
+  const CleanResult result = log.Clean(/*max_footprint=*/MiB(16));
+  // Live data (4 x 500 KiB) packs into 2 segments.
+  EXPECT_EQ(log.footprint(), MiB(2));
+  EXPECT_GE(result.segments_freed, 2);
+  EXPECT_GT(result.bytes_copied, 0);
+  EXPECT_GT(result.duration, 0);
+  EXPECT_GT(log.utilization(), 0.9);
+  // All kept entries survive with their sizes intact.
+  for (auto id : keep) {
+    const auto size = log.EntrySize(id);
+    ASSERT_TRUE(size.ok());
+    EXPECT_EQ(*size, KiB(500));
+  }
+}
+
+TEST(SegmentedLogTest, AppendTriggersCleaningUnderPressure) {
+  SegmentedLog log(SmallSegments());
+  // Two half-dead segments under a 2 MiB cap: a fresh 800 KiB append only fits
+  // after compaction.
+  const auto a = log.Append(KiB(500), MiB(2));
+  const auto dead_a = log.Append(KiB(500), MiB(2));
+  const auto b = log.Append(KiB(500), MiB(2));
+  const auto dead_b = log.Append(KiB(500), MiB(2));
+  ASSERT_TRUE(log.Free(*dead_a).ok());
+  ASSERT_TRUE(log.Free(*dead_b).ok());
+  SimDuration cleaning = 0;
+  const auto c = log.Append(KiB(800), MiB(2), &cleaning);
+  ASSERT_TRUE(c.ok());
+  EXPECT_GT(cleaning, 0);
+  EXPECT_LE(log.footprint(), MiB(2));
+  EXPECT_TRUE(log.EntrySize(*a).ok());
+  EXPECT_TRUE(log.EntrySize(*b).ok());
+}
+
+TEST(SegmentedLogTest, CleanIsNoOpWhenFullyLive) {
+  SegmentedLog log(SmallSegments());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(log.Append(KiB(900), MiB(16)).ok());
+  }
+  const Bytes before = log.footprint();
+  const CleanResult result = log.Clean(MiB(16));
+  EXPECT_EQ(result.bytes_copied, 0);
+  EXPECT_EQ(log.footprint(), before);
+}
+
+TEST(SegmentedLogTest, StatsAccumulate) {
+  SegmentedLog log(SmallSegments());
+  const auto a = log.Append(KiB(100), MiB(16));
+  (void)log.Append(KiB(100), MiB(16));
+  ASSERT_TRUE(log.Free(*a).ok());
+  (void)log.Clean(MiB(16));
+  const SegmentedLogStats& stats = log.stats();
+  EXPECT_EQ(stats.appends, 2u);
+  EXPECT_EQ(stats.frees, 1u);
+  EXPECT_GE(stats.cleaner_runs, 1u);
+  EXPECT_GE(stats.segments_allocated, 1);
+}
+
+TEST(SegmentedLogTest, SegmentSlotsAreReused) {
+  SegmentedLog log(SmallSegments());
+  for (int round = 0; round < 20; ++round) {
+    const auto id = log.Append(KiB(900), MiB(2));
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(log.Free(*id).ok());
+  }
+  // Twenty alloc/free rounds must not grow the footprint.
+  EXPECT_EQ(log.footprint(), 0);
+  EXPECT_EQ(log.stats().segments_reclaimed, 20);
+}
+
+// Property sweep: random append/free churn keeps the accounting consistent.
+class LogChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LogChurnTest, InvariantsHoldUnderChurn) {
+  SegmentedLog log(SmallSegments());
+  Rng rng(GetParam());
+  std::map<SegmentedLog::EntryId, Bytes> live;
+  Bytes live_sum = 0;
+  for (int step = 0; step < 600; ++step) {
+    if (live.empty() || rng.Bernoulli(0.55)) {
+      const Bytes size = rng.UniformInt(KiB(1), KiB(1500));
+      const auto id = log.Append(size, MiB(32));
+      if (id.ok()) {
+        live[*id] = size;
+        live_sum += size;
+      }
+    } else {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.Index(live.size())));
+      ASSERT_TRUE(log.Free(it->first).ok());
+      live_sum -= it->second;
+      live.erase(it);
+    }
+    if (step % 97 == 0) {
+      (void)log.Clean(MiB(32));
+    }
+    ASSERT_EQ(log.live_bytes(), live_sum);
+    ASSERT_GE(log.footprint(), log.live_bytes());
+    ASSERT_EQ(log.num_entries(), live.size());
+  }
+  // After freeing everything and cleaning, the footprint returns to zero.
+  for (const auto& [id, size] : live) {
+    ASSERT_TRUE(log.Free(id).ok());
+  }
+  (void)log.Clean(MiB(32));
+  EXPECT_EQ(log.footprint(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LogChurnTest, ::testing::Values(61, 62, 63, 64));
+
+}  // namespace
+}  // namespace ofc::rc

@@ -1,0 +1,237 @@
+// Tests for ML serialization (schemas, instances, J48 trees), the CouchDB-like
+// metadata store, and full FunctionModel persistence through OfcSystem — the
+// §5.1 "models live with the function metadata" flow.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bench/trace_util.h"
+#include "src/core/ml_service.h"
+#include "src/core/ofc_system.h"
+#include "src/faas/metadata_store.h"
+#include "src/faasload/environment.h"
+#include "src/ml/serialization.h"
+
+namespace ofc {
+namespace {
+
+// ---- Primitives ------------------------------------------------------------------
+
+TEST(SerializationTest, StringRoundTrip) {
+  std::ostringstream out;
+  ml::WriteString(out, "hello world");  // Embedded whitespace survives.
+  ml::WriteString(out, "");
+  std::istringstream in(out.str());
+  EXPECT_EQ(*ml::ReadString(in), "hello world");
+  EXPECT_EQ(*ml::ReadString(in), "");
+}
+
+TEST(SerializationTest, TruncatedStringFails) {
+  std::istringstream in("42 short");
+  EXPECT_FALSE(ml::ReadString(in).ok());
+}
+
+TEST(SerializationTest, SchemaRoundTrip) {
+  const ml::Schema schema({ml::Attribute::Numeric("x"),
+                           ml::Attribute::Nominal("fmt", {"jpeg", "png"})},
+                          ml::Attribute::Nominal("cls", {"a", "b", "c"}));
+  std::ostringstream out;
+  ml::WriteSchema(out, schema);
+  std::istringstream in(out.str());
+  const auto restored = ml::ReadSchema(in);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->num_features(), 2u);
+  EXPECT_EQ(restored->feature(0).name, "x");
+  EXPECT_EQ(restored->feature(0).kind, ml::AttributeKind::kNumeric);
+  EXPECT_EQ(restored->feature(1).values, (std::vector<std::string>{"jpeg", "png"}));
+  EXPECT_EQ(restored->num_classes(), 3u);
+}
+
+TEST(SerializationTest, InstancesRoundTripExactly) {
+  const ml::Schema schema({ml::Attribute::Numeric("x"), ml::Attribute::Numeric("y")},
+                          ml::Attribute::Nominal("cls", {"a", "b"}));
+  std::vector<ml::Instance> instances = {
+      {{1.5, -2.25}, 0, 1.0},
+      {{0.1 + 0.2, 1e-300}, 1, 2.5},  // Non-representable decimals round-trip.
+  };
+  std::ostringstream out;
+  ml::WriteInstances(out, instances);
+  std::istringstream in(out.str());
+  const auto restored = ml::ReadInstances(in, schema);
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ((*restored)[i].label, instances[i].label);
+    EXPECT_EQ((*restored)[i].weight, instances[i].weight);
+    EXPECT_EQ((*restored)[i].features, instances[i].features);  // Bit-exact.
+  }
+}
+
+TEST(SerializationTest, J48RoundTripPredictsIdentically) {
+  const workloads::FunctionSpec* spec = workloads::FindFunction("wand_sepia");
+  const core::MemoryIntervals intervals;
+  const ml::Dataset data = bench::BuildMemoryDataset(*spec, intervals, 300, 71);
+  ml::J48 model;
+  ASSERT_TRUE(model.Train(data).ok());
+
+  const std::string blob = SerializeJ48(model);
+  const auto restored = ml::DeserializeJ48(blob);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->NumNodes(), model.NumNodes());
+  for (const ml::Instance& inst : data.instances()) {
+    ASSERT_EQ(restored->Predict(inst.features), model.Predict(inst.features));
+  }
+}
+
+TEST(SerializationTest, UntrainedJ48RoundTrips) {
+  ml::J48 model;
+  const auto restored = ml::DeserializeJ48(SerializeJ48(model));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->NumNodes(), 0u);
+}
+
+TEST(SerializationTest, GarbageIsRejected) {
+  EXPECT_FALSE(ml::DeserializeJ48("not a model").ok());
+  EXPECT_FALSE(ml::DeserializeJ48("j48 1 schema garbage").ok());
+  EXPECT_FALSE(ml::DeserializeJ48("").ok());
+}
+
+// ---- MetadataStore ----------------------------------------------------------------
+
+class MetadataStoreTest : public ::testing::Test {
+ protected:
+  MetadataStoreTest() : store_(&loop_, Rng(1)) {}
+  sim::EventLoop loop_;
+  faas::MetadataStore store_;
+};
+
+TEST_F(MetadataStoreTest, CreateGetUpdate) {
+  Result<std::uint64_t> rev1 = InternalError("unset");
+  store_.Put("doc", "v1", 0, [&](Result<std::uint64_t> r) { rev1 = r; });
+  loop_.Run();
+  ASSERT_TRUE(rev1.ok());
+  EXPECT_EQ(*rev1, 1u);
+
+  Result<faas::Document> doc = InternalError("unset");
+  store_.Get("doc", [&](Result<faas::Document> d) { doc = std::move(d); });
+  loop_.Run();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->body, "v1");
+
+  Result<std::uint64_t> rev2 = InternalError("unset");
+  store_.Put("doc", "v2", *rev1, [&](Result<std::uint64_t> r) { rev2 = r; });
+  loop_.Run();
+  ASSERT_TRUE(rev2.ok());
+  EXPECT_EQ(*rev2, 2u);
+  EXPECT_EQ(store_.Stat("doc")->body, "v2");
+}
+
+TEST_F(MetadataStoreTest, StaleRevisionConflicts) {
+  store_.Seed("doc", "v1");  // revision 1
+  Result<std::uint64_t> result = InternalError("unset");
+  store_.Put("doc", "v2", 0, [&](Result<std::uint64_t> r) { result = r; });
+  loop_.Run();
+  EXPECT_EQ(result.status().code(), StatusCode::kAborted);
+  EXPECT_EQ(store_.Stat("doc")->body, "v1");  // Unchanged.
+}
+
+TEST_F(MetadataStoreTest, GetMissingIsNotFound) {
+  Result<faas::Document> doc = InternalError("unset");
+  store_.Get("missing", [&](Result<faas::Document> d) { doc = std::move(d); });
+  loop_.Run();
+  EXPECT_EQ(doc.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MetadataStoreTest, DeleteChecksRevision) {
+  store_.Seed("doc", "v1");
+  Status stale = OkStatus();
+  store_.Delete("doc", 99, [&](Status s) { stale = s; });
+  loop_.Run();
+  EXPECT_EQ(stale.code(), StatusCode::kAborted);
+  Status ok_delete = InternalError("unset");
+  store_.Delete("doc", 1, [&](Status s) { ok_delete = s; });
+  loop_.Run();
+  EXPECT_TRUE(ok_delete.ok());
+  EXPECT_FALSE(store_.Exists("doc"));
+}
+
+// ---- FunctionModel persistence -------------------------------------------------------
+
+TEST(ModelPersistenceTest, StateRoundTripPreservesBehaviour) {
+  const workloads::FunctionSpec* spec = workloads::FindFunction("wand_sepia");
+  core::ModelConfig config;
+  core::ModelRegistry registry(config);
+  core::ModelTrainer trainer(&registry, store::StoreProfile::Swift());
+  Rng rng(73);
+  trainer.Pretrain(*spec, 800, rng);
+  core::FunctionModel& original = *registry.Find(spec->name);
+  ASSERT_TRUE(original.mature());
+
+  core::FunctionModel clone(spec->name, workloads::FeatureAttributes(*spec), config);
+  ASSERT_TRUE(clone.RestoreState(original.SerializeState()).ok());
+  EXPECT_TRUE(clone.mature());
+  EXPECT_EQ(clone.observations(), original.observations());
+  EXPECT_EQ(clone.matured_at(), original.matured_at());
+  EXPECT_EQ(clone.training_set_size(), original.training_set_size());
+
+  workloads::MediaGenerator generator(Rng(79));
+  for (int i = 0; i < 100; ++i) {
+    const auto media = generator.Generate(spec->kind);
+    const auto args = workloads::SampleArgs(*spec, rng);
+    const auto features = workloads::ExtractFeatures(*spec, media, args);
+    ASSERT_EQ(clone.PredictClass(features), original.PredictClass(features));
+    ASSERT_EQ(clone.PredictBenefit(features), original.PredictBenefit(features));
+  }
+}
+
+TEST(ModelPersistenceTest, RestoreRejectsWrongFunction) {
+  const workloads::FunctionSpec* sepia = workloads::FindFunction("wand_sepia");
+  const workloads::FunctionSpec* blur = workloads::FindFunction("wand_blur");
+  core::ModelConfig config;
+  core::FunctionModel a(sepia->name, workloads::FeatureAttributes(*sepia), config);
+  core::FunctionModel b(blur->name, workloads::FeatureAttributes(*blur), config);
+  EXPECT_FALSE(b.RestoreState(a.SerializeState()).ok());
+  EXPECT_FALSE(a.RestoreState("garbage").ok());
+}
+
+TEST(ModelPersistenceTest, OfcPersistAndReloadAcrossRestart) {
+  // Session 1: train models, persist them into the metadata DB.
+  faasload::EnvironmentOptions options;
+  options.platform.num_workers = 2;
+  options.seed = 81;
+  faasload::Environment session1(faasload::Mode::kOfc, options);
+  faas::MetadataStore db(&session1.loop(), Rng(83));
+  const workloads::FunctionSpec* spec = workloads::FindFunction("wand_sepia");
+  Rng rng(85);
+  session1.ofc()->trainer().Pretrain(*spec, 800, rng);
+  ASSERT_TRUE(session1.ofc()->registry().Find(spec->name)->mature());
+  Status persisted = InternalError("unset");
+  session1.ofc()->PersistModels(&db, [&](Status s) { persisted = s; });
+  session1.loop().RunUntil(session1.loop().now() + Seconds(5));
+  ASSERT_TRUE(persisted.ok());
+  ASSERT_TRUE(db.Exists("model/wand_sepia"));
+  const std::string body = db.Stat("model/wand_sepia")->body;
+
+  // Session 2 ("restart"): a fresh OFC loads the document and is immediately
+  // mature — no warm-up invocations needed.
+  faasload::Environment session2(faasload::Mode::kOfc, options);
+  faas::MetadataStore db2(&session2.loop(), Rng(87));
+  db2.Seed("model/wand_sepia", body);
+  Status loaded = InternalError("unset");
+  session2.ofc()->LoadModel(&db2, *spec, [&](Status s) { loaded = s; });
+  session2.loop().RunUntil(session2.loop().now() + Seconds(5));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(session2.ofc()->registry().Find(spec->name)->mature());
+
+  // And its predictor immediately hoards memory.
+  workloads::MediaGenerator generator(Rng(89));
+  const auto media = generator.Generate(spec->kind);
+  const auto args = workloads::SampleArgs(*spec, rng);
+  const auto prediction =
+      session2.ofc()->predictor().Predict(*spec, media, args, GiB(2));
+  EXPECT_TRUE(prediction.from_model);
+  EXPECT_LT(prediction.memory, GiB(1));
+}
+
+}  // namespace
+}  // namespace ofc

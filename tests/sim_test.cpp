@@ -1,0 +1,127 @@
+// Unit tests for the discrete-event simulation core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_loop.h"
+#include "src/sim/latency.h"
+
+namespace ofc::sim {
+namespace {
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAfter(Millis(30), [&] { order.push_back(3); });
+  loop.ScheduleAfter(Millis(10), [&] { order.push_back(1); });
+  loop.ScheduleAfter(Millis(20), [&] { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.now(), Millis(30));
+}
+
+TEST(EventLoopTest, EqualTimestampsRunInScheduleOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    loop.ScheduleAfter(Millis(10), [&order, i] { order.push_back(i); });
+  }
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventLoopTest, NestedScheduling) {
+  EventLoop loop;
+  std::vector<SimTime> times;
+  loop.ScheduleAfter(Millis(5), [&] {
+    times.push_back(loop.now());
+    loop.ScheduleAfter(Millis(5), [&] { times.push_back(loop.now()); });
+  });
+  loop.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], Millis(5));
+  EXPECT_EQ(times[1], Millis(10));
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  int ran = 0;
+  const auto id = loop.ScheduleAfter(Millis(5), [&] { ++ran; });
+  EXPECT_TRUE(loop.Cancel(id));
+  EXPECT_FALSE(loop.Cancel(id));  // Second cancel is a no-op.
+  loop.Run();
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(EventLoopTest, RunUntilAdvancesClockToDeadline) {
+  EventLoop loop;
+  int ran = 0;
+  loop.ScheduleAfter(Seconds(10), [&] { ++ran; });
+  loop.RunUntil(Seconds(5));
+  EXPECT_EQ(ran, 0);
+  EXPECT_EQ(loop.now(), Seconds(5));
+  loop.RunUntil(Seconds(20));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(loop.now(), Seconds(20));
+}
+
+TEST(EventLoopTest, StepRunsExactlyOneEvent) {
+  EventLoop loop;
+  int ran = 0;
+  loop.ScheduleAfter(Millis(1), [&] { ++ran; });
+  loop.ScheduleAfter(Millis(2), [&] { ++ran; });
+  EXPECT_TRUE(loop.Step());
+  EXPECT_EQ(ran, 1);
+  EXPECT_TRUE(loop.Step());
+  EXPECT_EQ(ran, 2);
+  EXPECT_FALSE(loop.Step());
+}
+
+TEST(EventLoopTest, StepSkipsCancelledEvents) {
+  EventLoop loop;
+  int ran = 0;
+  const auto id = loop.ScheduleAfter(Millis(1), [&] { ++ran; });
+  loop.ScheduleAfter(Millis(2), [&] { ++ran; });
+  loop.Cancel(id);
+  EXPECT_TRUE(loop.Step());  // Skips the cancelled one, runs the live one.
+  EXPECT_EQ(ran, 1);
+  EXPECT_FALSE(loop.Step());
+}
+
+TEST(LatencyModelTest, BaseOnly) {
+  LatencyModel m{Millis(10), 0.0, 0.0};
+  EXPECT_EQ(m.Cost(MiB(100)), Millis(10));
+}
+
+TEST(LatencyModelTest, BandwidthProportional) {
+  LatencyModel m{0, 1e6, 0.0};  // 1 MB/s
+  EXPECT_EQ(m.Cost(1000000), Seconds(1));
+  EXPECT_EQ(m.Cost(500000), Millis(500));
+}
+
+TEST(LatencyModelTest, JitterBoundsHold) {
+  LatencyModel m{Millis(10), 0.0, 0.2};
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const SimDuration c = m.Cost(0, &rng);
+    EXPECT_GE(c, Millis(8) - 1);
+    EXPECT_LE(c, Millis(12) + 1);
+  }
+}
+
+TEST(LatencyModelTest, ProfilesOrderedByHierarchy) {
+  // Local RAM < remote RAM < Redis-style IMOC < Swift < S3 for a 64 KiB object.
+  Bytes size = KiB(64);
+  const auto local = LatencyProfiles::RamcloudLocal().Cost(size);
+  const auto remote = LatencyProfiles::RamcloudRemote().Cost(size);
+  const auto redis = LatencyProfiles::RedisRequest().Cost(size);
+  const auto swift = LatencyProfiles::SwiftRequest().Cost(size);
+  const auto s3 = LatencyProfiles::S3Request().Cost(size);
+  EXPECT_LT(local, remote);
+  EXPECT_LT(remote, redis);
+  EXPECT_LT(redis, swift);
+  EXPECT_LT(swift, s3);
+}
+
+}  // namespace
+}  // namespace ofc::sim

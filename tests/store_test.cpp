@@ -1,0 +1,182 @@
+// Unit tests for the object store: versioning, shadow objects, webhooks,
+// latency accounting.
+#include <gtest/gtest.h>
+
+#include "src/sim/event_loop.h"
+#include "src/store/object_store.h"
+
+namespace ofc::store {
+namespace {
+
+class StoreTest : public ::testing::Test {
+ protected:
+  StoreTest()
+      : store_(&loop_, sim::LatencyModel{Millis(10), 100e6, 0.0}, Rng(1), "test",
+               sim::LatencyModel{Millis(2), 0.0, 0.0}) {}
+
+  sim::EventLoop loop_;
+  ObjectStore store_;
+};
+
+TEST_F(StoreTest, PutThenGet) {
+  Status put_status = InternalError("unset");
+  store_.Put("c/a", KiB(100), {{"kind", "image"}}, [&](Status s) { put_status = s; });
+  loop_.Run();
+  EXPECT_TRUE(put_status.ok());
+
+  Result<ObjectMetadata> meta = NotFoundError("unset");
+  store_.Get("c/a", [&](Result<ObjectMetadata> m) { meta = std::move(m); });
+  loop_.Run();
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->size, KiB(100));
+  EXPECT_EQ(meta->tags.at("kind"), "image");
+  EXPECT_FALSE(meta->IsShadow());
+}
+
+TEST_F(StoreTest, GetMissingReturnsNotFound) {
+  Result<ObjectMetadata> meta = OkStatus().ok() ? Result<ObjectMetadata>(InternalError("u"))
+                                                : Result<ObjectMetadata>(InternalError("u"));
+  store_.Get("c/missing", [&](Result<ObjectMetadata> m) { meta = std::move(m); });
+  loop_.Run();
+  EXPECT_FALSE(meta.ok());
+  EXPECT_EQ(meta.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(StoreTest, PutLatencyScalesWithSize) {
+  SimTime small_done = 0;
+  store_.Put("c/small", KiB(1), {}, [&](Status) { small_done = loop_.now(); });
+  loop_.Run();
+  sim::EventLoop loop2;
+  ObjectStore store2(&loop2, sim::LatencyModel{Millis(10), 100e6, 0.0}, Rng(1), "t2");
+  SimTime big_done = 0;
+  store2.Put("c/big", MiB(50), {}, [&](Status) { big_done = loop2.now(); });
+  loop2.Run();
+  EXPECT_GT(big_done, small_done);
+  // 50 MiB at 100 MB/s is ~524 ms of transfer plus 10 ms base.
+  EXPECT_NEAR(static_cast<double>(big_done), 10'000 + 524'288, 2000);
+}
+
+TEST_F(StoreTest, ShadowLifecycle) {
+  // Shadow write creates a placeholder version; FinalizePayload installs it.
+  Result<ObjectMetadata> shadow = InternalError("unset");
+  store_.PutShadow("c/obj", MiB(1), [&](Result<ObjectMetadata> m) { shadow = std::move(m); });
+  loop_.Run();
+  ASSERT_TRUE(shadow.ok());
+  EXPECT_TRUE(shadow->IsShadow());
+  EXPECT_EQ(shadow->pending_size, MiB(1));
+  EXPECT_EQ(shadow->size, 0);
+
+  Status fin = InternalError("unset");
+  store_.FinalizePayload("c/obj", shadow->latest_version, MiB(1), [&](Status s) { fin = s; });
+  loop_.Run();
+  EXPECT_TRUE(fin.ok());
+  const auto meta = store_.Stat("c/obj");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_FALSE(meta->IsShadow());
+  EXPECT_EQ(meta->size, MiB(1));
+}
+
+TEST_F(StoreTest, FinalizeOutOfOrderAborts) {
+  Result<ObjectMetadata> v1 = InternalError("unset");
+  Result<ObjectMetadata> v2 = InternalError("unset");
+  store_.PutShadow("c/obj", KiB(10), [&](Result<ObjectMetadata> m) { v1 = std::move(m); });
+  loop_.Run();
+  store_.PutShadow("c/obj", KiB(20), [&](Result<ObjectMetadata> m) { v2 = std::move(m); });
+  loop_.Run();
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  ASSERT_GT(v2->latest_version, v1->latest_version);
+
+  // Newer version lands first...
+  Status fin2 = InternalError("unset");
+  store_.FinalizePayload("c/obj", v2->latest_version, KiB(20), [&](Status s) { fin2 = s; });
+  loop_.Run();
+  EXPECT_TRUE(fin2.ok());
+  // ...so the stale push must be rejected to preserve propagation order.
+  Status fin1 = OkStatus();
+  store_.FinalizePayload("c/obj", v1->latest_version, KiB(10), [&](Status s) { fin1 = s; });
+  loop_.Run();
+  EXPECT_EQ(fin1.code(), StatusCode::kAborted);
+  EXPECT_EQ(store_.Stat("c/obj")->size, KiB(20));
+}
+
+TEST_F(StoreTest, FinalizeUnknownKeyNotFound) {
+  Status fin = OkStatus();
+  store_.FinalizePayload("c/nothing", 1, KiB(1), [&](Status s) { fin = s; });
+  loop_.Run();
+  EXPECT_EQ(fin.code(), StatusCode::kNotFound);
+}
+
+TEST_F(StoreTest, DeleteRemovesObject) {
+  store_.Seed("c/x", KiB(5), {});
+  Status del = InternalError("unset");
+  store_.Delete("c/x", [&](Status s) { del = s; });
+  loop_.Run();
+  EXPECT_TRUE(del.ok());
+  EXPECT_FALSE(store_.Exists("c/x"));
+}
+
+TEST_F(StoreTest, ReadWebhookBlocksExternalRead) {
+  store_.Seed("c/a", KiB(1), {});
+  bool webhook_ran = false;
+  std::function<void()> saved_resume;
+  store_.set_read_webhook([&](const std::string& key, std::function<void()> resume) {
+    EXPECT_EQ(key, "c/a");
+    webhook_ran = true;
+    saved_resume = std::move(resume);  // Hold the read until we allow it.
+  });
+  bool read_done = false;
+  store_.ExternalRead("c/a", [&](Result<ObjectMetadata>) { read_done = true; });
+  loop_.Run();
+  EXPECT_TRUE(webhook_ran);
+  EXPECT_FALSE(read_done);  // Still blocked on the webhook.
+  saved_resume();
+  loop_.Run();
+  EXPECT_TRUE(read_done);
+}
+
+TEST_F(StoreTest, WriteWebhookRunsBeforeExternalWrite) {
+  int order = 0;
+  int webhook_at = 0;
+  store_.set_write_webhook([&](const std::string&, std::function<void()> resume) {
+    webhook_at = ++order;
+    resume();
+  });
+  store_.ExternalWrite("c/b", KiB(2), [&](Status) { ++order; });
+  loop_.Run();
+  EXPECT_EQ(webhook_at, 1);
+  EXPECT_EQ(order, 2);
+  EXPECT_TRUE(store_.Exists("c/b"));
+}
+
+TEST_F(StoreTest, StatsTrackOperations) {
+  store_.Put("c/1", KiB(4), {}, [](Status) {});
+  loop_.Run();
+  store_.Get("c/1", [](Result<ObjectMetadata>) {});
+  loop_.Run();
+  EXPECT_EQ(store_.stats().writes, 1u);
+  EXPECT_EQ(store_.stats().reads, 1u);
+  EXPECT_EQ(store_.stats().bytes_written, KiB(4));
+  EXPECT_EQ(store_.stats().bytes_read, KiB(4));
+}
+
+TEST_F(StoreTest, SeedBypassesLatency) {
+  store_.Seed("c/seeded", MiB(3), {{"kind", "video"}});
+  EXPECT_TRUE(store_.Exists("c/seeded"));
+  EXPECT_EQ(store_.TotalBytes(), MiB(3));
+  EXPECT_EQ(store_.NumObjects(), 1u);
+}
+
+TEST_F(StoreTest, PutReplacesAndBumpsVersion) {
+  store_.Put("c/v", KiB(1), {}, [](Status) {});
+  loop_.Run();
+  const auto v1 = store_.Stat("c/v")->latest_version;
+  store_.Put("c/v", KiB(2), {}, [](Status) {});
+  loop_.Run();
+  const auto meta = store_.Stat("c/v");
+  EXPECT_GT(meta->latest_version, v1);
+  EXPECT_EQ(meta->size, KiB(2));
+}
+
+}  // namespace
+}  // namespace ofc::store

@@ -1,0 +1,250 @@
+// ofc_sim: command-line experiment runner.
+//
+// Runs a configurable multi-tenant workload against OWK-Swift, OWK-Redis, or
+// OFC and prints per-tenant latency summaries plus OFC's internal counters —
+// the quickest way to explore the system without writing code.
+//
+// Usage:
+//   ofc_sim [--mode=ofc|owk-swift|owk-redis] [--profile=normal|naive|advanced]
+//           [--functions=wand_blur,wand_sepia,...] [--pipelines=map_reduce,...]
+//           [--duration-min=N] [--interval-s=N] [--workers=N] [--worker-gb=N]
+//           [--seed=N] [--pretrain=N] [--arrivals=poisson|periodic|bursty]
+//
+// Examples:
+//   ofc_sim --mode=ofc --functions=wand_blur,wand_edge --duration-min=10
+//   ofc_sim --mode=owk-swift --pipelines=map_reduce --interval-s=30
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.h"
+#include "src/faasload/environment.h"
+#include "src/faasload/injector.h"
+
+namespace ofc {
+namespace {
+
+struct Flags {
+  std::string mode = "ofc";
+  std::string profile = "normal";
+  std::vector<std::string> functions;
+  std::vector<std::string> pipelines;
+  std::string arrivals = "poisson";
+  int duration_min = 10;
+  double interval_s = 30.0;
+  int workers = 4;
+  int worker_gb = 16;
+  std::uint64_t seed = 42;
+  int pretrain = 1000;
+};
+
+std::vector<std::string> SplitCsv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= csv.size()) {
+    const std::size_t comma = csv.find(',', start);
+    const std::string token = csv.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (!token.empty()) {
+      out.push_back(token);
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ofc_sim [--mode=ofc|owk-swift|owk-redis]\n"
+               "               [--profile=normal|naive|advanced]\n"
+               "               [--functions=f1,f2,...] [--pipelines=p1,...]\n"
+               "               [--arrivals=poisson|periodic|bursty]\n"
+               "               [--duration-min=N] [--interval-s=N]\n"
+               "               [--workers=N] [--worker-gb=N] [--seed=N] [--pretrain=N]\n"
+               "\navailable functions:\n");
+  for (const workloads::FunctionSpec& spec : workloads::AllFunctions()) {
+    std::fprintf(stderr, "  %s\n", spec.name.c_str());
+  }
+  std::fprintf(stderr, "available pipelines:\n");
+  for (const workloads::PipelineSpec& spec : workloads::AllPipelines()) {
+    std::fprintf(stderr, "  %s\n", spec.name.c_str());
+  }
+  return 2;
+}
+
+}  // namespace
+
+int Main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--mode", &flags.mode)) {
+    } else if (ParseFlag(argv[i], "--profile", &flags.profile)) {
+    } else if (ParseFlag(argv[i], "--functions", &value)) {
+      flags.functions = SplitCsv(value);
+    } else if (ParseFlag(argv[i], "--pipelines", &value)) {
+      flags.pipelines = SplitCsv(value);
+    } else if (ParseFlag(argv[i], "--arrivals", &flags.arrivals)) {
+    } else if (ParseFlag(argv[i], "--duration-min", &value)) {
+      flags.duration_min = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--interval-s", &value)) {
+      flags.interval_s = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--workers", &value)) {
+      flags.workers = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--worker-gb", &value)) {
+      flags.worker_gb = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      flags.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--pretrain", &value)) {
+      flags.pretrain = std::atoi(value.c_str());
+    } else {
+      return Usage();
+    }
+  }
+  if (flags.functions.empty() && flags.pipelines.empty()) {
+    flags.functions = {"wand_blur", "wand_sepia", "wand_edge"};
+  }
+
+  faasload::Mode mode;
+  if (flags.mode == "ofc") {
+    mode = faasload::Mode::kOfc;
+  } else if (flags.mode == "owk-swift") {
+    mode = faasload::Mode::kOwkSwift;
+  } else if (flags.mode == "owk-redis") {
+    mode = faasload::Mode::kOwkRedis;
+  } else {
+    return Usage();
+  }
+  faasload::TenantProfile profile;
+  if (flags.profile == "normal") {
+    profile = faasload::TenantProfile::kNormal;
+  } else if (flags.profile == "naive") {
+    profile = faasload::TenantProfile::kNaive;
+  } else if (flags.profile == "advanced") {
+    profile = faasload::TenantProfile::kAdvanced;
+  } else {
+    return Usage();
+  }
+  faasload::ArrivalPattern arrivals;
+  if (flags.arrivals == "poisson") {
+    arrivals = faasload::ArrivalPattern::kExponential;
+  } else if (flags.arrivals == "periodic") {
+    arrivals = faasload::ArrivalPattern::kPeriodic;
+  } else if (flags.arrivals == "bursty") {
+    arrivals = faasload::ArrivalPattern::kBursty;
+  } else {
+    return Usage();
+  }
+
+  faasload::EnvironmentOptions env_options;
+  env_options.platform.num_workers = flags.workers;
+  env_options.platform.worker_memory = GiB(flags.worker_gb);
+  env_options.seed = flags.seed;
+  faasload::Environment env(mode, env_options);
+  faasload::LoadInjector injector(&env, profile, flags.seed + 1);
+
+  for (const std::string& function : flags.functions) {
+    if (workloads::FindFunction(function) == nullptr) {
+      std::fprintf(stderr, "unknown function: %s\n", function.c_str());
+      return Usage();
+    }
+    faasload::TenantSpec spec;
+    spec.name = "t-" + function;
+    spec.function = function;
+    spec.mean_interval_s = flags.interval_s;
+    spec.arrivals = arrivals;
+    if (!injector.AddTenant(spec).ok()) {
+      return 1;
+    }
+  }
+  for (const std::string& pipeline : flags.pipelines) {
+    if (workloads::FindPipeline(pipeline) == nullptr) {
+      std::fprintf(stderr, "unknown pipeline: %s\n", pipeline.c_str());
+      return Usage();
+    }
+    faasload::TenantSpec spec;
+    spec.name = "t-" + pipeline;
+    spec.function = pipeline;
+    spec.is_pipeline = true;
+    spec.mean_interval_s = flags.interval_s;
+    spec.arrivals = arrivals;
+    if (!injector.AddTenant(spec).ok()) {
+      return 1;
+    }
+  }
+
+  injector.PretrainModels(flags.pretrain);
+  std::printf("mode=%s profile=%s workers=%dx%dGiB duration=%dmin seed=%llu\n\n",
+              faasload::ModeName(mode).c_str(), faasload::TenantProfileName(profile).c_str(),
+              flags.workers, flags.worker_gb, flags.duration_min,
+              static_cast<unsigned long long>(flags.seed));
+  injector.Run(Minutes(flags.duration_min));
+
+  std::printf("%-24s %-7s %-12s %-12s %-12s %-9s\n", "tenant", "runs", "median (ms)",
+              "p95 (ms)", "total (s)", "failures");
+  for (const faasload::TenantResult& tenant : injector.results()) {
+    Samples latencies;
+    for (const auto& record : tenant.invocations) {
+      latencies.Add(ToMillis(record.total));
+    }
+    for (const auto& record : tenant.pipelines) {
+      latencies.Add(ToMillis(record.total));
+    }
+    std::printf("%-24s %-7zu %-12.1f %-12.1f %-12.1f %-9zu\n", tenant.name.c_str(),
+                tenant.invocations.size() + tenant.pipelines.size(), latencies.Median(),
+                latencies.Percentile(0.95),
+                ToSeconds(tenant.TotalExecutionTime()), tenant.FailureCount());
+  }
+
+  if (env.ofc() != nullptr) {
+    const auto& proxy = env.ofc()->proxy().stats();
+    const auto& cache = env.ofc()->cache_agent().stats();
+    const auto& predictions = env.ofc()->prediction_stats();
+    std::printf("\nOFC internals:\n");
+    std::printf("  hit ratio            %.1f %%\n", 100.0 * proxy.HitRatio());
+    std::printf("  admissions           %llu (failed %llu)\n",
+                static_cast<unsigned long long>(proxy.admissions),
+                static_cast<unsigned long long>(proxy.admission_failures));
+    std::printf("  persistor runs       %llu\n",
+                static_cast<unsigned long long>(proxy.persistor_runs));
+    std::printf("  scale up/down        %llu / %llu\n",
+                static_cast<unsigned long long>(cache.scale_ups),
+                static_cast<unsigned long long>(cache.scale_downs_plain +
+                                                cache.scale_downs_migration +
+                                                cache.scale_downs_eviction));
+    std::printf("  predictions          %llu model, %llu fallback, %llu bad\n",
+                static_cast<unsigned long long>(predictions.model_predictions),
+                static_cast<unsigned long long>(predictions.booked_fallbacks),
+                static_cast<unsigned long long>(predictions.bad_predictions));
+    std::printf("  cache used/capacity  %s / %s\n",
+                FormatBytes(env.cluster()->TotalUsed()).c_str(),
+                FormatBytes(env.cluster()->TotalCapacity()).c_str());
+  }
+  const auto& platform = env.platform().stats();
+  std::printf("\nplatform: %llu invocations, %llu cold starts, %llu OOM kills, "
+              "%llu rescues, %llu failures\n",
+              static_cast<unsigned long long>(platform.invocations),
+              static_cast<unsigned long long>(platform.cold_starts),
+              static_cast<unsigned long long>(platform.oom_kills),
+              static_cast<unsigned long long>(platform.oom_rescues),
+              static_cast<unsigned long long>(platform.failed_invocations));
+  return 0;
+}
+
+}  // namespace ofc
+
+int main(int argc, char** argv) { return ofc::Main(argc, argv); }
