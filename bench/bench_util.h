@@ -6,11 +6,80 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "src/common/units.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace ofc::bench {
+
+// Observability export flags shared by the bench binaries. Any bench that
+// threads a MetricsRegistry/TraceRecorder through its runs can accept
+//   --metrics-json=PATH --metrics-csv=PATH --trace-json=PATH --trace-sample=N
+// and dump machine-readable snapshots next to its textual table.
+struct ObsFlags {
+  std::string metrics_json;
+  std::string metrics_csv;
+  std::string trace_json;
+  std::uint64_t trace_sample = 1;
+
+  bool TraceRequested() const { return !trace_json.empty(); }
+};
+
+inline ObsFlags ParseObsFlags(int argc, char** argv) {
+  ObsFlags flags;
+  auto match = [](const char* arg, const char* name, std::string* out) {
+    const std::size_t len = std::strlen(name);
+    if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+      *out = arg + len + 1;
+      return true;
+    }
+    return false;
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (match(argv[i], "--metrics-json", &flags.metrics_json) ||
+        match(argv[i], "--metrics-csv", &flags.metrics_csv) ||
+        match(argv[i], "--trace-json", &flags.trace_json)) {
+      continue;
+    }
+    if (match(argv[i], "--trace-sample", &value)) {
+      flags.trace_sample = std::strtoull(value.c_str(), nullptr, 10);
+    }
+  }
+  return flags;
+}
+
+// Writes the requested snapshots; unset paths are skipped.
+inline void ExportObs(const ObsFlags& flags, const obs::MetricsRegistry& metrics,
+                      const obs::TraceRecorder* trace, SimTime now) {
+  auto write = [](const std::string& path, const std::string& body) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+  };
+  if (!flags.metrics_json.empty()) {
+    write(flags.metrics_json, metrics.SnapshotJson(now));
+  }
+  if (!flags.metrics_csv.empty()) {
+    write(flags.metrics_csv, metrics.SnapshotCsv(now));
+  }
+  if (!flags.trace_json.empty() && trace != nullptr) {
+    trace->WriteJson(flags.trace_json);
+    std::printf("trace: %zu events (%zu dropped) -> %s\n", trace->num_events(),
+                trace->num_dropped(), flags.trace_json.c_str());
+  }
+}
 
 // Prints a banner naming the experiment being reproduced.
 inline void Banner(const std::string& title, const std::string& paper_ref) {

@@ -24,6 +24,8 @@ struct MacroConfig {
   std::uint64_t seed = 2021;
   int pretrain_invocations = 1000;  // Offline ML stage (artifact ships this).
   SimDuration cache_sample_period = Seconds(30);
+  // Optional lifecycle tracing for this run (null = off, zero overhead).
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct CacheSample {
@@ -42,10 +44,17 @@ struct MacroResult {
   core::ProxyStats proxy_stats;
   std::vector<CacheSample> cache_series;
   Bytes ephemeral_bytes = 0;  // Data produced by all invocations.
+  // The registry every component of the run reported into (shared_ptr: the
+  // environment dies inside RunMacro, the metrics outlive it with the result).
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+  SimTime end_time = 0;  // Simulated clock when the run finished.
 };
 
 inline MacroResult RunMacro(const MacroConfig& config) {
+  auto metrics = std::make_shared<obs::MetricsRegistry>();
   faasload::EnvironmentOptions env_options;
+  env_options.metrics = metrics.get();
+  env_options.trace = config.trace;
   env_options.platform.num_workers = 4;
   // The paper's workers are 512 GB machines; the invoker pools must absorb the
   // pipeline fan-outs' concurrent 2 GB-booked sandboxes under the naive profile
@@ -102,6 +111,8 @@ inline MacroResult RunMacro(const MacroConfig& config) {
   injector.Run(config.duration);
 
   result.tenants = injector.results();
+  result.metrics = std::move(metrics);
+  result.end_time = env.loop().now();
   result.platform_stats = env.platform().stats();
   if (env.ofc() != nullptr) {
     result.cache_stats = env.ofc()->cache_agent().stats();

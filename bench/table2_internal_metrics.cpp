@@ -6,6 +6,11 @@
 // Expected shape: frequent scale operations (input variability) but negligible
 // total scaling time; almost all predictions good; zero failed invocations;
 // high cache hit ratio (90+ %) with naive the highest.
+//
+// Every row is read from the unified MetricsRegistry the run reported into
+// (the same cells behind the legacy stats structs), so the table is exactly
+// what --metrics-json would export. Accepts --metrics-json/--metrics-csv to
+// dump the final (Advanced-profile) run's full snapshot.
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -14,7 +19,7 @@
 namespace ofc {
 namespace {
 
-void Run() {
+void Run(const bench::ObsFlags& obs_flags) {
   bench::Banner("OFC internal metrics during the macro workload", "Table 2 (§7.2.2)");
 
   bench::Table table({"Metric", "Normal", "Naive", "Advanced"});
@@ -31,44 +36,58 @@ void Run() {
   auto row = [&](const std::string& name, auto getter, const char* format) {
     std::vector<std::string> cells = {name};
     for (const bench::MacroResult& result : results) {
-      cells.push_back(bench::Fmt(format, static_cast<double>(getter(result))));
+      cells.push_back(bench::Fmt(format, getter(*result.metrics)));
     }
     table.AddRow(std::move(cells));
   };
+  auto count = [](const obs::MetricsRegistry& m, const char* name) {
+    return static_cast<double>(m.CounterValue(name));
+  };
 
-  row("# Scale up", [](const auto& r) { return r.cache_stats.scale_ups; }, "%.0f");
+  row("# Scale up",
+      [&](const auto& m) { return count(m, "ofc.cache_agent.scale_ups"); }, "%.0f");
   row("Total scale up time (s)",
-      [](const auto& r) { return ToSeconds(r.cache_stats.scale_up_time); }, "%.3f");
+      [](const auto& m) { return m.GaugeValue("ofc.cache_agent.scale_up_time_us") / 1e6; },
+      "%.3f");
   row("# Scale down (no eviction)",
-      [](const auto& r) { return r.cache_stats.scale_downs_plain; }, "%.0f");
+      [&](const auto& m) { return count(m, "ofc.cache_agent.scale_downs_plain"); }, "%.0f");
   row("# Scale down (migration)",
-      [](const auto& r) { return r.cache_stats.scale_downs_migration; }, "%.0f");
+      [&](const auto& m) { return count(m, "ofc.cache_agent.scale_downs_migration"); }, "%.0f");
   row("# Scale down (eviction)",
-      [](const auto& r) { return r.cache_stats.scale_downs_eviction; }, "%.0f");
+      [&](const auto& m) { return count(m, "ofc.cache_agent.scale_downs_eviction"); }, "%.0f");
   row("Total scale down time (s)",
-      [](const auto& r) { return ToSeconds(r.cache_stats.scale_down_time); }, "%.3f");
+      [](const auto& m) { return m.GaugeValue("ofc.cache_agent.scale_down_time_us") / 1e6; },
+      "%.3f");
   row("# Bad predictions",
-      [](const auto& r) { return r.prediction_stats.bad_predictions; }, "%.0f");
+      [&](const auto& m) { return count(m, "ofc.predictor.bad_predictions"); }, "%.0f");
   row("# Good predictions",
-      [](const auto& r) { return r.prediction_stats.good_predictions; }, "%.0f");
+      [&](const auto& m) { return count(m, "ofc.predictor.good_predictions"); }, "%.0f");
   row("# Failed invocations",
-      [](const auto& r) { return r.platform_stats.failed_invocations; }, "%.0f");
+      [&](const auto& m) { return count(m, "ofc.platform.failed_invocations"); }, "%.0f");
   row("Cache hit ratio (%)",
-      [](const auto& r) { return 100.0 * r.proxy_stats.HitRatio(); }, "%.2f");
+      [&](const auto& m) {
+        const double hits = count(m, "ofc.proxy.cache_hits");
+        const double total = hits + count(m, "ofc.proxy.cache_misses");
+        return total == 0 ? 0.0 : 100.0 * hits / total;
+      },
+      "%.2f");
   row("Ephemeral data generated (GB)",
-      [](const auto& r) { return static_cast<double>(r.ephemeral_bytes) / 1e9; }, "%.2f");
+      [&](const auto& m) { return count(m, "ofc.platform.output_bytes") / 1e9; }, "%.2f");
   table.Print();
 
   std::printf(
       "\nExpected shape (paper, 8 tenants): ~95 scale-ups and ~230 scale-downs with\n"
       "seconds of cumulative scaling time, ~7 bad vs ~230 good predictions, zero\n"
       "failed invocations, hit ratio 93-99%% (naive highest).\n");
+
+  const bench::MacroResult& last = results.back();
+  bench::ExportObs(obs_flags, *last.metrics, /*trace=*/nullptr, last.end_time);
 }
 
 }  // namespace
 }  // namespace ofc
 
-int main() {
-  ofc::Run();
+int main(int argc, char** argv) {
+  ofc::Run(ofc::bench::ParseObsFlags(argc, argv));
   return 0;
 }

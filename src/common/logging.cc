@@ -7,6 +7,7 @@ namespace ofc {
 
 namespace {
 LogLevel g_level = LogLevel::kWarning;
+std::function<std::string()> g_prefix_hook;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -28,11 +29,18 @@ const char* LevelName(LogLevel level) {
 void SetLogLevel(LogLevel level) { g_level = level; }
 LogLevel GetLogLevel() { return g_level; }
 
+void SetLogPrefixHook(std::function<std::string()> hook) { g_prefix_hook = std::move(hook); }
+void ClearLogPrefixHook() { g_prefix_hook = nullptr; }
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
   const char* base = std::strrchr(file, '/');
-  stream_ << "[" << LevelName(level) << " " << (base ? base + 1 : file) << ":" << line << "] ";
+  stream_ << "[" << LevelName(level) << " ";
+  if (g_prefix_hook) {
+    stream_ << g_prefix_hook() << " ";
+  }
+  stream_ << (base ? base + 1 : file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

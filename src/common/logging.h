@@ -4,6 +4,7 @@
 #ifndef OFC_COMMON_LOGGING_H_
 #define OFC_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -14,6 +15,13 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kOf
 // Global threshold; messages below it are discarded.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Optional prefix hook, prepended to every log line. The experiment harnesses
+// install one that renders the simulated clock (e.g. "t=12.345s"), so log
+// output lines up with metric snapshots and trace timestamps. The installer
+// must clear the hook before anything it captures is destroyed.
+void SetLogPrefixHook(std::function<std::string()> hook);
+void ClearLogPrefixHook();
 
 namespace internal {
 

@@ -28,7 +28,7 @@ double RunningStat::variance() const {
 double RunningStat::stddev() const { return std::sqrt(variance()); }
 
 void Samples::EnsureSorted() const {
-  if (dirty_ || sorted_.size() != values_.size()) {
+  if (dirty_) {
     sorted_ = values_;
     std::sort(sorted_.begin(), sorted_.end());
     dirty_ = false;

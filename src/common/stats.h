@@ -40,7 +40,10 @@ class RunningStat {
 // Stores all samples; exact percentiles. Fine for bench-scale sample counts.
 class Samples {
  public:
-  void Add(double x) { values_.push_back(x); }
+  void Add(double x) {
+    values_.push_back(x);
+    dirty_ = true;
+  }
   std::size_t count() const { return values_.size(); }
   double Mean() const;
   double Min() const;

@@ -15,6 +15,56 @@ CacheAgent::CacheAgent(sim::EventLoop* loop, rc::Cluster* cluster, CacheAgentOpt
   slack_.assign(n, options_.initial_slack);
   churn_accum_.assign(n, 0);
   churn_windows_.assign(n, SlidingTimeWindow(options_.churn_window));
+
+  metrics_ = options_.metrics;
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  trace_ = options_.trace;
+  m_.scale_ups = metrics_->GetCounter("ofc.cache_agent.scale_ups");
+  m_.scale_downs_plain = metrics_->GetCounter("ofc.cache_agent.scale_downs_plain");
+  m_.scale_downs_migration = metrics_->GetCounter("ofc.cache_agent.scale_downs_migration");
+  m_.scale_downs_eviction = metrics_->GetCounter("ofc.cache_agent.scale_downs_eviction");
+  m_.objects_migrated = metrics_->GetCounter("ofc.cache_agent.objects_migrated");
+  m_.objects_evicted = metrics_->GetCounter("ofc.cache_agent.objects_evicted");
+  m_.objects_swept = metrics_->GetCounter("ofc.cache_agent.objects_swept");
+  m_.writebacks_triggered = metrics_->GetCounter("ofc.cache_agent.writebacks_triggered");
+  m_.scale_up_time_us = metrics_->GetGauge("ofc.cache_agent.scale_up_time_us");
+  m_.scale_down_time_us = metrics_->GetGauge("ofc.cache_agent.scale_down_time_us");
+  m_.migration_ms = metrics_->GetSeries("ofc.cache_agent.migration_ms");
+  if (trace_ != nullptr) {
+    trace_->SetProcessName(obs::kPidCache, "cache-agent");
+  }
+}
+
+CacheScalingStats CacheAgent::stats() const {
+  CacheScalingStats stats;
+  stats.scale_ups = m_.scale_ups->value();
+  stats.scale_up_time = static_cast<SimDuration>(m_.scale_up_time_us->value());
+  stats.scale_downs_plain = m_.scale_downs_plain->value();
+  stats.scale_downs_migration = m_.scale_downs_migration->value();
+  stats.scale_downs_eviction = m_.scale_downs_eviction->value();
+  stats.scale_down_time = static_cast<SimDuration>(m_.scale_down_time_us->value());
+  stats.objects_migrated = m_.objects_migrated->value();
+  stats.objects_evicted = m_.objects_evicted->value();
+  stats.objects_swept = m_.objects_swept->value();
+  stats.writebacks_triggered = m_.writebacks_triggered->value();
+  return stats;
+}
+
+void CacheAgent::ResetStats() {
+  m_.scale_ups->Reset();
+  m_.scale_downs_plain->Reset();
+  m_.scale_downs_migration->Reset();
+  m_.scale_downs_eviction->Reset();
+  m_.objects_migrated->Reset();
+  m_.objects_evicted->Reset();
+  m_.objects_swept->Reset();
+  m_.writebacks_triggered->Reset();
+  m_.scale_up_time_us->Reset();
+  m_.scale_down_time_us->Reset();
+  m_.migration_ms->Reset();
 }
 
 Bytes CacheAgent::CapacityTarget(int worker) const {
@@ -81,19 +131,19 @@ void CacheAgent::SweepOnce() {
       }
       if (obj->dirty) {
         if (writeback_) {
-          ++stats_.writebacks_triggered;
+          ++*m_.writebacks_triggered;
           const std::string k = key;
           writeback_(k, [this, k](Status status) {
             if (status.ok()) {
               (void)cluster_->Remove(k);
-              ++stats_.objects_swept;
+              ++*m_.objects_swept;
             }
           });
         }
         continue;
       }
       (void)cluster_->Remove(key);
-      ++stats_.objects_swept;
+      ++*m_.objects_swept;
     }
   }
 }
@@ -124,8 +174,13 @@ void CacheAgent::ApplyTarget(int worker) {
   if (target > current) {
     // Scale up: capacity grows, nothing to reclaim.
     if (cluster_->SetCapacity(worker, target, &duration).ok()) {
-      ++stats_.scale_ups;
-      stats_.scale_up_time += duration;
+      ++*m_.scale_ups;
+      m_.scale_up_time_us->Add(static_cast<double>(duration));
+      if (trace_ != nullptr && trace_->enabled()) {
+        trace_->Span("scale-up", "cache", loop_->now(), duration, obs::kPidCache,
+                     static_cast<std::uint64_t>(worker),
+                     {{"target_bytes", std::to_string(target)}});
+      }
     }
     return;
   }
@@ -142,20 +197,26 @@ void CacheAgent::ApplyTarget(int worker) {
       const Bytes feasible = std::max(target, cluster_->Used(worker));
       SimDuration partial = 0;
       if (cluster_->SetCapacity(worker, feasible, &partial).ok()) {
-        stats_.scale_down_time += partial;
+        AddScaleDownTime(partial);
       }
       loop_->ScheduleAfter(Millis(50), [this, worker] { ApplyTarget(worker); });
       return;
     }
   }
   if (cluster_->SetCapacity(worker, target, &duration).ok()) {
-    stats_.scale_down_time += duration;
+    AddScaleDownTime(duration);
     if (migrated) {
-      ++stats_.scale_downs_migration;
+      ++*m_.scale_downs_migration;
     } else if (evicted) {
-      ++stats_.scale_downs_eviction;
+      ++*m_.scale_downs_eviction;
     } else {
-      ++stats_.scale_downs_plain;
+      ++*m_.scale_downs_plain;
+    }
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->Span("scale-down", "cache", loop_->now(), duration, obs::kPidCache,
+                   static_cast<std::uint64_t>(worker),
+                   {{"target_bytes", std::to_string(target)},
+                    {"mode", migrated ? "migration" : (evicted ? "eviction" : "plain")}});
     }
   }
 }
@@ -177,9 +238,9 @@ Bytes CacheAgent::FreeBytes(int worker, Bytes needed, bool* migrated, bool* evic
     if (output && obj->persisted && !obj->dirty) {
       freed += obj->size;
       (void)cluster_->Remove(key);
-      ++stats_.objects_evicted;
+      ++*m_.objects_evicted;
       *evicted = true;
-      stats_.scale_down_time += options_.eviction_op_cost;
+      AddScaleDownTime(options_.eviction_op_cost);
     }
   }
 
@@ -191,7 +252,7 @@ Bytes CacheAgent::FreeBytes(int worker, Bytes needed, bool* migrated, bool* evic
       continue;
     }
     if (writeback_) {
-      ++stats_.writebacks_triggered;
+      ++*m_.writebacks_triggered;
       const std::string k = key;
       writeback_(k, [this, k](Status status) {
         if (status.ok()) {
@@ -222,16 +283,22 @@ Bytes CacheAgent::FreeBytes(int worker, Bytes needed, bool* migrated, bool* evic
     const auto migration = cluster_->MigrateMaster(obj.key);
     if (migration.ok()) {
       freed += obj.size;
-      ++stats_.objects_migrated;
+      ++*m_.objects_migrated;
       *migrated = true;
-      stats_.scale_down_time += migration->duration;
+      AddScaleDownTime(migration->duration);
+      m_.migration_ms->Observe(ToMillis(migration->duration));
+      if (trace_ != nullptr && trace_->enabled()) {
+        trace_->Span("migrate-master", "cache", loop_->now(), migration->duration,
+                     obs::kPidCache, static_cast<std::uint64_t>(worker),
+                     {{"key", obj.key}});
+      }
       continue;
     }
     freed += obj.size;
     (void)cluster_->Remove(obj.key);
-    ++stats_.objects_evicted;
+    ++*m_.objects_evicted;
     *evicted = true;
-    stats_.scale_down_time += options_.eviction_op_cost;
+    AddScaleDownTime(options_.eviction_op_cost);
   }
   return freed;
 }
@@ -256,13 +323,13 @@ bool CacheAgent::ReleaseForSandbox(int worker, Bytes bytes) {
   if (!cluster_->SetCapacity(worker, target, &duration).ok()) {
     return false;
   }
-  stats_.scale_down_time += duration;
+  AddScaleDownTime(duration);
   if (migrated) {
-    ++stats_.scale_downs_migration;
+    ++*m_.scale_downs_migration;
   } else if (evicted) {
-    ++stats_.scale_downs_eviction;
+    ++*m_.scale_downs_eviction;
   } else {
-    ++stats_.scale_downs_plain;
+    ++*m_.scale_downs_plain;
   }
   (void)w;
   return true;

@@ -26,12 +26,15 @@
 #define OFC_CORE_CACHE_AGENT_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/common/stats.h"
 #include "src/common/units.h"
 #include "src/faas/platform.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/ramcloud/cluster.h"
 #include "src/sim/event_loop.h"
 
@@ -49,8 +52,13 @@ struct CacheAgentOptions {
   std::uint32_t sweep_min_access = 5;     // Evict when n_access < 5 ...
   SimDuration sweep_max_idle = Minutes(30);  // ... or idle > 30 min.
   SimDuration eviction_op_cost = Micros(120);  // Per-object eviction overhead.
+  // Observability sinks (src/obs/). Null `metrics` -> private registry; null
+  // `trace` -> scaling/migration events are skipped.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
+// Snapshot view over the agent's `ofc.cache_agent.*` registry cells.
 struct CacheScalingStats {
   std::uint64_t scale_ups = 0;
   SimDuration scale_up_time = 0;
@@ -100,10 +108,32 @@ class CacheAgent {
   // Sum of (booked - limit) across the worker's live sandboxes.
   Bytes hoard(int worker) const { return hoard_[static_cast<std::size_t>(worker)]; }
   Bytes CapacityTarget(int worker) const;
-  const CacheScalingStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = {}; }
+  // Assembled on demand from the metrics registry.
+  CacheScalingStats stats() const;
+  void ResetStats();
+  obs::MetricsRegistry& metrics() { return *metrics_; }
 
  private:
+  // Registry cells behind CacheScalingStats. The cumulative scaling times live
+  // in gauges (micros, Add()ed) so the snapshot reconstructs SimDuration
+  // exactly; migration latencies additionally feed a percentile series.
+  struct Metrics {
+    obs::Counter* scale_ups = nullptr;
+    obs::Counter* scale_downs_plain = nullptr;
+    obs::Counter* scale_downs_migration = nullptr;
+    obs::Counter* scale_downs_eviction = nullptr;
+    obs::Counter* objects_migrated = nullptr;
+    obs::Counter* objects_evicted = nullptr;
+    obs::Counter* objects_swept = nullptr;
+    obs::Counter* writebacks_triggered = nullptr;
+    obs::Gauge* scale_up_time_us = nullptr;
+    obs::Gauge* scale_down_time_us = nullptr;
+    obs::Series* migration_ms = nullptr;
+  };
+  void AddScaleDownTime(SimDuration d) {
+    m_.scale_down_time_us->Add(static_cast<double>(d));
+  }
+
   // Frees at least `needed` bytes of mastered objects on `worker` following the
   // reclamation order. Returns the bytes actually freed synchronously.
   Bytes FreeBytes(int worker, Bytes needed, bool* migrated, bool* evicted);
@@ -120,7 +150,10 @@ class CacheAgent {
   std::vector<Bytes> slack_;
   std::vector<Bytes> churn_accum_;
   std::vector<SlidingTimeWindow> churn_windows_;
-  CacheScalingStats stats_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
+  Metrics m_;
   bool started_ = false;
 };
 

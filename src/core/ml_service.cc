@@ -40,13 +40,19 @@ Prediction Predictor::Predict(const workloads::FunctionSpec& spec,
   Prediction prediction;
   prediction.memory = booked;
   FunctionModel& model = registry_->GetOrCreate(spec);
-  if (!model.mature()) {
+  const auto fallback = [this, &prediction] {
+    if (booked_fallbacks_ != nullptr) {
+      ++*booked_fallbacks_;
+    }
     return prediction;
+  };
+  if (!model.mature()) {
+    return fallback();
   }
   const std::vector<double> features = workloads::ExtractFeatures(spec, media, args);
   const std::optional<int> cls = model.PredictClass(features);
   if (!cls.has_value()) {
-    return prediction;
+    return fallback();
   }
   const MemoryIntervals& intervals = registry_->config().intervals;
   prediction.memory = registry_->config().conservative_bump
@@ -54,6 +60,9 @@ Prediction Predictor::Predict(const workloads::FunctionSpec& spec,
                           : intervals.UpperBound(*cls);
   prediction.from_model = true;
   prediction.should_cache = model.PredictBenefit(features).value_or(false);
+  if (model_predictions_ != nullptr) {
+    ++*model_predictions_;
+  }
   return prediction;
 }
 
@@ -70,7 +79,14 @@ void ModelTrainer::RecordInvocation(const workloads::FunctionSpec& spec,
   const SimDuration l_est = rsds_estimate_.write.Cost(output_bytes);
   const double total = static_cast<double>(e_est + compute_time + l_est);
   const bool benefit = total > 0 && static_cast<double>(e_est + l_est) / total > 0.5;
+  const bool was_mature = model.mature();
   model.Learn(features, actual_memory, benefit);
+  if (samples_ != nullptr) {
+    ++*samples_;
+    if (!was_mature && model.mature()) {
+      ++*models_matured_;
+    }
+  }
 }
 
 void ModelTrainer::Pretrain(const workloads::FunctionSpec& spec, int invocations, Rng& rng) {

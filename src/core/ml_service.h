@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "src/core/function_model.h"
+#include "src/obs/metrics.h"
 #include "src/sim/latency.h"
 #include "src/store/object_store.h"
 #include "src/workloads/functions.h"
@@ -47,7 +48,15 @@ struct Prediction {
 
 class Predictor {
  public:
-  explicit Predictor(ModelRegistry* registry) : registry_(registry) {}
+  // `metrics` (optional): registers `ofc.predictor.model_predictions` /
+  // `ofc.predictor.booked_fallbacks`, bumped per Predict() call.
+  explicit Predictor(ModelRegistry* registry, obs::MetricsRegistry* metrics = nullptr)
+      : registry_(registry) {
+    if (metrics != nullptr) {
+      model_predictions_ = metrics->GetCounter("ofc.predictor.model_predictions");
+      booked_fallbacks_ = metrics->GetCounter("ofc.predictor.booked_fallbacks");
+    }
+  }
 
   // Critical-path prediction. Falls back to `booked` until the function's
   // model is mature (§5.3.1); the benefit model is subordinated to the memory
@@ -58,14 +67,24 @@ class Predictor {
 
  private:
   ModelRegistry* registry_;
+  obs::Counter* model_predictions_ = nullptr;  // Null when metrics not wired.
+  obs::Counter* booked_fallbacks_ = nullptr;
 };
 
 class ModelTrainer {
  public:
   // `rsds_estimate` prices what E (read) and L (write) would cost against the
   // remote store; the benefit label is (E + L) / (E + T + L) > 0.5 (§5.2).
-  ModelTrainer(ModelRegistry* registry, store::StoreProfile rsds_estimate)
-      : registry_(registry), rsds_estimate_(rsds_estimate) {}
+  // `metrics` (optional): registers `ofc.trainer.samples` /
+  // `ofc.trainer.models_matured`.
+  ModelTrainer(ModelRegistry* registry, store::StoreProfile rsds_estimate,
+               obs::MetricsRegistry* metrics = nullptr)
+      : registry_(registry), rsds_estimate_(rsds_estimate) {
+    if (metrics != nullptr) {
+      samples_ = metrics->GetCounter("ofc.trainer.samples");
+      models_matured_ = metrics->GetCounter("ofc.trainer.models_matured");
+    }
+  }
 
   // Completion feedback from the Monitor: actual peak memory (cgroup), the
   // measured transform time, and the observed input/output sizes.
@@ -81,6 +100,8 @@ class ModelTrainer {
  private:
   ModelRegistry* registry_;
   store::StoreProfile rsds_estimate_;
+  obs::Counter* samples_ = nullptr;  // Null when metrics not wired.
+  obs::Counter* models_matured_ = nullptr;
 };
 
 }  // namespace ofc::core

@@ -7,15 +7,39 @@
 
 namespace ofc::core {
 
+namespace {
+
+CacheAgentOptions WithObs(CacheAgentOptions o, obs::MetricsRegistry* metrics,
+                          obs::TraceRecorder* trace) {
+  o.metrics = metrics;
+  o.trace = trace;
+  return o;
+}
+
+ProxyOptions WithObs(ProxyOptions o, obs::MetricsRegistry* metrics, obs::TraceRecorder* trace) {
+  o.metrics = metrics;
+  o.trace = trace;
+  return o;
+}
+
+}  // namespace
+
 OfcSystem::OfcSystem(sim::EventLoop* loop, rc::Cluster* cluster, store::ObjectStore* rsds,
                      OfcOptions options)
     : cluster_(cluster),
       options_(options),
+      owned_metrics_(options.metrics == nullptr ? std::make_unique<obs::MetricsRegistry>()
+                                                : nullptr),
+      metrics_(options.metrics != nullptr ? options.metrics : owned_metrics_.get()),
       registry_(options.model),
-      predictor_(&registry_),
-      trainer_(&registry_, options.rsds_estimate),
-      cache_agent_(loop, cluster, options.cache_agent),
-      proxy_(loop, cluster, rsds, options.proxy) {
+      predictor_(&registry_, metrics_),
+      trainer_(&registry_, options.rsds_estimate, metrics_),
+      cache_agent_(loop, cluster, WithObs(options.cache_agent, metrics_, options.trace)),
+      proxy_(loop, cluster, rsds, WithObs(options.proxy, metrics_, options.trace)) {
+  m_.model_predictions = metrics_->GetCounter("ofc.predictor.model_predictions");
+  m_.booked_fallbacks = metrics_->GetCounter("ofc.predictor.booked_fallbacks");
+  m_.good_predictions = metrics_->GetCounter("ofc.predictor.good_predictions");
+  m_.bad_predictions = metrics_->GetCounter("ofc.predictor.bad_predictions");
   cache_agent_.set_writeback([this](const std::string& key, std::function<void(Status)> done) {
     proxy_.Writeback(key, std::move(done));
   });
@@ -26,8 +50,20 @@ void OfcSystem::Start() {
   proxy_.InstallWebhooks();
 }
 
+OfcPredictionStats OfcSystem::prediction_stats() const {
+  OfcPredictionStats stats;
+  stats.model_predictions = m_.model_predictions->value();
+  stats.booked_fallbacks = m_.booked_fallbacks->value();
+  stats.good_predictions = m_.good_predictions->value();
+  stats.bad_predictions = m_.bad_predictions->value();
+  return stats;
+}
+
 void OfcSystem::ResetStats() {
-  prediction_stats_ = {};
+  m_.model_predictions->Reset();
+  m_.booked_fallbacks->Reset();
+  m_.good_predictions->Reset();
+  m_.bad_predictions->Reset();
   proxy_.ResetStats();
   cache_agent_.ResetStats();
 }
@@ -36,13 +72,9 @@ faas::PlatformHooks::Sizing OfcSystem::SizeInvocation(
     const faas::FunctionConfig& fn, const std::vector<faas::InputObject>& inputs,
     const std::vector<double>& args) {
   const workloads::MediaDescriptor media = faas::Platform::AggregateMedia(inputs);
+  // The Predictor itself counts model-vs-fallback into the shared registry.
   const Prediction prediction =
       predictor_.Predict(fn.spec, media, args, fn.booked_memory);
-  if (prediction.from_model) {
-    ++prediction_stats_.model_predictions;
-  } else {
-    ++prediction_stats_.booked_fallbacks;
-  }
   return Sizing{prediction.memory, prediction.should_cache};
 }
 
@@ -161,9 +193,9 @@ void OfcSystem::OnInvocationComplete(const faas::FunctionConfig& fn,
   const bool from_model = model != nullptr && model->mature();
   if (from_model) {
     if (record.oom_rescued || record.oom_killed) {
-      ++prediction_stats_.bad_predictions;
+      ++*m_.bad_predictions;
     } else {
-      ++prediction_stats_.good_predictions;
+      ++*m_.good_predictions;
     }
   }
   trainer_.RecordInvocation(fn.spec, media, args, record.memory_used, record.compute_time,

@@ -38,8 +38,14 @@ struct OfcOptions {
   bool locality_routing = true;
   // RSDS latency estimate used for the caching-benefit labels (§5.2).
   store::StoreProfile rsds_estimate = store::StoreProfile::Swift();
+  // Observability sinks (src/obs/), propagated into the CacheAgent and Proxy
+  // sub-options so the whole assembly shares one registry. Null `metrics` ->
+  // the system owns a private registry.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
+// Snapshot view over the `ofc.predictor.*` registry counters.
 struct OfcPredictionStats {
   std::uint64_t model_predictions = 0;  // Sized from a mature model.
   std::uint64_t booked_fallbacks = 0;   // Immature model: tenant booking used.
@@ -74,8 +80,10 @@ class OfcSystem : public faas::PlatformHooks {
   ModelTrainer& trainer() { return trainer_; }
   CacheAgent& cache_agent() { return cache_agent_; }
   Proxy& proxy() { return proxy_; }
-  const OfcPredictionStats& prediction_stats() const { return prediction_stats_; }
+  // Assembled on demand from the metrics registry.
+  OfcPredictionStats prediction_stats() const;
   void ResetStats();
+  obs::MetricsRegistry& metrics() { return *metrics_; }
 
   // ---- faas::PlatformHooks -------------------------------------------------------
 
@@ -97,14 +105,27 @@ class OfcSystem : public faas::PlatformHooks {
                             const faas::InvocationRecord& record) override;
 
  private:
+  // Registry cells behind OfcPredictionStats. The Predictor bumps the first two
+  // itself (shared registry); the system judges good/bad on completion.
+  struct Metrics {
+    obs::Counter* model_predictions = nullptr;
+    obs::Counter* booked_fallbacks = nullptr;
+    obs::Counter* good_predictions = nullptr;
+    obs::Counter* bad_predictions = nullptr;
+  };
+
   rc::Cluster* cluster_;
   OfcOptions options_;
+  // Declared before the sub-components: the resolved registry pointer feeds
+  // their constructors.
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.
+  obs::MetricsRegistry* metrics_ = nullptr;
   ModelRegistry registry_;
   Predictor predictor_;
   ModelTrainer trainer_;
   CacheAgent cache_agent_;
   Proxy proxy_;
-  OfcPredictionStats prediction_stats_;
+  Metrics m_;
 };
 
 }  // namespace ofc::core

@@ -9,7 +9,82 @@ namespace ofc::core {
 
 Proxy::Proxy(sim::EventLoop* loop, rc::Cluster* cluster, store::ObjectStore* rsds,
              ProxyOptions options)
-    : loop_(loop), cluster_(cluster), rsds_(rsds), options_(options) {}
+    : loop_(loop), cluster_(cluster), rsds_(rsds), options_(options) {
+  metrics_ = options_.metrics;
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  trace_ = options_.trace;
+  m_.cache_hits = metrics_->GetCounter("ofc.proxy.cache_hits");
+  m_.cache_misses = metrics_->GetCounter("ofc.proxy.cache_misses");
+  m_.admissions = metrics_->GetCounter("ofc.proxy.admissions");
+  m_.admission_failures = metrics_->GetCounter("ofc.proxy.admission_failures");
+  m_.shadow_writes = metrics_->GetCounter("ofc.proxy.shadow_writes");
+  m_.cached_writes = metrics_->GetCounter("ofc.proxy.cached_writes");
+  m_.direct_writes = metrics_->GetCounter("ofc.proxy.direct_writes");
+  m_.persistor_runs = metrics_->GetCounter("ofc.proxy.persistor_runs");
+  m_.persistor_conflicts = metrics_->GetCounter("ofc.proxy.persistor_conflicts");
+  m_.intermediates_cached = metrics_->GetCounter("ofc.proxy.intermediates_cached");
+  m_.intermediates_dropped = metrics_->GetCounter("ofc.proxy.intermediates_dropped");
+  m_.external_read_boosts = metrics_->GetCounter("ofc.proxy.external_read_boosts");
+  m_.external_write_invalidations =
+      metrics_->GetCounter("ofc.proxy.external_write_invalidations");
+  m_.persistor_ms = metrics_->GetSeries("ofc.proxy.persistor_ms");
+  if (trace_ != nullptr) {
+    trace_->SetProcessName(obs::kPidStore, "rsds-writeback");
+  }
+}
+
+Proxy::FnMetrics& Proxy::FnMetricsFor(const std::string& function) {
+  auto it = fn_metrics_.find(function);
+  if (it == fn_metrics_.end()) {
+    FnMetrics cells;
+    cells.hits = metrics_->GetCounter("ofc.proxy.cache_hits_by_function", function);
+    cells.misses = metrics_->GetCounter("ofc.proxy.cache_misses_by_function", function);
+    it = fn_metrics_.emplace(function, cells).first;
+  }
+  return it->second;
+}
+
+ProxyStats Proxy::stats() const {
+  ProxyStats stats;
+  stats.cache_hits = m_.cache_hits->value();
+  stats.cache_misses = m_.cache_misses->value();
+  stats.admissions = m_.admissions->value();
+  stats.admission_failures = m_.admission_failures->value();
+  stats.shadow_writes = m_.shadow_writes->value();
+  stats.cached_writes = m_.cached_writes->value();
+  stats.direct_writes = m_.direct_writes->value();
+  stats.persistor_runs = m_.persistor_runs->value();
+  stats.persistor_conflicts = m_.persistor_conflicts->value();
+  stats.intermediates_cached = m_.intermediates_cached->value();
+  stats.intermediates_dropped = m_.intermediates_dropped->value();
+  stats.external_read_boosts = m_.external_read_boosts->value();
+  stats.external_write_invalidations = m_.external_write_invalidations->value();
+  return stats;
+}
+
+void Proxy::ResetStats() {
+  m_.cache_hits->Reset();
+  m_.cache_misses->Reset();
+  m_.admissions->Reset();
+  m_.admission_failures->Reset();
+  m_.shadow_writes->Reset();
+  m_.cached_writes->Reset();
+  m_.direct_writes->Reset();
+  m_.persistor_runs->Reset();
+  m_.persistor_conflicts->Reset();
+  m_.intermediates_cached->Reset();
+  m_.intermediates_dropped->Reset();
+  m_.external_read_boosts->Reset();
+  m_.external_write_invalidations->Reset();
+  m_.persistor_ms->Reset();
+  for (auto& [function, cells] : fn_metrics_) {
+    cells.hits->Reset();
+    cells.misses->Reset();
+  }
+}
 
 void Proxy::InstallWebhooks() {
   rsds_->set_read_webhook([this](const std::string& key, std::function<void()> resume) {
@@ -24,12 +99,15 @@ void Proxy::Read(const faas::InvocationContext& ctx, const std::string& key,
                  std::function<void(Result<Bytes>)> done) {
   cluster_->Read(ctx.worker, key,
                  [this, ctx, key, done = std::move(done)](Result<rc::CachedObject> hit) {
+    FnMetrics& fn = FnMetricsFor(ctx.function);
     if (hit.ok()) {
-      ++stats_.cache_hits;
+      ++*m_.cache_hits;
+      ++*fn.hits;
       done(hit->size);
       return;
     }
-    ++stats_.cache_misses;
+    ++*m_.cache_misses;
+    ++*fn.misses;
     // Miss: fetch from the RSDS, then admit off the critical path.
     rsds_->Get(key, [this, ctx, key, done = std::move(done)](
                         Result<store::ObjectMetadata> meta) {
@@ -47,9 +125,9 @@ void Proxy::Read(const faas::InvocationContext& ctx, const std::string& key,
         cluster_->Write(ctx.worker, key, size, version, rc::ObjectClass::kInput,
                         /*dirty=*/false, [this](Status status) {
                           if (status.ok()) {
-                            ++stats_.admissions;
+                            ++*m_.admissions;
                           } else {
-                            ++stats_.admission_failures;
+                            ++*m_.admission_failures;
                           }
                         });
       }
@@ -65,7 +143,7 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
 
   // Uncacheable or predicted-unhelpful: plain synchronous RSDS write.
   if (!ctx.should_cache || size <= 0 || size > options_.max_cacheable_size) {
-    ++stats_.direct_writes;
+    ++*m_.direct_writes;
     rsds_->Put(key, size, faas::MediaToTags(media), std::move(done));
     return;
   }
@@ -81,11 +159,11 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
                       if (!status.ok()) {
                         // Cache full: fall back to the RSDS so the pipeline
                         // still makes progress.
-                        ++stats_.direct_writes;
+                        ++*m_.direct_writes;
                         rsds_->Put(key, size, faas::MediaToTags(media), std::move(done));
                         return;
                       }
-                      ++stats_.intermediates_cached;
+                      ++*m_.intermediates_cached;
                       pipeline_intermediates_[ctx.pipeline_id].push_back(key);
                       done(OkStatus());
                     });
@@ -95,7 +173,7 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
   if (!options_.write_back) {
     // Ablation: synchronous persistence. The payload goes straight to the
     // RSDS; a clean copy is cached for future reads.
-    ++stats_.direct_writes;
+    ++*m_.direct_writes;
     rsds_->Put(key, size, faas::MediaToTags(media),
                [this, ctx, key, size, done = std::move(done)](Status status) mutable {
                  if (!status.ok()) {
@@ -117,11 +195,11 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
                     /*dirty=*/true,
                     [this, key, size, media, done = std::move(done)](Status status) {
                       if (!status.ok()) {
-                        ++stats_.direct_writes;
+                        ++*m_.direct_writes;
                         rsds_->Put(key, size, faas::MediaToTags(media), std::move(done));
                         return;
                       }
-                      ++stats_.cached_writes;
+                      ++*m_.cached_writes;
                       done(OkStatus());
                     });
     return;
@@ -147,16 +225,16 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
     if (!join->cache_ok) {
       // Shadow exists but the payload could not be cached: push the payload
       // directly so the RSDS converges (degenerates to a plain write).
-      ++stats_.direct_writes;
+      ++*m_.direct_writes;
       rsds_->FinalizePayload(key, join->version, size, std::move(done));
       return;
     }
-    ++stats_.cached_writes;
+    ++*m_.cached_writes;
     SchedulePersistor(key, join->version, size, /*drop_after=*/true);
     done(OkStatus());
   };
 
-  ++stats_.shadow_writes;
+  ++*m_.shadow_writes;
   rsds_->PutShadow(key, size, [join, finish](Result<store::ObjectMetadata> meta) mutable {
     if (!meta.ok()) {
       join->failure = meta.status();
@@ -176,14 +254,22 @@ void Proxy::SchedulePersistor(const std::string& key, store::ObjectVersion versi
                               bool drop_after) {
   // The persistor runs as a helper FaaS function: one dispatch delay, then the
   // payload push to the RSDS.
-  loop_->ScheduleAfter(options_.persistor_dispatch, [this, key, version, size, drop_after] {
-    ++stats_.persistor_runs;
-    rsds_->FinalizePayload(key, version, size, [this, key, drop_after](Status status) {
+  const SimTime scheduled = loop_->now();
+  loop_->ScheduleAfter(options_.persistor_dispatch,
+                       [this, key, version, size, drop_after, scheduled] {
+    ++*m_.persistor_runs;
+    rsds_->FinalizePayload(key, version, size,
+                           [this, key, drop_after, scheduled](Status status) {
       if (!status.ok()) {
         // kAborted: a newer version already reached the RSDS; propagation
         // order is preserved by dropping the stale push.
-        ++stats_.persistor_conflicts;
+        ++*m_.persistor_conflicts;
         return;
+      }
+      m_.persistor_ms->Observe(ToMillis(loop_->now() - scheduled));
+      if (trace_ != nullptr && trace_->enabled()) {
+        trace_->Span("persistor", "writeback", scheduled, loop_->now() - scheduled,
+                     obs::kPidStore, /*tid=*/0, {{"key", key}});
       }
       (void)cluster_->MarkPersisted(key);
       if (drop_after) {
@@ -201,7 +287,7 @@ void Proxy::OnPipelineComplete(std::uint64_t pipeline_id) {
   }
   for (const std::string& key : it->second) {
     if (cluster_->Remove(key).ok()) {
-      ++stats_.intermediates_dropped;
+      ++*m_.intermediates_dropped;
     }
   }
   pipeline_intermediates_.erase(it);
@@ -221,7 +307,7 @@ void Proxy::Writeback(const std::string& key, std::function<void(Status)> done) 
   // Determine the target version from the RSDS shadow when one exists;
   // otherwise create the object outright (relaxed mode / intermediates).
   const auto meta = rsds_->Stat(key);
-  ++stats_.persistor_runs;
+  ++*m_.persistor_runs;
   if (meta.ok() && meta->IsShadow()) {
     rsds_->FinalizePayload(key, meta->latest_version, size,
                            [this, key, done = std::move(done)](Status status) {
@@ -248,13 +334,17 @@ void Proxy::HandleExternalRead(const std::string& key, std::function<void()> res
   }
   // Boost the persistor: the external read completes only once the latest
   // payload is in the RSDS (§6.2).
-  ++stats_.external_read_boosts;
+  ++*m_.external_read_boosts;
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->Instant("external-read-boost", "webhook", loop_->now(), obs::kPidStore,
+                    /*tid=*/0, {{"key", key}});
+  }
   Writeback(key, [resume = std::move(resume)](Status) { resume(); });
 }
 
 void Proxy::HandleExternalWrite(const std::string& key, std::function<void()> resume) {
   if (cluster_->Contains(key)) {
-    ++stats_.external_write_invalidations;
+    ++*m_.external_write_invalidations;
     (void)cluster_->Remove(key);
   }
   resume();

@@ -24,11 +24,14 @@
 #define OFC_CORE_PROXY_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/faas/platform.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/ramcloud/cluster.h"
 #include "src/sim/event_loop.h"
 #include "src/store/object_store.h"
@@ -47,8 +50,13 @@ struct ProxyOptions {
   // asynchronously. Disabling it (ablation) writes the full payload to the
   // RSDS synchronously (the cache still serves subsequent reads).
   bool write_back = true;
+  // Observability sinks (src/obs/). Null `metrics` -> private registry; null
+  // `trace` -> persistor/webhook events are skipped.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
+// Snapshot view over the proxy's `ofc.proxy.*` registry counters.
 struct ProxyStats {
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
@@ -94,10 +102,36 @@ class Proxy : public faas::DataService {
   // caller decides whether to drop it).
   void Writeback(const std::string& key, std::function<void(Status)> done);
 
-  const ProxyStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = {}; }
+  // Assembled on demand from the metrics registry.
+  ProxyStats stats() const;
+  void ResetStats();
+  obs::MetricsRegistry& metrics() { return *metrics_; }
 
  private:
+  // Registry cells behind ProxyStats; bumped through cached pointers.
+  struct Metrics {
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* cache_misses = nullptr;
+    obs::Counter* admissions = nullptr;
+    obs::Counter* admission_failures = nullptr;
+    obs::Counter* shadow_writes = nullptr;
+    obs::Counter* cached_writes = nullptr;
+    obs::Counter* direct_writes = nullptr;
+    obs::Counter* persistor_runs = nullptr;
+    obs::Counter* persistor_conflicts = nullptr;
+    obs::Counter* intermediates_cached = nullptr;
+    obs::Counter* intermediates_dropped = nullptr;
+    obs::Counter* external_read_boosts = nullptr;
+    obs::Counter* external_write_invalidations = nullptr;
+    obs::Series* persistor_ms = nullptr;  // Dispatch to RSDS-converged latency.
+  };
+  // Per-function hit/miss label cells, cached for the hot read path.
+  struct FnMetrics {
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+  };
+  FnMetrics& FnMetricsFor(const std::string& function);
+
   void SchedulePersistor(const std::string& key, store::ObjectVersion version, Bytes size,
                          bool drop_after);
   void HandleExternalRead(const std::string& key, std::function<void()> resume);
@@ -107,7 +141,11 @@ class Proxy : public faas::DataService {
   rc::Cluster* cluster_;
   store::ObjectStore* rsds_;
   ProxyOptions options_;
-  ProxyStats stats_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
+  Metrics m_;
+  std::unordered_map<std::string, FnMetrics> fn_metrics_;
   // Intermediate objects written per in-flight pipeline (§6.3 cleanup).
   std::unordered_map<std::uint64_t, std::vector<std::string>> pipeline_intermediates_;
 };

@@ -55,6 +55,107 @@ Platform::Platform(sim::EventLoop* loop, PlatformOptions options, DataService* d
   }
   worker_reserved_.assign(static_cast<std::size_t>(options_.num_workers), 0);
   worker_alive_.assign(static_cast<std::size_t>(options_.num_workers), true);
+
+  metrics_ = options_.metrics;
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  trace_ = options_.trace;
+  m_.invocations = metrics_->GetCounter("ofc.platform.invocations");
+  m_.cold_starts = metrics_->GetCounter("ofc.platform.cold_starts");
+  m_.warm_starts = metrics_->GetCounter("ofc.platform.warm_starts");
+  m_.oom_kills = metrics_->GetCounter("ofc.platform.oom_kills");
+  m_.oom_rescues = metrics_->GetCounter("ofc.platform.oom_rescues");
+  m_.failed_invocations = metrics_->GetCounter("ofc.platform.failed_invocations");
+  m_.retries = metrics_->GetCounter("ofc.platform.retries");
+  m_.sandbox_reclaims = metrics_->GetCounter("ofc.platform.sandbox_reclaims");
+  m_.queued_requests = metrics_->GetCounter("ofc.platform.queued_requests");
+  m_.worker_crashes = metrics_->GetCounter("ofc.platform.worker_crashes");
+  m_.crash_retries = metrics_->GetCounter("ofc.platform.crash_retries");
+  m_.input_bytes = metrics_->GetCounter("ofc.platform.input_bytes");
+  m_.output_bytes = metrics_->GetCounter("ofc.platform.output_bytes");
+  m_.startup_ms = metrics_->GetSeries("ofc.platform.startup_ms");
+  m_.extract_ms = metrics_->GetSeries("ofc.platform.extract_ms");
+  m_.transform_ms = metrics_->GetSeries("ofc.platform.transform_ms");
+  m_.load_ms = metrics_->GetSeries("ofc.platform.load_ms");
+  m_.total_ms = metrics_->GetSeries("ofc.platform.total_ms");
+  if (trace_ != nullptr) {
+    trace_->SetProcessName(obs::kPidInvocations, "invocations");
+    trace_->SetProcessName(obs::kPidPipelines, "pipelines");
+  }
+}
+
+Platform::FnMetrics& Platform::FnMetricsFor(const std::string& function) {
+  auto it = fn_metrics_.find(function);
+  if (it == fn_metrics_.end()) {
+    FnMetrics cells;
+    cells.invocations = metrics_->GetCounter("ofc.platform.invocations_by_function", function);
+    cells.cold_starts = metrics_->GetCounter("ofc.platform.cold_starts_by_function", function);
+    cells.total_ms = metrics_->GetSeries("ofc.platform.total_ms_by_function", function);
+    it = fn_metrics_.emplace(function, cells).first;
+  }
+  return it->second;
+}
+
+PlatformStats Platform::stats() const {
+  PlatformStats stats;
+  stats.invocations = m_.invocations->value();
+  stats.cold_starts = m_.cold_starts->value();
+  stats.warm_starts = m_.warm_starts->value();
+  stats.oom_kills = m_.oom_kills->value();
+  stats.oom_rescues = m_.oom_rescues->value();
+  stats.failed_invocations = m_.failed_invocations->value();
+  stats.retries = m_.retries->value();
+  stats.sandbox_reclaims = m_.sandbox_reclaims->value();
+  stats.queued_requests = m_.queued_requests->value();
+  stats.worker_crashes = m_.worker_crashes->value();
+  stats.crash_retries = m_.crash_retries->value();
+  return stats;
+}
+
+void Platform::ResetStats() {
+  m_.invocations->Reset();
+  m_.cold_starts->Reset();
+  m_.warm_starts->Reset();
+  m_.oom_kills->Reset();
+  m_.oom_rescues->Reset();
+  m_.failed_invocations->Reset();
+  m_.retries->Reset();
+  m_.sandbox_reclaims->Reset();
+  m_.queued_requests->Reset();
+  m_.worker_crashes->Reset();
+  m_.crash_retries->Reset();
+  m_.input_bytes->Reset();
+  m_.output_bytes->Reset();
+  m_.startup_ms->Reset();
+  m_.extract_ms->Reset();
+  m_.transform_ms->Reset();
+  m_.load_ms->Reset();
+  m_.total_ms->Reset();
+  for (auto& [function, cells] : fn_metrics_) {
+    cells.invocations->Reset();
+    cells.cold_starts->Reset();
+    cells.total_ms->Reset();
+  }
+}
+
+// Phase latencies and per-function breakdowns, recorded for every terminal
+// completion (success or failure) exactly once.
+void Platform::RecordCompletion(const InvocationRecord& record) {
+  m_.startup_ms->Observe(ToMillis(record.startup_time));
+  m_.extract_ms->Observe(ToMillis(record.extract_time));
+  m_.transform_ms->Observe(ToMillis(record.compute_time));
+  m_.load_ms->Observe(ToMillis(record.load_time));
+  m_.total_ms->Observe(ToMillis(record.total));
+  m_.input_bytes->Add(static_cast<std::uint64_t>(record.input_bytes));
+  m_.output_bytes->Add(static_cast<std::uint64_t>(record.output_bytes));
+  FnMetrics& fn = FnMetricsFor(record.function);
+  ++*fn.invocations;
+  if (record.cold_start) {
+    ++*fn.cold_starts;
+  }
+  fn.total_ms->Observe(ToMillis(record.total));
 }
 
 Status Platform::RegisterFunction(FunctionConfig config) {
@@ -123,7 +224,7 @@ void Platform::Invoke(const std::string& function, std::vector<InputObject> inpu
 }
 
 void Platform::InvokeInternal(std::shared_ptr<Request> request) {
-  ++stats_.invocations;
+  ++*m_.invocations;
   Dispatch(std::move(request));
 }
 
@@ -167,7 +268,7 @@ void Platform::Dispatch(std::shared_ptr<Request> request) {
     record.id = request->id;
     record.function = request->function;
     record.failed = true;
-    ++stats_.failed_invocations;
+    ++*m_.failed_invocations;
     loop_->ScheduleAfter(0, [request, record] { request->done(record); });
     return;
   }
@@ -210,7 +311,7 @@ void Platform::Dispatch(std::shared_ptr<Request> request) {
     // capacity check applies; the update runs asynchronously (§6.4), costing
     // only dispatch overhead on the critical path.
     SetSandboxLimit(sandbox, sizing.memory_limit);
-    ++stats_.warm_starts;
+    ++*m_.warm_starts;
     RunOnSandbox(std::move(request), sandbox, sizing, /*cold=*/false,
                  options_.dispatch_overhead);
     return;
@@ -219,7 +320,7 @@ void Platform::Dispatch(std::shared_ptr<Request> request) {
   // 2. Create a new sandbox; the scheduler reserves the booked amount.
   const int worker = PlaceNewSandbox(*fn, request->inputs, fn->booked_memory);
   if (worker < 0) {
-    ++stats_.queued_requests;
+    ++*m_.queued_requests;
     wait_queue_.push_back(std::move(request));
     return;
   }
@@ -235,7 +336,7 @@ void Platform::Dispatch(std::shared_ptr<Request> request) {
   assert(inserted);
   worker_reserved_[static_cast<std::size_t>(worker)] += sandbox.booked;
   SetSandboxLimit(&it->second, sizing.memory_limit);
-  ++stats_.cold_starts;
+  ++*m_.cold_starts;
   RunOnSandbox(std::move(request), &it->second, sizing, /*cold=*/true,
                options_.dispatch_overhead + options_.cold_start);
 }
@@ -269,7 +370,7 @@ int Platform::PlaceNewSandbox(const FunctionConfig& fn, const std::vector<InputO
     if (victim == 0) {
       return -1;
     }
-    ++stats_.sandbox_reclaims;
+    ++*m_.sandbox_reclaims;
     DestroySandbox(victim);
     fits = candidates();
   }
@@ -310,6 +411,18 @@ void Platform::RunOnSandbox(std::shared_ptr<Request> request, Sandbox* sandbox,
 
   request->running_worker = sandbox->worker;
   in_flight_[request->id] = request;
+
+  if (Traced(request->id)) {
+    const SimTime now = loop_->now();
+    if (now > request->arrival) {
+      trace_->Span("queued", "dispatch", request->arrival, now - request->arrival,
+                   obs::kPidInvocations, request->id);
+    }
+    trace_->Span(cold ? "cold-start" : "warm-start", "sandbox", now, startup,
+                 obs::kPidInvocations, request->id,
+                 {{"worker", std::to_string(sandbox->worker)},
+                  {"function", request->function}});
+  }
 
   const std::uint64_t sandbox_id = sandbox->id;
   const std::uint64_t epoch = request->crash_epoch;
@@ -354,6 +467,10 @@ void Platform::ExecutePhases(std::shared_ptr<Request> request, std::uint64_t san
     }
     if (*next_input >= request->inputs.size()) {
       rec->extract_time = loop_->now() - extract_start;
+      if (Traced(request->id)) {
+        trace_->Span("extract", "phase", extract_start, rec->extract_time,
+                     obs::kPidInvocations, request->id);
+      }
 
       // ---- Memory-limit check (OOM semantics, §5.3.1). ----
       SimDuration compute = demand.compute;
@@ -365,16 +482,24 @@ void Platform::ExecutePhases(std::shared_ptr<Request> request, std::uint64_t san
           SetSandboxLimit(sandbox, demand.memory);
           rec->memory_limit = sandbox->limit;
           rec->oom_rescued = true;
-          ++stats_.oom_rescues;
+          ++*m_.oom_rescues;
+          if (Traced(request->id)) {
+            trace_->Instant("oom-rescue", "oom", loop_->now(), obs::kPidInvocations,
+                            request->id);
+          }
           compute += options_.cgroup_resize;  // Monitor raises the cap mid-run.
         } else {
           // OOM kill partway through the transform phase.
-          ++stats_.oom_kills;
+          ++*m_.oom_kills;
           rec->oom_killed = true;
           loop_->ScheduleAfter(compute / 2,
                                [this, request, sandbox_id, rec, epoch]() mutable {
                                  if (request->crash_epoch != epoch) {
                                    return;
+                                 }
+                                 if (Traced(request->id)) {
+                                   trace_->Instant("oom-kill", "oom", loop_->now(),
+                                                   obs::kPidInvocations, request->id);
                                  }
                                  FailAndMaybeRetry(std::move(request), sandbox_id, *rec);
                                });
@@ -388,6 +513,10 @@ void Platform::ExecutePhases(std::shared_ptr<Request> request, std::uint64_t san
                                      epoch]() mutable {
         if (request->crash_epoch != epoch) {
           return;
+        }
+        if (Traced(request->id)) {
+          trace_->Span("transform", "phase", loop_->now() - rec->compute_time,
+                       rec->compute_time, obs::kPidInvocations, request->id);
         }
         // ---- Load phase: write the output object. ----
         const SimTime load_start = loop_->now();
@@ -405,6 +534,10 @@ void Platform::ExecutePhases(std::shared_ptr<Request> request, std::uint64_t san
                          return;
                        }
                        rec->load_time = loop_->now() - load_start;
+                       if (Traced(request->id)) {
+                         trace_->Span("load", "phase", load_start, rec->load_time,
+                                      obs::kPidInvocations, request->id);
+                       }
                        if (!status.ok()) {
                          FailAndMaybeRetry(std::move(request), sandbox_id, *rec);
                          return;
@@ -437,7 +570,7 @@ void Platform::CrashWorker(int worker) {
     return;
   }
   worker_alive_[static_cast<std::size_t>(worker)] = false;
-  ++stats_.worker_crashes;
+  ++*m_.worker_crashes;
 
   // The worker's sandboxes are gone (busy ones included).
   for (auto it = sandboxes_.begin(); it != sandboxes_.end();) {
@@ -468,8 +601,8 @@ void Platform::CrashWorker(int worker) {
     request->crash_epoch = ++crash_epoch_;  // Invalidates stale continuations.
     request->running_worker = -1;
     ++request->retries;
-    ++stats_.crash_retries;
-    ++stats_.retries;
+    ++*m_.crash_retries;
+    ++*m_.retries;
     loop_->ScheduleAfter(options_.retry_delay, [this, request]() mutable {
       Dispatch(std::move(request));
     });
@@ -489,7 +622,7 @@ void Platform::FailAndMaybeRetry(std::shared_ptr<Request> request, std::uint64_t
   const FunctionConfig* fn = GetFunction(request->function);
   if (record.oom_killed && request->retries == 0 && fn != nullptr) {
     // §5.3.1: immediate retry with the tenant-booked limit.
-    ++stats_.retries;
+    ++*m_.retries;
     request->retries = 1;
     request->oom_killed = true;
     request->forced_limit = fn->booked_memory;
@@ -501,7 +634,12 @@ void Platform::FailAndMaybeRetry(std::shared_ptr<Request> request, std::uint64_t
   }
   record.failed = true;
   record.total = loop_->now() - request->arrival;
-  ++stats_.failed_invocations;
+  ++*m_.failed_invocations;
+  RecordCompletion(record);
+  if (Traced(request->id)) {
+    trace_->Span(record.function, "invocation", request->arrival, record.total,
+                 obs::kPidInvocations, request->id, {{"failed", "true"}});
+  }
   if (fn != nullptr) {
     hooks_->OnInvocationComplete(*fn, request->inputs, request->args, record);
   }
@@ -514,6 +652,13 @@ void Platform::FinishInvocation(std::shared_ptr<Request> request, std::uint64_t 
   record.total = loop_->now() - request->arrival;
   in_flight_.erase(request->id);
   ReleaseSandbox(sandbox_id);
+  RecordCompletion(record);
+  if (Traced(request->id)) {
+    trace_->Span(record.function, "invocation", request->arrival, record.total,
+                 obs::kPidInvocations, request->id,
+                 {{"worker", std::to_string(record.worker)},
+                  {"cold_start", record.cold_start ? "true" : "false"}});
+  }
   const FunctionConfig* fn = GetFunction(request->function);
   if (fn != nullptr) {
     hooks_->OnInvocationComplete(*fn, request->inputs, request->args, record);
@@ -609,6 +754,11 @@ void Platform::InvokePipeline(const workloads::PipelineSpec& spec,
   *run_stage = [this, state, weak_run_stage]() {
     if (state->stage >= state->spec.stages.size()) {
       state->record.total = loop_->now() - state->start;
+      if (trace_ != nullptr && trace_->Sampled(state->record.id)) {
+        trace_->Span(state->record.pipeline, "pipeline", state->start, state->record.total,
+                     obs::kPidPipelines, state->record.id,
+                     {{"tasks", std::to_string(state->record.num_tasks)}});
+      }
       data_->OnPipelineComplete(state->record.id);
       state->done(state->record);
       return;

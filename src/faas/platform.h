@@ -37,6 +37,8 @@
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/sim/event_loop.h"
 #include "src/workloads/functions.h"
 #include "src/workloads/pipelines.h"
@@ -53,6 +55,11 @@ struct PlatformOptions {
   SimDuration dispatch_overhead = Millis(8);    // Empty-function e2e time (§6.4).
   SimDuration cgroup_resize = Micros(23800);    // docker update total (§7.2.1).
   SimDuration retry_delay = Millis(10);
+  // Observability sinks (src/obs/). When `metrics` is null the platform owns a
+  // private registry (standalone construction in unit tests); `trace` may stay
+  // null — lifecycle spans are then skipped entirely.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct FunctionConfig {
@@ -198,6 +205,9 @@ class PlatformHooks {
                                     const InvocationRecord& record);
 };
 
+// Snapshot view over the platform's `ofc.platform.*` registry counters (the
+// registry is the source of truth; this struct exists for test/bench
+// compatibility and human-readable summaries).
 struct PlatformStats {
   std::uint64_t invocations = 0;
   std::uint64_t cold_starts = 0;
@@ -256,8 +266,10 @@ class Platform {
   Bytes WorkerFree(int worker) const;
   std::size_t NumSandboxes(int worker) const;
   std::size_t NumIdleSandboxes(const std::string& function) const;
-  const PlatformStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = {}; }
+  // Assembled on demand from the metrics registry.
+  PlatformStats stats() const;
+  void ResetStats();
+  obs::MetricsRegistry& metrics() { return *metrics_; }
 
   // Aggregate media descriptor for demand evaluation over multiple inputs; also
   // used by hooks that need one descriptor for feature extraction.
@@ -295,6 +307,40 @@ class Platform {
     std::uint64_t crash_epoch = 0;
     int running_worker = -1;
   };
+
+  // Registry cells behind PlatformStats plus the phase-latency series; bumped
+  // on the hot path through cached pointers.
+  struct Metrics {
+    obs::Counter* invocations = nullptr;
+    obs::Counter* cold_starts = nullptr;
+    obs::Counter* warm_starts = nullptr;
+    obs::Counter* oom_kills = nullptr;
+    obs::Counter* oom_rescues = nullptr;
+    obs::Counter* failed_invocations = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* sandbox_reclaims = nullptr;
+    obs::Counter* queued_requests = nullptr;
+    obs::Counter* worker_crashes = nullptr;
+    obs::Counter* crash_retries = nullptr;
+    obs::Counter* input_bytes = nullptr;
+    obs::Counter* output_bytes = nullptr;
+    obs::Series* startup_ms = nullptr;
+    obs::Series* extract_ms = nullptr;
+    obs::Series* transform_ms = nullptr;
+    obs::Series* load_ms = nullptr;
+    obs::Series* total_ms = nullptr;
+  };
+  // Per-function label cells, cached so the hot path pays one hash lookup.
+  struct FnMetrics {
+    obs::Counter* invocations = nullptr;
+    obs::Counter* cold_starts = nullptr;
+    obs::Series* total_ms = nullptr;
+  };
+  FnMetrics& FnMetricsFor(const std::string& function);
+  void RecordCompletion(const InvocationRecord& record);
+  bool Traced(std::uint64_t invocation_id) const {
+    return trace_ != nullptr && trace_->Sampled(invocation_id);
+  }
 
   void InvokeInternal(std::shared_ptr<Request> request);
 
@@ -337,7 +383,11 @@ class Platform {
   std::map<std::uint64_t, std::shared_ptr<Request>> in_flight_;
   std::deque<std::shared_ptr<Request>> wait_queue_;
   bool drain_scheduled_ = false;
-  PlatformStats stats_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
+  Metrics m_;
+  std::unordered_map<std::string, FnMetrics> fn_metrics_;
   std::uint64_t next_invocation_id_ = 1;
   std::uint64_t next_sandbox_id_ = 1;
   std::uint64_t next_pipeline_id_ = 1;

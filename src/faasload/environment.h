@@ -16,6 +16,8 @@
 #include "src/core/ofc_system.h"
 #include "src/faas/direct_data_service.h"
 #include "src/faas/platform.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/ramcloud/cluster.h"
 #include "src/sim/event_loop.h"
 #include "src/store/object_store.h"
@@ -34,6 +36,12 @@ struct EnvironmentOptions {
   // Overrides the RSDS latency profile (default: Swift for kOwkSwift/kOfc,
   // Redis for kOwkRedis). The Figure 3 motivation experiment uses S3.
   std::optional<store::StoreProfile> rsds_profile;
+  // Observability sinks injected into every layer (platform, cluster, OFC,
+  // RSDS). Null `metrics` -> the environment owns a registry shared by all of
+  // its components; null `trace` -> the environment owns a disabled recorder
+  // (enable via trace().set_enabled(true)).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class Environment {
@@ -47,10 +55,17 @@ class Environment {
   // Null in baseline modes.
   rc::Cluster* cluster() { return cluster_.get(); }
   core::OfcSystem* ofc() { return ofc_.get(); }
+  // The registry/recorder every component of this environment reports into.
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+  obs::TraceRecorder& trace() { return *trace_; }
 
  private:
   Mode mode_;
   sim::EventLoop loop_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.
+  std::unique_ptr<obs::TraceRecorder> owned_trace_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
   std::unique_ptr<store::ObjectStore> rsds_;
   std::unique_ptr<rc::Cluster> cluster_;
   std::unique_ptr<core::OfcSystem> ofc_;

@@ -15,6 +15,50 @@ Cluster::Cluster(sim::EventLoop* loop, int num_nodes, ClusterOptions options, Rn
     node.memory_capacity = options_.default_capacity;
   }
   logs_.assign(static_cast<std::size_t>(num_nodes), SegmentedLog(options_.log));
+
+  metrics_ = options_.metrics;
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  m_.reads = metrics_->GetCounter("ofc.ramcloud.reads");
+  m_.read_hits_local = metrics_->GetCounter("ofc.ramcloud.read_hits_local");
+  m_.read_hits_remote = metrics_->GetCounter("ofc.ramcloud.read_hits_remote");
+  m_.read_misses = metrics_->GetCounter("ofc.ramcloud.read_misses");
+  m_.writes = metrics_->GetCounter("ofc.ramcloud.writes");
+  m_.write_rejects = metrics_->GetCounter("ofc.ramcloud.write_rejects");
+  m_.version_conflicts = metrics_->GetCounter("ofc.ramcloud.version_conflicts");
+  m_.transactions_committed = metrics_->GetCounter("ofc.ramcloud.transactions_committed");
+  m_.migrations = metrics_->GetCounter("ofc.ramcloud.migrations");
+  m_.evictions = metrics_->GetCounter("ofc.ramcloud.evictions");
+}
+
+ClusterStats Cluster::stats() const {
+  ClusterStats stats;
+  stats.reads = m_.reads->value();
+  stats.read_hits_local = m_.read_hits_local->value();
+  stats.read_hits_remote = m_.read_hits_remote->value();
+  stats.read_misses = m_.read_misses->value();
+  stats.writes = m_.writes->value();
+  stats.write_rejects = m_.write_rejects->value();
+  stats.version_conflicts = m_.version_conflicts->value();
+  stats.transactions_committed = m_.transactions_committed->value();
+  stats.migrations = m_.migrations->value();
+  stats.evictions = m_.evictions->value();
+  return stats;
+}
+
+void Cluster::ResetStats() {
+  m_.reads->Reset();
+  m_.read_hits_local->Reset();
+  m_.read_hits_remote->Reset();
+  m_.read_misses->Reset();
+  m_.writes->Reset();
+  m_.write_rejects->Reset();
+  m_.version_conflicts->Reset();
+  m_.transactions_committed->Reset();
+  m_.migrations->Reset();
+  m_.evictions->Reset();
 }
 
 int Cluster::CheckNode(int node) const {
@@ -76,7 +120,7 @@ Status Cluster::ApplyWrite(int client_node, const std::string& key, Bytes size,
                            std::uint64_t version, ObjectClass object_class, bool dirty,
                            SimDuration* cost) {
   if (size <= 0 || size > options_.max_object_size) {
-    ++stats_.write_rejects;
+    ++*m_.write_rejects;
     return InvalidArgumentError("object size outside cacheable range");
   }
 
@@ -97,7 +141,7 @@ Status Cluster::ApplyWrite(int client_node, const std::string& key, Bytes size,
   SimDuration cleaning_cost = 0;
   const auto placement = PlaceInLog(prefer, size, &cleaning_cost);
   if (!placement.ok()) {
-    ++stats_.write_rejects;
+    ++*m_.write_rejects;
     return placement.status();
   }
   const int master = placement->first;
@@ -118,7 +162,7 @@ Status Cluster::ApplyWrite(int client_node, const std::string& key, Bytes size,
     nodes_[b].disk_used += size;
   }
   objects_.emplace(key, obj);
-  ++stats_.writes;
+  ++*m_.writes;
   ++nodes_[master].writes_served;
 
   // Master write + parallel replication to backup durable buffers, plus any
@@ -147,7 +191,7 @@ void Cluster::ConditionalWrite(int client_node, const std::string& key, Bytes si
   auto it = objects_.find(key);
   const std::uint64_t current = it == objects_.end() ? 0 : it->second.version;
   if (current != expected_version) {
-    ++stats_.version_conflicts;
+    ++*m_.version_conflicts;
     loop_->ScheduleAfter(options_.local_access.Cost(0, &rng_),
                          [done = std::move(done), key] {
                            done(AbortedError("version mismatch: " + key));
@@ -167,7 +211,7 @@ void Cluster::Commit(int client_node, std::vector<TxWrite> writes, Callback done
     auto it = objects_.find(write.key);
     const std::uint64_t current = it == objects_.end() ? 0 : it->second.version;
     if (current != write.expected_version) {
-      ++stats_.version_conflicts;
+      ++*m_.version_conflicts;
       loop_->ScheduleAfter(options_.remote_access.Cost(0, &rng_),
                            [done = std::move(done), key = write.key] {
                              done(AbortedError("transaction conflict on " + key));
@@ -198,15 +242,15 @@ void Cluster::Commit(int client_node, std::vector<TxWrite> writes, Callback done
     }
     applied.push_back(write.key);
   }
-  ++stats_.transactions_committed;
+  ++*m_.transactions_committed;
   loop_->ScheduleAfter(cost, [done = std::move(done)] { done(OkStatus()); });
 }
 
 void Cluster::Read(int client_node, const std::string& key, ReadCallback done) {
   auto it = objects_.find(key);
-  ++stats_.reads;
+  ++*m_.reads;
   if (it == objects_.end()) {
-    ++stats_.read_misses;
+    ++*m_.read_misses;
     loop_->ScheduleAfter(options_.local_access.Cost(0, &rng_),
                          [done = std::move(done), key] {
                            done(NotFoundError("cache miss: " + key));
@@ -218,9 +262,9 @@ void Cluster::Read(int client_node, const std::string& key, ReadCallback done) {
   obj.last_access = loop_->now();
   const bool local = obj.master == client_node;
   if (local) {
-    ++stats_.read_hits_local;
+    ++*m_.read_hits_local;
   } else {
-    ++stats_.read_hits_remote;
+    ++*m_.read_hits_remote;
   }
   ++nodes_[obj.master].reads_served;
   const SimDuration cost =
@@ -269,7 +313,7 @@ Status Cluster::Remove(const std::string& key) {
     nodes_[b].disk_used -= obj.size;
   }
   objects_.erase(it);
-  ++stats_.evictions;
+  ++*m_.evictions;
   return OkStatus();
 }
 
@@ -352,7 +396,7 @@ Result<MigrationResult> Cluster::MigrateMaster(const std::string& key) {
   std::replace(obj.backups.begin(), obj.backups.end(), new_master, old_master);
   obj.master = new_master;
   obj.log_entry = new_entry;
-  ++stats_.migrations;
+  ++*m_.migrations;
 
   MigrationResult result;
   result.old_master = old_master;

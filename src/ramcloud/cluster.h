@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +31,7 @@
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
+#include "src/obs/metrics.h"
 #include "src/ramcloud/segmented_log.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/latency.h"
@@ -71,6 +73,8 @@ struct ClusterOptions {
   sim::LatencyModel remote_access = sim::LatencyProfiles::RamcloudRemote();
   sim::LatencyModel disk_read = sim::LatencyProfiles::BackupDiskRead();
   sim::LatencyModel disk_write = sim::LatencyProfiles::BackupDiskWrite();
+  // Observability sink (src/obs/). Null -> the cluster owns a private registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct NodeStats {
@@ -94,6 +98,7 @@ struct RecoveryResult {
   SimDuration duration = 0;      // Parallel partitioned recovery makespan.
 };
 
+// Snapshot view over the cluster's `ofc.ramcloud.*` registry counters.
 struct ClusterStats {
   std::uint64_t reads = 0;
   std::uint64_t read_hits_local = 0;
@@ -203,8 +208,10 @@ class Cluster {
   RecoveryResult CrashNode(int node);
   void RestartNode(int node);
 
-  const ClusterStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = {}; }
+  // Assembled on demand from the metrics registry.
+  ClusterStats stats() const;
+  void ResetStats();
+  obs::MetricsRegistry& metrics() { return *metrics_; }
 
   // Total memory in use across alive nodes (Figure 10 series).
   Bytes TotalUsed() const;
@@ -226,13 +233,29 @@ class Cluster {
                     std::uint64_t version, ObjectClass object_class, bool dirty,
                     SimDuration* cost);
 
+  // Registry cells behind ClusterStats; bumped through cached pointers.
+  struct Metrics {
+    obs::Counter* reads = nullptr;
+    obs::Counter* read_hits_local = nullptr;
+    obs::Counter* read_hits_remote = nullptr;
+    obs::Counter* read_misses = nullptr;
+    obs::Counter* writes = nullptr;
+    obs::Counter* write_rejects = nullptr;
+    obs::Counter* version_conflicts = nullptr;
+    obs::Counter* transactions_committed = nullptr;
+    obs::Counter* migrations = nullptr;
+    obs::Counter* evictions = nullptr;
+  };
+
   sim::EventLoop* loop_;
   ClusterOptions options_;
   Rng rng_;
   std::vector<NodeStats> nodes_;
   std::vector<SegmentedLog> logs_;
   std::unordered_map<std::string, CachedObject> objects_;
-  ClusterStats stats_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Metrics m_;
 };
 
 }  // namespace ofc::rc

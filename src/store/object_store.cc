@@ -11,17 +11,57 @@ std::string MakeKey(const std::string& container, const std::string& name) {
 }
 
 ObjectStore::ObjectStore(sim::EventLoop* loop, StoreProfile profile, Rng rng,
-                         std::string name)
-    : loop_(loop), profile_(profile), rng_(rng), name_(std::move(name)) {}
+                         std::string name, obs::MetricsRegistry* metrics)
+    : loop_(loop), profile_(profile), rng_(rng), name_(std::move(name)) {
+  InitMetrics(metrics);
+}
 
 ObjectStore::ObjectStore(sim::EventLoop* loop, sim::LatencyModel request_latency, Rng rng,
-                         std::string name, std::optional<sim::LatencyModel> control_latency)
+                         std::string name, std::optional<sim::LatencyModel> control_latency,
+                         obs::MetricsRegistry* metrics)
     : ObjectStore(loop,
                   StoreProfile{request_latency, request_latency,
                                control_latency.value_or(sim::LatencyModel{
                                    request_latency.base, 0.0,
                                    request_latency.jitter_fraction})},
-                  rng, std::move(name)) {}
+                  rng, std::move(name), metrics) {}
+
+void ObjectStore::InitMetrics(obs::MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  m_.reads = metrics_->GetCounter("ofc.store.reads", name_);
+  m_.writes = metrics_->GetCounter("ofc.store.writes", name_);
+  m_.shadow_writes = metrics_->GetCounter("ofc.store.shadow_writes", name_);
+  m_.payload_finalizes = metrics_->GetCounter("ofc.store.payload_finalizes", name_);
+  m_.deletes = metrics_->GetCounter("ofc.store.deletes", name_);
+  m_.bytes_read = metrics_->GetCounter("ofc.store.bytes_read", name_);
+  m_.bytes_written = metrics_->GetCounter("ofc.store.bytes_written", name_);
+}
+
+StoreStats ObjectStore::stats() const {
+  StoreStats stats;
+  stats.reads = m_.reads->value();
+  stats.writes = m_.writes->value();
+  stats.shadow_writes = m_.shadow_writes->value();
+  stats.payload_finalizes = m_.payload_finalizes->value();
+  stats.deletes = m_.deletes->value();
+  stats.bytes_read = static_cast<Bytes>(m_.bytes_read->value());
+  stats.bytes_written = static_cast<Bytes>(m_.bytes_written->value());
+  return stats;
+}
+
+void ObjectStore::ResetStats() {
+  m_.reads->Reset();
+  m_.writes->Reset();
+  m_.shadow_writes->Reset();
+  m_.payload_finalizes->Reset();
+  m_.deletes->Reset();
+  m_.bytes_read->Reset();
+  m_.bytes_written->Reset();
+}
 
 void ObjectStore::After(SimDuration delay, std::function<void()> fn) {
   loop_->ScheduleAfter(delay, std::move(fn));
@@ -48,8 +88,8 @@ void ObjectStore::Put(const std::string& key, Bytes size, Tags tags, Callback do
       obj.created_at = loop_->now();
     }
     obj.modified_at = loop_->now();
-    ++stats_.writes;
-    stats_.bytes_written += size;
+    ++*m_.writes;
+    m_.bytes_written->Add(static_cast<std::uint64_t>(size));
     done(OkStatus());
   });
 }
@@ -66,7 +106,7 @@ void ObjectStore::PutShadow(const std::string& key, Bytes pending_size, MetaCall
       obj.rsds_version = 0;
     }
     obj.modified_at = loop_->now();
-    ++stats_.shadow_writes;
+    ++*m_.shadow_writes;
     done(obj);
   });
 }
@@ -91,8 +131,8 @@ void ObjectStore::FinalizePayload(const std::string& key, ObjectVersion version,
       obj.pending_size = 0;
     }
     obj.modified_at = loop_->now();
-    ++stats_.payload_finalizes;
-    stats_.bytes_written += size;
+    ++*m_.payload_finalizes;
+    m_.bytes_written->Add(static_cast<std::uint64_t>(size));
     done(OkStatus());
   });
 }
@@ -107,8 +147,8 @@ void ObjectStore::Get(const std::string& key, MetaCallback done) {
       done(NotFoundError("get: " + key));
       return;
     }
-    ++stats_.reads;
-    stats_.bytes_read += it2->second.size;
+    ++*m_.reads;
+    m_.bytes_read->Add(static_cast<std::uint64_t>(it2->second.size));
     done(it2->second);
   });
 }
@@ -130,7 +170,7 @@ void ObjectStore::Delete(const std::string& key, Callback done) {
       done(NotFoundError("delete: " + key));
       return;
     }
-    ++stats_.deletes;
+    ++*m_.deletes;
     done(OkStatus());
   });
 }

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -27,6 +28,7 @@
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
+#include "src/obs/metrics.h"
 #include "src/sim/event_loop.h"
 #include "src/sim/latency.h"
 
@@ -55,6 +57,8 @@ struct ObjectMetadata {
   bool IsShadow() const { return rsds_version < latest_version; }
 };
 
+// Snapshot view over the store's `ofc.store.*` registry counters (cells are
+// labeled with the store's name, so several stores share one registry).
 struct StoreStats {
   std::uint64_t reads = 0;
   std::uint64_t writes = 0;
@@ -107,13 +111,17 @@ class ObjectStore {
   // handler wait for a persistor (§6.2).
   using Webhook = std::function<void(const std::string& key, std::function<void()> resume)>;
 
-  ObjectStore(sim::EventLoop* loop, StoreProfile profile, Rng rng, std::string name);
+  // `metrics` (optional) is the shared observability registry; null -> the
+  // store owns a private one.
+  ObjectStore(sim::EventLoop* loop, StoreProfile profile, Rng rng, std::string name,
+              obs::MetricsRegistry* metrics = nullptr);
 
   // Convenience: symmetric read/write latency (unit tests, simple setups);
   // control ops default to the request model's fixed cost.
   ObjectStore(sim::EventLoop* loop, sim::LatencyModel request_latency, Rng rng,
               std::string name,
-              std::optional<sim::LatencyModel> control_latency = std::nullopt);
+              std::optional<sim::LatencyModel> control_latency = std::nullopt,
+              obs::MetricsRegistry* metrics = nullptr);
 
   const std::string& name() const { return name_; }
 
@@ -154,12 +162,26 @@ class ObjectStore {
   bool Exists(const std::string& key) const { return objects_.contains(key); }
   std::size_t NumObjects() const { return objects_.size(); }
   Bytes TotalBytes() const;
-  const StoreStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = {}; }
+  // Assembled on demand from the metrics registry.
+  StoreStats stats() const;
+  void ResetStats();
+  obs::MetricsRegistry& metrics() { return *metrics_; }
   // Seeds an object instantly (dataset preparation in FaaSLoad).
   void Seed(const std::string& key, Bytes size, Tags tags);
 
  private:
+  // Registry cells behind StoreStats, labeled with the store's name.
+  struct Metrics {
+    obs::Counter* reads = nullptr;
+    obs::Counter* writes = nullptr;
+    obs::Counter* shadow_writes = nullptr;
+    obs::Counter* payload_finalizes = nullptr;
+    obs::Counter* deletes = nullptr;
+    obs::Counter* bytes_read = nullptr;
+    obs::Counter* bytes_written = nullptr;
+  };
+  void InitMetrics(obs::MetricsRegistry* metrics);
+
   void After(SimDuration delay, std::function<void()> fn);
   SimDuration ControlCost();
   SimDuration ReadCost(Bytes size);
@@ -172,7 +194,9 @@ class ObjectStore {
   std::unordered_map<std::string, ObjectMetadata> objects_;
   Webhook read_webhook_;
   Webhook write_webhook_;
-  StoreStats stats_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  Metrics m_;
   ObjectVersion next_version_ = 1;
 };
 

@@ -184,6 +184,20 @@ TEST(SamplesTest, Percentiles) {
   EXPECT_NEAR(s.Percentile(0.99), 99.01, 0.01);
 }
 
+TEST(SamplesTest, PercentilesRefreshAfterLaterAdds) {
+  // Regression: Add() must invalidate the sorted-percentile cache. Querying a
+  // percentile (which builds the cache) and then adding more samples used to
+  // keep serving the stale sorted copy.
+  Samples s;
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 10.0);  // Builds the sorted cache.
+  s.Add(30.0);
+  s.Add(20.0);
+  EXPECT_DOUBLE_EQ(s.Median(), 20.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 30.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 10.0);
+}
+
 TEST(SamplesTest, EmptyIsZero) {
   Samples s;
   EXPECT_EQ(s.count(), 0u);

@@ -77,6 +77,34 @@ TEST(EventLoopTest, StepRunsExactlyOneEvent) {
   EXPECT_FALSE(loop.Step());
 }
 
+TEST(EventLoopTest, PendingEventsTracksCancelBookkeeping) {
+  EventLoop loop;
+  int ran = 0;
+  const auto a = loop.ScheduleAfter(Millis(1), [&] { ++ran; });
+  const auto b = loop.ScheduleAfter(Millis(2), [&] { ++ran; });
+  loop.ScheduleAfter(Millis(3), [&] { ++ran; });
+  EXPECT_EQ(loop.pending_events(), 3u);
+
+  // A cancelled event keeps its queue slot but must not count as pending, and
+  // a double cancel must not double-decrement the bookkeeping.
+  EXPECT_TRUE(loop.Cancel(b));
+  EXPECT_EQ(loop.pending_events(), 2u);
+  EXPECT_FALSE(loop.Cancel(b));
+  EXPECT_EQ(loop.pending_events(), 2u);
+
+  EXPECT_TRUE(loop.Step());  // Runs a.
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(loop.pending_events(), 1u);
+  EXPECT_TRUE(loop.Step());  // Skips b's dead slot, runs the third event.
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(loop.pending_events(), 0u);
+  EXPECT_FALSE(loop.Step());
+
+  EXPECT_FALSE(loop.Cancel(a));  // Already ran.
+  loop.Run();                    // Dead slots must not resurrect anything.
+  EXPECT_EQ(ran, 2);
+}
+
 TEST(EventLoopTest, StepSkipsCancelledEvents) {
   EventLoop loop;
   int ran = 0;

@@ -9,16 +9,20 @@
 //           [--functions=wand_blur,wand_sepia,...] [--pipelines=map_reduce,...]
 //           [--duration-min=N] [--interval-s=N] [--workers=N] [--worker-gb=N]
 //           [--seed=N] [--pretrain=N] [--arrivals=poisson|periodic|bursty]
+//           [--metrics-json=PATH] [--metrics-csv=PATH]
+//           [--trace-json=PATH] [--trace-sample=N] [--log-sim-time]
 //
 // Examples:
 //   ofc_sim --mode=ofc --functions=wand_blur,wand_edge --duration-min=10
 //   ofc_sim --mode=owk-swift --pipelines=map_reduce --interval-s=30
+//   ofc_sim --mode=ofc --trace-json=trace.json   # open in ui.perfetto.dev
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "src/common/logging.h"
 #include "src/common/stats.h"
 #include "src/faasload/environment.h"
 #include "src/faasload/injector.h"
@@ -38,7 +42,24 @@ struct Flags {
   int worker_gb = 16;
   std::uint64_t seed = 42;
   int pretrain = 1000;
+  std::string metrics_json;
+  std::string metrics_csv;
+  std::string trace_json;
+  std::uint64_t trace_sample = 1;
+  bool log_sim_time = false;
 };
+
+// Writes `body` to `path`; returns false (with a message) on failure.
+bool WriteFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return true;
+}
 
 std::vector<std::string> SplitCsv(const std::string& csv) {
   std::vector<std::string> out;
@@ -75,6 +96,8 @@ int Usage() {
                "               [--arrivals=poisson|periodic|bursty]\n"
                "               [--duration-min=N] [--interval-s=N]\n"
                "               [--workers=N] [--worker-gb=N] [--seed=N] [--pretrain=N]\n"
+               "               [--metrics-json=PATH] [--metrics-csv=PATH]\n"
+               "               [--trace-json=PATH] [--trace-sample=N] [--log-sim-time]\n"
                "\navailable functions:\n");
   for (const workloads::FunctionSpec& spec : workloads::AllFunctions()) {
     std::fprintf(stderr, "  %s\n", spec.name.c_str());
@@ -111,6 +134,13 @@ int Main(int argc, char** argv) {
       flags.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--pretrain", &value)) {
       flags.pretrain = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--metrics-json", &flags.metrics_json)) {
+    } else if (ParseFlag(argv[i], "--metrics-csv", &flags.metrics_csv)) {
+    } else if (ParseFlag(argv[i], "--trace-json", &flags.trace_json)) {
+    } else if (ParseFlag(argv[i], "--trace-sample", &value)) {
+      flags.trace_sample = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--log-sim-time") == 0) {
+      flags.log_sim_time = true;
     } else {
       return Usage();
     }
@@ -155,6 +185,18 @@ int Main(int argc, char** argv) {
   env_options.platform.worker_memory = GiB(flags.worker_gb);
   env_options.seed = flags.seed;
   faasload::Environment env(mode, env_options);
+  if (!flags.trace_json.empty()) {
+    env.trace().set_enabled(true);
+    env.trace().set_sample_period(flags.trace_sample);
+  }
+  if (flags.log_sim_time) {
+    // Prefix every log line with the simulated clock, e.g. "t=12.345s".
+    SetLogPrefixHook([&env] {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "t=%.3fs", ToSeconds(env.loop().now()));
+      return std::string(buf);
+    });
+  }
   faasload::LoadInjector injector(&env, profile, flags.seed + 1);
 
   for (const std::string& function : flags.functions) {
@@ -242,7 +284,21 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long long>(platform.oom_kills),
               static_cast<unsigned long long>(platform.oom_rescues),
               static_cast<unsigned long long>(platform.failed_invocations));
-  return 0;
+
+  bool ok = true;
+  if (!flags.metrics_json.empty()) {
+    ok = WriteFile(flags.metrics_json, env.metrics().SnapshotJson(env.loop().now())) && ok;
+  }
+  if (!flags.metrics_csv.empty()) {
+    ok = WriteFile(flags.metrics_csv, env.metrics().SnapshotCsv(env.loop().now())) && ok;
+  }
+  if (!flags.trace_json.empty()) {
+    ok = env.trace().WriteJson(flags.trace_json) && ok;
+    std::printf("\ntrace: %zu events (%zu dropped) -> %s\n", env.trace().num_events(),
+                env.trace().num_dropped(), flags.trace_json.c_str());
+  }
+  ClearLogPrefixHook();  // The hook captures `env`, which dies with this frame.
+  return ok ? 0 : 1;
 }
 
 }  // namespace ofc
