@@ -78,7 +78,7 @@ VariantResult RunVariant(const Variant& variant) {
       ++invocations;
     }
   }
-  result.mean_load_ms = invocations == 0 ? 0 : load_ms_sum / invocations;
+  result.mean_load_ms = invocations == 0 ? 0 : load_ms_sum / static_cast<double>(invocations);
   result.hit_ratio = env.ofc()->proxy().stats().HitRatio();
   const auto& cluster_stats = env.cluster()->stats();
   const double hits = static_cast<double>(cluster_stats.read_hits_local +

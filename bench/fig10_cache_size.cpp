@@ -35,7 +35,7 @@ void Run() {
       sum += static_cast<double>(sample.capacity) / 1e9;
     }
     series.mean_capacity_gb =
-        result.cache_series.empty() ? 0 : sum / result.cache_series.size();
+        result.cache_series.empty() ? 0 : sum / static_cast<double>(result.cache_series.size());
     all.push_back(std::move(series));
   }
 

@@ -55,11 +55,11 @@ void Run() {
   bench::Table table({"Metric", "Value"});
   const double n = static_cast<double>(all_errors.size());
   table.AddRow({"Predictions", std::to_string(all_errors.size())});
-  table.AddRow({"Exact (%)", bench::Fmt("%.1f", 100.0 * exact / n)});
-  table.AddRow({"Over (%)", bench::Fmt("%.1f", 100.0 * over / n)});
-  table.AddRow({"Under (%)", bench::Fmt("%.1f", 100.0 * under / n)});
+  table.AddRow({"Exact (%)", bench::Fmt("%.1f", 100.0 * static_cast<double>(exact) / static_cast<double>(n))});
+  table.AddRow({"Over (%)", bench::Fmt("%.1f", 100.0 * static_cast<double>(over) / static_cast<double>(n))});
+  table.AddRow({"Under (%)", bench::Fmt("%.1f", 100.0 * static_cast<double>(under) / static_cast<double>(n))});
   table.AddRow({"Overpredictions within 3 intervals (%)",
-                bench::Fmt("%.1f", over == 0 ? 100.0 : 100.0 * over_within3 / over)});
+                bench::Fmt("%.1f", over == 0 ? 100.0 : 100.0 * static_cast<double>(over_within3) / static_cast<double>(over))});
   table.AddRow({"Average overprediction waste (MB)",
                 bench::Fmt("%.1f", over_waste_mb.mean())});
   table.Print();

@@ -19,6 +19,7 @@
 namespace ofc {
 namespace {
 
+// simlint: allow(wall-clock) -- benchmarks real ML inference latency (paper Fig. 6), not simulated time
 using Clock = std::chrono::steady_clock;
 
 // Measures per-prediction latency of `model` over the dataset's feature rows.

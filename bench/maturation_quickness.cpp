@@ -45,7 +45,7 @@ void Run() {
   std::sort(ok.begin(), ok.end());
   auto quantile = [&](double q) {
     return ok.empty() ? 0 : ok[std::min(ok.size() - 1,
-                                        static_cast<std::size_t>(q * ok.size()))];
+                                        static_cast<std::size_t>(q * static_cast<double>(ok.size())))];
   };
   bench::Table summary({"Metric", "Value"});
   summary.AddRow({"Functions matured", std::to_string(ok.size()) + " / " +

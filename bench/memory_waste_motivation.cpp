@@ -101,7 +101,7 @@ WasteResult RunProfile(faasload::TenantProfile profile) {
     }
   }
   result.booked_512_share =
-      invocations == 0 ? 0 : static_cast<double>(booked_512) / invocations;
+      invocations == 0 ? 0 : static_cast<double>(booked_512) / static_cast<double>(invocations);
   result.used_mean_mb = used_mb.Mean();
   result.used_median_mb = used_mb.Median();
   result.overbooking_factor = overbooking.mean();

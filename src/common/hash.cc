@@ -1,0 +1,14 @@
+#include "src/common/hash.h"
+
+namespace ofc {
+namespace {
+
+std::uint64_t g_hash_salt = 0;
+
+}  // namespace
+
+void SetHashSalt(std::uint64_t salt) { g_hash_salt = salt; }
+
+std::uint64_t HashSalt() { return g_hash_salt; }
+
+}  // namespace ofc

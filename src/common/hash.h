@@ -1,0 +1,47 @@
+// Deterministic, salt-perturbable hashing for unordered containers.
+//
+// The simulator's unordered containers are allowed only on paths whose
+// *iteration order* can never reach event scheduling or exported metrics
+// (enforced by tools/simlint). To prove that discipline experimentally, every
+// remaining unordered container uses DetHash, whose output mixes in a global
+// salt: tests/determinism_test.cpp perturbs the salt between runs and asserts
+// bit-identical results, demonstrating that no container ordering leaks into
+// observable state. The salt defaults to 0, so production runs are unaffected.
+#ifndef OFC_COMMON_HASH_H_
+#define OFC_COMMON_HASH_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace ofc {
+
+// Global hash-order perturbation knob. Single-threaded simulator: no atomics.
+// Must be set before the containers under test are populated.
+void SetHashSalt(std::uint64_t salt);
+std::uint64_t HashSalt();
+
+namespace internal {
+
+// SplitMix64 finalizer: full-avalanche mix of the salted hash.
+inline std::uint64_t MixHash(std::uint64_t h) {
+  h += 0x9e3779b97f4a7c15ULL;
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+}  // namespace internal
+
+// Drop-in replacement for std::hash<T> that perturbs bucket placement (and
+// therefore iteration order) with the global salt.
+template <typename T>
+struct DetHash {
+  std::size_t operator()(const T& value) const {
+    const std::uint64_t base = static_cast<std::uint64_t>(std::hash<T>{}(value));
+    return static_cast<std::size_t>(internal::MixHash(base ^ HashSalt()));
+  }
+};
+
+}  // namespace ofc
+
+#endif  // OFC_COMMON_HASH_H_

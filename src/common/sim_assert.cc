@@ -1,0 +1,19 @@
+#include "src/common/sim_assert.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ofc::internal {
+
+AssertMessage::AssertMessage(const char* file, int line, const char* expr) {
+  stream_ << file << ":" << line << ": SIM_ASSERT failed: " << expr;
+}
+
+AssertMessage::~AssertMessage() {
+  const std::string text = stream_.str();
+  std::fprintf(stderr, "%s\n", text.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ofc::internal

@@ -1,0 +1,70 @@
+// Runtime invariant checks for the deterministic simulator.
+//
+// SIM_ASSERT guards cheap invariants (integer comparisons on hot paths) and is
+// enabled whenever the build defines OFC_SIM_ASSERTS — on by default for every
+// build type except Release (see the top-level CMakeLists; CI Release builds
+// re-enable it explicitly). SIM_DCHECK guards expensive re-derivations (O(n)
+// scans) and is additionally compiled out whenever NDEBUG is set, so it only
+// runs in Debug builds.
+//
+// Both macros stream extra context:
+//
+//   SIM_ASSERT(used <= cap) << "segment " << index;
+//
+// On failure the expression, location and streamed message are printed to
+// stderr and the process aborts — a violated invariant means simulation
+// results can no longer be trusted, so there is no recovery path.
+//
+// When compiled out, the condition is parsed but not evaluated (no side
+// effects, no "unused variable" warnings, zero cost).
+#ifndef OFC_COMMON_SIM_ASSERT_H_
+#define OFC_COMMON_SIM_ASSERT_H_
+
+#include <sstream>
+
+namespace ofc::internal {
+
+// Collects the streamed message and aborts in its destructor.
+class AssertMessage {
+ public:
+  AssertMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~AssertMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression on the passing path.
+struct AssertVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace ofc::internal
+
+// Parses-but-never-evaluates `cond`; keeps symbols referenced by the condition
+// "used" so compiled-out checks do not trigger -Werror=unused.
+#define OFC_SIM_ASSERT_DISABLED_(cond) \
+  switch (0)                           \
+  case 0:                              \
+  default:                             \
+    while (false && (cond))            \
+  ::ofc::internal::AssertVoidify() & ::ofc::internal::AssertMessage("", 0, "").stream()
+
+#ifdef OFC_SIM_ASSERTS
+#define SIM_ASSERT(cond)               \
+  (cond) ? (void)0                     \
+         : ::ofc::internal::AssertVoidify() & \
+               ::ofc::internal::AssertMessage(__FILE__, __LINE__, #cond).stream()
+#else
+#define SIM_ASSERT(cond) OFC_SIM_ASSERT_DISABLED_(cond)
+#endif
+
+#if defined(OFC_SIM_ASSERTS) && !defined(NDEBUG)
+#define SIM_DCHECK(cond) SIM_ASSERT(cond)
+#else
+#define SIM_DCHECK(cond) OFC_SIM_ASSERT_DISABLED_(cond)
+#endif
+
+#endif  // OFC_COMMON_SIM_ASSERT_H_

@@ -1,9 +1,9 @@
 #include "src/core/cache_agent.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "src/common/logging.h"
+#include "src/common/sim_assert.h"
 
 namespace ofc::core {
 
@@ -152,8 +152,13 @@ void CacheAgent::OnSandboxMemoryChange(const faas::SandboxMemoryEvent& event) {
   const std::size_t w = static_cast<std::size_t>(event.worker);
   hoard_[w] += event.new_hoard() - event.old_hoard();
   limits_[w] += event.new_limit - event.old_limit;
-  assert(hoard_[w] >= 0);
-  assert(limits_[w] >= 0);
+  // Hoard/limit accounting mirrors sandbox lifecycle events; going negative
+  // means a create/resize/destroy event was double-counted or dropped.
+  SIM_ASSERT(hoard_[w] >= 0) << "; hoard underflow on worker " << event.worker;
+  SIM_ASSERT(limits_[w] >= 0) << "; cgroup-limit underflow on worker " << event.worker;
+  SIM_ASSERT(limits_[w] <= options_.worker_memory)
+      << "; cgroup limits " << limits_[w] << " exceed worker memory "
+      << options_.worker_memory << " on worker " << event.worker;
   churn_accum_[w] += std::abs(event.new_limit - event.old_limit);
   ApplyTarget(event.worker);
 }

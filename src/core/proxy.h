@@ -23,12 +23,15 @@
 #ifndef OFC_CORE_PROXY_H_
 #define OFC_CORE_PROXY_H_
 
+#include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/hash.h"
 #include "src/faas/platform.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -145,9 +148,13 @@ class Proxy : public faas::DataService {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
   Metrics m_;
-  std::unordered_map<std::string, FnMetrics> fn_metrics_;
-  // Intermediate objects written per in-flight pipeline (§6.3 cleanup).
-  std::unordered_map<std::uint64_t, std::vector<std::string>> pipeline_intermediates_;
+  // Ordered: ResetStats() and future per-function exports iterate this map, so
+  // its order must not depend on hashing.
+  std::map<std::string, FnMetrics> fn_metrics_;
+  // Intermediate objects written per in-flight pipeline (§6.3 cleanup). Looked
+  // up by id, never iterated; salted hashing keeps that honest under test.
+  std::unordered_map<std::uint64_t, std::vector<std::string>, DetHash<std::uint64_t>>
+      pipeline_intermediates_;
 };
 
 }  // namespace ofc::core

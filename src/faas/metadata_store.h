@@ -13,6 +13,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "src/common/hash.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/sim/event_loop.h"
@@ -57,7 +58,9 @@ class MetadataStore {
   sim::EventLoop* loop_;
   Rng rng_;
   sim::LatencyModel latency_;
-  std::unordered_map<std::string, Document> documents_;
+  // Looked up by id, never iterated; salted hashing keeps that honest under
+  // test (tests/determinism_test.cpp perturbs the salt).
+  std::unordered_map<std::string, Document, DetHash<std::string>> documents_;
 };
 
 }  // namespace ofc::faas

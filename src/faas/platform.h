@@ -31,7 +31,6 @@
 #include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -387,7 +386,9 @@ class Platform {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
   Metrics m_;
-  std::unordered_map<std::string, FnMetrics> fn_metrics_;
+  // Ordered: ResetStats() and future per-function exports iterate this map, so
+  // its order must not depend on hashing.
+  std::map<std::string, FnMetrics> fn_metrics_;
   std::uint64_t next_invocation_id_ = 1;
   std::uint64_t next_sandbox_id_ = 1;
   std::uint64_t next_pipeline_id_ = 1;

@@ -1,7 +1,6 @@
 #include "src/ramcloud/cluster.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "src/common/logging.h"
 
@@ -62,7 +61,7 @@ void Cluster::ResetStats() {
 }
 
 int Cluster::CheckNode(int node) const {
-  assert(node >= 0 && node < num_nodes());
+  SIM_ASSERT(node >= 0 && node < num_nodes()) << "; node=" << node;
   return node;
 }
 
@@ -134,6 +133,7 @@ Status Cluster::ApplyWrite(int client_node, const std::string& key, Bytes size,
     SyncUsed(existing.master);
     for (int b : existing.backups) {
       nodes_[b].disk_used -= existing.size;
+      SIM_ASSERT(nodes_[b].disk_used >= 0) << "; backup disk accounting underflow on node " << b;
     }
     objects_.erase(it);
   }

@@ -23,12 +23,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/sim_assert.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
 #include "src/obs/metrics.h"
@@ -226,7 +227,14 @@ class Cluster {
                                                            SimDuration* cleaning_cost);
   // Picks `count` backup nodes distinct from `master`, least-loaded-disk first.
   std::vector<int> PickBackups(int master, int count) const;
-  void SyncUsed(int node) { nodes_[node].memory_used = logs_[node].live_bytes(); }
+  void SyncUsed(int node) {
+    nodes_[node].memory_used = logs_[node].live_bytes();
+    // Capacity accounting: the log's Append/Clean enforce footprint <= capacity,
+    // and live bytes never exceed the footprint.
+    SIM_ASSERT(nodes_[node].memory_used <= logs_[node].footprint())
+        << "; node " << node << " used=" << nodes_[node].memory_used
+        << " footprint=" << logs_[node].footprint();
+  }
   // Synchronous core of Write: frees any previous entry, places the payload in
   // a log, installs the object, and accumulates the simulated data-path cost.
   Status ApplyWrite(int client_node, const std::string& key, Bytes size,
@@ -252,7 +260,10 @@ class Cluster {
   Rng rng_;
   std::vector<NodeStats> nodes_;
   std::vector<SegmentedLog> logs_;
-  std::unordered_map<std::string, CachedObject> objects_;
+  // Ordered: CrashNode() recovery and KeysOn() iterate this map and their
+  // visit order is event-visible (log packing, eviction order), so it must be
+  // independent of hashing.
+  std::map<std::string, CachedObject> objects_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.
   obs::MetricsRegistry* metrics_ = nullptr;
   Metrics m_;

@@ -1,13 +1,14 @@
 #include "src/ramcloud/segmented_log.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+
+#include "src/common/sim_assert.h"
 
 namespace ofc::rc {
 
 SegmentedLog::SegmentedLog(SegmentedLogOptions options) : options_(options) {
-  assert(options_.segment_size > 0);
+  SIM_ASSERT(options_.segment_size > 0);
 }
 
 double SegmentedLog::utilization() const {
@@ -46,8 +47,10 @@ std::size_t SegmentedLog::AllocateSegment(Bytes cap) {
 
 void SegmentedLog::ReleaseSegment(std::size_t index) {
   Segment& segment = segments_[index];
-  assert(segment.allocated && segment.entries.empty());
+  SIM_ASSERT(segment.allocated && segment.entries.empty())
+      << "; releasing segment " << index << " with " << segment.entries.size() << " live entries";
   footprint_ -= segment.cap;
+  SIM_ASSERT(footprint_ >= 0) << "; footprint underflow releasing segment " << index;
   segment.allocated = false;
   segment.cap = 0;
   segment.live = 0;
@@ -104,6 +107,13 @@ Result<SegmentedLog::EntryId> SegmentedLog::Append(Bytes size, Bytes capacity,
   entry_segment_.emplace(id, static_cast<std::size_t>(slot));
   live_bytes_ += size;
   ++stats_.appends;
+  // Per-segment accounting: live never exceeds appended, appended never
+  // exceeds the segment capacity; global live never exceeds the footprint.
+  SIM_ASSERT(segment.live <= segment.used && segment.used <= segment.cap)
+      << "; segment " << slot << " live=" << segment.live << " used=" << segment.used
+      << " cap=" << segment.cap;
+  SIM_ASSERT(live_bytes_ <= footprint_)
+      << "; live=" << live_bytes_ << " footprint=" << footprint_;
   return id;
 }
 
@@ -120,6 +130,9 @@ Status SegmentedLog::Free(EntryId id) {
   live_bytes_ -= size;
   entry_segment_.erase(it);
   ++stats_.frees;
+  SIM_ASSERT(segment.live >= 0 && live_bytes_ >= 0)
+      << "; entry " << id << " freed twice? segment live=" << segment.live
+      << " total live=" << live_bytes_;
   // Fast path: a fully dead segment is reclaimed immediately (no copying).
   if (segment.entries.empty()) {
     ReleaseSegment(segment_index);
@@ -197,6 +210,19 @@ CleanResult SegmentedLog::Clean(Bytes max_footprint) {
     result.segments_freed +=
         static_cast<int>(victims) - static_cast<int>(survivors.size());
   }
+
+  // Full re-derivation of the incremental accounting (Debug builds only).
+  SIM_DCHECK([&] {
+    Bytes live = 0;
+    Bytes cap = 0;
+    for (const Segment& segment : segments_) {
+      if (segment.allocated) {
+        live += segment.live;
+        cap += segment.cap;
+      }
+    }
+    return live == live_bytes_ && cap == footprint_;
+  }()) << "; cleaner corrupted live/footprint accounting";
 
   (void)max_footprint;  // The caller compares footprint() afterwards.
   stats_.cleaner_bytes_copied += result.bytes_copied;

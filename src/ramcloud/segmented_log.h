@@ -13,10 +13,11 @@
 #define OFC_RAMCLOUD_SEGMENTED_LOG_H_
 
 #include <cstdint>
-#include <list>
+#include <map>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/hash.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
 
@@ -81,7 +82,10 @@ class SegmentedLog {
     Bytes cap = 0;   // segment_size, or the entry size for jumbo entries.
     Bytes live = 0;  // Live bytes.
     Bytes used = 0;  // Appended bytes (live + dead), <= cap.
-    std::unordered_map<EntryId, Bytes> entries;  // Live entries and sizes.
+    // Live entries and sizes. Ordered by id: the cleaner iterates this map and
+    // relocation order determines survivor-segment packing, which is
+    // event-visible — it must not follow hash-bucket order.
+    std::map<EntryId, Bytes> entries;
   };
 
   // Index of an allocated segment with room for `size` more bytes, allocating
@@ -95,7 +99,9 @@ class SegmentedLog {
   std::vector<std::size_t> free_slots_;
   std::size_t allocated_segments_ = 0;
   Bytes footprint_ = 0;
-  std::unordered_map<EntryId, std::size_t> entry_segment_;
+  // Looked up by id, never iterated; salted hashing keeps that honest under
+  // test (tests/determinism_test.cpp perturbs the salt).
+  std::unordered_map<EntryId, std::size_t, DetHash<EntryId>> entry_segment_;
   Bytes live_bytes_ = 0;
   EntryId next_id_ = 1;
   SegmentedLogStats stats_;

@@ -1,17 +1,18 @@
 #include "src/sim/event_loop.h"
 
-#include <cassert>
 #include <utility>
+
+#include "src/common/sim_assert.h"
 
 namespace ofc::sim {
 
 EventLoop::EventId EventLoop::ScheduleAfter(SimDuration delay, Callback cb) {
-  assert(delay >= 0);
+  SIM_ASSERT(delay >= 0) << "; scheduling into the past, delay=" << delay;
   return ScheduleAt(now_ + delay, std::move(cb));
 }
 
 EventLoop::EventId EventLoop::ScheduleAt(SimTime when, Callback cb) {
-  assert(when >= now_);
+  SIM_ASSERT(when >= now_) << "; scheduling into the past, when=" << when << " now=" << now_;
   const EventId id = next_id_++;
   queue_.push(Event{when, next_seq_++, id});
   callbacks_.emplace(id, std::move(cb));
@@ -36,6 +37,8 @@ void EventLoop::Dispatch(const Event& ev) {
   }
   Callback cb = std::move(it->second);
   callbacks_.erase(it);
+  // Event-loop monotonicity: simulated time never moves backwards.
+  SIM_ASSERT(ev.when >= now_) << "; event at " << ev.when << " dispatched at " << now_;
   now_ = ev.when;
   cb();
 }

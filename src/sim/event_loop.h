@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/hash.h"
 #include "src/common/units.h"
 
 namespace ofc::sim {
@@ -49,6 +50,11 @@ class EventLoop {
 
   std::size_t pending_events() const { return queue_.size() - cancelled_; }
 
+  // Total events ever scheduled. Together with now() this fingerprints a run:
+  // two replays of the same (seed, workload) must agree on both, which the
+  // --selfcheck-determinism harness relies on.
+  std::uint64_t total_scheduled() const { return next_seq_; }
+
  private:
   struct Event {
     SimTime when;
@@ -70,8 +76,10 @@ class EventLoop {
   EventId next_id_ = 1;
   std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
   // Callbacks keyed by event id; a cancelled event keeps its queue slot but has
-  // no callback entry, so Dispatch() skips it.
-  std::unordered_map<EventId, Callback> callbacks_;
+  // no callback entry, so Dispatch() skips it. Never iterated (dispatch order
+  // comes from the queue), so bucket order cannot leak — DetHash lets
+  // determinism_test prove that by perturbing the hash salt.
+  std::unordered_map<EventId, Callback, DetHash<EventId>> callbacks_;
   std::size_t cancelled_ = 0;
 };
 

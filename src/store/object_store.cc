@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/common/sim_assert.h"
 
 namespace ofc::store {
 
@@ -88,6 +89,8 @@ void ObjectStore::Put(const std::string& key, Bytes size, Tags tags, Callback do
       obj.created_at = loop_->now();
     }
     obj.modified_at = loop_->now();
+    // A full-payload write leaves the object in the converged state.
+    SIM_ASSERT(!obj.IsShadow()) << "; Put left a shadow: " << key;
     ++*m_.writes;
     m_.bytes_written->Add(static_cast<std::uint64_t>(size));
     done(OkStatus());
@@ -106,6 +109,10 @@ void ObjectStore::PutShadow(const std::string& key, Bytes pending_size, MetaCall
       obj.rsds_version = 0;
     }
     obj.modified_at = loop_->now();
+    // Shadow state machine: the placeholder's cache-visible version is always
+    // strictly ahead of the RSDS-resident payload version.
+    SIM_ASSERT(obj.rsds_version < obj.latest_version)
+        << "; shadow write did not advance latest_version: " << key;
     ++*m_.shadow_writes;
     done(obj);
   });
@@ -127,6 +134,11 @@ void ObjectStore::FinalizePayload(const std::string& key, ObjectVersion version,
     }
     obj.rsds_version = version;
     obj.size = size;
+    // Persistors only install versions that a shadow write announced: the
+    // RSDS-resident version catches up but never overtakes latest_version.
+    SIM_ASSERT(obj.rsds_version <= obj.latest_version)
+        << "; finalize overtook latest: " << key << " v" << version << " > v"
+        << obj.latest_version;
     if (obj.rsds_version == obj.latest_version) {
       obj.pending_size = 0;
     }

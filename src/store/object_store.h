@@ -22,7 +22,6 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -191,7 +190,9 @@ class ObjectStore {
   StoreProfile profile_;
   Rng rng_;
   std::string name_;
-  std::unordered_map<std::string, ObjectMetadata> objects_;
+  // Ordered: TotalBytes() and future listings iterate this map; keeping it
+  // sorted removes hash order from every export path.
+  std::map<std::string, ObjectMetadata> objects_;
   Webhook read_webhook_;
   Webhook write_webhook_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.

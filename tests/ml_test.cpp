@@ -164,7 +164,7 @@ TEST(J48Test, LearnsCrispRule) {
   for (const auto& inst : test.instances()) {
     correct += model.Predict(inst.features) == inst.label;
   }
-  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.95);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(test.size()), 0.95);
 }
 
 TEST(J48Test, RejectsEmptyDataset) {
@@ -259,7 +259,7 @@ TEST(J48MissingTest, TrainsThroughMissingValues) {
   for (const auto& inst : test.instances()) {
     correct += model.Predict(inst.features) == inst.label;
   }
-  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.9);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(test.size()), 0.9);
 }
 
 TEST(J48MissingTest, MissingFeatureAtPredictionBlendsBranches) {
@@ -301,7 +301,7 @@ TEST(RandomTreeTest, LearnsCrispRule) {
   for (const auto& inst : test.instances()) {
     correct += model.Predict(inst.features) == inst.label;
   }
-  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.9);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(test.size()), 0.9);
 }
 
 TEST(RandomTreeTest, SeedChangesTree) {
@@ -360,7 +360,7 @@ TEST(HoeffdingTreeTest, LearnsIncrementally) {
   for (const auto& inst : test.instances()) {
     correct += model.Predict(inst.features) == inst.label;
   }
-  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.85);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(test.size()), 0.85);
   EXPECT_GT(model.NumNodes(), 1u);
 }
 
@@ -401,7 +401,7 @@ TEST(HoeffdingTreeTest, NaiveBayesLeavesBeatMajorityOnSmallStreams) {
     mc_ok += mc.Predict(inst.features) == inst.label;
   }
   EXPECT_GT(nb_ok, mc_ok + 50);
-  EXPECT_GT(static_cast<double>(nb_ok) / test.size(), 0.8);
+  EXPECT_GT(static_cast<double>(nb_ok) / static_cast<double>(test.size()), 0.8);
 }
 
 TEST(HoeffdingTreeTest, BatchTrainWorks) {
@@ -413,7 +413,7 @@ TEST(HoeffdingTreeTest, BatchTrainWorks) {
   for (const auto& inst : test.instances()) {
     correct += model.Predict(inst.features) == inst.label;
   }
-  EXPECT_GT(static_cast<double>(correct) / test.size(), 0.8);
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(test.size()), 0.8);
 }
 
 // ---- Evaluation --------------------------------------------------------------

@@ -179,7 +179,7 @@ TEST_F(ClusterTest, CrashRecoveryPromotesBackups) {
   EXPECT_EQ(result.objects_recovered, 2u);
   EXPECT_EQ(result.objects_lost, 0u);
   EXPECT_GT(result.duration, 0);
-  for (const std::string& key : {"a", "b"}) {
+  for (const char* key : {"a", "b"}) {
     const auto obj = cluster_.Inspect(key);
     ASSERT_TRUE(obj.ok());
     EXPECT_NE(obj->master, 0);

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Format gate for the OFC tree.
+
+With clang-format on PATH: runs `clang-format --dry-run -Werror` over every
+tracked C++ source (the authoritative check, used in CI).
+
+Without it (the dev container ships only gcc): falls back to mechanical
+whitespace checks that clang-format would also enforce — tabs, trailing
+whitespace, CRLF line endings, missing final newline — so the target still
+catches the common regressions locally.
+
+Exit status: 0 clean, 1 violations, 2 usage error.
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+
+SOURCE_DIRS = ("src", "tools", "tests", "bench", "examples")
+EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+SKIP_FRAGMENT = os.path.join("simlint", "testdata")
+
+
+def find_sources(root):
+    files = []
+    for subdir in SOURCE_DIRS:
+        base = os.path.join(root, subdir)
+        if not os.path.isdir(base):
+            continue
+        for dirpath, _, names in os.walk(base):
+            if SKIP_FRAGMENT in dirpath:
+                continue
+            for name in sorted(names):
+                if name.endswith(EXTENSIONS):
+                    files.append(os.path.join(dirpath, name))
+    return sorted(files)
+
+
+def run_clang_format(clang_format, files):
+    result = subprocess.run(
+        [clang_format, "--dry-run", "-Werror"] + files,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    if result.returncode != 0:
+        sys.stderr.write(result.stdout)
+        sys.stderr.write("check_format: clang-format found violations\n")
+        return 1
+    print(f"check_format: {len(files)} files clean (clang-format)")
+    return 0
+
+
+def run_fallback(files):
+    problems = []
+    for path in files:
+        with open(path, "rb") as f:
+            raw = f.read()
+        if b"\r" in raw:
+            problems.append(f"{path}: CRLF line ending")
+        if raw and not raw.endswith(b"\n"):
+            problems.append(f"{path}: missing final newline")
+        for number, line in enumerate(raw.split(b"\n"), start=1):
+            if b"\t" in line:
+                problems.append(f"{path}:{number}: tab character")
+            if line != line.rstrip():
+                problems.append(f"{path}:{number}: trailing whitespace")
+    for problem in problems:
+        sys.stderr.write(problem + "\n")
+    if problems:
+        sys.stderr.write(f"check_format: {len(problems)} violation(s) (fallback checks)\n")
+        return 1
+    print(f"check_format: {len(files)} files clean (fallback whitespace checks; "
+          "install clang-format for the full check)")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repo root")
+    args = parser.parse_args()
+
+    files = find_sources(args.root)
+    if not files:
+        sys.stderr.write("check_format: no sources found under --root\n")
+        return 2
+    clang_format = shutil.which("clang-format")
+    if clang_format:
+        return run_clang_format(clang_format, files)
+    return run_fallback(files)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

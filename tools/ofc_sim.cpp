@@ -11,17 +11,20 @@
 //           [--seed=N] [--pretrain=N] [--arrivals=poisson|periodic|bursty]
 //           [--metrics-json=PATH] [--metrics-csv=PATH]
 //           [--trace-json=PATH] [--trace-sample=N] [--log-sim-time]
+//           [--selfcheck-determinism]
 //
 // Examples:
 //   ofc_sim --mode=ofc --functions=wand_blur,wand_edge --duration-min=10
 //   ofc_sim --mode=owk-swift --pipelines=map_reduce --interval-s=30
 //   ofc_sim --mode=ofc --trace-json=trace.json   # open in ui.perfetto.dev
+//   ofc_sim --selfcheck-determinism              # replay twice, diff metrics
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "src/common/hash.h"
 #include "src/common/logging.h"
 #include "src/common/stats.h"
 #include "src/faasload/environment.h"
@@ -47,6 +50,22 @@ struct Flags {
   std::string trace_json;
   std::uint64_t trace_sample = 1;
   bool log_sim_time = false;
+  // Replays the scenario twice (same seed, perturbed unordered-container hash
+  // salt) and diffs the metrics snapshots and event-loop fingerprint; exits
+  // nonzero on any divergence.
+  bool selfcheck = false;
+  // Test hook: leaks the replay index into the workload seed so the selfcheck
+  // MUST fail. Exists so CI can prove the selfcheck detects nondeterminism.
+  bool selfcheck_perturb = false;
+};
+
+// What a run leaves behind for comparison: the full metrics snapshot plus the
+// event-loop fingerprint (final simulated time, total events scheduled).
+struct RunOutcome {
+  std::string metrics_json;
+  SimTime final_time = 0;
+  std::uint64_t events_scheduled = 0;
+  std::uint64_t invocations = 0;
 };
 
 // Writes `body` to `path`; returns false (with a message) on failure.
@@ -98,6 +117,7 @@ int Usage() {
                "               [--workers=N] [--worker-gb=N] [--seed=N] [--pretrain=N]\n"
                "               [--metrics-json=PATH] [--metrics-csv=PATH]\n"
                "               [--trace-json=PATH] [--trace-sample=N] [--log-sim-time]\n"
+               "               [--selfcheck-determinism]\n"
                "\navailable functions:\n");
   for (const workloads::FunctionSpec& spec : workloads::AllFunctions()) {
     std::fprintf(stderr, "  %s\n", spec.name.c_str());
@@ -107,6 +127,244 @@ int Usage() {
     std::fprintf(stderr, "  %s\n", spec.name.c_str());
   }
   return 2;
+}
+
+// Runs the scenario described by `flags` once. `run_index` identifies the
+// replay for the selfcheck harness; `quiet` suppresses the human-readable
+// report. Returns 0 on success and fills `out`.
+int RunScenario(const Flags& flags, bool quiet, std::uint64_t run_index, RunOutcome* out) {
+  faasload::Mode mode;
+  if (flags.mode == "ofc") {
+    mode = faasload::Mode::kOfc;
+  } else if (flags.mode == "owk-swift") {
+    mode = faasload::Mode::kOwkSwift;
+  } else if (flags.mode == "owk-redis") {
+    mode = faasload::Mode::kOwkRedis;
+  } else {
+    return Usage();
+  }
+  faasload::TenantProfile profile;
+  if (flags.profile == "normal") {
+    profile = faasload::TenantProfile::kNormal;
+  } else if (flags.profile == "naive") {
+    profile = faasload::TenantProfile::kNaive;
+  } else if (flags.profile == "advanced") {
+    profile = faasload::TenantProfile::kAdvanced;
+  } else {
+    return Usage();
+  }
+  faasload::ArrivalPattern arrivals;
+  if (flags.arrivals == "poisson") {
+    arrivals = faasload::ArrivalPattern::kExponential;
+  } else if (flags.arrivals == "periodic") {
+    arrivals = faasload::ArrivalPattern::kPeriodic;
+  } else if (flags.arrivals == "bursty") {
+    arrivals = faasload::ArrivalPattern::kBursty;
+  } else {
+    return Usage();
+  }
+
+  // The deliberate bug behind --selfcheck-perturb: a replay-dependent seed.
+  const std::uint64_t seed = flags.seed + (flags.selfcheck_perturb ? run_index : 0);
+
+  faasload::EnvironmentOptions env_options;
+  env_options.platform.num_workers = flags.workers;
+  env_options.platform.worker_memory = GiB(flags.worker_gb);
+  env_options.seed = seed;
+  faasload::Environment env(mode, env_options);
+  if (!flags.trace_json.empty()) {
+    env.trace().set_enabled(true);
+    env.trace().set_sample_period(flags.trace_sample);
+  }
+  if (flags.log_sim_time) {
+    // Prefix every log line with the simulated clock, e.g. "t=12.345s".
+    SetLogPrefixHook([&env] {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "t=%.3fs", ToSeconds(env.loop().now()));
+      return std::string(buf);
+    });
+  }
+  faasload::LoadInjector injector(&env, profile, seed + 1);
+
+  for (const std::string& function : flags.functions) {
+    if (workloads::FindFunction(function) == nullptr) {
+      std::fprintf(stderr, "unknown function: %s\n", function.c_str());
+      return Usage();
+    }
+    faasload::TenantSpec spec;
+    spec.name = "t-" + function;
+    spec.function = function;
+    spec.mean_interval_s = flags.interval_s;
+    spec.arrivals = arrivals;
+    if (!injector.AddTenant(spec).ok()) {
+      return 1;
+    }
+  }
+  for (const std::string& pipeline : flags.pipelines) {
+    if (workloads::FindPipeline(pipeline) == nullptr) {
+      std::fprintf(stderr, "unknown pipeline: %s\n", pipeline.c_str());
+      return Usage();
+    }
+    faasload::TenantSpec spec;
+    spec.name = "t-" + pipeline;
+    spec.function = pipeline;
+    spec.is_pipeline = true;
+    spec.mean_interval_s = flags.interval_s;
+    spec.arrivals = arrivals;
+    if (!injector.AddTenant(spec).ok()) {
+      return 1;
+    }
+  }
+
+  injector.PretrainModels(flags.pretrain);
+  if (!quiet) {
+    std::printf("mode=%s profile=%s workers=%dx%dGiB duration=%dmin seed=%llu\n\n",
+                faasload::ModeName(mode).c_str(), faasload::TenantProfileName(profile).c_str(),
+                flags.workers, flags.worker_gb, flags.duration_min,
+                static_cast<unsigned long long>(seed));
+  }
+  injector.Run(Minutes(flags.duration_min));
+
+  if (!quiet) {
+    std::printf("%-24s %-7s %-12s %-12s %-12s %-9s\n", "tenant", "runs", "median (ms)",
+                "p95 (ms)", "total (s)", "failures");
+    for (const faasload::TenantResult& tenant : injector.results()) {
+      Samples latencies;
+      for (const auto& record : tenant.invocations) {
+        latencies.Add(ToMillis(record.total));
+      }
+      for (const auto& record : tenant.pipelines) {
+        latencies.Add(ToMillis(record.total));
+      }
+      std::printf("%-24s %-7zu %-12.1f %-12.1f %-12.1f %-9zu\n", tenant.name.c_str(),
+                  tenant.invocations.size() + tenant.pipelines.size(), latencies.Median(),
+                  latencies.Percentile(0.95),
+                  ToSeconds(tenant.TotalExecutionTime()), tenant.FailureCount());
+    }
+
+    if (env.ofc() != nullptr) {
+      const auto& proxy = env.ofc()->proxy().stats();
+      const auto& cache = env.ofc()->cache_agent().stats();
+      const auto& predictions = env.ofc()->prediction_stats();
+      std::printf("\nOFC internals:\n");
+      std::printf("  hit ratio            %.1f %%\n", 100.0 * proxy.HitRatio());
+      std::printf("  admissions           %llu (failed %llu)\n",
+                  static_cast<unsigned long long>(proxy.admissions),
+                  static_cast<unsigned long long>(proxy.admission_failures));
+      std::printf("  persistor runs       %llu\n",
+                  static_cast<unsigned long long>(proxy.persistor_runs));
+      std::printf("  scale up/down        %llu / %llu\n",
+                  static_cast<unsigned long long>(cache.scale_ups),
+                  static_cast<unsigned long long>(cache.scale_downs_plain +
+                                                  cache.scale_downs_migration +
+                                                  cache.scale_downs_eviction));
+      std::printf("  predictions          %llu model, %llu fallback, %llu bad\n",
+                  static_cast<unsigned long long>(predictions.model_predictions),
+                  static_cast<unsigned long long>(predictions.booked_fallbacks),
+                  static_cast<unsigned long long>(predictions.bad_predictions));
+      std::printf("  cache used/capacity  %s / %s\n",
+                  FormatBytes(env.cluster()->TotalUsed()).c_str(),
+                  FormatBytes(env.cluster()->TotalCapacity()).c_str());
+    }
+    const auto& platform = env.platform().stats();
+    std::printf("\nplatform: %llu invocations, %llu cold starts, %llu OOM kills, "
+                "%llu rescues, %llu failures\n",
+                static_cast<unsigned long long>(platform.invocations),
+                static_cast<unsigned long long>(platform.cold_starts),
+                static_cast<unsigned long long>(platform.oom_kills),
+                static_cast<unsigned long long>(platform.oom_rescues),
+                static_cast<unsigned long long>(platform.failed_invocations));
+  }
+
+  out->metrics_json = env.metrics().SnapshotJson(env.loop().now());
+  out->final_time = env.loop().now();
+  out->events_scheduled = env.loop().total_scheduled();
+  out->invocations = env.platform().stats().invocations;
+
+  bool ok = true;
+  if (!flags.metrics_json.empty()) {
+    ok = WriteFile(flags.metrics_json, out->metrics_json) && ok;
+  }
+  if (!flags.metrics_csv.empty()) {
+    ok = WriteFile(flags.metrics_csv, env.metrics().SnapshotCsv(env.loop().now())) && ok;
+  }
+  if (!flags.trace_json.empty()) {
+    ok = env.trace().WriteJson(flags.trace_json) && ok;
+    if (!quiet) {
+      std::printf("\ntrace: %zu events (%zu dropped) -> %s\n", env.trace().num_events(),
+                  env.trace().num_dropped(), flags.trace_json.c_str());
+    }
+  }
+  ClearLogPrefixHook();  // The hook captures `env`, which dies with this frame.
+  return ok ? 0 : 1;
+}
+
+// Runs the scenario twice with the same seed and diffs everything observable.
+// The second replay additionally perturbs the salted hash used by the
+// simulator's unordered containers, so any bucket-order dependence that leaks
+// into metrics shows up as a diff. Exit: 0 identical, 1 divergence.
+int RunSelfcheck(const Flags& flags) {
+  constexpr std::uint64_t kPerturbedSalt = 0x9e3779b97f4a7c15ull;
+  RunOutcome first;
+  RunOutcome second;
+
+  SetHashSalt(0);
+  int rc = RunScenario(flags, /*quiet=*/true, /*run_index=*/0, &first);
+  if (rc != 0) {
+    return rc;
+  }
+  SetHashSalt(kPerturbedSalt);
+  rc = RunScenario(flags, /*quiet=*/true, /*run_index=*/1, &second);
+  SetHashSalt(0);
+  if (rc != 0) {
+    return rc;
+  }
+
+  bool identical = true;
+  if (first.final_time != second.final_time) {
+    std::fprintf(stderr, "selfcheck: final sim time diverged: %lld vs %lld us\n",
+                 static_cast<long long>(first.final_time),
+                 static_cast<long long>(second.final_time));
+    identical = false;
+  }
+  if (first.events_scheduled != second.events_scheduled) {
+    std::fprintf(stderr, "selfcheck: event count diverged: %llu vs %llu\n",
+                 static_cast<unsigned long long>(first.events_scheduled),
+                 static_cast<unsigned long long>(second.events_scheduled));
+    identical = false;
+  }
+  if (first.invocations != second.invocations) {
+    std::fprintf(stderr, "selfcheck: invocation count diverged: %llu vs %llu\n",
+                 static_cast<unsigned long long>(first.invocations),
+                 static_cast<unsigned long long>(second.invocations));
+    identical = false;
+  }
+  if (first.metrics_json != second.metrics_json) {
+    // Point at the first differing line to make the divergence debuggable.
+    const std::string& a = first.metrics_json;
+    const std::string& b = second.metrics_json;
+    std::size_t pos = 0;
+    int line = 1;
+    while (pos < a.size() && pos < b.size() && a[pos] == b[pos]) {
+      if (a[pos] == '\n') {
+        ++line;
+      }
+      ++pos;
+    }
+    std::fprintf(stderr, "selfcheck: metrics JSON diverged at line %d (byte %zu)\n", line,
+                 pos);
+    identical = false;
+  }
+
+  if (!identical) {
+    std::fprintf(stderr, "selfcheck-determinism: FAIL — replays diverged\n");
+    return 1;
+  }
+  std::printf("selfcheck-determinism: OK — %llu events, %llu invocations, "
+              "metrics identical across replays (hash salt perturbed)\n",
+              static_cast<unsigned long long>(first.events_scheduled),
+              static_cast<unsigned long long>(first.invocations));
+  return 0;
 }
 
 }  // namespace
@@ -141,6 +399,11 @@ int Main(int argc, char** argv) {
       flags.trace_sample = std::strtoull(value.c_str(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--log-sim-time") == 0) {
       flags.log_sim_time = true;
+    } else if (std::strcmp(argv[i], "--selfcheck-determinism") == 0) {
+      flags.selfcheck = true;
+    } else if (std::strcmp(argv[i], "--selfcheck-perturb") == 0) {
+      flags.selfcheck = true;
+      flags.selfcheck_perturb = true;
     } else {
       return Usage();
     }
@@ -149,156 +412,11 @@ int Main(int argc, char** argv) {
     flags.functions = {"wand_blur", "wand_sepia", "wand_edge"};
   }
 
-  faasload::Mode mode;
-  if (flags.mode == "ofc") {
-    mode = faasload::Mode::kOfc;
-  } else if (flags.mode == "owk-swift") {
-    mode = faasload::Mode::kOwkSwift;
-  } else if (flags.mode == "owk-redis") {
-    mode = faasload::Mode::kOwkRedis;
-  } else {
-    return Usage();
+  if (flags.selfcheck) {
+    return RunSelfcheck(flags);
   }
-  faasload::TenantProfile profile;
-  if (flags.profile == "normal") {
-    profile = faasload::TenantProfile::kNormal;
-  } else if (flags.profile == "naive") {
-    profile = faasload::TenantProfile::kNaive;
-  } else if (flags.profile == "advanced") {
-    profile = faasload::TenantProfile::kAdvanced;
-  } else {
-    return Usage();
-  }
-  faasload::ArrivalPattern arrivals;
-  if (flags.arrivals == "poisson") {
-    arrivals = faasload::ArrivalPattern::kExponential;
-  } else if (flags.arrivals == "periodic") {
-    arrivals = faasload::ArrivalPattern::kPeriodic;
-  } else if (flags.arrivals == "bursty") {
-    arrivals = faasload::ArrivalPattern::kBursty;
-  } else {
-    return Usage();
-  }
-
-  faasload::EnvironmentOptions env_options;
-  env_options.platform.num_workers = flags.workers;
-  env_options.platform.worker_memory = GiB(flags.worker_gb);
-  env_options.seed = flags.seed;
-  faasload::Environment env(mode, env_options);
-  if (!flags.trace_json.empty()) {
-    env.trace().set_enabled(true);
-    env.trace().set_sample_period(flags.trace_sample);
-  }
-  if (flags.log_sim_time) {
-    // Prefix every log line with the simulated clock, e.g. "t=12.345s".
-    SetLogPrefixHook([&env] {
-      char buf[32];
-      std::snprintf(buf, sizeof(buf), "t=%.3fs", ToSeconds(env.loop().now()));
-      return std::string(buf);
-    });
-  }
-  faasload::LoadInjector injector(&env, profile, flags.seed + 1);
-
-  for (const std::string& function : flags.functions) {
-    if (workloads::FindFunction(function) == nullptr) {
-      std::fprintf(stderr, "unknown function: %s\n", function.c_str());
-      return Usage();
-    }
-    faasload::TenantSpec spec;
-    spec.name = "t-" + function;
-    spec.function = function;
-    spec.mean_interval_s = flags.interval_s;
-    spec.arrivals = arrivals;
-    if (!injector.AddTenant(spec).ok()) {
-      return 1;
-    }
-  }
-  for (const std::string& pipeline : flags.pipelines) {
-    if (workloads::FindPipeline(pipeline) == nullptr) {
-      std::fprintf(stderr, "unknown pipeline: %s\n", pipeline.c_str());
-      return Usage();
-    }
-    faasload::TenantSpec spec;
-    spec.name = "t-" + pipeline;
-    spec.function = pipeline;
-    spec.is_pipeline = true;
-    spec.mean_interval_s = flags.interval_s;
-    spec.arrivals = arrivals;
-    if (!injector.AddTenant(spec).ok()) {
-      return 1;
-    }
-  }
-
-  injector.PretrainModels(flags.pretrain);
-  std::printf("mode=%s profile=%s workers=%dx%dGiB duration=%dmin seed=%llu\n\n",
-              faasload::ModeName(mode).c_str(), faasload::TenantProfileName(profile).c_str(),
-              flags.workers, flags.worker_gb, flags.duration_min,
-              static_cast<unsigned long long>(flags.seed));
-  injector.Run(Minutes(flags.duration_min));
-
-  std::printf("%-24s %-7s %-12s %-12s %-12s %-9s\n", "tenant", "runs", "median (ms)",
-              "p95 (ms)", "total (s)", "failures");
-  for (const faasload::TenantResult& tenant : injector.results()) {
-    Samples latencies;
-    for (const auto& record : tenant.invocations) {
-      latencies.Add(ToMillis(record.total));
-    }
-    for (const auto& record : tenant.pipelines) {
-      latencies.Add(ToMillis(record.total));
-    }
-    std::printf("%-24s %-7zu %-12.1f %-12.1f %-12.1f %-9zu\n", tenant.name.c_str(),
-                tenant.invocations.size() + tenant.pipelines.size(), latencies.Median(),
-                latencies.Percentile(0.95),
-                ToSeconds(tenant.TotalExecutionTime()), tenant.FailureCount());
-  }
-
-  if (env.ofc() != nullptr) {
-    const auto& proxy = env.ofc()->proxy().stats();
-    const auto& cache = env.ofc()->cache_agent().stats();
-    const auto& predictions = env.ofc()->prediction_stats();
-    std::printf("\nOFC internals:\n");
-    std::printf("  hit ratio            %.1f %%\n", 100.0 * proxy.HitRatio());
-    std::printf("  admissions           %llu (failed %llu)\n",
-                static_cast<unsigned long long>(proxy.admissions),
-                static_cast<unsigned long long>(proxy.admission_failures));
-    std::printf("  persistor runs       %llu\n",
-                static_cast<unsigned long long>(proxy.persistor_runs));
-    std::printf("  scale up/down        %llu / %llu\n",
-                static_cast<unsigned long long>(cache.scale_ups),
-                static_cast<unsigned long long>(cache.scale_downs_plain +
-                                                cache.scale_downs_migration +
-                                                cache.scale_downs_eviction));
-    std::printf("  predictions          %llu model, %llu fallback, %llu bad\n",
-                static_cast<unsigned long long>(predictions.model_predictions),
-                static_cast<unsigned long long>(predictions.booked_fallbacks),
-                static_cast<unsigned long long>(predictions.bad_predictions));
-    std::printf("  cache used/capacity  %s / %s\n",
-                FormatBytes(env.cluster()->TotalUsed()).c_str(),
-                FormatBytes(env.cluster()->TotalCapacity()).c_str());
-  }
-  const auto& platform = env.platform().stats();
-  std::printf("\nplatform: %llu invocations, %llu cold starts, %llu OOM kills, "
-              "%llu rescues, %llu failures\n",
-              static_cast<unsigned long long>(platform.invocations),
-              static_cast<unsigned long long>(platform.cold_starts),
-              static_cast<unsigned long long>(platform.oom_kills),
-              static_cast<unsigned long long>(platform.oom_rescues),
-              static_cast<unsigned long long>(platform.failed_invocations));
-
-  bool ok = true;
-  if (!flags.metrics_json.empty()) {
-    ok = WriteFile(flags.metrics_json, env.metrics().SnapshotJson(env.loop().now())) && ok;
-  }
-  if (!flags.metrics_csv.empty()) {
-    ok = WriteFile(flags.metrics_csv, env.metrics().SnapshotCsv(env.loop().now())) && ok;
-  }
-  if (!flags.trace_json.empty()) {
-    ok = env.trace().WriteJson(flags.trace_json) && ok;
-    std::printf("\ntrace: %zu events (%zu dropped) -> %s\n", env.trace().num_events(),
-                env.trace().num_dropped(), flags.trace_json.c_str());
-  }
-  ClearLogPrefixHook();  // The hook captures `env`, which dies with this frame.
-  return ok ? 0 : 1;
+  RunOutcome outcome;
+  return RunScenario(flags, /*quiet=*/false, /*run_index=*/0, &outcome);
 }
 
 }  // namespace ofc

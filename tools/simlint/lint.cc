@@ -1,0 +1,369 @@
+#include "tools/simlint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace ofc::simlint {
+namespace {
+
+// ---- Source preprocessing ----------------------------------------------------
+
+// `code` is the input with comments and string/char literals blanked out
+// (newlines preserved, so line numbers survive); `comments` holds the comment
+// text seen on each 1-based line, for suppression parsing.
+struct Stripped {
+  std::string code;
+  std::map<int, std::string> comments;
+};
+
+Stripped Strip(std::string_view in) {
+  Stripped out;
+  out.code.reserve(in.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  int line = 1;
+  std::string raw_delim;  // Closing delimiter of an in-flight raw string.
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const char c = in[i];
+    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out.code += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out.code += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(in[i - 1])) &&
+                               in[i - 1] != '_'))) {
+          // R"delim( ... )delim"
+          std::size_t open = in.find('(', i + 2);
+          if (open == std::string_view::npos) {
+            out.code += c;
+            break;
+          }
+          raw_delim = ")" + std::string(in.substr(i + 2, open - (i + 2))) + "\"";
+          out.code.append(open - i + 1, ' ');
+          i = open;
+          state = State::kRawString;
+        } else if (c == '"') {
+          state = State::kString;
+          out.code += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out.code += ' ';
+        } else {
+          out.code += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out.code += '\n';
+        } else {
+          out.comments[line] += c;
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out.code += "  ";
+          ++i;
+        } else if (c == '\n') {
+          out.code += '\n';
+        } else {
+          out.comments[line] += c;
+          out.code += ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\') {
+          out.code += "  ";
+          ++i;
+          if (next == '\n') {
+            out.code.back() = '\n';
+          }
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          state = State::kCode;
+          out.code += ' ';
+        } else {
+          out.code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kRawString:
+        if (in.compare(i, raw_delim.size(), raw_delim) == 0) {
+          out.code.append(raw_delim.size(), ' ');
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          out.code += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+    if (c == '\n') {
+      ++line;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  lines.push_back(current);
+  return lines;
+}
+
+bool OnlyWhitespace(const std::string& s) {
+  return std::all_of(s.begin(), s.end(),
+                     [](unsigned char c) { return std::isspace(c) != 0; });
+}
+
+// ---- Suppressions ------------------------------------------------------------
+
+struct Suppression {
+  std::set<std::string> rules;  // "*" = all rules.
+  bool justified = false;
+};
+
+// Parses `simlint: allow(rule-a,rule-b) -- justification` from comment text.
+std::map<int, Suppression> ParseSuppressions(const Stripped& stripped,
+                                             std::vector<Finding>* findings,
+                                             const std::string& file) {
+  static const std::regex kAllowRe(
+      R"(simlint:\s*allow\(([A-Za-z*,\-\s]+)\)\s*(?:--\s*(\S.*))?)");
+  std::map<int, Suppression> out;
+  for (const auto& [line, text] : stripped.comments) {
+    std::smatch m;
+    if (!std::regex_search(text, m, kAllowRe)) {
+      continue;
+    }
+    Suppression sup;
+    std::stringstream rules(m[1].str());
+    std::string rule;
+    while (std::getline(rules, rule, ',')) {
+      rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                [](unsigned char c) { return std::isspace(c) != 0; }),
+                 rule.end());
+      if (!rule.empty()) {
+        sup.rules.insert(rule);
+      }
+    }
+    sup.justified = m[2].matched;
+    if (!sup.justified) {
+      findings->push_back({file, line, "suppression",
+                           "simlint suppression without a justification; write "
+                           "`simlint: allow(rule) -- <why this is sound>`"});
+    }
+    out[line] = std::move(sup);
+  }
+  return out;
+}
+
+// ---- Rule helpers ------------------------------------------------------------
+
+bool EndsWith(const std::string& value, const std::string& suffix) {
+  return value.size() >= suffix.size() &&
+         value.compare(value.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Collects the names of variables/members declared as std::unordered_* in this
+// file (token-level: the identifier following the closing `>` of the template
+// argument list).
+std::set<std::string> UnorderedNames(const std::string& code) {
+  std::set<std::string> names;
+  static const std::regex kDeclRe(R"(\bunordered_(?:multi)?(?:map|set)\s*<)");
+  auto begin = std::sregex_iterator(code.begin(), code.end(), kDeclRe);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    // Find the matching `>` by depth counting from the opening `<`.
+    std::size_t pos = static_cast<std::size_t>(it->position() + it->length());
+    int depth = 1;
+    while (pos < code.size() && depth > 0) {
+      if (code[pos] == '<') {
+        ++depth;
+      } else if (code[pos] == '>') {
+        --depth;
+      }
+      ++pos;
+    }
+    // Skip whitespace, then read the declared identifier (if any; using-alias
+    // or function-return uses have none here and are fine to skip).
+    while (pos < code.size() && std::isspace(static_cast<unsigned char>(code[pos]))) {
+      ++pos;
+    }
+    std::string name;
+    while (pos < code.size() && (std::isalnum(static_cast<unsigned char>(code[pos])) ||
+                                 code[pos] == '_')) {
+      name += code[pos++];
+    }
+    if (!name.empty()) {
+      names.insert(name);
+    }
+  }
+  return names;
+}
+
+// Final identifier component of an expression like `segments_[i].entries` or
+// `obj->map_` (the container actually iterated).
+std::string FinalComponent(std::string expr) {
+  while (!expr.empty() && (std::isspace(static_cast<unsigned char>(expr.back())) != 0)) {
+    expr.pop_back();
+  }
+  std::size_t end = expr.size();
+  std::size_t start = end;
+  while (start > 0 && (std::isalnum(static_cast<unsigned char>(expr[start - 1])) ||
+                       expr[start - 1] == '_')) {
+    --start;
+  }
+  return expr.substr(start, end - start);
+}
+
+struct Rule {
+  std::string id;
+  std::regex pattern;
+  std::string message;
+};
+
+const std::vector<Rule>& LineRules() {
+  static const std::vector<Rule> rules = {
+      {"wall-clock",
+       std::regex(R"(\b(?:system_clock|steady_clock|high_resolution_clock)\b)"),
+       "wall-clock access; all time must come from sim::EventLoop::now()"},
+      {"ambient-rng",
+       std::regex(R"((?:\brand\s*\(|\bsrand\s*\(|\brandom_device\b|\bmt19937\w*\b|\bdefault_random_engine\b|\btime\s*\(\s*(?:nullptr|NULL|0)?\s*\)))"),
+       "ambient randomness; all randomness must flow through ofc::Rng (src/common/rng.h)"},
+      {"float-sim-time",
+       std::regex(R"(\b(?:float|double)\s+\w*(?:sim_?time|when|deadline)\w*\s*[;={])"),
+       "simulated time held in floating point; use the integral SimTime/SimDuration"},
+      {"naked-new",
+       std::regex(R"((?:^|[^:\w])new\s+[A-Za-z_(])"),
+       "naked new; use std::make_unique/containers"},
+      {"naked-new",
+       std::regex(R"((?:^|[^:\w=\s]\s*|^\s*)delete(?:\[\])?\s+[A-Za-z_(*])"),
+       "naked delete; ownership must live in smart pointers/containers"},
+  };
+  return rules;
+}
+
+}  // namespace
+
+std::vector<Finding> LintSource(const std::string& file_label, std::string_view content,
+                                const LintOptions& options) {
+  std::vector<Finding> findings;
+  const Stripped stripped = Strip(content);
+  const std::map<int, Suppression> suppressions =
+      ParseSuppressions(stripped, &findings, file_label);
+  const std::vector<std::string> lines = SplitLines(stripped.code);
+
+  const bool rng_exempt =
+      std::any_of(options.rng_exempt_suffixes.begin(), options.rng_exempt_suffixes.end(),
+                  [&](const std::string& suffix) { return EndsWith(file_label, suffix); });
+
+  auto suppressed = [&](int line, const std::string& rule) {
+    for (int candidate : {line, line - 1}) {
+      auto it = suppressions.find(candidate);
+      if (it == suppressions.end()) {
+        continue;
+      }
+      // A suppression comment on its own line covers the line below it; an
+      // end-of-line comment covers its own line.
+      if (candidate == line - 1 &&
+          !OnlyWhitespace(candidate - 1 < static_cast<int>(lines.size())
+                              ? lines[static_cast<std::size_t>(candidate - 1)]
+                              : std::string())) {
+        continue;
+      }
+      // An unjustified suppression is itself a finding and earns no waiver.
+      if (it->second.justified &&
+          (it->second.rules.contains(rule) || it->second.rules.contains("*"))) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  auto report = [&](int line, const std::string& rule, const std::string& message) {
+    if (!suppressed(line, rule)) {
+      findings.push_back({file_label, line, rule, message});
+    }
+  };
+
+  // Line-level pattern rules.
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const int line = static_cast<int>(i) + 1;
+    for (const Rule& rule : LineRules()) {
+      if (rng_exempt && rule.id == "ambient-rng") {
+        continue;
+      }
+      if (std::regex_search(lines[i], rule.pattern)) {
+        report(line, rule.id, rule.message);
+      }
+    }
+  }
+
+  // unordered-iter: iteration over containers declared unordered in this file.
+  const std::set<std::string> unordered = UnorderedNames(stripped.code);
+  if (!unordered.empty()) {
+    static const std::regex kRangeForRe(R"(\bfor\s*\(([^;()]*[^;()<>])\))");
+    static const std::regex kBeginEndRe(R"(([A-Za-z_][\w\.\[\]\>\-]*)\s*\.\s*c?(?:begin|end)\s*\()");
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const int line = static_cast<int>(i) + 1;
+      const std::string& text = lines[i];
+      std::smatch m;
+      if (std::regex_search(text, m, kRangeForRe)) {
+        const std::string head = m[1].str();
+        const std::size_t colon = head.rfind(':');
+        if (colon != std::string::npos && (colon == 0 || head[colon - 1] != ':') &&
+            (colon + 1 >= head.size() || head[colon + 1] != ':')) {
+          const std::string target = FinalComponent(head.substr(colon + 1));
+          if (unordered.contains(target)) {
+            report(line, "unordered-iter",
+                   "iteration over unordered container '" + target +
+                       "'; use std::map/sorted vector on event-visible or export paths");
+          }
+        }
+      }
+      for (auto it = std::sregex_iterator(text.begin(), text.end(), kBeginEndRe);
+           it != std::sregex_iterator(); ++it) {
+        const std::string target = FinalComponent((*it)[1].str());
+        if (unordered.contains(target)) {
+          report(line, "unordered-iter",
+                 "begin()/end() on unordered container '" + target +
+                     "'; bucket order is not deterministic");
+          break;  // One finding per line is enough.
+        }
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return a.line < b.line || (a.line == b.line && a.rule < b.rule);
+  });
+  return findings;
+}
+
+std::string FormatFinding(const Finding& finding) {
+  std::ostringstream out;
+  out << finding.file << ":" << finding.line << ": [" << finding.rule << "] "
+      << finding.message;
+  return out.str();
+}
+
+}  // namespace ofc::simlint

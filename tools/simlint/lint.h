@@ -1,0 +1,58 @@
+// simlint: repo-specific determinism lint for the OFC simulator.
+//
+// A token/regex-level pass (no libclang dependency) that enforces the
+// invariants the discrete-event simulator's reproducibility rests on. The
+// rules, their ids, and the suppression syntax are documented in DESIGN.md
+// ("Determinism & static analysis"); in short:
+//
+//   wall-clock       std::chrono::{system,steady,high_resolution}_clock —
+//                    simulated time is the only clock.
+//   ambient-rng      rand()/srand()/std::random_device/mt19937/time(nullptr)
+//                    outside src/common/rng.* — all randomness flows from the
+//                    seeded Rng.
+//   unordered-iter   iteration (range-for or .begin()/.end()) over a
+//                    std::unordered_* container declared in the same file —
+//                    bucket order is not deterministic across implementations.
+//   float-sim-time   float/double variables whose names mark them as holding
+//                    simulated time (sim_time/when/deadline) — SimTime is
+//                    integral by design; floating accumulation drifts.
+//   naked-new        naked new/delete expressions — ownership goes through
+//                    containers and smart pointers.
+//   suppression      a `simlint: allow(...)` comment without a justification.
+//
+// Suppressions: `// simlint: allow(rule-a,rule-b) -- why this is sound` on the
+// offending line, or alone on the line directly above it. The justification
+// after `--` is mandatory.
+#ifndef OFC_TOOLS_SIMLINT_LINT_H_
+#define OFC_TOOLS_SIMLINT_LINT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ofc::simlint {
+
+struct Finding {
+  std::string file;
+  int line = 0;  // 1-based.
+  std::string rule;
+  std::string message;
+};
+
+struct LintOptions {
+  // Files allowed to use ambient randomness primitives (the Rng implementation
+  // itself). Matched as a path suffix.
+  std::vector<std::string> rng_exempt_suffixes = {"src/common/rng.h", "src/common/rng.cc"};
+};
+
+// Lints one translation unit. `file_label` is used verbatim in findings and
+// for the rng exemption match.
+std::vector<Finding> LintSource(const std::string& file_label, std::string_view content,
+                                const LintOptions& options = {});
+
+// Renders `file:line: [rule] message`.
+std::string FormatFinding(const Finding& finding);
+
+}  // namespace ofc::simlint
+
+#endif  // OFC_TOOLS_SIMLINT_LINT_H_

@@ -1,0 +1,143 @@
+#include "tools/simlint/lint.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ofc::simlint {
+namespace {
+
+std::string ReadFixture(const std::string& name) {
+  const std::string path = std::string(SIMLINT_TESTDATA_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::vector<Finding> LintFixture(const std::string& name) {
+  return LintSource(name, ReadFixture(name));
+}
+
+bool HasFinding(const std::vector<Finding>& findings, const std::string& rule, int line) {
+  return std::any_of(findings.begin(), findings.end(), [&](const Finding& f) {
+    return f.rule == rule && f.line == line;
+  });
+}
+
+bool AllRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::all_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+TEST(SimlintTest, FlagsWallClock) {
+  const auto findings = LintFixture("violation_wallclock.cc");
+  EXPECT_EQ(findings.size(), 3u);
+  EXPECT_TRUE(AllRule(findings, "wall-clock"));
+  EXPECT_TRUE(HasFinding(findings, "wall-clock", 5));
+  EXPECT_TRUE(HasFinding(findings, "wall-clock", 6));
+  EXPECT_TRUE(HasFinding(findings, "wall-clock", 7));
+}
+
+TEST(SimlintTest, FlagsAmbientRng) {
+  const auto findings = LintFixture("violation_rng.cc");
+  EXPECT_TRUE(AllRule(findings, "ambient-rng"));
+  EXPECT_TRUE(HasFinding(findings, "ambient-rng", 7));   // srand + time(nullptr)
+  EXPECT_TRUE(HasFinding(findings, "ambient-rng", 8));   // random_device
+  EXPECT_TRUE(HasFinding(findings, "ambient-rng", 9));   // mt19937
+  EXPECT_TRUE(HasFinding(findings, "ambient-rng", 10));  // rand()
+}
+
+TEST(SimlintTest, RngImplementationIsExempt) {
+  // The same content under the sanctioned Rng path produces no findings.
+  const auto findings = LintSource("src/common/rng.cc", ReadFixture("violation_rng.cc"));
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(SimlintTest, FlagsUnorderedIteration) {
+  const auto findings = LintFixture("violation_unordered_iter.cc");
+  EXPECT_EQ(findings.size(), 2u);
+  EXPECT_TRUE(AllRule(findings, "unordered-iter"));
+  EXPECT_TRUE(HasFinding(findings, "unordered-iter", 11));  // range-for
+  EXPECT_TRUE(HasFinding(findings, "unordered-iter", 14));  // .begin()/.end()
+}
+
+TEST(SimlintTest, FlagsFloatSimTime) {
+  const auto findings = LintFixture("violation_float_time.cc");
+  EXPECT_EQ(findings.size(), 3u);
+  EXPECT_TRUE(AllRule(findings, "float-sim-time"));
+  EXPECT_TRUE(HasFinding(findings, "float-sim-time", 3));
+  EXPECT_TRUE(HasFinding(findings, "float-sim-time", 4));
+  EXPECT_TRUE(HasFinding(findings, "float-sim-time", 5));
+}
+
+TEST(SimlintTest, FlagsNakedNewAndDelete) {
+  const auto findings = LintFixture("violation_naked_new.cc");
+  EXPECT_EQ(findings.size(), 4u);
+  EXPECT_TRUE(AllRule(findings, "naked-new"));
+  EXPECT_TRUE(HasFinding(findings, "naked-new", 7));
+  EXPECT_TRUE(HasFinding(findings, "naked-new", 8));
+  EXPECT_TRUE(HasFinding(findings, "naked-new", 10));
+  EXPECT_TRUE(HasFinding(findings, "naked-new", 11));
+}
+
+TEST(SimlintTest, UnjustifiedSuppressionIsAFindingAndNotHonored) {
+  const auto findings = LintFixture("violation_unjustified_suppression.cc");
+  // The bare allow() is flagged, and the wall-clock finding still surfaces.
+  EXPECT_TRUE(HasFinding(findings, "suppression", 6));
+  EXPECT_TRUE(HasFinding(findings, "wall-clock", 6));
+}
+
+TEST(SimlintTest, JustifiedSuppressionsSilenceFindings) {
+  const auto findings = LintFixture("suppressed_ok.cc");
+  EXPECT_TRUE(findings.empty()) << FormatFinding(findings.front());
+}
+
+TEST(SimlintTest, CleanFixtureHasNoFindings) {
+  const auto findings = LintFixture("clean.cc");
+  EXPECT_TRUE(findings.empty()) << FormatFinding(findings.front());
+}
+
+TEST(SimlintTest, SuppressionOnlyCoversNamedRules) {
+  const std::string src =
+      "#include <chrono>\n"
+      "// simlint: allow(ambient-rng) -- wrong rule named\n"
+      "auto t = std::chrono::steady_clock::now();\n";
+  const auto findings = LintSource("x.cc", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "wall-clock");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(SimlintTest, WildcardSuppressionCoversAllRules) {
+  const std::string src =
+      "#include <chrono>\n"
+      "// simlint: allow(*) -- fixture-style blanket waiver\n"
+      "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(LintSource("x.cc", src).empty());
+}
+
+TEST(SimlintTest, BannedTokensInCommentsAndStringsIgnored) {
+  const std::string src =
+      "// rand() and std::chrono::steady_clock here\n"
+      "/* std::random_device */\n"
+      "const char* s = \"time(nullptr) new int[3]\";\n";
+  EXPECT_TRUE(LintSource("x.cc", src).empty());
+}
+
+TEST(SimlintTest, FormatFindingIsStable) {
+  Finding f;
+  f.file = "src/foo.cc";
+  f.line = 12;
+  f.rule = "wall-clock";
+  f.message = "msg";
+  EXPECT_EQ(FormatFinding(f), "src/foo.cc:12: [wall-clock] msg");
+}
+
+}  // namespace
+}  // namespace ofc::simlint

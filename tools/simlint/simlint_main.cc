@@ -1,0 +1,100 @@
+// simlint CLI: lints the repo's C++ sources for determinism hazards.
+//
+// Usage:
+//   simlint --root <repo-root> [subdir...]
+//
+// Default subdirs: src bench tests tools examples. Fixture files under
+// tools/simlint/testdata/ are always skipped (they exist to violate the
+// rules). Exit status: 0 clean, 1 findings, 2 usage/IO error.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/simlint/lint.h"
+
+namespace ofc::simlint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsSourceFile(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp";
+}
+
+bool IsFixture(const std::string& relative) {
+  return relative.find("simlint/testdata") != std::string::npos;
+}
+
+int Run(const std::string& root, const std::vector<std::string>& subdirs) {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  for (const std::string& subdir : subdirs) {
+    const fs::path base = fs::path(root) / subdir;
+    if (!fs::exists(base)) {
+      std::fprintf(stderr, "simlint: no such directory: %s\n", base.string().c_str());
+      return 2;
+    }
+    // Collect-then-sort: directory_iterator order is filesystem-dependent and
+    // the report itself must be deterministic.
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+        files.push_back(entry.path());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const fs::path& path : files) {
+      const std::string relative = fs::relative(path, root).string();
+      if (IsFixture(relative)) {
+        continue;
+      }
+      std::ifstream in(path);
+      if (!in) {
+        std::fprintf(stderr, "simlint: cannot read %s\n", path.string().c_str());
+        return 2;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      ++files_scanned;
+      for (Finding& finding : LintSource(relative, buffer.str())) {
+        findings.push_back(std::move(finding));
+      }
+    }
+  }
+  for (const Finding& finding : findings) {
+    std::fprintf(stderr, "%s\n", FormatFinding(finding).c_str());
+  }
+  std::fprintf(stderr, "simlint: %zu files scanned, %zu finding(s)\n", files_scanned,
+               findings.size());
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ofc::simlint
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> subdirs;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--root") == 0 && i + 1 < argc) {
+      root = argv[++i];
+    } else if (std::strncmp(argv[i], "--root=", 7) == 0) {
+      root = argv[i] + 7;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "usage: simlint --root <dir> [subdir...]\n");
+      return 2;
+    } else {
+      subdirs.emplace_back(argv[i]);
+    }
+  }
+  if (subdirs.empty()) {
+    subdirs = {"src", "bench", "tests", "tools", "examples"};
+  }
+  return ofc::simlint::Run(root, subdirs);
+}

@@ -1,0 +1,55 @@
+// Fixture: idiomatic simulator code — no findings expected. Exercises the
+// tricky non-violations: banned tokens inside comments and strings, ordered
+// containers, lookup-only unordered containers, integral sim time.
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+// std::chrono::steady_clock and rand() in a comment are fine.
+namespace {
+
+const char* kDoc = "uses std::random_device and time(nullptr) in a string";
+
+struct Event {
+  std::int64_t when_us = 0;  // integral simulated time
+};
+
+int Sum(const std::map<std::string, int>& ordered,
+        const std::unordered_map<std::string, int>& lookup, const std::string& key) {
+  int total = 0;
+  for (const auto& [name, value] : ordered) {  // ordered iteration is fine
+    total += value + static_cast<int>(name.size());
+  }
+  auto it = lookup.find(key);  // point lookup into unordered is fine
+  if (it != lookup.end()) {
+    total += it->second;
+  }
+  return total;
+}
+
+std::unique_ptr<Event> Make() { return std::make_unique<Event>(); }
+
+std::vector<Event> Renew(std::vector<Event> events) {
+  // Identifiers containing 'new'/'delete'/'time' must not trip word-boundary
+  // rules.
+  int renew_count = 0;
+  int deleted = 0;
+  long runtime_us = 0;
+  for (Event& event : events) {
+    event.when_us += 1;
+    runtime_us += event.when_us;
+    ++renew_count;
+    ++deleted;
+  }
+  (void)kDoc;
+  (void)renew_count;
+  (void)deleted;
+  (void)runtime_us;
+  (void)Make();
+  return events;
+}
+
+}  // namespace

@@ -1,0 +1,19 @@
+// Fixture: justified suppressions silence findings — this file must be clean.
+#include <chrono>
+#include <string>
+#include <unordered_map>
+
+long Now() {
+  // simlint: allow(wall-clock) -- fixture exercises previous-line suppression
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+int Total() {
+  std::unordered_map<std::string, int> counts;
+  int total = 0;
+  for (const auto& [key, value] : counts) {  // simlint: allow(unordered-iter) -- fixture exercises same-line suppression
+    total += value;
+  }
+  return total;
+}

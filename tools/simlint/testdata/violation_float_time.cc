@@ -1,0 +1,8 @@
+// Fixture: float-sim-time rule.
+double Advance(double step) {
+  double sim_time = 0.0;   // line 3: float-sim-time
+  float when = 1.5f;       // line 4: float-sim-time
+  double deadline_us = 9;  // line 5: float-sim-time
+  sim_time += step;
+  return sim_time + when + deadline_us;
+}

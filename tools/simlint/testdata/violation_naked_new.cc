@@ -1,0 +1,13 @@
+// Fixture: naked-new rule.
+struct Node {
+  int value = 0;
+};
+
+int Use() {
+  Node* node = new Node();  // line 7: naked-new
+  int* arr = new int[4];    // line 8: naked-new
+  int value = node->value + arr[0];
+  delete node;              // line 10: naked-new
+  delete[] arr;             // line 11: naked-new
+  return value;
+}

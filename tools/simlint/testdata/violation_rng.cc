@@ -1,0 +1,11 @@
+// Fixture: ambient-rng rule.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int Sample() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));  // line 7: ambient-rng (x2)
+  std::random_device rd;                                  // line 8: ambient-rng
+  std::mt19937 gen(rd());                                 // line 9: ambient-rng
+  return std::rand() + static_cast<int>(gen());           // line 10: ambient-rng
+}

@@ -1,0 +1,8 @@
+// Fixture: suppression rule — allow() without a justification is itself a
+// finding, and the suppression is not honored.
+#include <chrono>
+
+long Now() {
+  auto t = std::chrono::steady_clock::now();  // simlint: allow(wall-clock)
+  return t.time_since_epoch().count();
+}

@@ -1,0 +1,18 @@
+// Fixture: unordered-iter rule.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int Total() {
+  std::unordered_map<std::string, int> counts;
+  std::unordered_set<int> ids;
+  counts["a"] = 1;
+  int total = 0;
+  for (const auto& [key, value] : counts) {  // line 11: unordered-iter
+    total += value;
+  }
+  for (auto it = ids.begin(); it != ids.end(); ++it) {  // line 14: unordered-iter
+    total += *it;
+  }
+  return total;
+}

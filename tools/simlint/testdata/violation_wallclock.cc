@@ -1,0 +1,10 @@
+// Fixture: wall-clock rule. Each marked line must be flagged.
+#include <chrono>
+
+long Now() {
+  auto a = std::chrono::steady_clock::now();          // line 5: wall-clock
+  auto b = std::chrono::system_clock::now();          // line 6: wall-clock
+  auto c = std::chrono::high_resolution_clock::now(); // line 7: wall-clock
+  return a.time_since_epoch().count() + b.time_since_epoch().count() +
+         c.time_since_epoch().count();
+}
