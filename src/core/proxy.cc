@@ -30,6 +30,12 @@ Proxy::Proxy(sim::EventLoop* loop, rc::Cluster* cluster, store::ObjectStore* rsd
   m_.external_read_boosts = metrics_->GetCounter("ofc.proxy.external_read_boosts");
   m_.external_write_invalidations =
       metrics_->GetCounter("ofc.proxy.external_write_invalidations");
+  m_.fallback_writes = metrics_->GetCounter("ofc.proxy.fallback_writes");
+  m_.rsds_retries = metrics_->GetCounter("ofc.proxy.rsds_retries");
+  m_.read_deadlines = metrics_->GetCounter("ofc.proxy.read_deadlines");
+  m_.persistor_retries = metrics_->GetCounter("ofc.proxy.persistor_retries");
+  m_.persistor_drops = metrics_->GetCounter("ofc.proxy.persistor_drops");
+  m_.persistor_abandons = metrics_->GetCounter("ofc.proxy.persistor_abandons");
   m_.persistor_ms = metrics_->GetSeries("ofc.proxy.persistor_ms");
   if (trace_ != nullptr) {
     trace_->SetProcessName(obs::kPidStore, "rsds-writeback");
@@ -62,6 +68,12 @@ ProxyStats Proxy::stats() const {
   stats.intermediates_dropped = m_.intermediates_dropped->value();
   stats.external_read_boosts = m_.external_read_boosts->value();
   stats.external_write_invalidations = m_.external_write_invalidations->value();
+  stats.fallback_writes = m_.fallback_writes->value();
+  stats.rsds_retries = m_.rsds_retries->value();
+  stats.read_deadlines = m_.read_deadlines->value();
+  stats.persistor_retries = m_.persistor_retries->value();
+  stats.persistor_drops = m_.persistor_drops->value();
+  stats.persistor_abandons = m_.persistor_abandons->value();
   return stats;
 }
 
@@ -79,6 +91,12 @@ void Proxy::ResetStats() {
   m_.intermediates_dropped->Reset();
   m_.external_read_boosts->Reset();
   m_.external_write_invalidations->Reset();
+  m_.fallback_writes->Reset();
+  m_.rsds_retries->Reset();
+  m_.read_deadlines->Reset();
+  m_.persistor_retries->Reset();
+  m_.persistor_drops->Reset();
+  m_.persistor_abandons->Reset();
   m_.persistor_ms->Reset();
   for (auto& [function, cells] : fn_metrics_) {
     cells.hits->Reset();
@@ -108,8 +126,11 @@ void Proxy::Read(const faas::InvocationContext& ctx, const std::string& key,
     }
     ++*m_.cache_misses;
     ++*fn.misses;
-    // Miss: fetch from the RSDS, then admit off the critical path.
-    rsds_->Get(key, [this, ctx, key, done = std::move(done)](
+    // Miss: fetch from the RSDS (with bounded kUnavailable retries), then admit
+    // off the critical path.
+    const SimTime read_deadline = loop_->now() + options_.rsds_deadline;
+    GetWithRetry(key, read_deadline, /*attempt=*/0,
+                 [this, ctx, key, done = std::move(done)](
                         Result<store::ObjectMetadata> meta) {
       if (!meta.ok()) {
         done(meta.status());
@@ -133,6 +154,41 @@ void Proxy::Read(const faas::InvocationContext& ctx, const std::string& key,
       }
       done(size);  // The function proceeds without waiting for the admission.
     });
+  });
+}
+
+SimDuration Proxy::Backoff(SimDuration base, int attempt) const {
+  constexpr SimDuration kCap = Seconds(30);
+  SimDuration backoff = base;
+  for (int i = 0; i < attempt && backoff < kCap; ++i) {
+    backoff *= 2;
+  }
+  return backoff < kCap ? backoff : kCap;
+}
+
+void Proxy::GetWithRetry(const std::string& key, SimTime deadline, int attempt,
+                         store::ObjectStore::MetaCallback done) {
+  rsds_->Get(key, [this, key, deadline, attempt, done = std::move(done)](
+                      Result<store::ObjectMetadata> meta) mutable {
+    if (meta.ok() || meta.status().code() != StatusCode::kUnavailable) {
+      done(std::move(meta));
+      return;
+    }
+    const SimDuration backoff = Backoff(options_.rsds_retry_backoff, attempt);
+    if (attempt + 1 > options_.rsds_max_retries || loop_->now() + backoff > deadline) {
+      ++*m_.read_deadlines;
+      done(DeadlineExceededError("rsds read retry budget exhausted: " + key));
+      return;
+    }
+    ++*m_.rsds_retries;
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->Instant("rsds-read-retry", "degradation", loop_->now(), obs::kPidStore,
+                      /*tid=*/0, {{"key", key}});
+    }
+    loop_->ScheduleAfter(backoff,
+                         [this, key, deadline, attempt, done = std::move(done)]() mutable {
+                           GetWithRetry(key, deadline, attempt + 1, std::move(done));
+                         });
   });
 }
 
@@ -219,6 +275,21 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
       return;
     }
     if (!join->failure.ok()) {
+      if (join->failure.code() == StatusCode::kUnavailable && join->cache_ok) {
+        // RSDS outage: the replicated cache copy is durable, so the write is
+        // acknowledged from the cache alone (no shadow exists yet — §6.2's
+        // guarantee degrades to cache-durability). A version-0 persistor pushes
+        // the full payload once the store heals.
+        ++*m_.fallback_writes;
+        ++*m_.cached_writes;
+        if (trace_ != nullptr && trace_->enabled()) {
+          trace_->Instant("write-fallback", "degradation", loop_->now(), obs::kPidStore,
+                          /*tid=*/0, {{"key", key}});
+        }
+        SchedulePersistor(key, /*version=*/0, size, /*drop_after=*/true);
+        done(OkStatus());
+        return;
+      }
       done(join->failure);
       return;
     }
@@ -251,32 +322,70 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
 }
 
 void Proxy::SchedulePersistor(const std::string& key, store::ObjectVersion version, Bytes size,
-                              bool drop_after) {
+                              bool drop_after, int attempt) {
   // The persistor runs as a helper FaaS function: one dispatch delay, then the
   // payload push to the RSDS.
   const SimTime scheduled = loop_->now();
   loop_->ScheduleAfter(options_.persistor_dispatch,
-                       [this, key, version, size, drop_after, scheduled] {
-    ++*m_.persistor_runs;
-    rsds_->FinalizePayload(key, version, size,
-                           [this, key, drop_after, scheduled](Status status) {
-      if (!status.ok()) {
-        // kAborted: a newer version already reached the RSDS; propagation
-        // order is preserved by dropping the stale push.
-        ++*m_.persistor_conflicts;
+                       [this, key, version, size, drop_after, scheduled, attempt] {
+                         RunPersistor(key, version, size, drop_after, scheduled, attempt);
+                       });
+}
+
+void Proxy::RunPersistor(const std::string& key, store::ObjectVersion version, Bytes size,
+                         bool drop_after, SimTime scheduled, int attempt) {
+  if (loop_->now() < persistor_drop_until_) {
+    // Fault injection: the helper function was lost mid-flight. The dispatch is
+    // retried with backoff so the acknowledged write still converges.
+    ++*m_.persistor_drops;
+    RetryPersistor(key, version, size, drop_after, attempt);
+    return;
+  }
+  ++*m_.persistor_runs;
+  auto on_pushed = [this, key, version, size, drop_after, scheduled,
+                    attempt](Status status) {
+    if (!status.ok()) {
+      if (status.code() == StatusCode::kUnavailable) {
+        RetryPersistor(key, version, size, drop_after, attempt);
         return;
       }
-      m_.persistor_ms->Observe(ToMillis(loop_->now() - scheduled));
-      if (trace_ != nullptr && trace_->enabled()) {
-        trace_->Span("persistor", "writeback", scheduled, loop_->now() - scheduled,
-                     obs::kPidStore, /*tid=*/0, {{"key", key}});
-      }
-      (void)cluster_->MarkPersisted(key);
-      if (drop_after) {
-        // §6.3: final outputs leave the cache once written back.
-        (void)cluster_->Remove(key);
-      }
-    });
+      // kAborted: a newer version already reached the RSDS; propagation
+      // order is preserved by dropping the stale push.
+      ++*m_.persistor_conflicts;
+      return;
+    }
+    m_.persistor_ms->Observe(ToMillis(loop_->now() - scheduled));
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->Span("persistor", "writeback", scheduled, loop_->now() - scheduled,
+                   obs::kPidStore, /*tid=*/0, {{"key", key}});
+    }
+    (void)cluster_->MarkPersisted(key);
+    if (drop_after) {
+      // §6.3: final outputs leave the cache once written back.
+      (void)cluster_->Remove(key);
+    }
+  };
+  if (version == 0) {
+    // Degraded write (no shadow was ever created): push the full payload.
+    rsds_->Put(key, size, {}, std::move(on_pushed));
+    return;
+  }
+  rsds_->FinalizePayload(key, version, size, std::move(on_pushed));
+}
+
+void Proxy::RetryPersistor(const std::string& key, store::ObjectVersion version, Bytes size,
+                           bool drop_after, int attempt) {
+  if (attempt + 1 > options_.persistor_max_retries) {
+    // Budget exhausted: the object stays dirty in the cache; the CacheAgent's
+    // reclamation write-back is the backstop.
+    ++*m_.persistor_abandons;
+    return;
+  }
+  ++*m_.persistor_retries;
+  const SimDuration backoff = Backoff(options_.persistor_retry_backoff, attempt);
+  const SimTime scheduled = loop_->now();
+  loop_->ScheduleAfter(backoff, [this, key, version, size, drop_after, scheduled, attempt] {
+    RunPersistor(key, version, size, drop_after, scheduled, attempt + 1);
   });
 }
 

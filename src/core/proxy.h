@@ -53,6 +53,18 @@ struct ProxyOptions {
   // asynchronously. Disabling it (ablation) writes the full payload to the
   // RSDS synchronously (the cache still serves subsequent reads).
   bool write_back = true;
+  // ---- Degradation path (fault tolerance) --------------------------------------
+  // When the RSDS reports kUnavailable the proxy retries with a deterministic
+  // exponential backoff (base * 2^attempt, no jitter — replays stay
+  // byte-identical) bounded by a per-operation deadline. Reads that exhaust the
+  // budget fail with kDeadlineExceeded; acknowledged writes instead fall back to
+  // the durable (replicated) cache copy and converge through persistor retries
+  // once the store heals.
+  SimDuration rsds_deadline = Seconds(10);      // Per-read deadline; 0 disables retries.
+  int rsds_max_retries = 6;                     // Read-path retry budget.
+  SimDuration rsds_retry_backoff = Millis(50);  // Base; doubles per attempt.
+  int persistor_max_retries = 20;               // Persistor push retry budget.
+  SimDuration persistor_retry_backoff = Millis(250);
   // Observability sinks (src/obs/). Null `metrics` -> private registry; null
   // `trace` -> persistor/webhook events are skipped.
   obs::MetricsRegistry* metrics = nullptr;
@@ -74,6 +86,12 @@ struct ProxyStats {
   std::uint64_t intermediates_dropped = 0;
   std::uint64_t external_read_boosts = 0;
   std::uint64_t external_write_invalidations = 0;
+  std::uint64_t fallback_writes = 0;       // Acked from the cache during an outage.
+  std::uint64_t rsds_retries = 0;          // Read-path retries after kUnavailable.
+  std::uint64_t read_deadlines = 0;        // Reads that exhausted the retry budget.
+  std::uint64_t persistor_retries = 0;     // Re-dispatched persistor pushes.
+  std::uint64_t persistor_drops = 0;       // Dispatches lost to fault injection.
+  std::uint64_t persistor_abandons = 0;    // Retry budget exhausted (stays dirty).
 
   double HitRatio() const {
     const double total = static_cast<double>(cache_hits + cache_misses);
@@ -105,6 +123,13 @@ class Proxy : public faas::DataService {
   // caller decides whether to drop it).
   void Writeback(const std::string& key, std::function<void(Status)> done);
 
+  // ---- Fault-injection hooks (src/fault/) ----------------------------------------
+
+  // Persistor dispatches that fire before `until` are lost (the helper function
+  // crashed mid-flight); the proxy's bounded retry re-launches them, so
+  // acknowledged writes still converge after the window closes.
+  void InjectPersistorDropUntil(SimTime until) { persistor_drop_until_ = until; }
+
   // Assembled on demand from the metrics registry.
   ProxyStats stats() const;
   void ResetStats();
@@ -126,6 +151,12 @@ class Proxy : public faas::DataService {
     obs::Counter* intermediates_dropped = nullptr;
     obs::Counter* external_read_boosts = nullptr;
     obs::Counter* external_write_invalidations = nullptr;
+    obs::Counter* fallback_writes = nullptr;
+    obs::Counter* rsds_retries = nullptr;
+    obs::Counter* read_deadlines = nullptr;
+    obs::Counter* persistor_retries = nullptr;
+    obs::Counter* persistor_drops = nullptr;
+    obs::Counter* persistor_abandons = nullptr;
     obs::Series* persistor_ms = nullptr;  // Dispatch to RSDS-converged latency.
   };
   // Per-function hit/miss label cells, cached for the hot read path.
@@ -135,8 +166,20 @@ class Proxy : public faas::DataService {
   };
   FnMetrics& FnMetricsFor(const std::string& function);
 
+  // Deterministic exponential backoff: base * 2^attempt, capped at 30 s.
+  SimDuration Backoff(SimDuration base, int attempt) const;
+  // RSDS Get with bounded kUnavailable retries; `deadline` is absolute.
+  void GetWithRetry(const std::string& key, SimTime deadline, int attempt,
+                    store::ObjectStore::MetaCallback done);
   void SchedulePersistor(const std::string& key, store::ObjectVersion version, Bytes size,
-                         bool drop_after);
+                         bool drop_after, int attempt = 0);
+  // Persistor body: drop-window check, then the payload push. `version` 0 means
+  // the write degraded during an outage and never got a shadow — push the full
+  // payload with Put instead of FinalizePayload.
+  void RunPersistor(const std::string& key, store::ObjectVersion version, Bytes size,
+                    bool drop_after, SimTime scheduled, int attempt);
+  void RetryPersistor(const std::string& key, store::ObjectVersion version, Bytes size,
+                      bool drop_after, int attempt);
   void HandleExternalRead(const std::string& key, std::function<void()> resume);
   void HandleExternalWrite(const std::string& key, std::function<void()> resume);
 
@@ -147,6 +190,7 @@ class Proxy : public faas::DataService {
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
+  SimTime persistor_drop_until_ = 0;  // Fault injection: dispatches before this are lost.
   Metrics m_;
   // Ordered: ResetStats() and future per-function exports iterate this map, so
   // its order must not depend on hashing.

@@ -72,6 +72,7 @@ Platform::Platform(sim::EventLoop* loop, PlatformOptions options, DataService* d
   m_.sandbox_reclaims = metrics_->GetCounter("ofc.platform.sandbox_reclaims");
   m_.queued_requests = metrics_->GetCounter("ofc.platform.queued_requests");
   m_.worker_crashes = metrics_->GetCounter("ofc.platform.worker_crashes");
+  m_.worker_restores = metrics_->GetCounter("ofc.platform.worker_restores");
   m_.crash_retries = metrics_->GetCounter("ofc.platform.crash_retries");
   m_.input_bytes = metrics_->GetCounter("ofc.platform.input_bytes");
   m_.output_bytes = metrics_->GetCounter("ofc.platform.output_bytes");
@@ -110,6 +111,7 @@ PlatformStats Platform::stats() const {
   stats.sandbox_reclaims = m_.sandbox_reclaims->value();
   stats.queued_requests = m_.queued_requests->value();
   stats.worker_crashes = m_.worker_crashes->value();
+  stats.worker_restores = m_.worker_restores->value();
   stats.crash_retries = m_.crash_retries->value();
   return stats;
 }
@@ -125,6 +127,7 @@ void Platform::ResetStats() {
   m_.sandbox_reclaims->Reset();
   m_.queued_requests->Reset();
   m_.worker_crashes->Reset();
+  m_.worker_restores->Reset();
   m_.crash_retries->Reset();
   m_.input_bytes->Reset();
   m_.output_bytes->Reset();
@@ -611,7 +614,11 @@ void Platform::CrashWorker(int worker) {
 }
 
 void Platform::RestoreWorker(int worker) {
+  if (worker_alive_[static_cast<std::size_t>(worker)]) {
+    return;
+  }
   worker_alive_[static_cast<std::size_t>(worker)] = true;
+  ++*m_.worker_restores;
   DrainWaitQueue();
 }
 

@@ -218,6 +218,7 @@ struct PlatformStats {
   std::uint64_t sandbox_reclaims = 0;  // Idle sandboxes evicted for capacity.
   std::uint64_t queued_requests = 0;
   std::uint64_t worker_crashes = 0;
+  std::uint64_t worker_restores = 0;
   std::uint64_t crash_retries = 0;  // Invocations re-dispatched after a crash.
 };
 
@@ -320,6 +321,7 @@ class Platform {
     obs::Counter* sandbox_reclaims = nullptr;
     obs::Counter* queued_requests = nullptr;
     obs::Counter* worker_crashes = nullptr;
+    obs::Counter* worker_restores = nullptr;
     obs::Counter* crash_retries = nullptr;
     obs::Counter* input_bytes = nullptr;
     obs::Counter* output_bytes = nullptr;

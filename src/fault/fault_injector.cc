@@ -1,0 +1,159 @@
+#include "src/fault/fault_injector.h"
+
+#include <string>
+
+#include "src/common/logging.h"
+
+namespace ofc::fault {
+
+FaultInjector::FaultInjector(sim::EventLoop* loop, FaultInjectorTargets targets,
+                             FaultInjectorOptions options)
+    : loop_(loop), targets_(targets) {
+  metrics_ = options.metrics;
+  if (metrics_ == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  trace_ = options.trace;
+  injected_ = metrics_->GetCounter("ofc.fault.injected");
+  healed_ = metrics_->GetCounter("ofc.fault.healed");
+  active_ = metrics_->GetGauge("ofc.fault.active");
+  if (trace_ != nullptr) {
+    trace_->SetProcessName(obs::kPidFaults, "fault-injector");
+  }
+}
+
+FaultStats FaultInjector::stats() const {
+  FaultStats stats;
+  stats.injected = injected_->value();
+  stats.healed = healed_->value();
+  return stats;
+}
+
+Status FaultInjector::Schedule(const FaultPlan& plan) {
+  const int num_workers = targets_.platform != nullptr ? targets_.platform->num_workers() : 0;
+  const int num_nodes = targets_.cluster != nullptr ? targets_.cluster->num_nodes() : 0;
+  OFC_RETURN_IF_ERROR(plan.Validate(num_workers, num_nodes));
+  for (const FaultEvent& event : plan.events) {
+    switch (event.kind) {
+      case FaultKind::kWorkerCrash:
+        if (targets_.platform == nullptr) {
+          return FailedPreconditionError("plan crashes a worker but no platform is wired");
+        }
+        break;
+      case FaultKind::kNodeCrash:
+        if (targets_.cluster == nullptr) {
+          return FailedPreconditionError("plan crashes a node but no cluster is wired");
+        }
+        break;
+      case FaultKind::kMachineCrash:
+        if (targets_.platform == nullptr || targets_.cluster == nullptr) {
+          return FailedPreconditionError(
+              "plan crashes a machine but platform/cluster are not both wired");
+        }
+        break;
+      case FaultKind::kStoreOutage:
+      case FaultKind::kStoreBrownout:
+      case FaultKind::kWebhookDrop:
+        if (targets_.rsds == nullptr) {
+          return FailedPreconditionError("plan perturbs the store but no RSDS is wired");
+        }
+        break;
+      case FaultKind::kPersistorDrop:
+        if (targets_.proxy == nullptr) {
+          return FailedPreconditionError("plan drops persistors but no proxy is wired");
+        }
+        break;
+    }
+  }
+  for (const FaultEvent& event : plan.events) {
+    loop_->ScheduleAt(event.at, [this, event] { Fire(event); });
+  }
+  return OkStatus();
+}
+
+void FaultInjector::TraceFault(const FaultEvent& event, const char* phase) {
+  if (trace_ == nullptr || !trace_->enabled()) {
+    return;
+  }
+  trace_->Instant(std::string(FaultKindName(event.kind)) + ":" + phase, "fault",
+                  loop_->now(), obs::kPidFaults, /*tid=*/0,
+                  {{"target", std::to_string(event.target)}});
+}
+
+void FaultInjector::Fire(const FaultEvent& event) {
+  ++*injected_;
+  metrics_->GetCounter("ofc.fault.injected_by_kind",
+                       std::string(FaultKindName(event.kind)))
+      ->Add(1);
+  active_->Add(1.0);
+  TraceFault(event, "inject");
+  switch (event.kind) {
+    case FaultKind::kWorkerCrash:
+      targets_.platform->CrashWorker(event.target);
+      break;
+    case FaultKind::kNodeCrash:
+      (void)targets_.cluster->CrashNode(event.target);
+      break;
+    case FaultKind::kMachineCrash:
+      // Invoker first (in-flight work re-dispatches), then its storage server.
+      targets_.platform->CrashWorker(event.target);
+      (void)targets_.cluster->CrashNode(event.target);
+      break;
+    case FaultKind::kStoreOutage:
+      ++outage_depth_;
+      targets_.rsds->SetAvailable(false);
+      break;
+    case FaultKind::kStoreBrownout:
+      ++brownout_depth_;
+      targets_.rsds->SetLatencyFactor(event.severity);
+      break;
+    case FaultKind::kPersistorDrop:
+      targets_.proxy->InjectPersistorDropUntil(loop_->now() + event.duration);
+      break;
+    case FaultKind::kWebhookDrop:
+      ++webhook_drop_depth_;
+      targets_.rsds->SetWebhooksEnabled(false);
+      break;
+  }
+  if (event.duration > 0) {
+    loop_->ScheduleAfter(event.duration, [this, event] { Heal(event); });
+  }
+}
+
+void FaultInjector::Heal(const FaultEvent& event) {
+  ++*healed_;
+  active_->Add(-1.0);
+  TraceFault(event, "heal");
+  switch (event.kind) {
+    case FaultKind::kWorkerCrash:
+      targets_.platform->RestoreWorker(event.target);
+      break;
+    case FaultKind::kNodeCrash:
+      targets_.cluster->RestartNode(event.target);
+      break;
+    case FaultKind::kMachineCrash:
+      targets_.cluster->RestartNode(event.target);
+      targets_.platform->RestoreWorker(event.target);
+      break;
+    case FaultKind::kStoreOutage:
+      if (--outage_depth_ == 0) {
+        targets_.rsds->SetAvailable(true);
+      }
+      break;
+    case FaultKind::kStoreBrownout:
+      if (--brownout_depth_ == 0) {
+        targets_.rsds->SetLatencyFactor(1.0);
+      }
+      break;
+    case FaultKind::kPersistorDrop:
+      break;  // The drop window expires on its own.
+    case FaultKind::kWebhookDrop:
+      if (--webhook_drop_depth_ == 0) {
+        targets_.rsds->SetWebhooksEnabled(true);
+      }
+      break;
+  }
+}
+
+}  // namespace ofc::fault

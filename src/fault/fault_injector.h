@@ -1,0 +1,87 @@
+// FaultInjector: replays a FaultPlan against the live system.
+//
+// The injector owns no system state — it holds raw pointers to the components
+// it perturbs and schedules the plan's events on the shared event loop. Every
+// fault with a positive duration schedules its own heal (worker restore, node
+// restart, store recovery, ...), so a plan describes bounded outages as single
+// entries. Injection is fully deterministic: the plan plus the event loop's
+// scheduling order determine exactly when each fault and heal fires.
+//
+// Overlapping window semantics: outages / brownouts / webhook drops nest by
+// depth — the condition clears only when the last overlapping window closes
+// (a heal from an earlier, shorter window must not cancel a later one).
+#ifndef OFC_FAULT_FAULT_INJECTOR_H_
+#define OFC_FAULT_FAULT_INJECTOR_H_
+
+#include <memory>
+
+#include "src/core/proxy.h"
+#include "src/faas/platform.h"
+#include "src/fault/fault_plan.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/ramcloud/cluster.h"
+#include "src/sim/event_loop.h"
+#include "src/store/object_store.h"
+
+namespace ofc::fault {
+
+// Components a plan may target. Null pointers are allowed; scheduling a plan
+// that addresses a missing component fails fast in Schedule().
+struct FaultInjectorTargets {
+  faas::Platform* platform = nullptr;
+  rc::Cluster* cluster = nullptr;
+  store::ObjectStore* rsds = nullptr;
+  core::Proxy* proxy = nullptr;
+};
+
+struct FaultInjectorOptions {
+  // Observability sinks (src/obs/). Null `metrics` -> private registry; null
+  // `trace` -> fault events leave no spans.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
+};
+
+// Snapshot view over the injector's `ofc.fault.*` registry counters.
+struct FaultStats {
+  std::uint64_t injected = 0;  // Faults fired.
+  std::uint64_t healed = 0;    // Heal events fired.
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::EventLoop* loop, FaultInjectorTargets targets,
+                FaultInjectorOptions options = {});
+
+  // Validates the plan against the wired targets and schedules every event.
+  // Rejects (without scheduling anything) when an event addresses a component
+  // that is not wired or a target index out of range.
+  Status Schedule(const FaultPlan& plan);
+
+  // Fires one event immediately (tests drive precise interleavings with this).
+  void Fire(const FaultEvent& event);
+
+  FaultStats stats() const;
+  obs::MetricsRegistry& metrics() { return *metrics_; }
+
+ private:
+  void Heal(const FaultEvent& event);
+  void TraceFault(const FaultEvent& event, const char* phase);
+
+  sim::EventLoop* loop_;
+  FaultInjectorTargets targets_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TraceRecorder* trace_ = nullptr;
+  // Overlap depths for store-wide conditions (see header comment).
+  int outage_depth_ = 0;
+  int brownout_depth_ = 0;
+  int webhook_drop_depth_ = 0;
+  obs::Counter* injected_ = nullptr;
+  obs::Counter* healed_ = nullptr;
+  obs::Gauge* active_ = nullptr;
+};
+
+}  // namespace ofc::fault
+
+#endif  // OFC_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,353 @@
+#include "src/fault/fault_plan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace ofc::fault {
+
+namespace {
+
+struct KindNamePair {
+  FaultKind kind;
+  std::string_view name;
+};
+
+constexpr KindNamePair kKindNames[] = {
+    {FaultKind::kWorkerCrash, "worker_crash"},
+    {FaultKind::kNodeCrash, "node_crash"},
+    {FaultKind::kMachineCrash, "machine_crash"},
+    {FaultKind::kStoreOutage, "store_outage"},
+    {FaultKind::kStoreBrownout, "store_brownout"},
+    {FaultKind::kPersistorDrop, "persistor_drop"},
+    {FaultKind::kWebhookDrop, "webhook_drop"},
+};
+
+// Minimal recursive-descent parser for the fault-plan JSON subset: objects,
+// arrays, strings (no escapes beyond \" and \\), and numbers. The repo bakes in
+// no JSON dependency, and the schema is small enough that a scanner beats one.
+class JsonCursor {
+ public:
+  explicit JsonCursor(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  Result<std::string> ParseString() {
+    if (!Consume('"')) {
+      return Error("expected string");
+    }
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        c = text_[pos_++];
+      }
+      out.push_back(c);
+    }
+    if (pos_ >= text_.size()) {
+      return Error("unterminated string");
+    }
+    ++pos_;  // Closing quote.
+    return out;
+  }
+
+  Result<double> ParseNumber() {
+    SkipSpace();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    const double value = std::strtod(begin, &end);
+    if (end == begin) {
+      return Error("expected number");
+    }
+    pos_ += static_cast<std::size_t>(end - begin);
+    return value;
+  }
+
+  Status Error(const std::string& message) const {
+    return InvalidArgumentError("fault plan JSON: " + message + " at offset " +
+                                std::to_string(pos_));
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+Result<FaultEvent> ParseEvent(JsonCursor* cur) {
+  if (!cur->Consume('{')) {
+    return cur->Error("expected event object");
+  }
+  FaultEvent event;
+  bool have_at = false;
+  bool have_kind = false;
+  bool first = true;
+  while (!cur->Peek('}')) {
+    if (!first && !cur->Consume(',')) {
+      return cur->Error("expected ',' between event fields");
+    }
+    first = false;
+    auto key = cur->ParseString();
+    if (!key.ok()) {
+      return key.status();
+    }
+    if (!cur->Consume(':')) {
+      return cur->Error("expected ':' after key \"" + *key + "\"");
+    }
+    if (*key == "kind") {
+      auto name = cur->ParseString();
+      if (!name.ok()) {
+        return name.status();
+      }
+      auto kind = FaultKindFromName(*name);
+      if (!kind.ok()) {
+        return kind.status();
+      }
+      event.kind = *kind;
+      have_kind = true;
+      continue;
+    }
+    auto number = cur->ParseNumber();
+    if (!number.ok()) {
+      return number.status();
+    }
+    if (*key == "at_ms") {
+      event.at = static_cast<SimTime>(*number * 1000.0);
+      have_at = true;
+    } else if (*key == "target") {
+      event.target = static_cast<int>(*number);
+    } else if (*key == "duration_ms") {
+      event.duration = static_cast<SimDuration>(*number * 1000.0);
+    } else if (*key == "severity") {
+      event.severity = *number;
+    } else {
+      return cur->Error("unknown event key \"" + *key + "\"");
+    }
+  }
+  (void)cur->Consume('}');
+  if (!have_at || !have_kind) {
+    return cur->Error("event requires \"at_ms\" and \"kind\"");
+  }
+  return event;
+}
+
+}  // namespace
+
+std::string_view FaultKindName(FaultKind kind) {
+  for (const KindNamePair& pair : kKindNames) {
+    if (pair.kind == kind) {
+      return pair.name;
+    }
+  }
+  return "unknown";
+}
+
+Result<FaultKind> FaultKindFromName(std::string_view name) {
+  for (const KindNamePair& pair : kKindNames) {
+    if (pair.name == name) {
+      return pair.kind;
+    }
+  }
+  return InvalidArgumentError("unknown fault kind: " + std::string(name));
+}
+
+void FaultPlan::Sort() {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.at != b.at) {
+                       return a.at < b.at;
+                     }
+                     if (a.kind != b.kind) {
+                       return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                     }
+                     return a.target < b.target;
+                   });
+}
+
+Status FaultPlan::Validate(int num_workers, int num_nodes) const {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& event = events[i];
+    const std::string at_event = " (event " + std::to_string(i) + ")";
+    if (event.at < 0 || event.duration < 0) {
+      return InvalidArgumentError("negative time or duration" + at_event);
+    }
+    switch (event.kind) {
+      case FaultKind::kWorkerCrash:
+        if (event.target < 0 || event.target >= num_workers) {
+          return InvalidArgumentError("worker target out of range" + at_event);
+        }
+        break;
+      case FaultKind::kNodeCrash:
+        if (event.target < 0 || event.target >= num_nodes) {
+          return InvalidArgumentError("node target out of range" + at_event);
+        }
+        break;
+      case FaultKind::kMachineCrash:
+        if (event.target < 0 || event.target >= num_workers ||
+            event.target >= num_nodes) {
+          return InvalidArgumentError("machine target out of range" + at_event);
+        }
+        break;
+      case FaultKind::kStoreBrownout:
+        if (event.severity < 1.0) {
+          return InvalidArgumentError("brownout severity must be >= 1.0" + at_event);
+        }
+        break;
+      case FaultKind::kPersistorDrop:
+      case FaultKind::kWebhookDrop:
+        if (event.duration <= 0) {
+          return InvalidArgumentError("drop faults require a positive duration" +
+                                      at_event);
+        }
+        break;
+      case FaultKind::kStoreOutage:
+        break;
+    }
+  }
+  return OkStatus();
+}
+
+Result<FaultPlan> ParseFaultPlanJson(const std::string& json) {
+  JsonCursor cur(json);
+  if (!cur.Consume('{')) {
+    return cur.Error("expected top-level object");
+  }
+  auto key = cur.ParseString();
+  if (!key.ok()) {
+    return key.status();
+  }
+  if (*key != "events" || !cur.Consume(':')) {
+    return cur.Error("expected \"events\": [...]");
+  }
+  if (!cur.Consume('[')) {
+    return cur.Error("expected event array");
+  }
+  FaultPlan plan;
+  bool first = true;
+  while (!cur.Peek(']')) {
+    if (!first && !cur.Consume(',')) {
+      return cur.Error("expected ',' between events");
+    }
+    first = false;
+    auto event = ParseEvent(&cur);
+    if (!event.ok()) {
+      return event.status();
+    }
+    plan.events.push_back(*event);
+  }
+  (void)cur.Consume(']');
+  if (!cur.Consume('}')) {
+    return cur.Error("expected closing '}'");
+  }
+  if (!cur.AtEnd()) {
+    return cur.Error("trailing content after plan");
+  }
+  plan.Sort();
+  return plan;
+}
+
+std::string FaultPlanToJson(const FaultPlan& plan) {
+  std::ostringstream out;
+  out << "{\"events\": [";
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    const FaultEvent& event = plan.events[i];
+    if (i > 0) {
+      out << ", ";
+    }
+    out << "{\"at_ms\": " << event.at / 1000 << ", \"kind\": \""
+        << FaultKindName(event.kind) << "\"";
+    if (event.target >= 0) {
+      out << ", \"target\": " << event.target;
+    }
+    if (event.duration > 0) {
+      out << ", \"duration_ms\": " << event.duration / 1000;
+    }
+    if (event.kind == FaultKind::kStoreBrownout) {
+      out << ", \"severity\": " << event.severity;
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+FaultPlan RandomFaultPlan(const ChaosPlanOptions& options, Rng* rng) {
+  std::vector<FaultKind> kinds;
+  if (options.include_worker_crashes && options.num_workers > 0) {
+    kinds.push_back(FaultKind::kWorkerCrash);
+  }
+  if (options.include_node_crashes && options.num_nodes > 0) {
+    kinds.push_back(FaultKind::kNodeCrash);
+    if (options.num_workers > 0) {
+      kinds.push_back(FaultKind::kMachineCrash);
+    }
+  }
+  if (options.include_store_faults) {
+    kinds.push_back(FaultKind::kStoreOutage);
+    kinds.push_back(FaultKind::kStoreBrownout);
+    kinds.push_back(FaultKind::kWebhookDrop);
+  }
+  if (options.include_persistor_faults) {
+    kinds.push_back(FaultKind::kPersistorDrop);
+  }
+
+  FaultPlan plan;
+  if (kinds.empty() || options.horizon <= options.start) {
+    return plan;
+  }
+  for (int i = 0; i < options.num_events; ++i) {
+    FaultEvent event;
+    event.at = rng->UniformInt(options.start, options.horizon - 1);
+    event.kind = kinds[rng->Index(kinds.size())];
+    event.duration = rng->UniformInt(options.min_duration, options.max_duration);
+    switch (event.kind) {
+      case FaultKind::kWorkerCrash:
+        event.target = static_cast<int>(rng->UniformInt(0, options.num_workers - 1));
+        break;
+      case FaultKind::kNodeCrash:
+        event.target = static_cast<int>(rng->UniformInt(0, options.num_nodes - 1));
+        break;
+      case FaultKind::kMachineCrash:
+        event.target = static_cast<int>(rng->UniformInt(
+            0, std::min(options.num_workers, options.num_nodes) - 1));
+        break;
+      case FaultKind::kStoreBrownout:
+        // Discrete severities keep the plan exactly serializable.
+        event.severity = static_cast<double>(1 << rng->UniformInt(1, 3));
+        break;
+      case FaultKind::kStoreOutage:
+      case FaultKind::kPersistorDrop:
+      case FaultKind::kWebhookDrop:
+        break;
+    }
+    plan.events.push_back(event);
+  }
+  plan.Sort();
+  return plan;
+}
+
+}  // namespace ofc::fault

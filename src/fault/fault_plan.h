@@ -1,0 +1,94 @@
+// FaultPlan: a declarative, serializable schedule of faults to inject.
+//
+// A plan is a list of `{at, kind, target, duration, severity}` entries that the
+// FaultInjector replays on the event loop. Plans are data, not code: they load
+// from JSON (`ofc-sim --fault-plan=plan.json`), round-trip back to JSON, and
+// can be synthesized deterministically from a seed (RandomFaultPlan), which is
+// how the chaos test suite generates randomized-but-replayable schedules.
+//
+// JSON schema (times in milliseconds of simulated time):
+//   {"events": [
+//     {"at_ms": 30000, "kind": "node_crash", "target": 1, "duration_ms": 60000},
+//     {"at_ms": 45000, "kind": "store_brownout", "duration_ms": 20000,
+//      "severity": 4.0}
+//   ]}
+#ifndef OFC_FAULT_FAULT_PLAN_H_
+#define OFC_FAULT_FAULT_PLAN_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/units.h"
+
+namespace ofc::fault {
+
+enum class FaultKind {
+  kWorkerCrash,    // Platform::CrashWorker; heal = RestoreWorker.
+  kNodeCrash,      // Cluster::CrashNode; heal = RestartNode.
+  kMachineCrash,   // Co-located worker + RAMCloud node fail together (OFC
+                   // collocates a storage server with every invoker, §6.1).
+  kStoreOutage,    // RSDS rejects every op with kUnavailable.
+  kStoreBrownout,  // RSDS latencies inflated by `severity`.
+  kPersistorDrop,  // Persistor dispatches are lost for `duration`.
+  kWebhookDrop,    // External ops bypass the consistency webhooks.
+};
+
+std::string_view FaultKindName(FaultKind kind);
+Result<FaultKind> FaultKindFromName(std::string_view name);
+
+struct FaultEvent {
+  SimTime at = 0;            // Absolute simulated injection time.
+  FaultKind kind = FaultKind::kWorkerCrash;
+  int target = -1;           // Worker/node index; ignored by store-wide kinds.
+  SimDuration duration = 0;  // 0 = permanent (no heal scheduled).
+  double severity = 2.0;     // Brownout latency multiplier; ignored otherwise.
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  std::size_t size() const { return events.size(); }
+
+  // Orders events by (at, kind, target) — the injector requires a
+  // deterministic firing order for equal timestamps.
+  void Sort();
+
+  // Structural checks: non-negative times/durations, targets within range for
+  // the kinds that address a worker or node, severity >= 1 for brownouts.
+  Status Validate(int num_workers, int num_nodes) const;
+};
+
+// Parses the JSON schema above. Unknown keys are rejected (a typo silently
+// ignored would make a chaos scenario vacuous).
+Result<FaultPlan> ParseFaultPlanJson(const std::string& json);
+
+// Round-trip serialization (ParseFaultPlanJson(FaultPlanToJson(p)) == p up to
+// millisecond truncation; plans authored in whole milliseconds are exact).
+std::string FaultPlanToJson(const FaultPlan& plan);
+
+// Deterministic random plan synthesis for the chaos harness: `rng` fully
+// determines the schedule.
+struct ChaosPlanOptions {
+  SimTime start = Seconds(30);     // Warm-up before the first fault.
+  SimTime horizon = Minutes(5);    // Faults fire in [start, horizon).
+  int num_events = 6;
+  int num_workers = 2;
+  int num_nodes = 2;
+  SimDuration min_duration = Seconds(5);
+  SimDuration max_duration = Seconds(45);
+  bool include_worker_crashes = true;
+  bool include_node_crashes = true;
+  bool include_store_faults = true;
+  bool include_persistor_faults = true;
+};
+FaultPlan RandomFaultPlan(const ChaosPlanOptions& options, Rng* rng);
+
+}  // namespace ofc::fault
+
+#endif  // OFC_FAULT_FAULT_PLAN_H_

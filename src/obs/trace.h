@@ -14,7 +14,8 @@
 //   * kPidInvocations — tid = invocation id; submit/queue/startup/E/T/L spans;
 //   * kPidPipelines   — tid = pipeline id; whole-pipeline spans;
 //   * kPidCache       — tid = worker/node id; CacheAgent scaling + migrations;
-//   * kPidStore       — tid = 0; persistor write-backs against the RSDS.
+//   * kPidStore       — tid = 0; persistor write-backs against the RSDS;
+//   * kPidFaults      — tid = 0; injected faults and heals (src/fault/).
 #ifndef OFC_OBS_TRACE_H_
 #define OFC_OBS_TRACE_H_
 
@@ -31,6 +32,7 @@ inline constexpr int kPidInvocations = 1;
 inline constexpr int kPidPipelines = 2;
 inline constexpr int kPidCache = 3;
 inline constexpr int kPidStore = 4;
+inline constexpr int kPidFaults = 5;
 
 struct TraceOptions {
   bool enabled = false;

@@ -30,6 +30,11 @@ Cluster::Cluster(sim::EventLoop* loop, int num_nodes, ClusterOptions options, Rn
   m_.transactions_committed = metrics_->GetCounter("ofc.ramcloud.transactions_committed");
   m_.migrations = metrics_->GetCounter("ofc.ramcloud.migrations");
   m_.evictions = metrics_->GetCounter("ofc.ramcloud.evictions");
+  m_.node_crashes = metrics_->GetCounter("ofc.ramcloud.node_crashes");
+  m_.node_restarts = metrics_->GetCounter("ofc.ramcloud.node_restarts");
+  m_.objects_recovered = metrics_->GetCounter("ofc.ramcloud.objects_recovered");
+  m_.objects_lost = metrics_->GetCounter("ofc.ramcloud.objects_lost");
+  m_.recovery_ms = metrics_->GetSeries("ofc.ramcloud.recovery_ms");
 }
 
 ClusterStats Cluster::stats() const {
@@ -44,6 +49,10 @@ ClusterStats Cluster::stats() const {
   stats.transactions_committed = m_.transactions_committed->value();
   stats.migrations = m_.migrations->value();
   stats.evictions = m_.evictions->value();
+  stats.node_crashes = m_.node_crashes->value();
+  stats.node_restarts = m_.node_restarts->value();
+  stats.objects_recovered = m_.objects_recovered->value();
+  stats.objects_lost = m_.objects_lost->value();
   return stats;
 }
 
@@ -58,6 +67,11 @@ void Cluster::ResetStats() {
   m_.transactions_committed->Reset();
   m_.migrations->Reset();
   m_.evictions->Reset();
+  m_.node_crashes->Reset();
+  m_.node_restarts->Reset();
+  m_.objects_recovered->Reset();
+  m_.objects_lost->Reset();
+  m_.recovery_ms->Reset();
 }
 
 int Cluster::CheckNode(int node) const {
@@ -409,7 +423,11 @@ Result<MigrationResult> Cluster::MigrateMaster(const std::string& key) {
 
 RecoveryResult Cluster::CrashNode(int node) {
   NodeStats& crashed = nodes_[CheckNode(node)];
+  if (!crashed.alive) {
+    return RecoveryResult{};  // Already down: nothing left to lose or recover.
+  }
   crashed.alive = false;
+  ++*m_.node_crashes;
   // The crashed node's DRAM contents are gone.
   logs_[node] = SegmentedLog(options_.log);
   crashed.memory_used = 0;
@@ -494,10 +512,43 @@ RecoveryResult Cluster::CrashNode(int node) {
   for (SimDuration d : per_node_load) {
     result.duration = std::max(result.duration, d);
   }
+  m_.objects_recovered->Add(result.objects_recovered);
+  m_.objects_lost->Add(result.objects_lost);
+  m_.recovery_ms->Observe(ToMillis(result.duration));
   return result;
 }
 
-void Cluster::RestartNode(int node) { nodes_[CheckNode(node)].alive = true; }
+void Cluster::RestartNode(int node) {
+  NodeStats& stats = nodes_[CheckNode(node)];
+  if (stats.alive) {
+    return;
+  }
+  stats.alive = true;
+  ++*m_.node_restarts;
+  // Objects written while the node was down picked backups among the survivors;
+  // with fewer than rf alive peers they stayed under-replicated. The restarted
+  // node's disk is empty but writable, so the coordinator re-replicates onto it.
+  for (auto& [key, obj] : objects_) {
+    if (obj.master == node ||
+        std::find(obj.backups.begin(), obj.backups.end(), node) != obj.backups.end()) {
+      continue;
+    }
+    if (static_cast<int>(obj.backups.size()) < options_.replication_factor) {
+      obj.backups.push_back(node);
+      nodes_[node].disk_used += obj.size;
+    }
+  }
+}
+
+int Cluster::AliveNodes() const {
+  int alive = 0;
+  for (const NodeStats& node : nodes_) {
+    if (node.alive) {
+      ++alive;
+    }
+  }
+  return alive;
+}
 
 Bytes Cluster::TotalUsed() const {
   Bytes total = 0;

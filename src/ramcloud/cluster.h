@@ -111,6 +111,10 @@ struct ClusterStats {
   std::uint64_t transactions_committed = 0;
   std::uint64_t migrations = 0;
   std::uint64_t evictions = 0;
+  std::uint64_t node_crashes = 0;
+  std::uint64_t node_restarts = 0;
+  std::uint64_t objects_recovered = 0;  // Backup promotions after crashes.
+  std::uint64_t objects_lost = 0;       // No surviving replica at crash time.
 };
 
 class Cluster {
@@ -205,9 +209,15 @@ class Cluster {
   // Fail-stop crash: all objects mastered on `node` are recovered by promoting
   // backups, partitioned across the surviving nodes (parallel makespan).
   // Objects with no surviving replica are dropped and counted as lost. Backup
-  // copies on the crashed node are re-replicated to other nodes.
+  // copies on the crashed node are re-replicated to other nodes. Crashing a
+  // node that is already down is a no-op (empty RecoveryResult).
   RecoveryResult CrashNode(int node);
+  // Brings a crashed node back empty (DRAM is gone); under-replicated objects
+  // adopt it as a fresh backup so the replication factor recovers. No-op when
+  // the node is already alive.
   void RestartNode(int node);
+  bool Alive(int node) const { return nodes_[CheckNode(node)].alive; }
+  int AliveNodes() const;
 
   // Assembled on demand from the metrics registry.
   ClusterStats stats() const;
@@ -253,6 +263,11 @@ class Cluster {
     obs::Counter* transactions_committed = nullptr;
     obs::Counter* migrations = nullptr;
     obs::Counter* evictions = nullptr;
+    obs::Counter* node_crashes = nullptr;
+    obs::Counter* node_restarts = nullptr;
+    obs::Counter* objects_recovered = nullptr;
+    obs::Counter* objects_lost = nullptr;
+    obs::Series* recovery_ms = nullptr;  // Per-crash recovery makespan.
   };
 
   sim::EventLoop* loop_;

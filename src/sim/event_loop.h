@@ -45,6 +45,9 @@ class EventLoop {
   // Runs events with timestamps <= deadline, then sets now() to deadline.
   void RunUntil(SimTime deadline);
 
+  // Convenience: RunUntil(now() + duration).
+  void RunFor(SimDuration duration) { RunUntil(now() + duration); }
+
   // Runs exactly one event if any is pending; returns whether one ran.
   bool Step();
 

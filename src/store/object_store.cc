@@ -38,6 +38,8 @@ void ObjectStore::InitMetrics(obs::MetricsRegistry* metrics) {
   m_.shadow_writes = metrics_->GetCounter("ofc.store.shadow_writes", name_);
   m_.payload_finalizes = metrics_->GetCounter("ofc.store.payload_finalizes", name_);
   m_.deletes = metrics_->GetCounter("ofc.store.deletes", name_);
+  m_.unavailable_errors = metrics_->GetCounter("ofc.store.unavailable_errors", name_);
+  m_.webhook_bypasses = metrics_->GetCounter("ofc.store.webhook_bypasses", name_);
   m_.bytes_read = metrics_->GetCounter("ofc.store.bytes_read", name_);
   m_.bytes_written = metrics_->GetCounter("ofc.store.bytes_written", name_);
 }
@@ -49,6 +51,8 @@ StoreStats ObjectStore::stats() const {
   stats.shadow_writes = m_.shadow_writes->value();
   stats.payload_finalizes = m_.payload_finalizes->value();
   stats.deletes = m_.deletes->value();
+  stats.unavailable_errors = m_.unavailable_errors->value();
+  stats.webhook_bypasses = m_.webhook_bypasses->value();
   stats.bytes_read = static_cast<Bytes>(m_.bytes_read->value());
   stats.bytes_written = static_cast<Bytes>(m_.bytes_written->value());
   return stats;
@@ -60,6 +64,8 @@ void ObjectStore::ResetStats() {
   m_.shadow_writes->Reset();
   m_.payload_finalizes->Reset();
   m_.deletes->Reset();
+  m_.unavailable_errors->Reset();
+  m_.webhook_bypasses->Reset();
   m_.bytes_read->Reset();
   m_.bytes_written->Reset();
 }
@@ -68,13 +74,51 @@ void ObjectStore::After(SimDuration delay, std::function<void()> fn) {
   loop_->ScheduleAfter(delay, std::move(fn));
 }
 
-SimDuration ObjectStore::ControlCost() { return profile_.control.Cost(0, &rng_); }
+SimDuration ObjectStore::ControlCost() { return Inflate(profile_.control.Cost(0, &rng_)); }
 
-SimDuration ObjectStore::ReadCost(Bytes size) { return profile_.read.Cost(size, &rng_); }
+SimDuration ObjectStore::ReadCost(Bytes size) {
+  return Inflate(profile_.read.Cost(size, &rng_));
+}
 
-SimDuration ObjectStore::WriteCost(Bytes size) { return profile_.write.Cost(size, &rng_); }
+SimDuration ObjectStore::WriteCost(Bytes size) {
+  return Inflate(profile_.write.Cost(size, &rng_));
+}
+
+SimDuration ObjectStore::Inflate(SimDuration cost) const {
+  if (latency_factor_ <= 1.0) {
+    return cost;
+  }
+  return static_cast<SimDuration>(static_cast<double>(cost) * latency_factor_);
+}
+
+bool ObjectStore::FailIfUnavailable(const std::string& op, const std::string& key,
+                                    Callback done) {
+  if (available_) {
+    return false;
+  }
+  ++*m_.unavailable_errors;
+  After(ControlCost(), [op, key, done = std::move(done)]() {
+    done(UnavailableError(op + ": store unavailable: " + key));
+  });
+  return true;
+}
+
+bool ObjectStore::FailIfUnavailable(const std::string& op, const std::string& key,
+                                    MetaCallback done) {
+  if (available_) {
+    return false;
+  }
+  ++*m_.unavailable_errors;
+  After(ControlCost(), [op, key, done = std::move(done)]() {
+    done(UnavailableError(op + ": store unavailable: " + key));
+  });
+  return true;
+}
 
 void ObjectStore::Put(const std::string& key, Bytes size, Tags tags, Callback done) {
+  if (FailIfUnavailable("put", key, done)) {
+    return;
+  }
   const SimDuration cost = WriteCost(size);
   After(cost, [this, key, size, tags = std::move(tags), done = std::move(done)]() mutable {
     ObjectMetadata& obj = objects_[key];
@@ -98,6 +142,9 @@ void ObjectStore::Put(const std::string& key, Bytes size, Tags tags, Callback do
 }
 
 void ObjectStore::PutShadow(const std::string& key, Bytes pending_size, MetaCallback done) {
+  if (FailIfUnavailable("put_shadow", key, done)) {
+    return;
+  }
   After(ControlCost(), [this, key, pending_size, done = std::move(done)]() {
     ObjectMetadata& obj = objects_[key];
     const bool fresh = obj.key.empty();
@@ -120,6 +167,9 @@ void ObjectStore::PutShadow(const std::string& key, Bytes pending_size, MetaCall
 
 void ObjectStore::FinalizePayload(const std::string& key, ObjectVersion version, Bytes size,
                                   Callback done) {
+  if (FailIfUnavailable("finalize", key, done)) {
+    return;
+  }
   const SimDuration cost = WriteCost(size);
   After(cost, [this, key, version, size, done = std::move(done)]() {
     auto it = objects_.find(key);
@@ -150,6 +200,9 @@ void ObjectStore::FinalizePayload(const std::string& key, ObjectVersion version,
 }
 
 void ObjectStore::Get(const std::string& key, MetaCallback done) {
+  if (FailIfUnavailable("get", key, done)) {
+    return;
+  }
   auto it = objects_.find(key);
   // Cost is computed up front from the current size; a miss costs one RTT.
   const SimDuration cost = it == objects_.end() ? ControlCost() : ReadCost(it->second.size);
@@ -166,6 +219,9 @@ void ObjectStore::Get(const std::string& key, MetaCallback done) {
 }
 
 void ObjectStore::Head(const std::string& key, MetaCallback done) {
+  if (FailIfUnavailable("head", key, done)) {
+    return;
+  }
   After(ControlCost(), [this, key, done = std::move(done)]() {
     auto it = objects_.find(key);
     if (it == objects_.end()) {
@@ -177,6 +233,9 @@ void ObjectStore::Head(const std::string& key, MetaCallback done) {
 }
 
 void ObjectStore::Delete(const std::string& key, Callback done) {
+  if (FailIfUnavailable("delete", key, done)) {
+    return;
+  }
   After(ControlCost(), [this, key, done = std::move(done)]() {
     if (objects_.erase(key) == 0) {
       done(NotFoundError("delete: " + key));
@@ -188,6 +247,13 @@ void ObjectStore::Delete(const std::string& key, Callback done) {
 }
 
 void ObjectStore::ExternalRead(const std::string& key, MetaCallback done) {
+  if (read_webhook_ && !webhooks_enabled_) {
+    // Dropped webhook: the read proceeds without waiting for the persistor, so
+    // an external client may observe a stale payload. Counted, never silent.
+    ++*m_.webhook_bypasses;
+    Get(key, std::move(done));
+    return;
+  }
   if (read_webhook_) {
     // The webhook must complete (e.g. waiting on a persistor boost) before the
     // external read proceeds against the store.
@@ -200,6 +266,12 @@ void ObjectStore::ExternalRead(const std::string& key, MetaCallback done) {
 }
 
 void ObjectStore::ExternalWrite(const std::string& key, Bytes size, Callback done) {
+  if (write_webhook_ && !webhooks_enabled_) {
+    // Dropped webhook: cached copies are not invalidated for this write.
+    ++*m_.webhook_bypasses;
+    Put(key, size, {}, std::move(done));
+    return;
+  }
   if (write_webhook_) {
     write_webhook_(key, [this, key, size, done = std::move(done)]() mutable {
       Put(key, size, {}, std::move(done));
@@ -215,6 +287,15 @@ Result<ObjectMetadata> ObjectStore::Stat(const std::string& key) const {
     return NotFoundError("stat: " + key);
   }
   return it->second;
+}
+
+std::vector<std::string> ObjectStore::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(objects_.size());
+  for (const auto& [key, obj] : objects_) {
+    keys.push_back(key);
+  }
+  return keys;
 }
 
 Bytes ObjectStore::TotalBytes() const {

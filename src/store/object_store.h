@@ -64,6 +64,8 @@ struct StoreStats {
   std::uint64_t shadow_writes = 0;
   std::uint64_t payload_finalizes = 0;
   std::uint64_t deletes = 0;
+  std::uint64_t unavailable_errors = 0;  // Ops rejected during an outage.
+  std::uint64_t webhook_bypasses = 0;    // External ops while webhooks dropped.
   Bytes bytes_read = 0;
   Bytes bytes_written = 0;
 };
@@ -155,11 +157,35 @@ class ObjectStore {
   void set_read_webhook(Webhook hook) { read_webhook_ = std::move(hook); }
   void set_write_webhook(Webhook hook) { write_webhook_ = std::move(hook); }
 
+  // ---- Fault-injection hooks (src/fault/) ----------------------------------
+  //
+  // Availability and latency are properties of the *deployment*, not the data:
+  // an unavailable store fails every asynchronous operation with kUnavailable
+  // after one control round-trip (the client sees a fast error, not a hang); a
+  // brownout multiplies every operation's latency by `factor` while leaving
+  // results intact. Both are synchronous management-plane toggles driven by the
+  // FaultInjector and apply to operations *started* while the condition holds.
+
+  void SetAvailable(bool available) { available_ = available; }
+  bool available() const { return available_; }
+
+  // `factor` >= 1.0 inflates all operation latencies (1.0 = healthy).
+  void SetLatencyFactor(double factor) { latency_factor_ = factor < 1.0 ? 1.0 : factor; }
+  double latency_factor() const { return latency_factor_; }
+
+  // Webhook drop: while disabled, external operations bypass the read/write
+  // interposition handlers entirely (counted, so tests can observe the loss of
+  // the consistency guarantee rather than silently missing it).
+  void SetWebhooksEnabled(bool enabled) { webhooks_enabled_ = enabled; }
+  bool webhooks_enabled() const { return webhooks_enabled_; }
+
   // ---- Management / test plane (synchronous, zero simulated cost) ----
 
   Result<ObjectMetadata> Stat(const std::string& key) const;
   bool Exists(const std::string& key) const { return objects_.contains(key); }
   std::size_t NumObjects() const { return objects_.size(); }
+  // All object keys in sorted order (chaos-harness consistency sweeps).
+  std::vector<std::string> Keys() const;
   Bytes TotalBytes() const;
   // Assembled on demand from the metrics registry.
   StoreStats stats() const;
@@ -176,6 +202,8 @@ class ObjectStore {
     obs::Counter* shadow_writes = nullptr;
     obs::Counter* payload_finalizes = nullptr;
     obs::Counter* deletes = nullptr;
+    obs::Counter* unavailable_errors = nullptr;
+    obs::Counter* webhook_bypasses = nullptr;
     obs::Counter* bytes_read = nullptr;
     obs::Counter* bytes_written = nullptr;
   };
@@ -185,6 +213,12 @@ class ObjectStore {
   SimDuration ControlCost();
   SimDuration ReadCost(Bytes size);
   SimDuration WriteCost(Bytes size);
+  // Applies the brownout multiplier to a computed cost.
+  SimDuration Inflate(SimDuration cost) const;
+  // Outage guard: when the store is down, schedules `done(kUnavailable)` after
+  // one control round-trip and returns true (the operation must bail out).
+  bool FailIfUnavailable(const std::string& op, const std::string& key, Callback done);
+  bool FailIfUnavailable(const std::string& op, const std::string& key, MetaCallback done);
 
   sim::EventLoop* loop_;
   StoreProfile profile_;
@@ -195,6 +229,9 @@ class ObjectStore {
   std::map<std::string, ObjectMetadata> objects_;
   Webhook read_webhook_;
   Webhook write_webhook_;
+  bool available_ = true;
+  double latency_factor_ = 1.0;  // Brownout multiplier; 1.0 = healthy.
+  bool webhooks_enabled_ = true;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.
   obs::MetricsRegistry* metrics_ = nullptr;
   Metrics m_;

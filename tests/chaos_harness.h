@@ -1,0 +1,283 @@
+// Chaos harness: runs a Poisson invocation workload against the full OFC stack
+// (platform + proxy + cache + RSDS) while a fault::FaultInjector replays a
+// FaultPlan, then audits the end state against four invariants:
+//
+//   I1 — no acknowledged write is lost: every successful invocation's output
+//        object is present, fully persisted, and has the acknowledged size;
+//   I2 — cache and store converge once persistors drain: no dirty cached
+//        object remains, and no shadow survives except for writes the platform
+//        reported as failed (an unacknowledged write may leave a placeholder);
+//   I3 — every invocation completes exactly once (crash re-dispatch must
+//        neither drop nor duplicate completions);
+//   I4 — recovery re-establishes the replication factor: every cached object
+//        has an alive master and min(rf, alive-1) distinct alive backups.
+//
+// Everything is deterministic: (seed, options, plan) fully determine the run,
+// so ChaosReport::Fingerprint() must be byte-identical across replays.
+#ifndef OFC_TESTS_CHAOS_HARNESS_H_
+#define OFC_TESTS_CHAOS_HARNESS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/faas/direct_data_service.h"
+#include "src/faas/platform.h"
+#include "src/faasload/environment.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
+#include "src/workloads/functions.h"
+#include "src/workloads/media.h"
+
+namespace ofc::chaos {
+
+struct ChaosScenarioOptions {
+  std::uint64_t seed = 1;
+  int num_workers = 3;        // Also the RAMCloud cluster size in kOfc.
+  int num_objects = 6;        // Seeded input objects.
+  int num_invocations = 30;   // Poisson arrivals over the fault horizon.
+  double mean_interval_s = 5.0;
+  std::string function = "wand_sepia";
+  Bytes input_bytes = KiB(256);
+  SimTime fault_horizon = Minutes(5);  // Faults and arrivals land before this.
+  SimDuration drain = Minutes(10);     // Post-quiesce persistor drain budget.
+  fault::FaultPlan plan;
+};
+
+struct ChaosReport {
+  int scheduled = 0;
+  int completed = 0;
+  int succeeded = 0;
+  int failed = 0;
+  std::vector<std::string> violations;
+  std::string metrics_json;
+  // Selected fault-path counters (summed over labels), snapshotted before the
+  // environment is torn down so tests can assert on them.
+  std::map<std::string, std::uint64_t> counters;
+  SimTime final_time = 0;
+  std::uint64_t events_scheduled = 0;
+
+  bool ok() const { return violations.empty(); }
+  std::uint64_t counter(const std::string& name) const {
+    auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+  // Everything observable about the run; replays must match byte-for-byte.
+  std::string Fingerprint() const {
+    std::ostringstream out;
+    out << scheduled << "/" << completed << "/" << succeeded << "/" << failed
+        << "@" << final_time << "#" << events_scheduled << "\n"
+        << metrics_json;
+    return out.str();
+  }
+  std::string ViolationSummary() const {
+    std::ostringstream out;
+    for (const std::string& v : violations) {
+      out << v << "\n";
+    }
+    return out.str();
+  }
+};
+
+// Runs one chaos scenario to quiescence and audits the four invariants.
+inline ChaosReport RunChaosScenario(const ChaosScenarioOptions& options) {
+  ChaosReport report;
+  auto violate = [&report](const std::string& what) {
+    report.violations.push_back(what);
+  };
+
+  faasload::EnvironmentOptions env_options;
+  env_options.platform.num_workers = options.num_workers;
+  env_options.platform.worker_memory = GiB(8);
+  env_options.seed = options.seed;
+  faasload::Environment env(faasload::Mode::kOfc, env_options);
+
+  // ---- Workload setup --------------------------------------------------------
+  faas::FunctionConfig config;
+  config.spec = *workloads::FindFunction(options.function);
+  config.booked_memory = GiB(2);
+  if (!env.platform().RegisterFunction(config).ok()) {
+    violate("setup: RegisterFunction failed");
+    return report;
+  }
+  Rng pretrain_rng(options.seed + 17);
+  env.ofc()->trainer().Pretrain(config.spec, 1000, pretrain_rng);
+
+  Rng rng(options.seed * 7919 + 1);
+  workloads::MediaGenerator generator(rng.Fork());
+  std::vector<faas::InputObject> inputs;
+  for (int i = 0; i < options.num_objects; ++i) {
+    const auto media =
+        generator.GenerateWithByteSize(workloads::InputKind::kImage, options.input_bytes);
+    const std::string key = "in/" + std::to_string(i);
+    env.rsds().Seed(key, media.byte_size, faas::MediaToTags(media));
+    inputs.push_back(faas::InputObject{key, media});
+  }
+
+  // ---- Fault plan ------------------------------------------------------------
+  fault::FaultInjector injector(
+      &env.loop(),
+      fault::FaultInjectorTargets{&env.platform(), env.cluster(), &env.rsds(),
+                                  &env.ofc()->proxy()},
+      fault::FaultInjectorOptions{&env.metrics(), &env.trace()});
+  if (Status plan_status = injector.Schedule(options.plan); !plan_status.ok()) {
+    violate("setup: fault plan rejected: " + plan_status.message());
+    return report;
+  }
+  SimTime quiesce_at = options.fault_horizon;
+  for (const fault::FaultEvent& event : options.plan.events) {
+    quiesce_at = std::max(quiesce_at, event.at + event.duration);
+  }
+
+  // ---- Poisson arrivals ------------------------------------------------------
+  std::vector<faas::InvocationRecord> records(
+      static_cast<std::size_t>(options.num_invocations));
+  std::vector<int> completions(static_cast<std::size_t>(options.num_invocations), 0);
+  SimTime arrival = 0;
+  for (int i = 0; i < options.num_invocations; ++i) {
+    const double gap_us = rng.Exponential(options.mean_interval_s * 1e6);
+    arrival += static_cast<SimDuration>(gap_us);
+    const std::size_t slot = static_cast<std::size_t>(i);
+    const faas::InputObject& input = inputs[rng.Index(inputs.size())];
+    env.loop().ScheduleAt(arrival, [&env, &records, &completions, &report, input,
+                                    slot, function = options.function] {
+      ++report.scheduled;
+      env.platform().Invoke(function, {input}, {0.5},
+                            [&records, &completions, &report,
+                             slot](const faas::InvocationRecord& r) {
+                              records[slot] = r;
+                              if (++completions[slot] == 1) {
+                                ++report.completed;
+                                if (r.failed) {
+                                  ++report.failed;
+                                } else {
+                                  ++report.succeeded;
+                                }
+                              }
+                            });
+    });
+  }
+  quiesce_at = std::max(quiesce_at, arrival);
+
+  // ---- Drive to quiescence ---------------------------------------------------
+  const SimTime work_deadline = quiesce_at + options.drain;
+  while (report.completed < options.num_invocations &&
+         env.loop().now() < work_deadline && env.loop().Step()) {
+  }
+  // All faults have healed by quiesce_at; give persistor retries a full drain
+  // window beyond whatever point the workload finished at.
+  env.loop().RunUntil(std::max(env.loop().now(), quiesce_at) + options.drain);
+
+  // ---- I3: exactly-once completion -------------------------------------------
+  if (report.completed != options.num_invocations) {
+    violate("I3: " + std::to_string(options.num_invocations - report.completed) +
+            " invocations never completed");
+  }
+  for (std::size_t i = 0; i < completions.size(); ++i) {
+    if (completions[i] > 1) {
+      violate("I3: invocation slot " + std::to_string(i) + " completed " +
+              std::to_string(completions[i]) + " times");
+    }
+  }
+
+  // ---- I1: no acknowledged write lost ----------------------------------------
+  std::set<std::string> failed_keys;
+  for (const faas::InvocationRecord& record : records) {
+    if (record.id == 0) {
+      continue;  // Never completed (already an I3 violation).
+    }
+    if (record.failed) {
+      if (!record.output_key.empty()) {
+        failed_keys.insert(record.output_key);
+      }
+      continue;
+    }
+    const auto meta = env.rsds().Stat(record.output_key);
+    if (!meta.ok()) {
+      violate("I1: acknowledged output " + record.output_key + " missing from RSDS");
+      continue;
+    }
+    if (meta->IsShadow()) {
+      violate("I1: acknowledged output " + record.output_key +
+              " still a shadow after drain");
+    } else if (meta->size != record.output_bytes) {
+      violate("I1: output " + record.output_key + " has size " +
+              std::to_string(meta->size) + ", acknowledged " +
+              std::to_string(record.output_bytes));
+    }
+  }
+
+  // ---- I2: cache/store convergence -------------------------------------------
+  rc::Cluster* cluster = env.cluster();
+  for (int node = 0; node < cluster->num_nodes(); ++node) {
+    for (const std::string& key : cluster->KeysOn(node)) {
+      const auto obj = cluster->Inspect(key);
+      if (obj.ok() && obj->dirty) {
+        violate("I2: cached object " + key + " still dirty after drain");
+      }
+    }
+  }
+  for (const std::string& key : env.rsds().Keys()) {
+    const auto meta = env.rsds().Stat(key);
+    if (meta.ok() && meta->IsShadow() && !failed_keys.contains(key)) {
+      violate("I2: shadow " + key + " survived drain without a failed write");
+    }
+  }
+
+  // ---- I4: replication factor re-established ---------------------------------
+  const int alive = cluster->AliveNodes();
+  const int want_backups =
+      std::min(cluster->options().replication_factor, std::max(alive - 1, 0));
+  for (int node = 0; node < cluster->num_nodes(); ++node) {
+    for (const std::string& key : cluster->KeysOn(node)) {
+      const auto obj = cluster->Inspect(key);
+      if (!obj.ok()) {
+        continue;
+      }
+      if (!cluster->Alive(obj->master)) {
+        violate("I4: object " + key + " mastered on dead node " +
+                std::to_string(obj->master));
+      }
+      std::set<int> backups(obj->backups.begin(), obj->backups.end());
+      if (backups.size() != obj->backups.size() || backups.contains(obj->master)) {
+        violate("I4: object " + key + " has duplicate or self-referential backups");
+      }
+      for (int backup : obj->backups) {
+        if (!cluster->Alive(backup)) {
+          violate("I4: object " + key + " has backup on dead node " +
+                  std::to_string(backup));
+        }
+      }
+      if (static_cast<int>(obj->backups.size()) < want_backups) {
+        violate("I4: object " + key + " under-replicated: " +
+                std::to_string(obj->backups.size()) + " < " +
+                std::to_string(want_backups));
+      }
+    }
+  }
+
+  report.metrics_json = env.metrics().SnapshotJson(env.loop().now());
+  for (const char* name :
+       {"ofc.fault.injected", "ofc.fault.healed", "ofc.proxy.fallback_writes",
+        "ofc.proxy.rsds_retries", "ofc.proxy.read_deadlines", "ofc.proxy.persistor_drops",
+        "ofc.proxy.persistor_retries", "ofc.proxy.persistor_abandons",
+        "ofc.platform.worker_crashes", "ofc.platform.worker_restores",
+        "ofc.platform.crash_retries", "ofc.ramcloud.node_crashes",
+        "ofc.ramcloud.node_restarts", "ofc.ramcloud.objects_recovered",
+        "ofc.ramcloud.objects_lost", "ofc.store.unavailable_errors",
+        "ofc.store.webhook_bypasses"}) {
+    report.counters[name] = env.metrics().CounterTotal(name);
+  }
+  report.final_time = env.loop().now();
+  report.events_scheduled = env.loop().total_scheduled();
+  return report;
+}
+
+}  // namespace ofc::chaos
+
+#endif  // OFC_TESTS_CHAOS_HARNESS_H_

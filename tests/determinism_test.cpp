@@ -13,6 +13,8 @@
 #include "src/common/sim_assert.h"
 #include "src/faasload/environment.h"
 #include "src/faasload/injector.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
 
 namespace ofc {
 namespace {
@@ -58,6 +60,77 @@ RunFingerprint RunScenario(Mode mode, std::uint64_t seed, std::uint64_t hash_sal
   fp.events_scheduled = env.loop().total_scheduled();
   SetHashSalt(0);
   return fp;
+}
+
+// Same scenario as RunScenario, but with a fault plan replayed against the
+// stack mid-run: crashes, an outage, and a persistor drop must not introduce
+// any nondeterminism (the degradation paths use jitter-free backoff).
+RunFingerprint RunFaultScenario(std::uint64_t seed, std::uint64_t hash_salt,
+                                bool with_faults = true) {
+  SetHashSalt(hash_salt);
+  EnvironmentOptions options;
+  options.platform.num_workers = 2;
+  options.platform.worker_memory = GiB(8);
+  options.seed = seed;
+  Environment env(Mode::kOfc, options);
+  faasload::LoadInjector load(&env, faasload::TenantProfile::kNormal, seed + 1);
+  faasload::TenantSpec spec;
+  spec.name = "t-chaos";
+  spec.function = "wand_sepia";
+  spec.mean_interval_s = 5.0;
+  spec.arrivals = faasload::ArrivalPattern::kExponential;
+  EXPECT_TRUE(load.AddTenant(spec).ok());
+
+  // Parsed from JSON so the CLI ingestion path is part of the replayed bytes.
+  const auto plan = fault::ParseFaultPlanJson(R"({"events": [
+      {"at_ms": 40000, "kind": "store_brownout", "duration_ms": 30000, "severity": 4},
+      {"at_ms": 60000, "kind": "node_crash", "target": 1, "duration_ms": 20000},
+      {"at_ms": 75000, "kind": "worker_crash", "target": 0, "duration_ms": 10000},
+      {"at_ms": 90000, "kind": "persistor_drop", "duration_ms": 15000},
+      {"at_ms": 100000, "kind": "store_outage", "duration_ms": 8000}
+  ]})");
+  EXPECT_TRUE(plan.ok());
+  fault::FaultInjector faults(
+      &env.loop(),
+      fault::FaultInjectorTargets{&env.platform(), env.cluster(), &env.rsds(),
+                                  &env.ofc()->proxy()},
+      fault::FaultInjectorOptions{&env.metrics(), &env.trace()});
+  if (with_faults) {
+    EXPECT_TRUE(faults.Schedule(*plan).ok());
+  }
+
+  load.PretrainModels(200);
+  load.Run(Minutes(4));
+
+  RunFingerprint fp;
+  fp.metrics_json = env.metrics().SnapshotJson(env.loop().now());
+  fp.final_time = env.loop().now();
+  fp.events_scheduled = env.loop().total_scheduled();
+  SetHashSalt(0);
+  return fp;
+}
+
+TEST(DeterminismTest, FaultPlanReplaysAreByteIdentical) {
+  const RunFingerprint first = RunFaultScenario(19, /*hash_salt=*/0);
+  const RunFingerprint second = RunFaultScenario(19, /*hash_salt=*/0);
+  EXPECT_EQ(first.final_time, second.final_time);
+  EXPECT_EQ(first.events_scheduled, second.events_scheduled);
+  EXPECT_EQ(first.metrics_json, second.metrics_json);
+}
+
+TEST(DeterminismTest, FaultPlanWithPerturbedHashSaltIsIdentical) {
+  const RunFingerprint baseline = RunFaultScenario(19, /*hash_salt=*/0);
+  const RunFingerprint salted =
+      RunFaultScenario(19, /*hash_salt=*/0x9e3779b97f4a7c15ull);
+  EXPECT_TRUE(baseline == salted);
+}
+
+TEST(DeterminismTest, FaultPlanActuallyPerturbsTheRun) {
+  // Guards against the fault path silently not firing: the faulted fingerprint
+  // must differ from the fault-free one for the same seed.
+  const RunFingerprint faulted = RunFaultScenario(19, 0);
+  const RunFingerprint clean = RunFaultScenario(19, 0, /*with_faults=*/false);
+  EXPECT_NE(faulted.metrics_json, clean.metrics_json);
 }
 
 TEST(DeterminismTest, SameSeedReplaysAreByteIdentical) {

@@ -1,0 +1,600 @@
+// Unit tests for the fault subsystem: FaultPlan JSON parsing / validation /
+// random generation, ObjectStore outage + brownout + webhook-drop hooks, the
+// proxy's bounded-retry degradation path, and FaultInjector scheduling.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/proxy.h"
+#include "src/faasload/environment.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
+#include "src/ramcloud/cluster.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/latency.h"
+#include "src/store/object_store.h"
+
+namespace ofc::fault {
+namespace {
+
+// ---- FaultPlan: names, JSON, validation -------------------------------------------
+
+TEST(FaultPlanTest, KindNamesRoundTrip) {
+  for (FaultKind kind :
+       {FaultKind::kWorkerCrash, FaultKind::kNodeCrash, FaultKind::kMachineCrash,
+        FaultKind::kStoreOutage, FaultKind::kStoreBrownout, FaultKind::kPersistorDrop,
+        FaultKind::kWebhookDrop}) {
+    const auto parsed = FaultKindFromName(FaultKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(FaultKindFromName("meteor_strike").ok());
+}
+
+TEST(FaultPlanTest, ParsesDocumentedSchema) {
+  const std::string json = R"({"events": [
+      {"at_ms": 60000, "kind": "node_crash", "target": 1, "duration_ms": 30000},
+      {"at_ms": 45000, "kind": "store_brownout", "duration_ms": 20000, "severity": 4},
+      {"at_ms": 70000, "kind": "persistor_drop", "duration_ms": 5000}
+  ]})";
+  const auto plan = ParseFaultPlanJson(json);
+  ASSERT_TRUE(plan.ok()) << plan.status().message();
+  ASSERT_EQ(plan->size(), 3u);
+  // Parsing sorts by time.
+  EXPECT_EQ(plan->events[0].kind, FaultKind::kStoreBrownout);
+  EXPECT_EQ(plan->events[0].at, Seconds(45));
+  EXPECT_EQ(plan->events[0].severity, 4.0);
+  EXPECT_EQ(plan->events[1].kind, FaultKind::kNodeCrash);
+  EXPECT_EQ(plan->events[1].target, 1);
+  EXPECT_EQ(plan->events[1].duration, Seconds(30));
+  EXPECT_EQ(plan->events[2].kind, FaultKind::kPersistorDrop);
+}
+
+TEST(FaultPlanTest, JsonRoundTripPreservesEvents) {
+  FaultPlan plan;
+  plan.events = {
+      FaultEvent{Seconds(10), FaultKind::kWorkerCrash, 0, Seconds(5)},
+      FaultEvent{Seconds(20), FaultKind::kStoreBrownout, -1, Seconds(15), 8.0},
+      FaultEvent{Seconds(30), FaultKind::kWebhookDrop, -1, Seconds(5)},
+  };
+  const auto reparsed = ParseFaultPlanJson(FaultPlanToJson(plan));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().message();
+  EXPECT_EQ(reparsed->events, plan.events);
+}
+
+TEST(FaultPlanTest, RejectsMalformedJson) {
+  for (const char* bad : {
+           "",                                               // Empty.
+           "[]",                                             // Not an object.
+           R"({"plan": []})",                                // Wrong key.
+           R"({"events": [{"kind": "node_crash"}]})",        // Missing at_ms.
+           R"({"events": [{"at_ms": 1}]})",                  // Missing kind.
+           R"({"events": [{"at_ms": 1, "kind": "nope"}]})",  // Unknown kind.
+           R"({"events": [{"at_ms": 1, "kind": "node_crash", "bogus": 2}]})",
+           R"({"events": []} trailing)",                     // Trailing content.
+           R"({"events": [{"at_ms": x, "kind": "node_crash"}]})",
+       }) {
+    EXPECT_FALSE(ParseFaultPlanJson(bad).ok()) << bad;
+  }
+}
+
+TEST(FaultPlanTest, ValidateChecksTargetsAndParameters) {
+  auto one = [](FaultEvent event) {
+    FaultPlan plan;
+    plan.events = {event};
+    return plan;
+  };
+  // Valid baseline.
+  EXPECT_TRUE(one(FaultEvent{Seconds(1), FaultKind::kWorkerCrash, 1, Seconds(1)})
+                  .Validate(2, 2)
+                  .ok());
+  // Out-of-range targets.
+  EXPECT_FALSE(one(FaultEvent{Seconds(1), FaultKind::kWorkerCrash, 2, 0})
+                   .Validate(2, 2)
+                   .ok());
+  EXPECT_FALSE(one(FaultEvent{Seconds(1), FaultKind::kNodeCrash, -1, 0})
+                   .Validate(2, 2)
+                   .ok());
+  EXPECT_FALSE(one(FaultEvent{Seconds(1), FaultKind::kMachineCrash, 3, 0})
+                   .Validate(4, 2)
+                   .ok());
+  // Negative time, weak brownout, duration-less drops.
+  EXPECT_FALSE(one(FaultEvent{-1, FaultKind::kStoreOutage, -1, 0}).Validate(2, 2).ok());
+  EXPECT_FALSE(one(FaultEvent{Seconds(1), FaultKind::kStoreBrownout, -1, 0, 0.5})
+                   .Validate(2, 2)
+                   .ok());
+  EXPECT_FALSE(one(FaultEvent{Seconds(1), FaultKind::kPersistorDrop, -1, 0})
+                   .Validate(2, 2)
+                   .ok());
+  EXPECT_FALSE(one(FaultEvent{Seconds(1), FaultKind::kWebhookDrop, -1, 0})
+                   .Validate(2, 2)
+                   .ok());
+}
+
+TEST(FaultPlanTest, SortOrdersByTimeKindTarget) {
+  FaultPlan plan;
+  plan.events = {
+      FaultEvent{Seconds(2), FaultKind::kNodeCrash, 1, 0},
+      FaultEvent{Seconds(1), FaultKind::kStoreOutage, -1, Seconds(1)},
+      FaultEvent{Seconds(2), FaultKind::kNodeCrash, 0, 0},
+      FaultEvent{Seconds(2), FaultKind::kWorkerCrash, 0, 0},
+  };
+  plan.Sort();
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kStoreOutage);
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kWorkerCrash);
+  EXPECT_EQ(plan.events[2].target, 0);
+  EXPECT_EQ(plan.events[3].target, 1);
+}
+
+TEST(FaultPlanTest, RandomPlanIsDeterministicAndValid) {
+  ChaosPlanOptions options;
+  options.num_workers = 3;
+  options.num_nodes = 3;
+  Rng a(99);
+  Rng b(99);
+  const FaultPlan first = RandomFaultPlan(options, &a);
+  const FaultPlan second = RandomFaultPlan(options, &b);
+  ASSERT_EQ(first.size(), static_cast<std::size_t>(options.num_events));
+  EXPECT_EQ(first.events, second.events);
+  EXPECT_TRUE(first.Validate(options.num_workers, options.num_nodes).ok());
+  for (const FaultEvent& event : first.events) {
+    EXPECT_GE(event.at, options.start);
+    EXPECT_LT(event.at, options.horizon);
+    EXPECT_GE(event.duration, options.min_duration);
+    EXPECT_LE(event.duration, options.max_duration);
+  }
+  Rng c(100);
+  EXPECT_NE(RandomFaultPlan(options, &c).events, first.events);
+}
+
+// ---- ObjectStore fault hooks -------------------------------------------------------
+
+class StoreFaultTest : public ::testing::Test {
+ protected:
+  StoreFaultTest()
+      : rsds_(&loop_, sim::LatencyProfiles::SwiftRequest(), Rng(1), "swift",
+              sim::LatencyProfiles::SwiftControl()) {}
+
+  sim::EventLoop loop_;
+  store::ObjectStore rsds_;
+};
+
+TEST_F(StoreFaultTest, OutageFailsEveryOperationWithUnavailable) {
+  rsds_.Seed("obj", KiB(64), {});
+  rsds_.SetAvailable(false);
+  std::vector<StatusCode> codes;
+  rsds_.Put("p", KiB(1), {}, [&](Status s) { codes.push_back(s.code()); });
+  rsds_.Get("obj", [&](Result<store::ObjectMetadata> r) { codes.push_back(r.status().code()); });
+  rsds_.Head("obj", [&](Result<store::ObjectMetadata> r) { codes.push_back(r.status().code()); });
+  rsds_.PutShadow("obj", KiB(1),
+                  [&](Result<store::ObjectMetadata> r) { codes.push_back(r.status().code()); });
+  rsds_.FinalizePayload("obj", 1, KiB(1), [&](Status s) { codes.push_back(s.code()); });
+  rsds_.Delete("obj", [&](Status s) { codes.push_back(s.code()); });
+  loop_.Run();
+  ASSERT_EQ(codes.size(), 6u);
+  for (StatusCode code : codes) {
+    EXPECT_EQ(code, StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(rsds_.stats().unavailable_errors, 6u);
+  EXPECT_TRUE(rsds_.Exists("obj"));  // Data survives the outage.
+
+  rsds_.SetAvailable(true);
+  bool ok = false;
+  rsds_.Get("obj", [&](Result<store::ObjectMetadata> r) { ok = r.ok(); });
+  loop_.Run();
+  EXPECT_TRUE(ok);
+}
+
+TEST_F(StoreFaultTest, OutageErrorsArriveAfterControlLatencyNotInstantly) {
+  rsds_.SetAvailable(false);
+  const SimTime start = loop_.now();
+  SimTime failed_at = 0;
+  rsds_.Get("obj", [&](Result<store::ObjectMetadata>) { failed_at = loop_.now(); });
+  loop_.Run();
+  EXPECT_GT(failed_at, start);  // A fast error, but still a round-trip.
+}
+
+TEST_F(StoreFaultTest, BrownoutInflatesLatencyByFactor) {
+  auto timed_get = [](double factor) {
+    sim::EventLoop loop;
+    store::ObjectStore rsds(&loop, sim::LatencyProfiles::SwiftRequest(), Rng(1), "swift",
+                            sim::LatencyProfiles::SwiftControl());
+    rsds.Seed("obj", MiB(1), {});
+    rsds.SetLatencyFactor(factor);
+    SimTime done_at = 0;
+    rsds.Get("obj", [&](Result<store::ObjectMetadata>) { done_at = loop.now(); });
+    loop.Run();
+    return done_at;
+  };
+  const SimTime healthy = timed_get(1.0);
+  const SimTime browned = timed_get(4.0);
+  ASSERT_GT(healthy, 0);
+  // Same store seed -> same base latency draw; the brownout scales it exactly.
+  EXPECT_EQ(browned, healthy * 4);
+}
+
+TEST_F(StoreFaultTest, LatencyFactorClampsBelowOne) {
+  rsds_.SetLatencyFactor(0.25);
+  EXPECT_EQ(rsds_.latency_factor(), 1.0);
+}
+
+TEST_F(StoreFaultTest, WebhookDropBypassesInterposition) {
+  rsds_.Seed("obj", KiB(64), {});
+  int hook_calls = 0;
+  rsds_.set_read_webhook([&](const std::string&, std::function<void()> resume) {
+    ++hook_calls;
+    resume();
+  });
+  bool ok = false;
+  rsds_.ExternalRead("obj", [&](Result<store::ObjectMetadata> r) { ok = r.ok(); });
+  loop_.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(hook_calls, 1);
+
+  rsds_.SetWebhooksEnabled(false);
+  ok = false;
+  rsds_.ExternalRead("obj", [&](Result<store::ObjectMetadata> r) { ok = r.ok(); });
+  loop_.Run();
+  EXPECT_TRUE(ok);
+  EXPECT_EQ(hook_calls, 1);  // Bypassed.
+  EXPECT_EQ(rsds_.stats().webhook_bypasses, 1u);
+
+  rsds_.SetWebhooksEnabled(true);
+  rsds_.ExternalRead("obj", [&](Result<store::ObjectMetadata>) {});
+  loop_.Run();
+  EXPECT_EQ(hook_calls, 2);
+}
+
+// ---- Proxy degradation path --------------------------------------------------------
+
+class ProxyFaultTest : public ::testing::Test {
+ protected:
+  ProxyFaultTest()
+      : rsds_(&loop_, sim::LatencyProfiles::SwiftRequest(), Rng(1), "swift",
+              sim::LatencyProfiles::SwiftControl()),
+        cluster_(&loop_, 2, MakeClusterOptions(), Rng(2)),
+        proxy_(&loop_, &cluster_, &rsds_, MakeProxyOptions()) {}
+
+  static rc::ClusterOptions MakeClusterOptions() {
+    rc::ClusterOptions options;
+    options.default_capacity = GiB(1);
+    options.replication_factor = 1;
+    return options;
+  }
+
+  static core::ProxyOptions MakeProxyOptions() {
+    core::ProxyOptions options;
+    options.rsds_deadline = Seconds(5);
+    options.rsds_max_retries = 4;
+    options.persistor_max_retries = 6;
+    return options;
+  }
+
+  faas::InvocationContext Ctx(bool should_cache = true) {
+    faas::InvocationContext ctx;
+    ctx.worker = 0;
+    ctx.function = "f";
+    ctx.should_cache = should_cache;
+    return ctx;
+  }
+
+  workloads::MediaDescriptor Media(Bytes size) {
+    workloads::MediaDescriptor media;
+    media.kind = workloads::InputKind::kImage;
+    media.byte_size = size;
+    return media;
+  }
+
+  sim::EventLoop loop_;
+  store::ObjectStore rsds_;
+  rc::Cluster cluster_;
+  core::Proxy proxy_;
+};
+
+TEST_F(ProxyFaultTest, ReadRetriesThroughShortOutage) {
+  rsds_.Seed("obj", KiB(64), {});
+  rsds_.SetAvailable(false);
+  loop_.ScheduleAfter(Millis(120), [this] { rsds_.SetAvailable(true); });
+  Result<Bytes> out = InternalError("unset");
+  proxy_.Read(Ctx(), "obj", [&](Result<Bytes> r) { out = std::move(r); });
+  loop_.Run();
+  ASSERT_TRUE(out.ok()) << out.status().message();
+  EXPECT_EQ(*out, KiB(64));
+  EXPECT_GT(proxy_.stats().rsds_retries, 0u);
+  EXPECT_EQ(proxy_.stats().read_deadlines, 0u);
+}
+
+TEST_F(ProxyFaultTest, ReadFailsDeadlineWhenOutagePersists) {
+  rsds_.Seed("obj", KiB(64), {});
+  rsds_.SetAvailable(false);
+  Result<Bytes> out = InternalError("unset");
+  proxy_.Read(Ctx(), "obj", [&](Result<Bytes> r) { out = std::move(r); });
+  loop_.Run();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(proxy_.stats().read_deadlines, 1u);
+  EXPECT_EQ(proxy_.stats().rsds_retries, 4u);  // Full retry budget spent.
+}
+
+TEST_F(ProxyFaultTest, CacheHitServesReadsDuringOutage) {
+  rsds_.Seed("obj", KiB(64), {});
+  Result<Bytes> warm = InternalError("unset");
+  proxy_.Read(Ctx(), "obj", [&](Result<Bytes> r) { warm = std::move(r); });
+  loop_.Run();
+  ASSERT_TRUE(warm.ok());
+  ASSERT_TRUE(cluster_.Contains("obj"));
+
+  rsds_.SetAvailable(false);
+  Result<Bytes> hit = InternalError("unset");
+  proxy_.Read(Ctx(), "obj", [&](Result<Bytes> r) { hit = std::move(r); });
+  loop_.Run();
+  ASSERT_TRUE(hit.ok());  // The cache masks the outage entirely.
+  EXPECT_EQ(proxy_.stats().cache_hits, 1u);
+  EXPECT_EQ(proxy_.stats().rsds_retries, 0u);
+}
+
+TEST_F(ProxyFaultTest, WriteFallsBackToDurableCacheDuringOutage) {
+  rsds_.SetAvailable(false);
+  loop_.ScheduleAfter(Seconds(2), [this] { rsds_.SetAvailable(true); });
+  Status ack = InternalError("unset");
+  proxy_.Write(Ctx(), "out", MiB(1), Media(MiB(1)), [&](Status s) { ack = s; });
+  loop_.Run();
+  ASSERT_TRUE(ack.ok());  // Acknowledged from the replicated cache copy.
+  EXPECT_EQ(proxy_.stats().fallback_writes, 1u);
+  // Once the store heals, the degraded persistor pushes the full payload.
+  const auto meta = rsds_.Stat("out");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_FALSE(meta->IsShadow());
+  EXPECT_EQ(meta->size, MiB(1));
+  EXPECT_GT(proxy_.stats().persistor_retries, 0u);
+  EXPECT_FALSE(cluster_.Contains("out"));  // Final output dropped after persist.
+}
+
+TEST_F(ProxyFaultTest, WriteFailsWhenFallbackImpossible) {
+  // Not cacheable -> no durable cache copy -> the outage must surface.
+  rsds_.SetAvailable(false);
+  Status ack = InternalError("unset");
+  proxy_.Write(Ctx(/*should_cache=*/false), "out", MiB(1), Media(MiB(1)),
+               [&](Status s) { ack = s; });
+  loop_.Run();
+  ASSERT_FALSE(ack.ok());
+  EXPECT_EQ(ack.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(proxy_.stats().fallback_writes, 0u);
+}
+
+TEST_F(ProxyFaultTest, PersistorDropWindowRetriesAfterExpiry) {
+  proxy_.InjectPersistorDropUntil(loop_.now() + Seconds(1));
+  Status ack = InternalError("unset");
+  proxy_.Write(Ctx(), "out", MiB(1), Media(MiB(1)), [&](Status s) { ack = s; });
+  loop_.Run();
+  ASSERT_TRUE(ack.ok());
+  EXPECT_GT(proxy_.stats().persistor_drops, 0u);
+  EXPECT_GT(proxy_.stats().persistor_retries, 0u);
+  const auto meta = rsds_.Stat("out");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_FALSE(meta->IsShadow());  // Converged after the window closed.
+  EXPECT_EQ(proxy_.stats().persistor_abandons, 0u);
+}
+
+TEST_F(ProxyFaultTest, PersistorAbandonsAfterRetryBudgetButStaysDirty) {
+  rsds_.SetAvailable(false);  // Permanent outage.
+  Status ack = InternalError("unset");
+  proxy_.Write(Ctx(), "out", MiB(1), Media(MiB(1)), [&](Status s) { ack = s; });
+  loop_.Run();  // Terminates: the retry budget is bounded.
+  ASSERT_TRUE(ack.ok());
+  EXPECT_EQ(proxy_.stats().persistor_abandons, 1u);
+  // The payload is not lost — it stays dirty in the cache for the CacheAgent's
+  // write-back sweep to retry later.
+  const auto cached = cluster_.Inspect("out");
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached->dirty);
+}
+
+TEST_F(ProxyFaultTest, BackoffIsDeterministicAcrossRuns) {
+  auto run_once = [] {
+    sim::EventLoop loop;
+    store::ObjectStore rsds(&loop, sim::LatencyProfiles::SwiftRequest(), Rng(1), "swift",
+                            sim::LatencyProfiles::SwiftControl());
+    rc::Cluster cluster(&loop, 2, MakeClusterOptions(), Rng(2));
+    core::Proxy proxy(&loop, &cluster, &rsds, MakeProxyOptions());
+    rsds.Seed("obj", KiB(64), {});
+    rsds.SetAvailable(false);
+    SimTime failed_at = 0;
+    faas::InvocationContext ctx;
+    ctx.worker = 0;
+    ctx.function = "f";
+    proxy.Read(ctx, "obj", [&](Result<Bytes>) { failed_at = loop.now(); });
+    loop.Run();
+    return failed_at;
+  };
+  const SimTime first = run_once();
+  EXPECT_GT(first, 0);
+  EXPECT_EQ(first, run_once());  // No jitter: byte-identical replay.
+}
+
+// ---- FaultInjector -----------------------------------------------------------------
+
+TEST(FaultInjectorTest, ScheduleRejectsUnwiredTargets) {
+  sim::EventLoop loop;
+  store::ObjectStore rsds(&loop, sim::LatencyProfiles::SwiftRequest(), Rng(1), "swift");
+  FaultInjector injector(&loop, FaultInjectorTargets{nullptr, nullptr, &rsds, nullptr});
+  FaultPlan plan;
+  plan.events = {FaultEvent{Seconds(1), FaultKind::kWorkerCrash, 0, Seconds(1)}};
+  EXPECT_EQ(injector.Schedule(plan).code(), StatusCode::kInvalidArgument);
+  plan.events = {FaultEvent{Seconds(1), FaultKind::kPersistorDrop, -1, Seconds(1)}};
+  EXPECT_EQ(injector.Schedule(plan).code(), StatusCode::kFailedPrecondition);
+  plan.events = {FaultEvent{Seconds(1), FaultKind::kStoreOutage, -1, Seconds(1)}};
+  EXPECT_TRUE(injector.Schedule(plan).ok());
+}
+
+TEST(FaultInjectorTest, OverlappingOutagesHealWhenLastWindowCloses) {
+  sim::EventLoop loop;
+  store::ObjectStore rsds(&loop, sim::LatencyProfiles::SwiftRequest(), Rng(1), "swift");
+  FaultInjector injector(&loop, FaultInjectorTargets{nullptr, nullptr, &rsds, nullptr});
+  FaultPlan plan;
+  plan.events = {
+      FaultEvent{Seconds(1), FaultKind::kStoreOutage, -1, Seconds(2)},   // Heals at 3.
+      FaultEvent{Seconds(2), FaultKind::kStoreOutage, -1, Seconds(3)},   // Heals at 5.
+  };
+  ASSERT_TRUE(injector.Schedule(plan).ok());
+  loop.RunUntil(Seconds(2) + Millis(500));
+  EXPECT_FALSE(rsds.available());
+  loop.RunUntil(Seconds(3) + Millis(500));
+  EXPECT_FALSE(rsds.available());  // The first heal must not end the second window.
+  loop.RunUntil(Seconds(5) + Millis(500));
+  EXPECT_TRUE(rsds.available());
+  EXPECT_EQ(injector.stats().injected, 2u);
+  EXPECT_EQ(injector.stats().healed, 2u);
+}
+
+TEST(FaultInjectorTest, OverlappingBrownoutsRestoreHealthyFactor) {
+  sim::EventLoop loop;
+  store::ObjectStore rsds(&loop, sim::LatencyProfiles::SwiftRequest(), Rng(1), "swift");
+  FaultInjector injector(&loop, FaultInjectorTargets{nullptr, nullptr, &rsds, nullptr});
+  FaultPlan plan;
+  plan.events = {
+      FaultEvent{Seconds(1), FaultKind::kStoreBrownout, -1, Seconds(4), 2.0},
+      FaultEvent{Seconds(2), FaultKind::kStoreBrownout, -1, Seconds(1), 8.0},
+  };
+  ASSERT_TRUE(injector.Schedule(plan).ok());
+  loop.RunUntil(Seconds(2) + Millis(500));
+  EXPECT_EQ(rsds.latency_factor(), 8.0);
+  loop.RunUntil(Seconds(3) + Millis(500));
+  EXPECT_EQ(rsds.latency_factor(), 8.0);  // Still one window open.
+  loop.RunUntil(Seconds(6));
+  EXPECT_EQ(rsds.latency_factor(), 1.0);
+}
+
+TEST(FaultInjectorTest, WorkerCrashHealsIntoRestore) {
+  faasload::EnvironmentOptions env_options;
+  env_options.platform.num_workers = 2;
+  env_options.seed = 5;
+  faasload::Environment env(faasload::Mode::kOfc, env_options);
+  FaultInjector injector(&env.loop(),
+                         FaultInjectorTargets{&env.platform(), env.cluster(), &env.rsds(),
+                                              &env.ofc()->proxy()},
+                         FaultInjectorOptions{&env.metrics(), &env.trace()});
+  FaultPlan plan;
+  plan.events = {FaultEvent{Seconds(1), FaultKind::kWorkerCrash, 1, Seconds(2)}};
+  ASSERT_TRUE(injector.Schedule(plan).ok());
+  env.loop().RunUntil(Seconds(2));
+  EXPECT_FALSE(env.platform().WorkerAlive(1));
+  env.loop().RunUntil(Seconds(4));
+  EXPECT_TRUE(env.platform().WorkerAlive(1));
+  EXPECT_EQ(env.platform().stats().worker_crashes, 1u);
+  EXPECT_EQ(env.platform().stats().worker_restores, 1u);
+}
+
+TEST(FaultInjectorTest, MachineCrashTakesDownWorkerAndNode) {
+  faasload::EnvironmentOptions env_options;
+  env_options.platform.num_workers = 2;
+  env_options.seed = 6;
+  faasload::Environment env(faasload::Mode::kOfc, env_options);
+  FaultInjector injector(&env.loop(),
+                         FaultInjectorTargets{&env.platform(), env.cluster(), &env.rsds(),
+                                              &env.ofc()->proxy()},
+                         FaultInjectorOptions{&env.metrics(), &env.trace()});
+  FaultPlan plan;
+  plan.events = {FaultEvent{Seconds(1), FaultKind::kMachineCrash, 0, Seconds(2)}};
+  ASSERT_TRUE(injector.Schedule(plan).ok());
+  env.loop().RunUntil(Seconds(2));
+  EXPECT_FALSE(env.platform().WorkerAlive(0));
+  EXPECT_FALSE(env.cluster()->Alive(0));
+  env.loop().RunUntil(Seconds(4));
+  EXPECT_TRUE(env.platform().WorkerAlive(0));
+  EXPECT_TRUE(env.cluster()->Alive(0));
+  EXPECT_EQ(env.metrics().CounterTotal("ofc.fault.injected"), 1u);
+  EXPECT_EQ(env.metrics().CounterTotal("ofc.fault.healed"), 1u);
+}
+
+// ---- Cluster crash/restart mechanics ----------------------------------------------
+
+TEST(ClusterFaultTest, CrashingDeadNodeIsNoOp) {
+  sim::EventLoop loop;
+  rc::ClusterOptions options;
+  options.default_capacity = MiB(64);
+  rc::Cluster cluster(&loop, 3, options, Rng(3));
+  (void)cluster.CrashNode(1);
+  EXPECT_FALSE(cluster.Alive(1));
+  EXPECT_EQ(cluster.AliveNodes(), 2);
+  const auto second = cluster.CrashNode(1);
+  EXPECT_EQ(second.objects_recovered, 0u);
+  EXPECT_EQ(second.objects_lost, 0u);
+  EXPECT_EQ(cluster.stats().node_crashes, 1u);  // The no-op is not counted.
+}
+
+TEST(ClusterFaultTest, RestartReplicatesUnderReplicatedObjects) {
+  sim::EventLoop loop;
+  rc::ClusterOptions options;
+  options.default_capacity = MiB(64);
+  options.replication_factor = 2;
+  rc::Cluster cluster(&loop, 3, options, Rng(4));
+  for (int i = 0; i < 10; ++i) {
+    cluster.Write(0, "k" + std::to_string(i), KiB(64), 1, rc::ObjectClass::kInput,
+                  false, [](Status) {});
+  }
+  loop.Run();
+  (void)cluster.CrashNode(2);
+  // With two survivors, rf=2 cannot be met: every object has at most 1 backup.
+  for (int i = 0; i < 10; ++i) {
+    const auto obj = cluster.Inspect("k" + std::to_string(i));
+    ASSERT_TRUE(obj.ok());
+    EXPECT_LE(obj->backups.size(), 1u);
+  }
+  cluster.RestartNode(2);
+  EXPECT_TRUE(cluster.Alive(2));
+  EXPECT_EQ(cluster.stats().node_restarts, 1u);
+  for (int i = 0; i < 10; ++i) {
+    const auto obj = cluster.Inspect("k" + std::to_string(i));
+    ASSERT_TRUE(obj.ok());
+    EXPECT_EQ(obj->backups.size(), 2u) << "k" << i;  // rf restored.
+    EXPECT_NE(obj->master, 2);                       // DRAM was lost; backup only.
+  }
+  cluster.RestartNode(2);  // Restarting an alive node is a no-op.
+  EXPECT_EQ(cluster.stats().node_restarts, 1u);
+}
+
+// Regression: a crash racing a vertical-scaling master migration. The migration
+// promotes a backup to master; crashing the *old* master immediately afterwards
+// must not lose the object or leave a dead node in its replica set.
+TEST(ClusterFaultTest, CrashAfterMigrationKeepsObjectConsistent) {
+  sim::EventLoop loop;
+  rc::ClusterOptions options;
+  options.default_capacity = MiB(64);
+  options.replication_factor = 2;
+  rc::Cluster cluster(&loop, 3, options, Rng(5));
+  cluster.Write(0, "hot", MiB(1), 1, rc::ObjectClass::kInput, false, [](Status) {});
+  loop.Run();
+  const auto before = cluster.Inspect("hot");
+  ASSERT_TRUE(before.ok());
+  const int old_master = before->master;
+
+  const auto migration = cluster.MigrateMaster("hot");
+  ASSERT_TRUE(migration.ok());
+  ASSERT_EQ(migration->old_master, old_master);
+  ASSERT_NE(migration->new_master, old_master);
+
+  // Mid-scaling crash: the demoted node dies right after the promotion.
+  const auto recovery = cluster.CrashNode(old_master);
+  EXPECT_EQ(recovery.objects_lost, 0u);
+  const auto after = cluster.Inspect("hot");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->master, migration->new_master);
+  EXPECT_TRUE(cluster.Alive(after->master));
+  for (int backup : after->backups) {
+    EXPECT_TRUE(cluster.Alive(backup)) << "dead backup " << backup;
+    EXPECT_NE(backup, after->master);
+  }
+  // And the reverse race: crash the *new* master right after promotion.
+  const auto migration2 = cluster.MigrateMaster("hot");
+  ASSERT_TRUE(migration2.ok());
+  const auto recovery2 = cluster.CrashNode(migration2->new_master);
+  EXPECT_EQ(recovery2.objects_lost, 0u);
+  const auto final_obj = cluster.Inspect("hot");
+  ASSERT_TRUE(final_obj.ok());
+  EXPECT_TRUE(cluster.Alive(final_obj->master));
+}
+
+}  // namespace
+}  // namespace ofc::fault

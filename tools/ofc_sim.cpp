@@ -11,16 +11,20 @@
 //           [--seed=N] [--pretrain=N] [--arrivals=poisson|periodic|bursty]
 //           [--metrics-json=PATH] [--metrics-csv=PATH]
 //           [--trace-json=PATH] [--trace-sample=N] [--log-sim-time]
+//           [--fault-plan=PATH] [--crash-node-at=N:S[:D]]
 //           [--selfcheck-determinism]
 //
 // Examples:
 //   ofc_sim --mode=ofc --functions=wand_blur,wand_edge --duration-min=10
 //   ofc_sim --mode=owk-swift --pipelines=map_reduce --interval-s=30
 //   ofc_sim --mode=ofc --trace-json=trace.json   # open in ui.perfetto.dev
+//   ofc_sim --fault-plan=chaos.json              # replay a declarative fault plan
+//   ofc_sim --crash-node-at=1:60:30              # crash node 1 at t=60s for 30s
 //   ofc_sim --selfcheck-determinism              # replay twice, diff metrics
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +33,8 @@
 #include "src/common/stats.h"
 #include "src/faasload/environment.h"
 #include "src/faasload/injector.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
 
 namespace ofc {
 namespace {
@@ -50,6 +56,9 @@ struct Flags {
   std::string trace_json;
   std::uint64_t trace_sample = 1;
   bool log_sim_time = false;
+  // Declarative fault schedule (--fault-plan JSON plus --crash-node-at
+  // shorthands), replayed by a FaultInjector alongside the workload.
+  fault::FaultPlan fault_plan;
   // Replays the scenario twice (same seed, perturbed unordered-container hash
   // salt) and diffs the metrics snapshots and event-loop fingerprint; exits
   // nonzero on any divergence.
@@ -77,6 +86,41 @@ bool WriteFile(const std::string& path, const std::string& body) {
   }
   std::fwrite(body.data(), 1, body.size(), f);
   std::fclose(f);
+  return true;
+}
+
+// Reads `path` fully into `*out`; returns false (with a message) on failure.
+bool ReadFile(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return false;
+  }
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+// --crash-node-at=N:S[:D] — crash node N at S seconds, restart after D seconds
+// (D omitted or 0: the node stays down).
+bool ParseCrashNodeAt(const std::string& value, fault::FaultEvent* out) {
+  int node = 0;
+  double at_s = 0.0;
+  double dur_s = 0.0;
+  const int matched =
+      std::sscanf(value.c_str(), "%d:%lf:%lf", &node, &at_s, &dur_s);
+  if (matched < 2 || node < 0 || at_s < 0.0 || dur_s < 0.0) {
+    std::fprintf(stderr, "bad --crash-node-at=%s (want N:S[:D])\n", value.c_str());
+    return false;
+  }
+  out->kind = fault::FaultKind::kNodeCrash;
+  out->target = node;
+  out->at = static_cast<SimTime>(at_s * 1e6);
+  out->duration = static_cast<SimDuration>(dur_s * 1e6);
   return true;
 }
 
@@ -117,6 +161,7 @@ int Usage() {
                "               [--workers=N] [--worker-gb=N] [--seed=N] [--pretrain=N]\n"
                "               [--metrics-json=PATH] [--metrics-csv=PATH]\n"
                "               [--trace-json=PATH] [--trace-sample=N] [--log-sim-time]\n"
+               "               [--fault-plan=PATH] [--crash-node-at=N:S[:D]]\n"
                "               [--selfcheck-determinism]\n"
                "\navailable functions:\n");
   for (const workloads::FunctionSpec& spec : workloads::AllFunctions()) {
@@ -216,12 +261,32 @@ int RunScenario(const Flags& flags, bool quiet, std::uint64_t run_index, RunOutc
     }
   }
 
+  std::unique_ptr<fault::FaultInjector> faults;
+  if (!flags.fault_plan.empty()) {
+    fault::FaultInjectorTargets targets;
+    targets.platform = &env.platform();
+    targets.cluster = env.cluster();  // Null in baseline modes: node faults reject.
+    targets.rsds = &env.rsds();
+    targets.proxy = env.ofc() != nullptr ? &env.ofc()->proxy() : nullptr;
+    faults = std::make_unique<fault::FaultInjector>(
+        &env.loop(), targets,
+        fault::FaultInjectorOptions{&env.metrics(), &env.trace()});
+    if (Status scheduled = faults->Schedule(flags.fault_plan); !scheduled.ok()) {
+      std::fprintf(stderr, "fault plan: %s\n", scheduled.message().c_str());
+      return 1;
+    }
+  }
+
   injector.PretrainModels(flags.pretrain);
   if (!quiet) {
     std::printf("mode=%s profile=%s workers=%dx%dGiB duration=%dmin seed=%llu\n\n",
                 faasload::ModeName(mode).c_str(), faasload::TenantProfileName(profile).c_str(),
                 flags.workers, flags.worker_gb, flags.duration_min,
                 static_cast<unsigned long long>(seed));
+    if (!flags.fault_plan.empty()) {
+      std::printf("fault plan: %zu events: %s\n\n", flags.fault_plan.size(),
+                  fault::FaultPlanToJson(flags.fault_plan).c_str());
+    }
   }
   injector.Run(Minutes(flags.duration_min));
 
@@ -299,11 +364,12 @@ int RunScenario(const Flags& flags, bool quiet, std::uint64_t run_index, RunOutc
   return ok ? 0 : 1;
 }
 
-// Runs the scenario twice with the same seed and diffs everything observable.
-// The second replay additionally perturbs the salted hash used by the
-// simulator's unordered containers, so any bucket-order dependence that leaks
-// into metrics shows up as a diff. Exit: 0 identical, 1 divergence.
-int RunSelfcheck(const Flags& flags) {
+// Runs the scenario described by `flags` twice with the same seed and diffs
+// everything observable. The second replay additionally perturbs the salted
+// hash used by the simulator's unordered containers, so any bucket-order
+// dependence that leaks into metrics shows up as a diff. `label` names the
+// pair in the report. Exit: 0 identical, 1 divergence.
+int SelfcheckPair(const Flags& flags, const char* label) {
   constexpr std::uint64_t kPerturbedSalt = 0x9e3779b97f4a7c15ull;
   RunOutcome first;
   RunOutcome second;
@@ -322,20 +388,20 @@ int RunSelfcheck(const Flags& flags) {
 
   bool identical = true;
   if (first.final_time != second.final_time) {
-    std::fprintf(stderr, "selfcheck: final sim time diverged: %lld vs %lld us\n",
-                 static_cast<long long>(first.final_time),
+    std::fprintf(stderr, "selfcheck[%s]: final sim time diverged: %lld vs %lld us\n",
+                 label, static_cast<long long>(first.final_time),
                  static_cast<long long>(second.final_time));
     identical = false;
   }
   if (first.events_scheduled != second.events_scheduled) {
-    std::fprintf(stderr, "selfcheck: event count diverged: %llu vs %llu\n",
-                 static_cast<unsigned long long>(first.events_scheduled),
+    std::fprintf(stderr, "selfcheck[%s]: event count diverged: %llu vs %llu\n",
+                 label, static_cast<unsigned long long>(first.events_scheduled),
                  static_cast<unsigned long long>(second.events_scheduled));
     identical = false;
   }
   if (first.invocations != second.invocations) {
-    std::fprintf(stderr, "selfcheck: invocation count diverged: %llu vs %llu\n",
-                 static_cast<unsigned long long>(first.invocations),
+    std::fprintf(stderr, "selfcheck[%s]: invocation count diverged: %llu vs %llu\n",
+                 label, static_cast<unsigned long long>(first.invocations),
                  static_cast<unsigned long long>(second.invocations));
     identical = false;
   }
@@ -351,20 +417,43 @@ int RunSelfcheck(const Flags& flags) {
       }
       ++pos;
     }
-    std::fprintf(stderr, "selfcheck: metrics JSON diverged at line %d (byte %zu)\n", line,
-                 pos);
+    std::fprintf(stderr, "selfcheck[%s]: metrics JSON diverged at line %d (byte %zu)\n",
+                 label, line, pos);
     identical = false;
   }
 
   if (!identical) {
-    std::fprintf(stderr, "selfcheck-determinism: FAIL — replays diverged\n");
+    std::fprintf(stderr, "selfcheck-determinism[%s]: FAIL — replays diverged\n", label);
     return 1;
   }
-  std::printf("selfcheck-determinism: OK — %llu events, %llu invocations, "
+  std::printf("selfcheck-determinism[%s]: OK — %llu events, %llu invocations, "
               "metrics identical across replays (hash salt perturbed)\n",
-              static_cast<unsigned long long>(first.events_scheduled),
+              label, static_cast<unsigned long long>(first.events_scheduled),
               static_cast<unsigned long long>(first.invocations));
   return 0;
+}
+
+// The selfcheck runs the configured scenario as one replay pair and — when the
+// mode can host faults and the user didn't supply a plan — a second pair with
+// a built-in chaos schedule, so the degradation and recovery paths are held to
+// the same byte-identical-replay bar as the happy path.
+int RunSelfcheck(const Flags& flags) {
+  int rc = SelfcheckPair(flags, "base");
+  if (rc != 0) {
+    return rc;
+  }
+  if (flags.mode != "ofc" || !flags.fault_plan.empty()) {
+    return 0;
+  }
+  Flags chaos = flags;
+  chaos.fault_plan.events = {
+      {Seconds(40), fault::FaultKind::kStoreBrownout, -1, Seconds(30), 4.0},
+      {Seconds(60), fault::FaultKind::kNodeCrash,
+       flags.workers > 1 ? 1 : 0, Seconds(20), 2.0},
+      {Seconds(75), fault::FaultKind::kWorkerCrash, 0, Seconds(10), 2.0},
+      {Seconds(90), fault::FaultKind::kPersistorDrop, -1, Seconds(15), 2.0},
+  };
+  return SelfcheckPair(chaos, "chaos");
 }
 
 }  // namespace
@@ -399,6 +488,26 @@ int Main(int argc, char** argv) {
       flags.trace_sample = std::strtoull(value.c_str(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--log-sim-time") == 0) {
       flags.log_sim_time = true;
+    } else if (ParseFlag(argv[i], "--fault-plan", &value)) {
+      std::string body;
+      if (!ReadFile(value, &body)) {
+        return 1;
+      }
+      const auto plan = fault::ParseFaultPlanJson(body);
+      if (!plan.ok()) {
+        std::fprintf(stderr, "--fault-plan=%s: %s\n", value.c_str(),
+                     plan.status().message().c_str());
+        return 1;
+      }
+      for (const fault::FaultEvent& event : plan->events) {
+        flags.fault_plan.events.push_back(event);
+      }
+    } else if (ParseFlag(argv[i], "--crash-node-at", &value)) {
+      fault::FaultEvent event;
+      if (!ParseCrashNodeAt(value, &event)) {
+        return 1;
+      }
+      flags.fault_plan.events.push_back(event);
     } else if (std::strcmp(argv[i], "--selfcheck-determinism") == 0) {
       flags.selfcheck = true;
     } else if (std::strcmp(argv[i], "--selfcheck-perturb") == 0) {
@@ -411,6 +520,7 @@ int Main(int argc, char** argv) {
   if (flags.functions.empty() && flags.pipelines.empty()) {
     flags.functions = {"wand_blur", "wand_sepia", "wand_edge"};
   }
+  flags.fault_plan.Sort();
 
   if (flags.selfcheck) {
     return RunSelfcheck(flags);
