@@ -176,6 +176,13 @@ void Proxy::GetWithRetry(const std::string& key, SimTime deadline, int attempt,
     }
     const SimDuration backoff = Backoff(options_.rsds_retry_backoff, attempt);
     if (attempt + 1 > options_.rsds_max_retries || loop_->now() + backoff > deadline) {
+      if (attempt == 0) {
+        // No retry was ever attempted (retries disabled, or the first backoff
+        // already overshoots the deadline): the store's own kUnavailable is
+        // the truth — callers distinguish it from a spent retry budget.
+        done(std::move(meta));
+        return;
+      }
       ++*m_.read_deadlines;
       done(DeadlineExceededError("rsds read retry budget exhausted: " + key));
       return;
@@ -286,7 +293,18 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
           trace_->Instant("write-fallback", "degradation", loop_->now(), obs::kPidStore,
                           /*tid=*/0, {{"key", key}});
         }
-        SchedulePersistor(key, /*version=*/0, size, /*drop_after=*/true);
+        PersistorJob job;
+        job.key = key;
+        job.size = size;
+        job.drop_after = true;
+        // The store version this fallback supersedes, read through the
+        // management plane (the data plane is down): the If-Match ETag for the
+        // eventual compare-and-swap push. Anything newer landing after heal
+        // wins over the fallback.
+        const auto prior = rsds_->Stat(key);
+        job.fallback_base = prior.ok() ? prior->latest_version : 0;
+        job.epoch = write_epoch_[key] = next_write_epoch_++;
+        SchedulePersistor(std::move(job));
         done(OkStatus());
         return;
       }
@@ -301,7 +319,13 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
       return;
     }
     ++*m_.cached_writes;
-    SchedulePersistor(key, join->version, size, /*drop_after=*/true);
+    PersistorJob job;
+    job.key = key;
+    job.version = join->version;
+    job.size = size;
+    job.drop_after = true;
+    job.epoch = write_epoch_[key] = next_write_epoch_++;
+    SchedulePersistor(std::move(job));
     done(OkStatus());
   };
 
@@ -321,32 +345,41 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
                   });
 }
 
-void Proxy::SchedulePersistor(const std::string& key, store::ObjectVersion version, Bytes size,
-                              bool drop_after, int attempt) {
+void Proxy::SchedulePersistor(PersistorJob job, int attempt) {
   // The persistor runs as a helper FaaS function: one dispatch delay, then the
   // payload push to the RSDS.
   const SimTime scheduled = loop_->now();
   loop_->ScheduleAfter(options_.persistor_dispatch,
-                       [this, key, version, size, drop_after, scheduled, attempt] {
-                         RunPersistor(key, version, size, drop_after, scheduled, attempt);
+                       [this, job = std::move(job), scheduled, attempt]() mutable {
+                         RunPersistor(std::move(job), scheduled, attempt);
                        });
 }
 
-void Proxy::RunPersistor(const std::string& key, store::ObjectVersion version, Bytes size,
-                         bool drop_after, SimTime scheduled, int attempt) {
+bool Proxy::EpochCurrent(const PersistorJob& job) const {
+  auto it = write_epoch_.find(job.key);
+  return it == write_epoch_.end() || it->second == job.epoch;
+}
+
+void Proxy::RunPersistor(PersistorJob job, SimTime scheduled, int attempt) {
   if (loop_->now() < persistor_drop_until_) {
     // Fault injection: the helper function was lost mid-flight. The dispatch is
     // retried with backoff so the acknowledged write still converges.
     ++*m_.persistor_drops;
-    RetryPersistor(key, version, size, drop_after, attempt);
+    RetryPersistor(std::move(job), attempt);
+    return;
+  }
+  if (job.version == 0 && !EpochCurrent(job)) {
+    // A newer acknowledged write owns this key now; its own persistor (or the
+    // shadow version ordering) converges the store, and pushing the stale
+    // fallback payload would clobber it.
+    ++*m_.persistor_conflicts;
     return;
   }
   ++*m_.persistor_runs;
-  auto on_pushed = [this, key, version, size, drop_after, scheduled,
-                    attempt](Status status) {
+  auto on_pushed = [this, job, scheduled, attempt](Status status) {
     if (!status.ok()) {
       if (status.code() == StatusCode::kUnavailable) {
-        RetryPersistor(key, version, size, drop_after, attempt);
+        RetryPersistor(job, attempt);
         return;
       }
       // kAborted: a newer version already reached the RSDS; propagation
@@ -357,24 +390,31 @@ void Proxy::RunPersistor(const std::string& key, store::ObjectVersion version, B
     m_.persistor_ms->Observe(ToMillis(loop_->now() - scheduled));
     if (trace_ != nullptr && trace_->enabled()) {
       trace_->Span("persistor", "writeback", scheduled, loop_->now() - scheduled,
-                   obs::kPidStore, /*tid=*/0, {{"key", key}});
+                   obs::kPidStore, /*tid=*/0, {{"key", job.key}});
     }
-    (void)cluster_->MarkPersisted(key);
-    if (drop_after) {
+    if (!EpochCurrent(job)) {
+      // The push landed, but a newer acknowledged write took over the cached
+      // copy while it was in flight — its persistor cleans up; dropping the
+      // copy here would lose a dirty, not-yet-persisted payload.
+      return;
+    }
+    (void)cluster_->MarkPersisted(job.key);
+    if (job.drop_after) {
       // §6.3: final outputs leave the cache once written back.
-      (void)cluster_->Remove(key);
+      (void)cluster_->Remove(job.key);
     }
   };
-  if (version == 0) {
-    // Degraded write (no shadow was ever created): push the full payload.
-    rsds_->Put(key, size, {}, std::move(on_pushed));
+  if (job.version == 0) {
+    // Degraded write (no shadow was ever created): push the full payload, but
+    // only if the store still holds what the fallback ack superseded — any
+    // write that landed after heal is newer and must win (kAborted here).
+    rsds_->PutIfVersion(job.key, job.fallback_base, job.size, {}, std::move(on_pushed));
     return;
   }
-  rsds_->FinalizePayload(key, version, size, std::move(on_pushed));
+  rsds_->FinalizePayload(job.key, job.version, job.size, std::move(on_pushed));
 }
 
-void Proxy::RetryPersistor(const std::string& key, store::ObjectVersion version, Bytes size,
-                           bool drop_after, int attempt) {
+void Proxy::RetryPersistor(PersistorJob job, int attempt) {
   if (attempt + 1 > options_.persistor_max_retries) {
     // Budget exhausted: the object stays dirty in the cache; the CacheAgent's
     // reclamation write-back is the backstop.
@@ -384,8 +424,8 @@ void Proxy::RetryPersistor(const std::string& key, store::ObjectVersion version,
   ++*m_.persistor_retries;
   const SimDuration backoff = Backoff(options_.persistor_retry_backoff, attempt);
   const SimTime scheduled = loop_->now();
-  loop_->ScheduleAfter(backoff, [this, key, version, size, drop_after, scheduled, attempt] {
-    RunPersistor(key, version, size, drop_after, scheduled, attempt + 1);
+  loop_->ScheduleAfter(backoff, [this, job = std::move(job), scheduled, attempt]() mutable {
+    RunPersistor(std::move(job), scheduled, attempt + 1);
   });
 }
 

@@ -57,9 +57,13 @@ struct ProxyOptions {
   // When the RSDS reports kUnavailable the proxy retries with a deterministic
   // exponential backoff (base * 2^attempt, no jitter — replays stay
   // byte-identical) bounded by a per-operation deadline. Reads that exhaust the
-  // budget fail with kDeadlineExceeded; acknowledged writes instead fall back to
-  // the durable (replicated) cache copy and converge through persistor retries
-  // once the store heals.
+  // budget fail with kDeadlineExceeded (a read that never had retry budget —
+  // deadline 0 or a backoff that already overshoots — surfaces the store's own
+  // kUnavailable unchanged); acknowledged writes instead fall back to the
+  // durable (replicated) cache copy and converge through persistor retries once
+  // the store heals. The degraded push is a compare-and-swap against the store
+  // version observed at ack time, so a stale fallback can never clobber a write
+  // acknowledged later.
   SimDuration rsds_deadline = Seconds(10);      // Per-read deadline; 0 disables retries.
   int rsds_max_retries = 6;                     // Read-path retry budget.
   SimDuration rsds_retry_backoff = Millis(50);  // Base; doubles per attempt.
@@ -127,8 +131,14 @@ class Proxy : public faas::DataService {
 
   // Persistor dispatches that fire before `until` are lost (the helper function
   // crashed mid-flight); the proxy's bounded retry re-launches them, so
-  // acknowledged writes still converge after the window closes.
-  void InjectPersistorDropUntil(SimTime until) { persistor_drop_until_ = until; }
+  // acknowledged writes still converge after the window closes. Windows nest:
+  // an overlapping window that ends earlier must not shorten a longer one
+  // still in force (mirrors the injector's depth counters).
+  void InjectPersistorDropUntil(SimTime until) {
+    if (until > persistor_drop_until_) {
+      persistor_drop_until_ = until;
+    }
+  }
 
   // Assembled on demand from the metrics registry.
   ProxyStats stats() const;
@@ -166,20 +176,34 @@ class Proxy : public faas::DataService {
   };
   FnMetrics& FnMetricsFor(const std::string& function);
 
+  // One pending write-back. `version` 0 means the write degraded during an
+  // outage and never got a shadow; `fallback_base` then carries the store
+  // version observed at ack time, so the eventual push is a compare-and-swap
+  // (PutIfVersion) instead of a blind Put that could clobber a write
+  // acknowledged after the store healed. `epoch` is the key's write_epoch_ at
+  // ack time: a persistor whose epoch went stale must not touch the cached
+  // copy (a newer acknowledged write owns it now).
+  struct PersistorJob {
+    std::string key;
+    store::ObjectVersion version = 0;
+    Bytes size = 0;
+    bool drop_after = false;
+    store::ObjectVersion fallback_base = 0;  // Meaningful when version == 0.
+    std::uint64_t epoch = 0;
+  };
+
   // Deterministic exponential backoff: base * 2^attempt, capped at 30 s.
   SimDuration Backoff(SimDuration base, int attempt) const;
   // RSDS Get with bounded kUnavailable retries; `deadline` is absolute.
   void GetWithRetry(const std::string& key, SimTime deadline, int attempt,
                     store::ObjectStore::MetaCallback done);
-  void SchedulePersistor(const std::string& key, store::ObjectVersion version, Bytes size,
-                         bool drop_after, int attempt = 0);
-  // Persistor body: drop-window check, then the payload push. `version` 0 means
-  // the write degraded during an outage and never got a shadow — push the full
-  // payload with Put instead of FinalizePayload.
-  void RunPersistor(const std::string& key, store::ObjectVersion version, Bytes size,
-                    bool drop_after, SimTime scheduled, int attempt);
-  void RetryPersistor(const std::string& key, store::ObjectVersion version, Bytes size,
-                      bool drop_after, int attempt);
+  void SchedulePersistor(PersistorJob job, int attempt = 0);
+  // Persistor body: drop-window check, then the payload push.
+  void RunPersistor(PersistorJob job, SimTime scheduled, int attempt);
+  void RetryPersistor(PersistorJob job, int attempt);
+  // True while `job` still represents the newest acknowledged write for its
+  // key — only then may its persistor mark the cached copy clean or drop it.
+  bool EpochCurrent(const PersistorJob& job) const;
   void HandleExternalRead(const std::string& key, std::function<void()> resume);
   void HandleExternalWrite(const std::string& key, std::function<void()> resume);
 
@@ -199,6 +223,12 @@ class Proxy : public faas::DataService {
   // up by id, never iterated; salted hashing keeps that honest under test.
   std::unordered_map<std::uint64_t, std::vector<std::string>, DetHash<std::uint64_t>>
       pipeline_intermediates_;
+  // Monotonic id handed to each acknowledged write-back; the per-key entry
+  // remembers the newest (entries are never erased, so ids never repeat and a
+  // stale persistor can never alias a fresh write). Looked up by key, never
+  // iterated.
+  std::uint64_t next_write_epoch_ = 1;
+  std::unordered_map<std::string, std::uint64_t, DetHash<std::string>> write_epoch_;
 };
 
 }  // namespace ofc::core

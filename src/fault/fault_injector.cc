@@ -90,15 +90,23 @@ void FaultInjector::Fire(const FaultEvent& event) {
   TraceFault(event, "inject");
   switch (event.kind) {
     case FaultKind::kWorkerCrash:
-      targets_.platform->CrashWorker(event.target);
+      if (++worker_crash_depth_[event.target] == 1) {
+        targets_.platform->CrashWorker(event.target);
+      }
       break;
     case FaultKind::kNodeCrash:
-      (void)targets_.cluster->CrashNode(event.target);
+      if (++node_crash_depth_[event.target] == 1) {
+        (void)targets_.cluster->CrashNode(event.target);
+      }
       break;
     case FaultKind::kMachineCrash:
       // Invoker first (in-flight work re-dispatches), then its storage server.
-      targets_.platform->CrashWorker(event.target);
-      (void)targets_.cluster->CrashNode(event.target);
+      if (++worker_crash_depth_[event.target] == 1) {
+        targets_.platform->CrashWorker(event.target);
+      }
+      if (++node_crash_depth_[event.target] == 1) {
+        (void)targets_.cluster->CrashNode(event.target);
+      }
       break;
     case FaultKind::kStoreOutage:
       ++outage_depth_;
@@ -127,14 +135,22 @@ void FaultInjector::Heal(const FaultEvent& event) {
   TraceFault(event, "heal");
   switch (event.kind) {
     case FaultKind::kWorkerCrash:
-      targets_.platform->RestoreWorker(event.target);
+      if (--worker_crash_depth_[event.target] == 0) {
+        targets_.platform->RestoreWorker(event.target);
+      }
       break;
     case FaultKind::kNodeCrash:
-      targets_.cluster->RestartNode(event.target);
+      if (--node_crash_depth_[event.target] == 0) {
+        targets_.cluster->RestartNode(event.target);
+      }
       break;
     case FaultKind::kMachineCrash:
-      targets_.cluster->RestartNode(event.target);
-      targets_.platform->RestoreWorker(event.target);
+      if (--node_crash_depth_[event.target] == 0) {
+        targets_.cluster->RestartNode(event.target);
+      }
+      if (--worker_crash_depth_[event.target] == 0) {
+        targets_.platform->RestoreWorker(event.target);
+      }
       break;
     case FaultKind::kStoreOutage:
       if (--outage_depth_ == 0) {

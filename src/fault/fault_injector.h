@@ -9,10 +9,14 @@
 //
 // Overlapping window semantics: outages / brownouts / webhook drops nest by
 // depth — the condition clears only when the last overlapping window closes
-// (a heal from an earlier, shorter window must not cancel a later one).
+// (a heal from an earlier, shorter window must not cancel a later one). Crash
+// windows nest the same way, per target: a worker/node is crashed when its
+// first window opens and restored only when its last overlapping window
+// closes, so a target never comes back alive during a declared crash.
 #ifndef OFC_FAULT_FAULT_INJECTOR_H_
 #define OFC_FAULT_FAULT_INJECTOR_H_
 
+#include <map>
 #include <memory>
 
 #include "src/core/proxy.h"
@@ -77,6 +81,11 @@ class FaultInjector {
   int outage_depth_ = 0;
   int brownout_depth_ = 0;
   int webhook_drop_depth_ = 0;
+  // Per-target overlap depths for crash windows (machine crashes share both:
+  // the invoker and its collocated storage server). Ordered so no path ever
+  // depends on hash iteration order.
+  std::map<int, int> worker_crash_depth_;
+  std::map<int, int> node_crash_depth_;
   obs::Counter* injected_ = nullptr;
   obs::Counter* healed_ = nullptr;
   obs::Gauge* active_ = nullptr;

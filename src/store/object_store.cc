@@ -141,6 +141,42 @@ void ObjectStore::Put(const std::string& key, Bytes size, Tags tags, Callback do
   });
 }
 
+void ObjectStore::PutIfVersion(const std::string& key, ObjectVersion expected_latest,
+                               Bytes size, Tags tags, Callback done) {
+  if (FailIfUnavailable("put_if_version", key, done)) {
+    return;
+  }
+  const SimDuration cost = WriteCost(size);
+  After(cost, [this, key, expected_latest, size, tags = std::move(tags),
+               done = std::move(done)]() mutable {
+    auto it = objects_.find(key);
+    const ObjectVersion current = it == objects_.end() ? 0 : it->second.latest_version;
+    // Checked when the write *lands*, not when it starts: an atomic
+    // compare-and-swap against whatever arrived while it was in flight.
+    if (current != expected_latest) {
+      done(AbortedError("put_if_version: " + key + " advanced to v" +
+                        std::to_string(current)));
+      return;
+    }
+    ObjectMetadata& obj = objects_[key];
+    const bool fresh = obj.key.empty();
+    obj.key = key;
+    obj.size = size;
+    obj.pending_size = 0;
+    obj.latest_version = next_version_++;
+    obj.rsds_version = obj.latest_version;
+    obj.tags = std::move(tags);
+    if (fresh) {
+      obj.created_at = loop_->now();
+    }
+    obj.modified_at = loop_->now();
+    SIM_ASSERT(!obj.IsShadow()) << "; PutIfVersion left a shadow: " << key;
+    ++*m_.writes;
+    m_.bytes_written->Add(static_cast<std::uint64_t>(size));
+    done(OkStatus());
+  });
+}
+
 void ObjectStore::PutShadow(const std::string& key, Bytes pending_size, MetaCallback done) {
   if (FailIfUnavailable("put_shadow", key, done)) {
     return;

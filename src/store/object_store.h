@@ -131,6 +131,15 @@ class ObjectStore {
   // Full-payload write: creates or replaces the object; bumps both versions.
   void Put(const std::string& key, Bytes size, Tags tags, Callback done);
 
+  // Conditional full-payload write (an If-Match/ETag-guarded PUT): behaves like
+  // Put, but only when the key's latest_version still equals `expected_latest`
+  // (0 = key absent) at the moment the write lands — otherwise the object is
+  // left intact and the write fails with kAborted. The proxy's degraded
+  // (shadow-less) persistor pushes through this so a stale fallback payload can
+  // never clobber a write acknowledged after the store healed.
+  void PutIfVersion(const std::string& key, ObjectVersion expected_latest, Bytes size,
+                    Tags tags, Callback done);
+
   // Shadow write: synchronously records a placeholder for a new version whose
   // payload currently lives only in the cache. Constant latency (empty body).
   void PutShadow(const std::string& key, Bytes pending_size, MetaCallback done);

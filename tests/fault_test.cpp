@@ -246,6 +246,41 @@ TEST_F(StoreFaultTest, WebhookDropBypassesInterposition) {
   EXPECT_EQ(hook_calls, 2);
 }
 
+TEST_F(StoreFaultTest, PutIfVersionIsCompareAndSwap) {
+  bool created = false;
+  rsds_.PutIfVersion("obj", 0, KiB(1), {}, [&](Status s) { created = s.ok(); });
+  loop_.Run();
+  EXPECT_TRUE(created);
+  const auto meta = rsds_.Stat("obj");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_FALSE(meta->IsShadow());
+
+  // Stale expectation: the object advanced past "absent".
+  Status stale = OkStatus();
+  rsds_.PutIfVersion("obj", 0, KiB(2), {}, [&](Status s) { stale = s; });
+  loop_.Run();
+  EXPECT_EQ(stale.code(), StatusCode::kAborted);
+  EXPECT_EQ(rsds_.Stat("obj")->size, KiB(1));  // Untouched.
+
+  // Matching expectation swaps in the new payload.
+  Status swapped = InternalError("unset");
+  rsds_.PutIfVersion("obj", meta->latest_version, KiB(2), {},
+                     [&](Status s) { swapped = s; });
+  loop_.Run();
+  EXPECT_TRUE(swapped.ok());
+  EXPECT_EQ(rsds_.Stat("obj")->size, KiB(2));
+
+  // The check runs when the write *lands*: a shadow write issued later but
+  // completing first (control vs payload latency) must defeat the swap.
+  const store::ObjectVersion current = rsds_.Stat("obj")->latest_version;
+  Status raced = OkStatus();
+  rsds_.PutIfVersion("obj", current, KiB(4), {}, [&](Status s) { raced = s; });
+  rsds_.PutShadow("obj", KiB(8), [](Result<store::ObjectMetadata>) {});
+  loop_.Run();
+  EXPECT_EQ(raced.code(), StatusCode::kAborted);
+  EXPECT_EQ(rsds_.Stat("obj")->size, KiB(2));
+}
+
 // ---- Proxy degradation path --------------------------------------------------------
 
 class ProxyFaultTest : public ::testing::Test {
@@ -361,6 +396,115 @@ TEST_F(ProxyFaultTest, WriteFailsWhenFallbackImpossible) {
   ASSERT_FALSE(ack.ok());
   EXPECT_EQ(ack.code(), StatusCode::kUnavailable);
   EXPECT_EQ(proxy_.stats().fallback_writes, 0u);
+}
+
+// Regression: a write acknowledged *after* the store healed must not be
+// clobbered by the earlier write's retried fallback push (the degraded
+// persistor stands down when its epoch goes stale).
+TEST_F(ProxyFaultTest, StaleFallbackDoesNotClobberNewerWrite) {
+  rsds_.SetAvailable(false);
+  loop_.ScheduleAfter(Seconds(1), [this] { rsds_.SetAvailable(true); });
+  Status first = InternalError("unset");
+  proxy_.Write(Ctx(), "out", MiB(1), Media(MiB(1)), [&](Status s) { first = s; });
+  loop_.RunUntil(Millis(500));
+  ASSERT_TRUE(first.ok());  // Acked from the cache; fallback push still pending.
+  EXPECT_EQ(proxy_.stats().fallback_writes, 1u);
+
+  // A second write to the same key lands after heal, before the retried
+  // fallback push fires.
+  Status second = InternalError("unset");
+  loop_.ScheduleAt(Seconds(1) + Millis(50), [&, this] {
+    proxy_.Write(Ctx(), "out", MiB(2), Media(MiB(2)), [&](Status s) { second = s; });
+  });
+  loop_.Run();
+  ASSERT_TRUE(second.ok());
+  const auto meta = rsds_.Stat("out");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_FALSE(meta->IsShadow());
+  EXPECT_EQ(meta->size, MiB(2));  // The newer write won.
+  EXPECT_GE(proxy_.stats().persistor_conflicts, 1u);  // Fallback stood down.
+  EXPECT_FALSE(cluster_.Contains("out"));  // Dropped by the *newer* persistor.
+}
+
+// Regression: an external client's write after heal beats the stale fallback
+// through the store-side compare-and-swap (no proxy epoch involved).
+TEST_F(ProxyFaultTest, ExternalWriteAfterHealBeatsStaleFallback) {
+  proxy_.InstallWebhooks();
+  rsds_.SetAvailable(false);
+  loop_.ScheduleAfter(Seconds(1), [this] { rsds_.SetAvailable(true); });
+  Status ack = InternalError("unset");
+  proxy_.Write(Ctx(), "out", MiB(1), Media(MiB(1)), [&](Status s) { ack = s; });
+  Status external = InternalError("unset");
+  loop_.ScheduleAt(Seconds(1) + Millis(50), [&, this] {
+    rsds_.ExternalWrite("out", KiB(512), [&](Status s) { external = s; });
+  });
+  loop_.Run();
+  ASSERT_TRUE(ack.ok());
+  ASSERT_TRUE(external.ok());
+  const auto meta = rsds_.Stat("out");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->size, KiB(512));  // The external overwrite is preserved.
+  EXPECT_GE(proxy_.stats().persistor_conflicts, 1u);  // CAS aborted the push.
+  EXPECT_EQ(proxy_.stats().external_write_invalidations, 1u);
+}
+
+// Regression: two fallback writes to one key during the same outage converge
+// on the newest acknowledged payload, not on whichever persistor fires last.
+TEST_F(ProxyFaultTest, ConcurrentFallbacksConvergeToNewestWrite) {
+  rsds_.SetAvailable(false);
+  loop_.ScheduleAfter(Seconds(2), [this] { rsds_.SetAvailable(true); });
+  Status first = InternalError("unset");
+  proxy_.Write(Ctx(), "out", MiB(1), Media(MiB(1)), [&](Status s) { first = s; });
+  Status second = InternalError("unset");
+  loop_.ScheduleAt(Millis(100), [&, this] {
+    proxy_.Write(Ctx(), "out", MiB(3), Media(MiB(3)), [&](Status s) { second = s; });
+  });
+  loop_.Run();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(proxy_.stats().fallback_writes, 2u);
+  const auto meta = rsds_.Stat("out");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->size, MiB(3));  // Newest ack wins.
+  EXPECT_GE(proxy_.stats().persistor_conflicts, 1u);
+  EXPECT_FALSE(cluster_.Contains("out"));
+}
+
+// Regression: with retries disabled (deadline 0) the store's own kUnavailable
+// must surface — not a fabricated kDeadlineExceeded for a budget never spent.
+TEST_F(ProxyFaultTest, DisabledRetriesSurfaceUnavailable) {
+  core::ProxyOptions options = MakeProxyOptions();
+  options.rsds_deadline = 0;  // Documented: disables retries.
+  core::Proxy proxy(&loop_, &cluster_, &rsds_, options);
+  rsds_.Seed("obj", KiB(64), {});
+  rsds_.SetAvailable(false);
+  Result<Bytes> out = InternalError("unset");
+  proxy.Read(Ctx(), "obj", [&](Result<Bytes> r) { out = std::move(r); });
+  loop_.Run();
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(proxy.stats().read_deadlines, 0u);
+  EXPECT_EQ(proxy.stats().rsds_retries, 0u);
+}
+
+// Regression: an overlapping drop window that ends earlier must not shorten a
+// longer window already in force.
+TEST_F(ProxyFaultTest, ShorterDropWindowDoesNotShortenLongerOne) {
+  proxy_.InjectPersistorDropUntil(Seconds(5));
+  proxy_.InjectPersistorDropUntil(Seconds(1));  // Overlap ending earlier.
+  Status ack = InternalError("unset");
+  proxy_.Write(Ctx(), "out", MiB(1), Media(MiB(1)), [&](Status s) { ack = s; });
+  loop_.ScheduleAt(Seconds(3), [this] {
+    const auto mid = rsds_.Stat("out");
+    ASSERT_TRUE(mid.ok());
+    EXPECT_TRUE(mid->IsShadow());  // Long window still open: no push landed.
+  });
+  loop_.Run();
+  ASSERT_TRUE(ack.ok());
+  const auto meta = rsds_.Stat("out");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_FALSE(meta->IsShadow());  // Converged once the *longer* window closed.
+  EXPECT_EQ(proxy_.stats().persistor_abandons, 0u);
 }
 
 TEST_F(ProxyFaultTest, PersistorDropWindowRetriesAfterExpiry) {
@@ -484,6 +628,40 @@ TEST(FaultInjectorTest, WorkerCrashHealsIntoRestore) {
   EXPECT_TRUE(env.platform().WorkerAlive(1));
   EXPECT_EQ(env.platform().stats().worker_crashes, 1u);
   EXPECT_EQ(env.platform().stats().worker_restores, 1u);
+}
+
+// Regression: overlapping crash windows on the same target nest by depth — the
+// first window's heal must not restore the target while the second is open.
+TEST(FaultInjectorTest, OverlappingCrashWindowsRestoreAtLastClose) {
+  faasload::EnvironmentOptions env_options;
+  env_options.platform.num_workers = 2;
+  env_options.seed = 7;
+  faasload::Environment env(faasload::Mode::kOfc, env_options);
+  FaultInjector injector(&env.loop(),
+                         FaultInjectorTargets{&env.platform(), env.cluster(), &env.rsds(),
+                                              &env.ofc()->proxy()},
+                         FaultInjectorOptions{&env.metrics(), &env.trace()});
+  FaultPlan plan;
+  plan.events = {
+      FaultEvent{Seconds(1), FaultKind::kWorkerCrash, 1, Seconds(2)},  // Heals at 3.
+      FaultEvent{Seconds(2), FaultKind::kWorkerCrash, 1, Seconds(3)},  // Heals at 5.
+      FaultEvent{Seconds(1), FaultKind::kNodeCrash, 0, Seconds(2)},
+      FaultEvent{Seconds(2), FaultKind::kNodeCrash, 0, Seconds(3)},
+  };
+  ASSERT_TRUE(injector.Schedule(plan).ok());
+  env.loop().RunUntil(Seconds(3) + Millis(500));
+  EXPECT_FALSE(env.platform().WorkerAlive(1));  // First heal must not restore.
+  EXPECT_FALSE(env.cluster()->Alive(0));
+  env.loop().RunUntil(Seconds(5) + Millis(500));
+  EXPECT_TRUE(env.platform().WorkerAlive(1));
+  EXPECT_TRUE(env.cluster()->Alive(0));
+  // The overlapped crash is injected/restored once: no double-counting.
+  EXPECT_EQ(env.platform().stats().worker_crashes, 1u);
+  EXPECT_EQ(env.platform().stats().worker_restores, 1u);
+  EXPECT_EQ(env.cluster()->stats().node_crashes, 1u);
+  EXPECT_EQ(env.cluster()->stats().node_restarts, 1u);
+  EXPECT_EQ(injector.stats().injected, 4u);
+  EXPECT_EQ(injector.stats().healed, 4u);
 }
 
 TEST(FaultInjectorTest, MachineCrashTakesDownWorkerAndNode) {
