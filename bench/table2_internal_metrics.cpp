@@ -73,6 +73,33 @@ void Run(const bench::ObsFlags& obs_flags) {
       "%.2f");
   row("Ephemeral data generated (GB)",
       [&](const auto& m) { return count(m, "ofc.platform.output_bytes") / 1e9; }, "%.2f");
+  // Overload-protection health: with defaults (no queue bound, breaker off)
+  // every row below must read zero — a nonzero cell flags config drift.
+  auto wait_stat = [](const obs::MetricsRegistry& m, auto pick) {
+    const obs::Series* wait = m.FindSeries("ofc.platform.queue_wait_ms");
+    return wait == nullptr || wait->count() == 0 ? 0.0 : pick(wait->running());
+  };
+  row("Queue wait mean (ms)",
+      [&](const auto& m) {
+        return wait_stat(m, [](const auto& s) { return s.mean(); });
+      },
+      "%.3f");
+  row("Queue wait max (ms)",
+      [&](const auto& m) {
+        return wait_stat(m, [](const auto& s) { return s.max(); });
+      },
+      "%.3f");
+  row("# Shed (overload)",
+      [](const auto& m) { return static_cast<double>(m.CounterTotal("ofc.overload.shed")); },
+      "%.0f");
+  row("# Breaker opens",
+      [&](const auto& m) { return count(m, "ofc.breaker.opens"); }, "%.0f");
+  row("# Breaker bypassed ops",
+      [&](const auto& m) {
+        return count(m, "ofc.breaker.bypassed_reads") +
+               count(m, "ofc.breaker.bypassed_writes");
+      },
+      "%.0f");
   table.Print();
 
   std::printf(

@@ -15,6 +15,10 @@ CacheAgent::CacheAgent(sim::EventLoop* loop, rc::Cluster* cluster, CacheAgentOpt
   slack_.assign(n, options_.initial_slack);
   churn_accum_.assign(n, 0);
   churn_windows_.assign(n, SlidingTimeWindow(options_.churn_window));
+  inflight_writebacks_.assign(n, 0);
+  writeback_backlog_.assign(n, {});
+  writeback_pending_.assign(n, {});
+  under_pressure_.assign(n, false);
 
   metrics_ = options_.metrics;
   if (metrics_ == nullptr) {
@@ -30,6 +34,12 @@ CacheAgent::CacheAgent(sim::EventLoop* loop, rc::Cluster* cluster, CacheAgentOpt
   m_.objects_evicted = metrics_->GetCounter("ofc.cache_agent.objects_evicted");
   m_.objects_swept = metrics_->GetCounter("ofc.cache_agent.objects_swept");
   m_.writebacks_triggered = metrics_->GetCounter("ofc.cache_agent.writebacks_triggered");
+  m_.writebacks_throttled = metrics_->GetCounter("ofc.cache_agent.writebacks_throttled");
+  pressure_gauges_.reserve(n);
+  for (std::size_t w = 0; w < n; ++w) {
+    pressure_gauges_.push_back(
+        metrics_->GetGauge("ofc.overload.cache_pressure", std::to_string(w)));
+  }
   m_.scale_up_time_us = metrics_->GetGauge("ofc.cache_agent.scale_up_time_us");
   m_.scale_down_time_us = metrics_->GetGauge("ofc.cache_agent.scale_down_time_us");
   m_.migration_ms = metrics_->GetSeries("ofc.cache_agent.migration_ms");
@@ -50,6 +60,7 @@ CacheScalingStats CacheAgent::stats() const {
   stats.objects_evicted = m_.objects_evicted->value();
   stats.objects_swept = m_.objects_swept->value();
   stats.writebacks_triggered = m_.writebacks_triggered->value();
+  stats.writebacks_throttled = m_.writebacks_throttled->value();
   return stats;
 }
 
@@ -62,6 +73,7 @@ void CacheAgent::ResetStats() {
   m_.objects_evicted->Reset();
   m_.objects_swept->Reset();
   m_.writebacks_triggered->Reset();
+  m_.writebacks_throttled->Reset();
   m_.scale_up_time_us->Reset();
   m_.scale_down_time_us->Reset();
   m_.migration_ms->Reset();
@@ -130,16 +142,7 @@ void CacheAgent::SweepOnce() {
         continue;
       }
       if (obj->dirty) {
-        if (writeback_) {
-          ++*m_.writebacks_triggered;
-          const std::string k = key;
-          writeback_(k, [this, k](Status status) {
-            if (status.ok()) {
-              (void)cluster_->Remove(k);
-              ++*m_.objects_swept;
-            }
-          });
-        }
+        LaunchWriteback(node, key, /*count_swept=*/true);
         continue;
       }
       (void)cluster_->Remove(key);
@@ -250,21 +253,15 @@ Bytes CacheAgent::FreeBytes(int worker, Bytes needed, bool* migrated, bool* evic
   }
 
   // Phase 2: trigger write-back of dirty outputs; they free memory when the
-  // persistor completes (asynchronous, so not counted in `freed`).
+  // persistor completes (asynchronous, so not counted in `freed`). The
+  // in-flight budget (max_inflight_writebacks) bounds the storm a large shrink
+  // would otherwise unleash on the RSDS.
   for (const std::string& key : keys) {
     const auto obj = cluster_->Inspect(key);
     if (!obj.ok() || !obj->dirty || obj->object_class == rc::ObjectClass::kInput) {
       continue;
     }
-    if (writeback_) {
-      ++*m_.writebacks_triggered;
-      const std::string k = key;
-      writeback_(k, [this, k](Status status) {
-        if (status.ok()) {
-          (void)cluster_->Remove(k);
-        }
-      });
-    }
+    LaunchWriteback(worker, key, /*count_swept=*/false);
   }
 
   // Phase 3: input objects, LRU order. Prefer migrating the master copy to a
@@ -306,6 +303,104 @@ Bytes CacheAgent::FreeBytes(int worker, Bytes needed, bool* migrated, bool* evic
     AddScaleDownTime(options_.eviction_op_cost);
   }
   return freed;
+}
+
+// ---- Overload protection ------------------------------------------------------------
+
+void CacheAgent::LaunchWriteback(int worker, const std::string& key, bool count_swept) {
+  if (!writeback_) {
+    return;
+  }
+  if (options_.max_inflight_writebacks <= 0) {
+    // Unbounded legacy path: fire immediately (possibly redundantly — the
+    // budget below exists to bound exactly this).
+    ++*m_.writebacks_triggered;
+    const std::string k = key;
+    writeback_(k, [this, k, count_swept](Status status) {
+      if (status.ok()) {
+        (void)cluster_->Remove(k);
+        if (count_swept) {
+          ++*m_.objects_swept;
+        }
+      }
+    });
+    return;
+  }
+  const std::size_t w = static_cast<std::size_t>(worker);
+  if (!writeback_pending_[w].insert(key).second) {
+    return;  // Already in flight or queued.
+  }
+  if (inflight_writebacks_[w] >= options_.max_inflight_writebacks) {
+    ++*m_.writebacks_throttled;
+    writeback_backlog_[w].push_back(PendingWriteback{key, count_swept});
+    return;
+  }
+  StartWriteback(worker, key, count_swept);
+}
+
+void CacheAgent::StartWriteback(int worker, const std::string& key, bool count_swept) {
+  const std::size_t w = static_cast<std::size_t>(worker);
+  ++inflight_writebacks_[w];
+  ++*m_.writebacks_triggered;
+  writeback_(key, [this, worker, key, count_swept](Status status) {
+    const std::size_t idx = static_cast<std::size_t>(worker);
+    --inflight_writebacks_[idx];
+    writeback_pending_[idx].erase(key);
+    if (status.ok()) {
+      (void)cluster_->Remove(key);
+      if (count_swept) {
+        ++*m_.objects_swept;
+      }
+    }
+    DrainWritebackBacklog(worker);
+  });
+}
+
+void CacheAgent::DrainWritebackBacklog(int worker) {
+  const std::size_t w = static_cast<std::size_t>(worker);
+  while (!writeback_backlog_[w].empty() &&
+         inflight_writebacks_[w] < options_.max_inflight_writebacks) {
+    PendingWriteback next = std::move(writeback_backlog_[w].front());
+    writeback_backlog_[w].pop_front();
+    // The object may have been persisted, evicted or rewritten while queued.
+    const auto obj = cluster_->Inspect(next.key);
+    if (!obj.ok() || !obj->dirty) {
+      writeback_pending_[w].erase(next.key);
+      continue;
+    }
+    StartWriteback(worker, next.key, next.count_swept);
+  }
+}
+
+bool CacheAgent::UnderPressure(int worker) {
+  if (options_.pressure_high_watermark > 1.0) {
+    return false;  // Disabled.
+  }
+  const std::size_t w = static_cast<std::size_t>(worker);
+  const Bytes capacity = cluster_->Capacity(worker);
+  const Bytes used = cluster_->Used(worker);
+  // Capacity 0 with residue still cached (mid-shrink) is full pressure.
+  const double ratio = capacity > 0
+                           ? static_cast<double>(used) / static_cast<double>(capacity)
+                           : (used > 0 ? 1.0 : 0.0);
+  if (under_pressure_[w]) {
+    if (ratio < options_.pressure_low_watermark) {
+      under_pressure_[w] = false;
+      pressure_gauges_[w]->Set(0.0);
+      if (trace_ != nullptr && trace_->enabled()) {
+        trace_->Instant("pressure-exit", "overload", loop_->now(), obs::kPidCache,
+                        static_cast<std::uint64_t>(worker));
+      }
+    }
+  } else if (ratio >= options_.pressure_high_watermark) {
+    under_pressure_[w] = true;
+    pressure_gauges_[w]->Set(1.0);
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->Instant("pressure-enter", "overload", loop_->now(), obs::kPidCache,
+                      static_cast<std::uint64_t>(worker));
+    }
+  }
+  return under_pressure_[w];
 }
 
 bool CacheAgent::ReleaseForSandbox(int worker, Bytes bytes) {

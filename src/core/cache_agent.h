@@ -25,8 +25,10 @@
 #ifndef OFC_CORE_CACHE_AGENT_H_
 #define OFC_CORE_CACHE_AGENT_H_
 
+#include <deque>
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -52,6 +54,17 @@ struct CacheAgentOptions {
   std::uint32_t sweep_min_access = 5;     // Evict when n_access < 5 ...
   SimDuration sweep_max_idle = Minutes(30);  // ... or idle > 30 min.
   SimDuration eviction_op_cost = Micros(120);  // Per-object eviction overhead.
+  // ---- Overload protection (memory pressure & write-back throttling) ------------
+  // Cap on concurrently in-flight reclamation write-backs per worker; further
+  // dirty objects queue FIFO and launch as completions free budget, bounding
+  // the §6.4 shrink-time write-back storm. 0 = unbounded (legacy behaviour).
+  int max_inflight_writebacks = 0;
+  // Memory-pressure hysteresis on used/capacity: a worker enters pressure at
+  // >= high and leaves below low. While under pressure the proxy's admission
+  // gate defers new cache admissions, so shrink degrades admission rather than
+  // latency. high > 1.0 disables pressure signalling (the default).
+  double pressure_high_watermark = 2.0;
+  double pressure_low_watermark = 0.85;
   // Observability sinks (src/obs/). Null `metrics` -> private registry; null
   // `trace` -> scaling/migration events are skipped.
   obs::MetricsRegistry* metrics = nullptr;
@@ -70,6 +83,7 @@ struct CacheScalingStats {
   std::uint64_t objects_evicted = 0;
   std::uint64_t objects_swept = 0;
   std::uint64_t writebacks_triggered = 0;
+  std::uint64_t writebacks_throttled = 0;  // Queued behind the in-flight budget.
 };
 
 class CacheAgent {
@@ -104,6 +118,10 @@ class CacheAgent {
   // tests and benches.
   void SweepOnce();
 
+  // Memory-pressure watermark query (hysteresis; see the options). The proxy's
+  // admission gate calls this on every read-miss admission decision.
+  bool UnderPressure(int worker);
+
   Bytes slack(int worker) const { return slack_[static_cast<std::size_t>(worker)]; }
   // Sum of (booked - limit) across the worker's live sandboxes.
   Bytes hoard(int worker) const { return hoard_[static_cast<std::size_t>(worker)]; }
@@ -126,6 +144,7 @@ class CacheAgent {
     obs::Counter* objects_evicted = nullptr;
     obs::Counter* objects_swept = nullptr;
     obs::Counter* writebacks_triggered = nullptr;
+    obs::Counter* writebacks_throttled = nullptr;
     obs::Gauge* scale_up_time_us = nullptr;
     obs::Gauge* scale_down_time_us = nullptr;
     obs::Series* migration_ms = nullptr;
@@ -137,6 +156,18 @@ class CacheAgent {
   // Frees at least `needed` bytes of mastered objects on `worker` following the
   // reclamation order. Returns the bytes actually freed synchronously.
   Bytes FreeBytes(int worker, Bytes needed, bool* migrated, bool* evicted);
+
+  // One queued reclamation write-back (see max_inflight_writebacks).
+  struct PendingWriteback {
+    std::string key;
+    bool count_swept = false;  // Sweep-triggered: counts into objects_swept.
+  };
+  // Write-back launch with the in-flight budget applied (dedups keys already
+  // pending; over-budget launches queue in writeback_backlog_).
+  void LaunchWriteback(int worker, const std::string& key, bool count_swept);
+  void StartWriteback(int worker, const std::string& key, bool count_swept);
+  void DrainWritebackBacklog(int worker);
+
   void SweepTick();
   void ChurnSampleTick();
   void SlackAdjustTick();
@@ -150,6 +181,14 @@ class CacheAgent {
   std::vector<Bytes> slack_;
   std::vector<Bytes> churn_accum_;
   std::vector<SlidingTimeWindow> churn_windows_;
+  // Write-back budget state, per worker. The pending set (ordered — it is
+  // mutated along deterministic paths only, never iterated) covers keys both
+  // in flight and queued, so one shrink storm cannot launch duplicates.
+  std::vector<int> inflight_writebacks_;
+  std::vector<std::deque<PendingWriteback>> writeback_backlog_;
+  std::vector<std::set<std::string>> writeback_pending_;
+  std::vector<bool> under_pressure_;  // Hysteresis state per worker.
+  std::vector<obs::Gauge*> pressure_gauges_;  // ofc.overload.cache_pressure{w}
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;

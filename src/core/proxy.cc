@@ -36,6 +36,15 @@ Proxy::Proxy(sim::EventLoop* loop, rc::Cluster* cluster, store::ObjectStore* rsd
   m_.persistor_retries = metrics_->GetCounter("ofc.proxy.persistor_retries");
   m_.persistor_drops = metrics_->GetCounter("ofc.proxy.persistor_drops");
   m_.persistor_abandons = metrics_->GetCounter("ofc.proxy.persistor_abandons");
+  m_.breaker_opens = metrics_->GetCounter("ofc.breaker.opens");
+  m_.breaker_closes = metrics_->GetCounter("ofc.breaker.closes");
+  m_.breaker_probes = metrics_->GetCounter("ofc.breaker.probes");
+  m_.breaker_probe_failures = metrics_->GetCounter("ofc.breaker.probe_failures");
+  m_.breaker_bypassed_reads = metrics_->GetCounter("ofc.breaker.bypassed_reads");
+  m_.breaker_bypassed_writes = metrics_->GetCounter("ofc.breaker.bypassed_writes");
+  m_.admission_deferred = metrics_->GetCounter("ofc.overload.admission_deferred");
+  m_.breaker_state = metrics_->GetGauge("ofc.breaker.state");
+  m_.breaker_open_time_us = metrics_->GetGauge("ofc.breaker.open_time_us");
   m_.persistor_ms = metrics_->GetSeries("ofc.proxy.persistor_ms");
   if (trace_ != nullptr) {
     trace_->SetProcessName(obs::kPidStore, "rsds-writeback");
@@ -74,6 +83,13 @@ ProxyStats Proxy::stats() const {
   stats.persistor_retries = m_.persistor_retries->value();
   stats.persistor_drops = m_.persistor_drops->value();
   stats.persistor_abandons = m_.persistor_abandons->value();
+  stats.breaker_opens = m_.breaker_opens->value();
+  stats.breaker_closes = m_.breaker_closes->value();
+  stats.breaker_probes = m_.breaker_probes->value();
+  stats.breaker_probe_failures = m_.breaker_probe_failures->value();
+  stats.breaker_bypassed_reads = m_.breaker_bypassed_reads->value();
+  stats.breaker_bypassed_writes = m_.breaker_bypassed_writes->value();
+  stats.admission_deferred = m_.admission_deferred->value();
   return stats;
 }
 
@@ -97,6 +113,19 @@ void Proxy::ResetStats() {
   m_.persistor_retries->Reset();
   m_.persistor_drops->Reset();
   m_.persistor_abandons->Reset();
+  m_.breaker_opens->Reset();
+  m_.breaker_closes->Reset();
+  m_.breaker_probes->Reset();
+  m_.breaker_probe_failures->Reset();
+  m_.breaker_bypassed_reads->Reset();
+  m_.breaker_bypassed_writes->Reset();
+  m_.admission_deferred->Reset();
+  m_.breaker_open_time_us->Reset();
+  // The state gauge reflects live state, not a window: re-assert it.
+  m_.breaker_state->Reset();
+  m_.breaker_state->Set(breaker_ == BreakerState::kClosed ? 0.0
+                        : breaker_ == BreakerState::kOpen ? 1.0
+                                                          : 2.0);
   m_.persistor_ms->Reset();
   for (auto& [function, cells] : fn_metrics_) {
     cells.hits->Reset();
@@ -115,15 +144,40 @@ void Proxy::InstallWebhooks() {
 
 void Proxy::Read(const faas::InvocationContext& ctx, const std::string& key,
                  std::function<void(Result<Bytes>)> done) {
-  cluster_->Read(ctx.worker, key,
-                 [this, ctx, key, done = std::move(done)](Result<rc::CachedObject> hit) {
+  if (BreakerBypasses()) {
+    // Open breaker: the cache path is sick; go straight to the RSDS exactly
+    // like the no-cache baseline (no admission either — nothing may touch the
+    // cluster until probes succeed).
+    ++*m_.breaker_bypassed_reads;
+    const SimTime read_deadline = loop_->now() + options_.rsds_deadline;
+    GetWithRetry(key, read_deadline, /*attempt=*/0,
+                 [done = std::move(done)](Result<store::ObjectMetadata> meta) {
+                   if (!meta.ok()) {
+                     done(meta.status());
+                     return;
+                   }
+                   done(meta->size);
+                 });
+    return;
+  }
+  const SimTime issued = loop_->now();
+  CacheRead(ctx.worker, key,
+            [this, ctx, key, issued, done = std::move(done)](Result<rc::CachedObject> hit) {
     FnMetrics& fn = FnMetricsFor(ctx.function);
     if (hit.ok()) {
+      // A hit slower than the latency SLO counts against the breaker even
+      // though it is served — a crawling cache is a sick cache.
+      const SimDuration elapsed = loop_->now() - issued;
+      BreakerReport(options_.breaker_latency_slo == 0 ||
+                    elapsed <= options_.breaker_latency_slo);
       ++*m_.cache_hits;
       ++*fn.hits;
       done(hit->size);
       return;
     }
+    // A plain miss is a healthy cache answering "not here"; any other error
+    // (injected fault, cluster trouble) is a cache-path failure.
+    BreakerReport(hit.status().code() == StatusCode::kNotFound);
     ++*m_.cache_misses;
     ++*fn.misses;
     // Miss: fetch from the RSDS (with bounded kUnavailable retries), then admit
@@ -143,14 +197,21 @@ void Proxy::Read(const faas::InvocationContext& ctx, const std::string& key,
       // after the in-flight persistor lands.
       if (ctx.should_cache && !meta->IsShadow() && size > 0 &&
           size <= options_.max_cacheable_size) {
-        cluster_->Write(ctx.worker, key, size, version, rc::ObjectClass::kInput,
-                        /*dirty=*/false, [this](Status status) {
-                          if (status.ok()) {
-                            ++*m_.admissions;
-                          } else {
-                            ++*m_.admission_failures;
-                          }
-                        });
+        if (admission_gate_ != nullptr && !admission_gate_(ctx.worker)) {
+          // Memory pressure on this worker: shrink is reclaiming the cache, so
+          // admitting would only force more eviction work. Defer (skip); the
+          // object stays fetchable from the RSDS.
+          ++*m_.admission_deferred;
+        } else {
+          CacheWrite(ctx.worker, key, size, version, rc::ObjectClass::kInput,
+                     /*dirty=*/false, [this](Status status) {
+                       if (status.ok()) {
+                         ++*m_.admissions;
+                       } else {
+                         ++*m_.admission_failures;
+                       }
+                     });
+        }
       }
       done(size);  // The function proceeds without waiting for the admission.
     });
@@ -211,14 +272,25 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
     return;
   }
 
+  if (BreakerBypasses()) {
+    // Open breaker: skip the cache entirely and write through to the RSDS —
+    // the no-cache baseline write path, so open-state latency matches it.
+    // Intermediates included: the next stage's read will miss and fetch here.
+    ++*m_.breaker_bypassed_writes;
+    ++*m_.direct_writes;
+    rsds_->Put(key, size, faas::MediaToTags(media), std::move(done));
+    return;
+  }
+
   if (intermediate) {
     // Pipeline intermediates never touch the RSDS (§6.3): they are consumed by
     // the next stage and dropped when the pipeline ends. Marked persisted so
     // reclamation may drop them without a write-back (the RSDS never needs
     // them), but tracked as intermediates for the end-of-pipeline cleanup.
-    cluster_->Write(ctx.worker, key, size, /*version=*/0, rc::ObjectClass::kIntermediate,
-                    /*dirty=*/false,
-                    [this, ctx, key, size, media, done = std::move(done)](Status status) {
+    CacheWrite(ctx.worker, key, size, /*version=*/0, rc::ObjectClass::kIntermediate,
+               /*dirty=*/false,
+               [this, ctx, key, size, media, done = std::move(done)](Status status) {
+                      BreakerReport(WriteHealthy(status));
                       if (!status.ok()) {
                         // Cache full: fall back to the RSDS so the pipeline
                         // still makes progress.
@@ -243,9 +315,9 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
                    done(status);
                    return;
                  }
-                 cluster_->Write(ctx.worker, key, size, /*version=*/0,
-                                 rc::ObjectClass::kFinalOutput, /*dirty=*/false,
-                                 [](Status) {});
+                 CacheWrite(ctx.worker, key, size, /*version=*/0,
+                            rc::ObjectClass::kFinalOutput, /*dirty=*/false,
+                            [](Status) {});
                  done(OkStatus());
                });
     return;
@@ -254,17 +326,18 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
   if (!options_.transparent_consistency) {
     // Relaxed mode: payload goes to the cache only; persistence is lazy (on
     // eviction), relying on RAMCloud's on-disk replication for durability.
-    cluster_->Write(ctx.worker, key, size, /*version=*/0, rc::ObjectClass::kFinalOutput,
-                    /*dirty=*/true,
-                    [this, key, size, media, done = std::move(done)](Status status) {
-                      if (!status.ok()) {
-                        ++*m_.direct_writes;
-                        rsds_->Put(key, size, faas::MediaToTags(media), std::move(done));
-                        return;
-                      }
-                      ++*m_.cached_writes;
-                      done(OkStatus());
-                    });
+    CacheWrite(ctx.worker, key, size, /*version=*/0, rc::ObjectClass::kFinalOutput,
+               /*dirty=*/true,
+               [this, key, size, media, done = std::move(done)](Status status) {
+                 BreakerReport(WriteHealthy(status));
+                 if (!status.ok()) {
+                   ++*m_.direct_writes;
+                   rsds_->Put(key, size, faas::MediaToTags(media), std::move(done));
+                   return;
+                 }
+                 ++*m_.cached_writes;
+                 done(OkStatus());
+               });
     return;
   }
 
@@ -338,11 +411,108 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
     }
     finish();
   });
-  cluster_->Write(ctx.worker, key, size, /*version=*/0, rc::ObjectClass::kFinalOutput,
-                  /*dirty=*/true, [join, finish](Status status) mutable {
-                    join->cache_ok = status.ok();
-                    finish();
-                  });
+  CacheWrite(ctx.worker, key, size, /*version=*/0, rc::ObjectClass::kFinalOutput,
+             /*dirty=*/true, [this, join, finish](Status status) mutable {
+               BreakerReport(WriteHealthy(status));
+               join->cache_ok = status.ok();
+               finish();
+             });
+}
+
+// ---- Circuit breaker & cache-fault injection ----------------------------------------
+
+void Proxy::CacheRead(int worker, const std::string& key, rc::Cluster::ReadCallback done) {
+  if (CacheFaulted()) {
+    loop_->ScheduleAfter(0, [done = std::move(done)] {
+      done(UnavailableError("cache path degraded (injected fault)"));
+    });
+    return;
+  }
+  cluster_->Read(worker, key, std::move(done));
+}
+
+void Proxy::CacheWrite(int worker, const std::string& key, Bytes size,
+                       store::ObjectVersion version, rc::ObjectClass object_class,
+                       bool dirty, rc::Cluster::Callback done) {
+  if (CacheFaulted()) {
+    loop_->ScheduleAfter(0, [done = std::move(done)] {
+      done(UnavailableError("cache path degraded (injected fault)"));
+    });
+    return;
+  }
+  cluster_->Write(worker, key, size, version, object_class, dirty, std::move(done));
+}
+
+bool Proxy::BreakerBypasses() {
+  if (!BreakerEnabled()) {
+    return false;
+  }
+  if (breaker_ == BreakerState::kOpen) {
+    if (loop_->now() < breaker_open_until_) {
+      return true;
+    }
+    // Open window elapsed: go half-open and admit probe operations.
+    breaker_ = BreakerState::kHalfOpen;
+    breaker_successes_ = 0;
+    m_.breaker_state->Set(2.0);
+    m_.breaker_open_time_us->Add(static_cast<double>(loop_->now() - breaker_opened_at_));
+    TraceBreaker("breaker-half-open");
+  }
+  if (breaker_ == BreakerState::kHalfOpen) {
+    ++*m_.breaker_probes;
+  }
+  return false;
+}
+
+void Proxy::BreakerReport(bool success) {
+  if (!BreakerEnabled()) {
+    return;
+  }
+  switch (breaker_) {
+    case BreakerState::kClosed:
+      if (success) {
+        breaker_failures_ = 0;
+      } else if (++breaker_failures_ >= options_.breaker_failure_threshold) {
+        BreakerTrip();
+      }
+      return;
+    case BreakerState::kHalfOpen:
+      if (!success) {
+        ++*m_.breaker_probe_failures;
+        BreakerTrip();
+      } else if (++breaker_successes_ >= options_.breaker_half_open_probes) {
+        BreakerClose();
+      }
+      return;
+    case BreakerState::kOpen:
+      return;  // Completion from before the trip; the open window is authoritative.
+  }
+}
+
+void Proxy::BreakerTrip() {
+  breaker_ = BreakerState::kOpen;
+  breaker_failures_ = 0;
+  breaker_successes_ = 0;
+  breaker_opened_at_ = loop_->now();
+  breaker_open_until_ = loop_->now() + options_.breaker_open_duration;
+  ++*m_.breaker_opens;
+  m_.breaker_state->Set(1.0);
+  TraceBreaker("breaker-open");
+}
+
+void Proxy::BreakerClose() {
+  breaker_ = BreakerState::kClosed;
+  breaker_failures_ = 0;
+  breaker_successes_ = 0;
+  ++*m_.breaker_closes;
+  m_.breaker_state->Set(0.0);
+  TraceBreaker("breaker-close");
+}
+
+void Proxy::TraceBreaker(const char* what) {
+  if (trace_ != nullptr && trace_->enabled()) {
+    trace_->Instant(what, "overload", loop_->now(), obs::kPidCache, /*tid=*/0);
+  }
 }
 
 void Proxy::SchedulePersistor(PersistorJob job, int attempt) {

@@ -69,6 +69,19 @@ struct ProxyOptions {
   SimDuration rsds_retry_backoff = Millis(50);  // Base; doubles per attempt.
   int persistor_max_retries = 20;               // Persistor push retry budget.
   SimDuration persistor_retry_backoff = Millis(250);
+  // ---- Cache-path circuit breaker (overload protection) --------------------------
+  // After `breaker_failure_threshold` consecutive cache-path failures — cluster
+  // errors other than a plain miss or capacity rejection, or (when
+  // `breaker_latency_slo` > 0) hits slower than the SLO — the breaker opens:
+  // reads and writes bypass the cache straight to the RSDS for
+  // `breaker_open_duration`, exactly the no-cache baseline path. The breaker
+  // then goes half-open and admits probe operations through the cache;
+  // `breaker_half_open_probes` consecutive successes re-close it, any probe
+  // failure re-opens. Threshold 0 disables the breaker entirely (default).
+  int breaker_failure_threshold = 0;
+  SimDuration breaker_latency_slo = 0;  // 0 = latency never counts as failure.
+  SimDuration breaker_open_duration = Seconds(5);
+  int breaker_half_open_probes = 3;
   // Observability sinks (src/obs/). Null `metrics` -> private registry; null
   // `trace` -> persistor/webhook events are skipped.
   obs::MetricsRegistry* metrics = nullptr;
@@ -96,6 +109,13 @@ struct ProxyStats {
   std::uint64_t persistor_retries = 0;     // Re-dispatched persistor pushes.
   std::uint64_t persistor_drops = 0;       // Dispatches lost to fault injection.
   std::uint64_t persistor_abandons = 0;    // Retry budget exhausted (stays dirty).
+  std::uint64_t breaker_opens = 0;           // Closed/half-open -> open trips.
+  std::uint64_t breaker_closes = 0;          // Half-open -> closed recoveries.
+  std::uint64_t breaker_probes = 0;          // Operations admitted half-open.
+  std::uint64_t breaker_probe_failures = 0;  // Probes that re-opened the breaker.
+  std::uint64_t breaker_bypassed_reads = 0;  // Reads served RSDS-direct while open.
+  std::uint64_t breaker_bypassed_writes = 0; // Writes sent RSDS-direct while open.
+  std::uint64_t admission_deferred = 0;      // Admissions skipped under memory pressure.
 
   double HitRatio() const {
     const double total = static_cast<double>(cache_hits + cache_misses);
@@ -140,6 +160,28 @@ class Proxy : public faas::DataService {
     }
   }
 
+  // Cache-path degradation: cluster reads/writes issued before `until` fail
+  // with kUnavailable without touching the cluster, as if the local RAMCloud
+  // ensemble had gone sick. The circuit breaker observes these failures and
+  // trips; data keeps flowing via the RSDS. Windows nest like persistor drops.
+  void InjectCacheFaultUntil(SimTime until) {
+    if (until > cache_fault_until_) {
+      cache_fault_until_ = until;
+    }
+  }
+
+  // ---- Overload protection -------------------------------------------------------
+
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+  BreakerState breaker_state() const { return breaker_; }
+
+  // Admission gate consulted before a read miss populates the cache; OfcSystem
+  // wires it to the CacheAgent's memory-pressure watermarks so admissions are
+  // deferred (counted, not queued) while the worker's cache shrinks under
+  // pressure. Null (default) admits everything.
+  using AdmissionGate = std::function<bool(int worker)>;
+  void set_admission_gate(AdmissionGate gate) { admission_gate_ = std::move(gate); }
+
   // Assembled on demand from the metrics registry.
   ProxyStats stats() const;
   void ResetStats();
@@ -167,6 +209,15 @@ class Proxy : public faas::DataService {
     obs::Counter* persistor_retries = nullptr;
     obs::Counter* persistor_drops = nullptr;
     obs::Counter* persistor_abandons = nullptr;
+    obs::Counter* breaker_opens = nullptr;
+    obs::Counter* breaker_closes = nullptr;
+    obs::Counter* breaker_probes = nullptr;
+    obs::Counter* breaker_probe_failures = nullptr;
+    obs::Counter* breaker_bypassed_reads = nullptr;
+    obs::Counter* breaker_bypassed_writes = nullptr;
+    obs::Counter* admission_deferred = nullptr;
+    obs::Gauge* breaker_state = nullptr;        // 0 closed / 1 open / 2 half-open.
+    obs::Gauge* breaker_open_time_us = nullptr; // Cumulative open time (on exit).
     obs::Series* persistor_ms = nullptr;  // Dispatch to RSDS-converged latency.
   };
   // Per-function hit/miss label cells, cached for the hot read path.
@@ -207,6 +258,31 @@ class Proxy : public faas::DataService {
   void HandleExternalRead(const std::string& key, std::function<void()> resume);
   void HandleExternalWrite(const std::string& key, std::function<void()> resume);
 
+  // ---- Circuit breaker (see ProxyOptions) -----------------------------------------
+  bool BreakerEnabled() const { return options_.breaker_failure_threshold > 0; }
+  bool CacheFaulted() const { return loop_->now() < cache_fault_until_; }
+  // True when cache-path operations must bypass the cluster entirely. Drives
+  // the open -> half-open transition lazily off the simulated clock and counts
+  // probes admitted while half-open.
+  bool BreakerBypasses();
+  // Reports one cache-path outcome to the breaker state machine.
+  void BreakerReport(bool success);
+  void BreakerTrip();
+  void BreakerClose();
+  void TraceBreaker(const char* what);
+  // A capacity rejection is a healthy cache saying "full" (backpressure owns
+  // that), not a sick cache path; only other errors feed the breaker.
+  static bool WriteHealthy(const Status& status) {
+    return status.ok() || status.code() == StatusCode::kResourceExhausted;
+  }
+  // Cluster entry points with the injected cache-fault window applied: inside
+  // the window every operation fails with kUnavailable without touching the
+  // cluster (so a sick cache never absorbs or serves data).
+  void CacheRead(int worker, const std::string& key, rc::Cluster::ReadCallback done);
+  void CacheWrite(int worker, const std::string& key, Bytes size,
+                  store::ObjectVersion version, rc::ObjectClass object_class, bool dirty,
+                  rc::Cluster::Callback done);
+
   sim::EventLoop* loop_;
   rc::Cluster* cluster_;
   store::ObjectStore* rsds_;
@@ -215,6 +291,15 @@ class Proxy : public faas::DataService {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
   SimTime persistor_drop_until_ = 0;  // Fault injection: dispatches before this are lost.
+  SimTime cache_fault_until_ = 0;     // Fault injection: cluster ops before this fail.
+  // Circuit-breaker state (all transitions are clock/counter-driven, so
+  // same-seed replays take identical paths).
+  BreakerState breaker_ = BreakerState::kClosed;
+  int breaker_failures_ = 0;   // Consecutive failures while closed.
+  int breaker_successes_ = 0;  // Consecutive probe successes while half-open.
+  SimTime breaker_open_until_ = 0;
+  SimTime breaker_opened_at_ = 0;
+  AdmissionGate admission_gate_;
   Metrics m_;
   // Ordered: ResetStats() and future per-function exports iterate this map, so
   // its order must not depend on hashing.

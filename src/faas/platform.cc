@@ -76,6 +76,9 @@ Platform::Platform(sim::EventLoop* loop, PlatformOptions options, DataService* d
   m_.crash_retries = metrics_->GetCounter("ofc.platform.crash_retries");
   m_.input_bytes = metrics_->GetCounter("ofc.platform.input_bytes");
   m_.output_bytes = metrics_->GetCounter("ofc.platform.output_bytes");
+  m_.shed_queue_full = metrics_->GetCounter("ofc.overload.shed", "queue_full");
+  m_.shed_deadline = metrics_->GetCounter("ofc.overload.shed", "deadline");
+  m_.queue_wait_ms = metrics_->GetSeries("ofc.platform.queue_wait_ms");
   m_.startup_ms = metrics_->GetSeries("ofc.platform.startup_ms");
   m_.extract_ms = metrics_->GetSeries("ofc.platform.extract_ms");
   m_.transform_ms = metrics_->GetSeries("ofc.platform.transform_ms");
@@ -113,6 +116,7 @@ PlatformStats Platform::stats() const {
   stats.worker_crashes = m_.worker_crashes->value();
   stats.worker_restores = m_.worker_restores->value();
   stats.crash_retries = m_.crash_retries->value();
+  stats.shed_requests = m_.shed_queue_full->value() + m_.shed_deadline->value();
   return stats;
 }
 
@@ -131,6 +135,9 @@ void Platform::ResetStats() {
   m_.crash_retries->Reset();
   m_.input_bytes->Reset();
   m_.output_bytes->Reset();
+  m_.shed_queue_full->Reset();
+  m_.shed_deadline->Reset();
+  m_.queue_wait_ms->Reset();
   m_.startup_ms->Reset();
   m_.extract_ms->Reset();
   m_.transform_ms->Reset();
@@ -271,6 +278,7 @@ void Platform::Dispatch(std::shared_ptr<Request> request) {
     record.id = request->id;
     record.function = request->function;
     record.failed = true;
+    record.final_status = StatusCode::kInternal;
     ++*m_.failed_invocations;
     loop_->ScheduleAfter(0, [request, record] { request->done(record); });
     return;
@@ -280,6 +288,14 @@ void Platform::Dispatch(std::shared_ptr<Request> request) {
     request->demand =
         workloads::ComputeDemand(fn->spec, AggregateMedia(request->inputs), request->args, &rng_);
     request->has_demand = true;
+  }
+
+  // Per-function / per-tenant concurrency caps: over-limit requests wait in
+  // the queue (subject to depth/deadline shedding) and re-probe as running
+  // invocations complete.
+  if (OverConcurrencyLimit(*fn)) {
+    EnqueueOrShed(std::move(request));
+    return;
   }
 
   PlatformHooks::Sizing sizing;
@@ -323,8 +339,7 @@ void Platform::Dispatch(std::shared_ptr<Request> request) {
   // 2. Create a new sandbox; the scheduler reserves the booked amount.
   const int worker = PlaceNewSandbox(*fn, request->inputs, fn->booked_memory);
   if (worker < 0) {
-    ++*m_.queued_requests;
-    wait_queue_.push_back(std::move(request));
+    EnqueueOrShed(std::move(request));
     return;
   }
   Sandbox sandbox;
@@ -414,6 +429,11 @@ void Platform::RunOnSandbox(std::shared_ptr<Request> request, Sandbox* sandbox,
 
   request->running_worker = sandbox->worker;
   in_flight_[request->id] = request;
+  TrackRunning(*request, +1);
+  if (request->first_queued != 0 && !request->queue_wait_recorded) {
+    request->queue_wait_recorded = true;
+    m_.queue_wait_ms->Observe(ToMillis(loop_->now() - request->first_queued));
+  }
 
   if (Traced(request->id)) {
     const SimTime now = loop_->now();
@@ -601,6 +621,7 @@ void Platform::CrashWorker(int worker) {
   }
   for (auto& request : victims) {
     in_flight_.erase(request->id);
+    TrackRunning(*request, -1);
     request->crash_epoch = ++crash_epoch_;  // Invalidates stale continuations.
     request->running_worker = -1;
     ++request->retries;
@@ -625,6 +646,7 @@ void Platform::RestoreWorker(int worker) {
 void Platform::FailAndMaybeRetry(std::shared_ptr<Request> request, std::uint64_t sandbox_id,
                                  InvocationRecord record) {
   in_flight_.erase(request->id);
+  TrackRunning(*request, -1);
   ReleaseSandbox(sandbox_id);
   const FunctionConfig* fn = GetFunction(request->function);
   if (record.oom_killed && request->retries == 0 && fn != nullptr) {
@@ -640,6 +662,7 @@ void Platform::FailAndMaybeRetry(std::shared_ptr<Request> request, std::uint64_t
     return;
   }
   record.failed = true;
+  record.final_status = StatusCode::kInternal;
   record.total = loop_->now() - request->arrival;
   ++*m_.failed_invocations;
   RecordCompletion(record);
@@ -658,6 +681,7 @@ void Platform::FinishInvocation(std::shared_ptr<Request> request, std::uint64_t 
                                 InvocationRecord record) {
   record.total = loop_->now() - request->arrival;
   in_flight_.erase(request->id);
+  TrackRunning(*request, -1);
   ReleaseSandbox(sandbox_id);
   RecordCompletion(record);
   if (Traced(request->id)) {
@@ -682,6 +706,12 @@ void Platform::ReleaseSandbox(std::uint64_t sandbox_id) {
   sandbox->busy = false;
   sandbox->last_used = loop_->now();
   ArmKeepAlive(sandbox);
+  // A newly idle sandbox is reclaimable capacity: re-probe the wait queue here,
+  // not only on completion. The OOM-retry path releases its sandbox and returns
+  // without completing anything — before this drain, a queued request whose
+  // function's sandboxes had all been reclaimed could wait out that whole
+  // window (or forever, if the retry itself kept the worker saturated).
+  DrainWaitQueue();
 }
 
 void Platform::ArmKeepAlive(Sandbox* sandbox) {
@@ -730,6 +760,115 @@ void Platform::DrainWaitQueue() {
       Dispatch(std::move(request));
     }
   });
+}
+
+// ---- Overload protection ------------------------------------------------------------
+
+void Platform::EnqueueOrShed(std::shared_ptr<Request> request) {
+  const SimTime now = loop_->now();
+  if (request->first_queued == 0) {
+    // First admission decision: the depth gate applies to new entrants only —
+    // a drain re-probe must not shed a request that was already admitted.
+    if (options_.max_queue_depth > 0 && wait_queue_.size() >= options_.max_queue_depth) {
+      Shed(std::move(request), m_.shed_queue_full, "queue_full");
+      return;
+    }
+    request->first_queued = now;
+    if (options_.queue_deadline > 0) {
+      request->queue_deadline_at = now + options_.queue_deadline;
+    }
+  }
+  if (request->queue_deadline_at != 0) {
+    if (now >= request->queue_deadline_at) {
+      // Re-entering the queue at/after the deadline: the timer event may have
+      // fired while this request was mid-drain, so shed here instead. Exactly
+      // one of the timer and this check sheds in every interleaving (the timer
+      // only acts on requests it finds queued).
+      Shed(std::move(request), m_.shed_deadline, "deadline");
+      return;
+    }
+    // (Re-)arm the deadline for this queue residence. Duplicate timers for the
+    // same id are harmless no-ops once the request has been shed or dispatched.
+    const std::uint64_t id = request->id;
+    loop_->ScheduleAt(request->queue_deadline_at, [this, id] { ShedExpired(id); });
+  }
+  ++*m_.queued_requests;
+  wait_queue_.push_back(std::move(request));
+}
+
+void Platform::ShedExpired(std::uint64_t request_id) {
+  for (auto it = wait_queue_.begin(); it != wait_queue_.end(); ++it) {
+    if ((*it)->id == request_id) {
+      std::shared_ptr<Request> request = std::move(*it);
+      wait_queue_.erase(it);
+      Shed(std::move(request), m_.shed_deadline, "deadline");
+      return;
+    }
+  }
+}
+
+// Completes a request that never ran: counted as failed with an explicit
+// kResourceExhausted status so callers can tell shedding from execution
+// failures. Phase series stay clean (nothing executed) and hooks are not
+// notified (a shed carries no execution feedback for the trainer), but the
+// queue wait is observed — it is the overload signal of interest.
+void Platform::Shed(std::shared_ptr<Request> request, obs::Counter* cell,
+                    const char* reason) {
+  ++*cell;
+  ++*m_.failed_invocations;
+  if (request->first_queued != 0 && !request->queue_wait_recorded) {
+    request->queue_wait_recorded = true;
+    m_.queue_wait_ms->Observe(ToMillis(loop_->now() - request->first_queued));
+  }
+  InvocationRecord record;
+  record.id = request->id;
+  record.function = request->function;
+  record.failed = true;
+  record.shed = true;
+  record.final_status = StatusCode::kResourceExhausted;
+  record.retries = request->retries;
+  record.oom_killed = request->oom_killed;
+  record.total = loop_->now() - request->arrival;
+  record.output_key = request->output_key;
+  if (Traced(request->id)) {
+    trace_->Instant(std::string("shed-") + reason, "overload", loop_->now(),
+                    obs::kPidInvocations, request->id,
+                    {{"function", request->function}});
+  }
+  // Asynchronous completion, matching every other terminal path: Shed can fire
+  // synchronously inside Invoke(), and callers must not observe completion
+  // before Invoke() returns.
+  loop_->ScheduleAfter(0, [request = std::move(request), record] { request->done(record); });
+}
+
+bool Platform::OverConcurrencyLimit(const FunctionConfig& fn) const {
+  if (options_.max_concurrency_per_function > 0) {
+    const auto it = running_per_function_.find(fn.spec.name);
+    if (it != running_per_function_.end() &&
+        it->second >= options_.max_concurrency_per_function) {
+      return true;
+    }
+  }
+  if (options_.max_concurrency_per_tenant > 0) {
+    const auto it = running_per_tenant_.find(fn.tenant);
+    if (it != running_per_tenant_.end() &&
+        it->second >= options_.max_concurrency_per_tenant) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Platform::TrackRunning(const Request& request, int delta) {
+  if (options_.max_concurrency_per_function <= 0 &&
+      options_.max_concurrency_per_tenant <= 0) {
+    return;  // No limits configured; skip the bookkeeping entirely.
+  }
+  running_per_function_[request.function] += delta;
+  const FunctionConfig* fn = GetFunction(request.function);
+  if (fn != nullptr) {
+    running_per_tenant_[fn->tenant] += delta;
+  }
 }
 
 // ---- Pipelines ---------------------------------------------------------------------

@@ -54,6 +54,16 @@ struct PlatformOptions {
   SimDuration dispatch_overhead = Millis(8);    // Empty-function e2e time (§6.4).
   SimDuration cgroup_resize = Micros(23800);    // docker update total (§7.2.1).
   SimDuration retry_delay = Millis(10);
+  // ---- Overload protection (bounded admission & load shedding) -----------------
+  // All limits default to 0 = disabled, preserving the unbounded behaviour.
+  // A request that cannot be admitted — the wait queue is at `max_queue_depth`,
+  // or it has been queued for `queue_deadline` — is *shed*: completed exactly
+  // once with `failed` set and `final_status == kResourceExhausted`, instead of
+  // parking in the queue forever.
+  std::size_t max_queue_depth = 0;       // Wait-queue slots (0 = unbounded).
+  SimDuration queue_deadline = 0;        // Max queue wait (0 = no deadline).
+  int max_concurrency_per_function = 0;  // Running invocations per function.
+  int max_concurrency_per_tenant = 0;    // Running invocations per tenant.
   // Observability sinks (src/obs/). When `metrics` is null the platform owns a
   // private registry (standalone construction in unit tests); `trace` may stay
   // null — lifecycle spans are then skipped entirely.
@@ -82,6 +92,11 @@ struct InvocationRecord {
   bool oom_killed = false;   // At least one OOM kill occurred (before retry).
   bool oom_rescued = false;  // Monitor raised the cap mid-flight.
   bool failed = false;       // Unrecoverable (retry also failed).
+  bool shed = false;         // Rejected by overload protection (never ran).
+  // Terminal disposition: kOk on success, kResourceExhausted when shed,
+  // kInternal for execution failures. Lets callers tell load shedding apart
+  // from genuine failures without string matching.
+  StatusCode final_status = StatusCode::kOk;
   int retries = 0;
   SimDuration startup_time = 0;  // Dispatch + (cold start | warm reuse).
   SimDuration extract_time = 0;
@@ -220,6 +235,7 @@ struct PlatformStats {
   std::uint64_t worker_crashes = 0;
   std::uint64_t worker_restores = 0;
   std::uint64_t crash_retries = 0;  // Invocations re-dispatched after a crash.
+  std::uint64_t shed_requests = 0;  // Rejected by overload protection.
 };
 
 class Platform {
@@ -306,6 +322,11 @@ class Platform {
     // continuations are discarded while the request is re-dispatched.
     std::uint64_t crash_epoch = 0;
     int running_worker = -1;
+    // Admission bookkeeping: first wait-queue entry time (0 = never queued)
+    // and the absolute shed-if-still-queued instant (0 = no deadline armed).
+    SimTime first_queued = 0;
+    SimTime queue_deadline_at = 0;
+    bool queue_wait_recorded = false;  // Observe queue_wait_ms at most once.
   };
 
   // Registry cells behind PlatformStats plus the phase-latency series; bumped
@@ -325,6 +346,9 @@ class Platform {
     obs::Counter* crash_retries = nullptr;
     obs::Counter* input_bytes = nullptr;
     obs::Counter* output_bytes = nullptr;
+    obs::Counter* shed_queue_full = nullptr;  // ofc.overload.shed{queue_full}
+    obs::Counter* shed_deadline = nullptr;    // ofc.overload.shed{deadline}
+    obs::Series* queue_wait_ms = nullptr;     // Wait-queue residence on dispatch/shed.
     obs::Series* startup_ms = nullptr;
     obs::Series* extract_ms = nullptr;
     obs::Series* transform_ms = nullptr;
@@ -366,6 +390,19 @@ class Platform {
   int HomeWorker(const FunctionConfig& fn) const;
   void DrainWaitQueue();
 
+  // ---- Overload protection (see PlatformOptions) -------------------------------
+  // Queues `request` unless the wait queue is at capacity or the request's
+  // deadline has passed (both shed). Arms the queue deadline on first entry.
+  void EnqueueOrShed(std::shared_ptr<Request> request);
+  // Queue-deadline event: sheds the request iff it is still waiting.
+  void ShedExpired(std::uint64_t request_id);
+  // Completes `request` with kResourceExhausted without running it.
+  void Shed(std::shared_ptr<Request> request, obs::Counter* cell, const char* reason);
+  // True when dispatching `fn` now would exceed a concurrency limit.
+  bool OverConcurrencyLimit(const FunctionConfig& fn) const;
+  // Concurrency accounting paired with in_flight_ insert (+1) / erase (-1).
+  void TrackRunning(const Request& request, int delta);
+
   sim::EventLoop* loop_;
   PlatformOptions options_;
   DataService* data_;
@@ -384,6 +421,10 @@ class Platform {
   std::map<std::uint64_t, std::shared_ptr<Request>> in_flight_;
   std::deque<std::shared_ptr<Request>> wait_queue_;
   bool drain_scheduled_ = false;
+  // Running-invocation counts behind the per-function / per-tenant concurrency
+  // limits. Only maintained when a limit is configured.
+  std::map<std::string, int> running_per_function_;
+  std::map<std::string, int> running_per_tenant_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;

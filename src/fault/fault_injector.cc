@@ -64,6 +64,11 @@ Status FaultInjector::Schedule(const FaultPlan& plan) {
           return FailedPreconditionError("plan drops persistors but no proxy is wired");
         }
         break;
+      case FaultKind::kCacheDegraded:
+        if (targets_.proxy == nullptr) {
+          return FailedPreconditionError("plan degrades the cache but no proxy is wired");
+        }
+        break;
     }
   }
   for (const FaultEvent& event : plan.events) {
@@ -119,6 +124,9 @@ void FaultInjector::Fire(const FaultEvent& event) {
     case FaultKind::kPersistorDrop:
       targets_.proxy->InjectPersistorDropUntil(loop_->now() + event.duration);
       break;
+    case FaultKind::kCacheDegraded:
+      targets_.proxy->InjectCacheFaultUntil(loop_->now() + event.duration);
+      break;
     case FaultKind::kWebhookDrop:
       ++webhook_drop_depth_;
       targets_.rsds->SetWebhooksEnabled(false);
@@ -163,7 +171,8 @@ void FaultInjector::Heal(const FaultEvent& event) {
       }
       break;
     case FaultKind::kPersistorDrop:
-      break;  // The drop window expires on its own.
+    case FaultKind::kCacheDegraded:
+      break;  // The window expires on its own.
     case FaultKind::kWebhookDrop:
       if (--webhook_drop_depth_ == 0) {
         targets_.rsds->SetWebhooksEnabled(true);

@@ -22,6 +22,7 @@ constexpr KindNamePair kKindNames[] = {
     {FaultKind::kStoreBrownout, "store_brownout"},
     {FaultKind::kPersistorDrop, "persistor_drop"},
     {FaultKind::kWebhookDrop, "webhook_drop"},
+    {FaultKind::kCacheDegraded, "cache_degraded"},
 };
 
 // Minimal recursive-descent parser for the fault-plan JSON subset: objects,
@@ -219,6 +220,7 @@ Status FaultPlan::Validate(int num_workers, int num_nodes) const {
         break;
       case FaultKind::kPersistorDrop:
       case FaultKind::kWebhookDrop:
+      case FaultKind::kCacheDegraded:
         if (event.duration <= 0) {
           return InvalidArgumentError("drop faults require a positive duration" +
                                       at_event);
@@ -314,6 +316,9 @@ FaultPlan RandomFaultPlan(const ChaosPlanOptions& options, Rng* rng) {
   if (options.include_persistor_faults) {
     kinds.push_back(FaultKind::kPersistorDrop);
   }
+  if (options.include_cache_faults) {
+    kinds.push_back(FaultKind::kCacheDegraded);
+  }
 
   FaultPlan plan;
   if (kinds.empty() || options.horizon <= options.start) {
@@ -342,6 +347,7 @@ FaultPlan RandomFaultPlan(const ChaosPlanOptions& options, Rng* rng) {
       case FaultKind::kStoreOutage:
       case FaultKind::kPersistorDrop:
       case FaultKind::kWebhookDrop:
+      case FaultKind::kCacheDegraded:
         break;
     }
     plan.events.push_back(event);

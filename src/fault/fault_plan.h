@@ -34,6 +34,7 @@ enum class FaultKind {
   kStoreBrownout,  // RSDS latencies inflated by `severity`.
   kPersistorDrop,  // Persistor dispatches are lost for `duration`.
   kWebhookDrop,    // External ops bypass the consistency webhooks.
+  kCacheDegraded,  // Proxy cache-path ops fail for `duration` (breaker trips).
 };
 
 std::string_view FaultKindName(FaultKind kind);
@@ -86,6 +87,9 @@ struct ChaosPlanOptions {
   bool include_node_crashes = true;
   bool include_store_faults = true;
   bool include_persistor_faults = true;
+  // Default off: adding a kind to the pool would reshuffle every existing
+  // seeded random plan. Overload scenarios opt in explicitly.
+  bool include_cache_faults = false;
 };
 FaultPlan RandomFaultPlan(const ChaosPlanOptions& options, Rng* rng);
 

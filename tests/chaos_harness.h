@@ -10,7 +10,10 @@
 //   I3 — every invocation completes exactly once (crash re-dispatch must
 //        neither drop nor duplicate completions);
 //   I4 — recovery re-establishes the replication factor: every cached object
-//        has an alive master and min(rf, alive-1) distinct alive backups.
+//        has an alive master and min(rf, alive-1) distinct alive backups;
+//   I5 — overload resolves explicitly: every submission is either completed or
+//        shed with kResourceExhausted (never parked forever), and no request
+//        waits in the queue past its configured deadline.
 //
 // Everything is deterministic: (seed, options, plan) fully determine the run,
 // so ChaosReport::Fingerprint() must be byte-identical across replays.
@@ -47,13 +50,33 @@ struct ChaosScenarioOptions {
   SimTime fault_horizon = Minutes(5);  // Faults and arrivals land before this.
   SimDuration drain = Minutes(10);     // Post-quiesce persistor drain budget.
   fault::FaultPlan plan;
+
+  // ---- Overload scenario knobs (all default off = legacy behaviour) ----------
+  std::size_t queue_limit = 0;           // Platform wait-queue depth bound.
+  SimDuration queue_deadline = 0;        // Shed-if-queued-longer-than deadline.
+  int max_concurrency_per_function = 0;  // Per-function running-invocation cap.
+  int breaker_threshold = 0;             // Proxy cache breaker (0 = disabled).
+  SimDuration breaker_open = Seconds(10);
+  int breaker_probes = 2;
+  SimDuration breaker_latency_slo = 0;
+  // Baseline mode for breaker-bypass comparisons: the OFC stack runs but no
+  // object is cacheable, so every read/write goes straight to the RSDS.
+  bool disable_cache = false;
+  // Arrival burst: `burst_count` extra invocations land back-to-back starting
+  // at `burst_at` (1 ms apart), on top of the Poisson arrivals.
+  int burst_count = 0;
+  SimTime burst_at = Seconds(60);
 };
 
 struct ChaosReport {
   int scheduled = 0;
   int completed = 0;
   int succeeded = 0;
-  int failed = 0;
+  int failed = 0;   // Includes shed requests (they complete as failures).
+  int shed = 0;     // Rejected by overload protection with kResourceExhausted.
+  // Mean extract+load latency (ms) over successful invocations — the data-path
+  // cost a breaker-bypass run is compared against the no-cache baseline on.
+  double mean_el_ms = 0.0;
   std::vector<std::string> violations;
   std::string metrics_json;
   // Selected fault-path counters (summed over labels), snapshotted before the
@@ -71,7 +94,7 @@ struct ChaosReport {
   std::string Fingerprint() const {
     std::ostringstream out;
     out << scheduled << "/" << completed << "/" << succeeded << "/" << failed
-        << "@" << final_time << "#" << events_scheduled << "\n"
+        << "/" << shed << "@" << final_time << "#" << events_scheduled << "\n"
         << metrics_json;
     return out.str();
   }
@@ -84,7 +107,7 @@ struct ChaosReport {
   }
 };
 
-// Runs one chaos scenario to quiescence and audits the four invariants.
+// Runs one chaos scenario to quiescence and audits the five invariants.
 inline ChaosReport RunChaosScenario(const ChaosScenarioOptions& options) {
   ChaosReport report;
   auto violate = [&report](const std::string& what) {
@@ -94,6 +117,16 @@ inline ChaosReport RunChaosScenario(const ChaosScenarioOptions& options) {
   faasload::EnvironmentOptions env_options;
   env_options.platform.num_workers = options.num_workers;
   env_options.platform.worker_memory = GiB(8);
+  env_options.platform.max_queue_depth = options.queue_limit;
+  env_options.platform.queue_deadline = options.queue_deadline;
+  env_options.platform.max_concurrency_per_function = options.max_concurrency_per_function;
+  env_options.ofc.proxy.breaker_failure_threshold = options.breaker_threshold;
+  env_options.ofc.proxy.breaker_open_duration = options.breaker_open;
+  env_options.ofc.proxy.breaker_half_open_probes = options.breaker_probes;
+  env_options.ofc.proxy.breaker_latency_slo = options.breaker_latency_slo;
+  if (options.disable_cache) {
+    env_options.ofc.proxy.max_cacheable_size = 0;  // Everything bypasses cache.
+  }
   env_options.seed = options.seed;
   faasload::Environment env(faasload::Mode::kOfc, env_options);
 
@@ -134,18 +167,15 @@ inline ChaosReport RunChaosScenario(const ChaosScenarioOptions& options) {
     quiesce_at = std::max(quiesce_at, event.at + event.duration);
   }
 
-  // ---- Poisson arrivals ------------------------------------------------------
+  // ---- Poisson arrivals + optional burst -------------------------------------
+  const int total_invocations = options.num_invocations + options.burst_count;
   std::vector<faas::InvocationRecord> records(
-      static_cast<std::size_t>(options.num_invocations));
-  std::vector<int> completions(static_cast<std::size_t>(options.num_invocations), 0);
-  SimTime arrival = 0;
-  for (int i = 0; i < options.num_invocations; ++i) {
-    const double gap_us = rng.Exponential(options.mean_interval_s * 1e6);
-    arrival += static_cast<SimDuration>(gap_us);
-    const std::size_t slot = static_cast<std::size_t>(i);
-    const faas::InputObject& input = inputs[rng.Index(inputs.size())];
-    env.loop().ScheduleAt(arrival, [&env, &records, &completions, &report, input,
-                                    slot, function = options.function] {
+      static_cast<std::size_t>(total_invocations));
+  std::vector<int> completions(static_cast<std::size_t>(total_invocations), 0);
+  const auto submit_at = [&](SimTime at, std::size_t slot,
+                             const faas::InputObject& input) {
+    env.loop().ScheduleAt(at, [&env, &records, &completions, &report, input,
+                               slot, function = options.function] {
       ++report.scheduled;
       env.platform().Invoke(function, {input}, {0.5},
                             [&records, &completions, &report,
@@ -161,12 +191,24 @@ inline ChaosReport RunChaosScenario(const ChaosScenarioOptions& options) {
                               }
                             });
     });
+  };
+  SimTime arrival = 0;
+  for (int i = 0; i < options.num_invocations; ++i) {
+    const double gap_us = rng.Exponential(options.mean_interval_s * 1e6);
+    arrival += static_cast<SimDuration>(gap_us);
+    submit_at(arrival, static_cast<std::size_t>(i), inputs[rng.Index(inputs.size())]);
   }
   quiesce_at = std::max(quiesce_at, arrival);
+  for (int i = 0; i < options.burst_count; ++i) {
+    const SimTime at = options.burst_at + i * Millis(1);
+    submit_at(at, static_cast<std::size_t>(options.num_invocations + i),
+              inputs[rng.Index(inputs.size())]);
+    quiesce_at = std::max(quiesce_at, at);
+  }
 
   // ---- Drive to quiescence ---------------------------------------------------
   const SimTime work_deadline = quiesce_at + options.drain;
-  while (report.completed < options.num_invocations &&
+  while (report.completed < total_invocations &&
          env.loop().now() < work_deadline && env.loop().Step()) {
   }
   // All faults have healed by quiesce_at; give persistor retries a full drain
@@ -174,8 +216,8 @@ inline ChaosReport RunChaosScenario(const ChaosScenarioOptions& options) {
   env.loop().RunUntil(std::max(env.loop().now(), quiesce_at) + options.drain);
 
   // ---- I3: exactly-once completion -------------------------------------------
-  if (report.completed != options.num_invocations) {
-    violate("I3: " + std::to_string(options.num_invocations - report.completed) +
+  if (report.completed != total_invocations) {
+    violate("I3: " + std::to_string(total_invocations - report.completed) +
             " invocations never completed");
   }
   for (std::size_t i = 0; i < completions.size(); ++i) {
@@ -261,6 +303,48 @@ inline ChaosReport RunChaosScenario(const ChaosScenarioOptions& options) {
     }
   }
 
+  // ---- I5: overload resolves explicitly --------------------------------------
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const faas::InvocationRecord& record = records[i];
+    if (record.id == 0) {
+      continue;  // Never completed (already an I3 violation).
+    }
+    if (record.shed) {
+      ++report.shed;
+      if (!record.failed || record.final_status != StatusCode::kResourceExhausted) {
+        violate("I5: shed invocation slot " + std::to_string(i) +
+                " lacks the kResourceExhausted disposition");
+      }
+    } else if (record.failed && record.final_status == StatusCode::kOk) {
+      violate("I5: failed invocation slot " + std::to_string(i) +
+              " reports final status kOk");
+    } else if (!record.failed && record.final_status != StatusCode::kOk) {
+      violate("I5: successful invocation slot " + std::to_string(i) +
+              " reports a non-kOk final status");
+    }
+  }
+  if (options.queue_deadline > 0) {
+    if (const obs::Series* wait =
+            env.metrics().FindSeries("ofc.platform.queue_wait_ms");
+        wait != nullptr && wait->count() > 0 &&
+        wait->running().max() > ToMillis(options.queue_deadline)) {
+      violate("I5: a request waited " + std::to_string(wait->running().max()) +
+              " ms in the queue, past the " +
+              std::to_string(ToMillis(options.queue_deadline)) + " ms deadline");
+    }
+  }
+
+  // Mean extract+load over successes (breaker-bypass vs no-cache comparisons).
+  double el_sum_ms = 0.0;
+  int el_count = 0;
+  for (const faas::InvocationRecord& record : records) {
+    if (record.id != 0 && !record.failed) {
+      el_sum_ms += ToMillis(record.extract_time + record.load_time);
+      ++el_count;
+    }
+  }
+  report.mean_el_ms = el_count > 0 ? el_sum_ms / el_count : 0.0;
+
   report.metrics_json = env.metrics().SnapshotJson(env.loop().now());
   for (const char* name :
        {"ofc.fault.injected", "ofc.fault.healed", "ofc.proxy.fallback_writes",
@@ -270,7 +354,10 @@ inline ChaosReport RunChaosScenario(const ChaosScenarioOptions& options) {
         "ofc.platform.crash_retries", "ofc.ramcloud.node_crashes",
         "ofc.ramcloud.node_restarts", "ofc.ramcloud.objects_recovered",
         "ofc.ramcloud.objects_lost", "ofc.store.unavailable_errors",
-        "ofc.store.webhook_bypasses"}) {
+        "ofc.store.webhook_bypasses", "ofc.overload.shed",
+        "ofc.overload.admission_deferred", "ofc.breaker.opens", "ofc.breaker.closes",
+        "ofc.breaker.bypassed_reads", "ofc.breaker.bypassed_writes",
+        "ofc.cache_agent.writebacks_throttled"}) {
     report.counters[name] = env.metrics().CounterTotal(name);
   }
   report.final_time = env.loop().now();

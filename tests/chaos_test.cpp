@@ -1,5 +1,5 @@
 // Chaos tests: randomized-but-deterministic fault schedules against the full
-// platform, audited by the four invariants in chaos_harness.h. Every scenario
+// platform, audited by the five invariants in chaos_harness.h. Every scenario
 // is replayable — same seed and plan must give a byte-identical fingerprint.
 #include <string>
 
@@ -133,6 +133,80 @@ TEST(ChaosTest, OverlappingNodeCrashesReestablishReplication) {
   ExpectClean(report);
   EXPECT_EQ(report.counter("ofc.ramcloud.node_crashes"), 2u);
   EXPECT_EQ(report.counter("ofc.ramcloud.node_restarts"), 2u);
+}
+
+// ---- Overload & graceful degradation ------------------------------------------
+
+// A 2x-sustainable burst lands while the store is browned out and the cache
+// path then degrades: bounded admission must shed the overflow explicitly and
+// the breaker must route survivors around the sick cache.
+ChaosScenarioOptions OverloadScenario(std::uint64_t seed) {
+  ChaosScenarioOptions options;
+  options.seed = seed;
+  options.num_workers = 2;
+  options.num_invocations = 15;
+  options.mean_interval_s = 6.0;
+  options.queue_limit = 6;
+  options.queue_deadline = Seconds(2);
+  options.breaker_threshold = 3;
+  options.breaker_open = Seconds(10);
+  options.breaker_probes = 2;
+  options.burst_count = 40;
+  options.burst_at = Seconds(60);
+  options.plan.events = {
+      FaultEvent{Seconds(30), FaultKind::kStoreBrownout, -1, Seconds(60), 4.0},
+      FaultEvent{Seconds(45), FaultKind::kCacheDegraded, -1, Seconds(40)},
+  };
+  options.plan.Sort();
+  return options;
+}
+
+TEST(ChaosTest, OverloadBurstShedsAndResolvesExactlyOnce) {
+  const ChaosReport report = RunChaosScenario(OverloadScenario(13));
+  ExpectClean(report);  // I3 + I5: every submission resolved exactly once.
+  EXPECT_GT(report.shed, 0);       // The burst exceeded the queue bound.
+  EXPECT_GT(report.succeeded, 0);  // ... but goodput survived.
+  EXPECT_EQ(report.counter("ofc.overload.shed"),
+            static_cast<std::uint64_t>(report.shed));
+  EXPECT_GT(report.counter("ofc.breaker.opens"), 0u);
+  EXPECT_GT(report.counter("ofc.breaker.bypassed_reads") +
+                report.counter("ofc.breaker.bypassed_writes"),
+            0u);
+}
+
+TEST(ChaosTest, OverloadScenarioReplaysByteIdentical) {
+  const ChaosReport first = RunChaosScenario(OverloadScenario(13));
+  const ChaosReport second = RunChaosScenario(OverloadScenario(13));
+  ExpectClean(first);
+  EXPECT_EQ(first.Fingerprint(), second.Fingerprint());
+}
+
+TEST(ChaosTest, BreakerOpenMatchesNoCacheBaseline) {
+  // With the cache path sick from t=0 and the breaker latched open, the
+  // extract+load data path must match a cache-disabled run of the same
+  // workload within 5% — graceful degradation, not a new failure mode.
+  ChaosScenarioOptions degraded;
+  degraded.seed = 71;
+  degraded.num_invocations = 25;
+  degraded.mean_interval_s = 8.0;
+  degraded.breaker_threshold = 1;
+  degraded.breaker_open = Minutes(10);  // Never half-opens during the run.
+  degraded.plan.events = {
+      FaultEvent{0, FaultKind::kCacheDegraded, -1, Minutes(10)},
+  };
+  ChaosScenarioOptions baseline = degraded;
+  baseline.disable_cache = true;
+  baseline.breaker_threshold = 0;
+  baseline.plan.events.clear();
+
+  const ChaosReport a = RunChaosScenario(degraded);
+  const ChaosReport b = RunChaosScenario(baseline);
+  ExpectClean(a);
+  ExpectClean(b);
+  EXPECT_GT(a.counter("ofc.breaker.opens"), 0u);
+  EXPECT_GT(a.counter("ofc.breaker.bypassed_reads"), 0u);
+  ASSERT_GT(b.mean_el_ms, 0.0);
+  EXPECT_NEAR(a.mean_el_ms, b.mean_el_ms, 0.05 * b.mean_el_ms);
 }
 
 // Randomized schedules: the plan is drawn from the seed, so each seed is a

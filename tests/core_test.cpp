@@ -585,6 +585,247 @@ TEST_F(ProxyTest, ExternalReadBlocksUntilPersisted) {
   EXPECT_GE(proxy_.stats().external_read_boosts, 1u);
 }
 
+// ---- CacheAgent: write-back budget & memory pressure --------------------------
+
+TEST_F(CacheAgentTest, WritebackBudgetThrottlesAndDrainsBacklog) {
+  CacheAgentOptions options = MakeAgentOptions();
+  options.max_inflight_writebacks = 1;
+  CacheAgent agent(&loop_, &cluster_, options);
+  int inflight = 0;
+  int peak_inflight = 0;
+  // Slow write-backs (10 s) so one is still in flight when the manual sweep
+  // below re-encounters the remaining dirty objects.
+  agent.set_writeback([&](const std::string&, std::function<void(Status)> done) {
+    peak_inflight = std::max(peak_inflight, ++inflight);
+    loop_.ScheduleAfter(Seconds(10), [&inflight, done = std::move(done)] {
+      --inflight;
+      done(OkStatus());
+    });
+  });
+  agent.Start();
+  agent.OnSandboxMemoryChange(Ev(0, 0, MiB(64)));
+  WriteObject(0, "d0", MiB(2), rc::ObjectClass::kFinalOutput, /*dirty=*/true);
+  WriteObject(0, "d1", MiB(2), rc::ObjectClass::kFinalOutput, /*dirty=*/true);
+  WriteObject(0, "d2", MiB(2), rc::ObjectClass::kFinalOutput, /*dirty=*/true);
+  RunFor(Seconds(301));  // Age past the sweep coldness bound; the periodic
+                         // sweep at t=300 already started one write-back.
+  agent.SweepOnce();     // The rest are dirty: write-back, not eviction.
+  EXPECT_GE(agent.stats().writebacks_throttled, 2u);  // Budget is 1.
+  RunFor(Seconds(40));  // Backlog drains serially, 10 s per write-back.
+  EXPECT_EQ(peak_inflight, 1);
+  EXPECT_FALSE(cluster_.Contains("d0"));
+  EXPECT_FALSE(cluster_.Contains("d1"));
+  EXPECT_FALSE(cluster_.Contains("d2"));
+  EXPECT_GE(agent.stats().writebacks_triggered, 3u);
+}
+
+TEST_F(CacheAgentTest, WritebackBudgetDeduplicatesPendingKeys) {
+  CacheAgentOptions options = MakeAgentOptions();
+  options.max_inflight_writebacks = 1;
+  CacheAgent agent(&loop_, &cluster_, options);
+  int calls = 0;
+  agent.set_writeback([&](const std::string&, std::function<void(Status)> done) {
+    ++calls;
+    loop_.ScheduleAfter(Seconds(10), [done = std::move(done)] { done(OkStatus()); });
+  });
+  agent.Start();
+  agent.OnSandboxMemoryChange(Ev(0, 0, MiB(64)));
+  WriteObject(0, "dup", MiB(2), rc::ObjectClass::kFinalOutput, /*dirty=*/true);
+  RunFor(Seconds(301));  // The periodic sweep at t=300 starts the write-back.
+  agent.SweepOnce();
+  agent.SweepOnce();  // Same dirty object re-encountered while in flight.
+  RunFor(Seconds(1));
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(CacheAgentTest, PressureWatermarksUseHysteresis) {
+  CacheAgentOptions options = MakeAgentOptions();
+  options.pressure_high_watermark = 0.8;
+  options.pressure_low_watermark = 0.5;
+  CacheAgent agent(&loop_, &cluster_, options);
+  agent.Start();
+  agent.OnSandboxMemoryChange(Ev(0, 0, MiB(64)));  // Capacity 860 MiB.
+  EXPECT_FALSE(agent.UnderPressure(0));
+  WriteObject(0, "a", MiB(500));
+  WriteObject(0, "b", MiB(200));  // 700/860 = 81 % >= high watermark.
+  EXPECT_TRUE(agent.UnderPressure(0));
+  (void)cluster_.Remove("b");  // 500/860 = 58 %: between the watermarks.
+  EXPECT_TRUE(agent.UnderPressure(0));  // Hysteresis holds pressure.
+  (void)cluster_.Remove("a");  // 0 %: below the low watermark.
+  EXPECT_FALSE(agent.UnderPressure(0));
+}
+
+TEST_F(CacheAgentTest, PressureDisabledByDefault) {
+  CacheAgent agent(&loop_, &cluster_, MakeAgentOptions());
+  agent.Start();
+  agent.OnSandboxMemoryChange(Ev(0, 0, MiB(64)));
+  WriteObject(0, "full", MiB(800));  // 93 % of capacity.
+  EXPECT_FALSE(agent.UnderPressure(0));
+}
+
+// ---- Proxy circuit breaker ----------------------------------------------------
+
+class BreakerTest : public ::testing::Test {
+ protected:
+  BreakerTest()
+      : rsds_(&loop_, sim::LatencyProfiles::SwiftRequest(), Rng(1), "swift",
+              sim::LatencyProfiles::SwiftControl()),
+        cluster_(&loop_, 2, MakeClusterOptions(), Rng(2)) {}
+
+  static rc::ClusterOptions MakeClusterOptions() {
+    rc::ClusterOptions options;
+    options.default_capacity = GiB(1);
+    options.replication_factor = 1;
+    return options;
+  }
+
+  void MakeProxy(int threshold, SimDuration open = Seconds(5), int probes = 2,
+                 SimDuration slo = 0) {
+    ProxyOptions options;
+    options.breaker_failure_threshold = threshold;
+    options.breaker_open_duration = open;
+    options.breaker_half_open_probes = probes;
+    options.breaker_latency_slo = slo;
+    proxy_ = std::make_unique<Proxy>(&loop_, &cluster_, &rsds_, options);
+  }
+
+  faas::InvocationContext Ctx() {
+    faas::InvocationContext ctx;
+    ctx.worker = 0;
+    ctx.function = "f";
+    ctx.should_cache = true;
+    return ctx;
+  }
+
+  Result<Bytes> ReadSync(const std::string& key) {
+    Result<Bytes> out = InternalError("unset");
+    proxy_->Read(Ctx(), key, [&](Result<Bytes> r) { out = std::move(r); });
+    loop_.Run();
+    return out;
+  }
+
+  Status WriteSync(const std::string& key, Bytes size) {
+    Status out = InternalError("unset");
+    workloads::MediaDescriptor media;
+    media.kind = workloads::InputKind::kImage;
+    media.byte_size = size;
+    proxy_->Write(Ctx(), key, size, media, [&](Status s) { out = s; });
+    loop_.Run();
+    return out;
+  }
+
+  sim::EventLoop loop_;
+  store::ObjectStore rsds_;
+  rc::Cluster cluster_;
+  std::unique_ptr<Proxy> proxy_;
+};
+
+TEST_F(BreakerTest, TripsAfterConsecutiveCacheFailuresAndBypasses) {
+  MakeProxy(/*threshold=*/3);
+  for (int i = 0; i < 4; ++i) {
+    rsds_.Seed("k" + std::to_string(i), MiB(1), {});
+  }
+  proxy_->InjectCacheFaultUntil(loop_.now() + Minutes(10));
+  // Reads keep succeeding throughout — the RSDS serves every miss/failure.
+  ASSERT_TRUE(ReadSync("k0").ok());
+  ASSERT_TRUE(ReadSync("k1").ok());
+  EXPECT_EQ(proxy_->breaker_state(), Proxy::BreakerState::kClosed);
+  ASSERT_TRUE(ReadSync("k2").ok());  // Third consecutive failure: trip.
+  EXPECT_EQ(proxy_->breaker_state(), Proxy::BreakerState::kOpen);
+  EXPECT_EQ(proxy_->stats().breaker_opens, 1u);
+  ASSERT_TRUE(ReadSync("k3").ok());  // Open: served via bypass, not the cache.
+  EXPECT_EQ(proxy_->stats().breaker_bypassed_reads, 1u);
+}
+
+TEST_F(BreakerTest, HalfOpenProbesCloseAfterSuccesses) {
+  MakeProxy(/*threshold=*/2, /*open=*/Seconds(5), /*probes=*/2);
+  for (int i = 0; i < 4; ++i) {
+    rsds_.Seed("k" + std::to_string(i), MiB(1), {});
+  }
+  proxy_->InjectCacheFaultUntil(loop_.now() + Seconds(1));  // Heals before open ends.
+  ASSERT_TRUE(ReadSync("k0").ok());
+  ASSERT_TRUE(ReadSync("k1").ok());
+  ASSERT_EQ(proxy_->breaker_state(), Proxy::BreakerState::kOpen);
+  loop_.RunUntil(loop_.now() + Seconds(6));  // Past the open window.
+  ASSERT_TRUE(ReadSync("k2").ok());  // First probe: healthy miss.
+  EXPECT_EQ(proxy_->breaker_state(), Proxy::BreakerState::kHalfOpen);
+  ASSERT_TRUE(ReadSync("k3").ok());  // Second probe success: close.
+  EXPECT_EQ(proxy_->breaker_state(), Proxy::BreakerState::kClosed);
+  EXPECT_EQ(proxy_->stats().breaker_closes, 1u);
+  EXPECT_EQ(proxy_->stats().breaker_probes, 2u);
+  EXPECT_EQ(proxy_->stats().breaker_probe_failures, 0u);
+}
+
+TEST_F(BreakerTest, FailedProbeReopensImmediately) {
+  MakeProxy(/*threshold=*/2, /*open=*/Seconds(5), /*probes=*/2);
+  for (int i = 0; i < 3; ++i) {
+    rsds_.Seed("k" + std::to_string(i), MiB(1), {});
+  }
+  proxy_->InjectCacheFaultUntil(loop_.now() + Seconds(60));  // Outlives the window.
+  ASSERT_TRUE(ReadSync("k0").ok());
+  ASSERT_TRUE(ReadSync("k1").ok());
+  ASSERT_EQ(proxy_->breaker_state(), Proxy::BreakerState::kOpen);
+  loop_.RunUntil(loop_.now() + Seconds(6));
+  ASSERT_TRUE(ReadSync("k2").ok());  // Probe hits the still-sick cache path.
+  EXPECT_EQ(proxy_->breaker_state(), Proxy::BreakerState::kOpen);
+  EXPECT_EQ(proxy_->stats().breaker_opens, 2u);
+  EXPECT_EQ(proxy_->stats().breaker_probe_failures, 1u);
+  EXPECT_EQ(proxy_->stats().breaker_closes, 0u);
+}
+
+TEST_F(BreakerTest, LatencySloBreachCountsAsFailure) {
+  // A 1 us SLO that every genuine cache hit breaches: a crawling cache trips
+  // the breaker even though it serves data.
+  MakeProxy(/*threshold=*/2, Seconds(5), 2, /*slo=*/Micros(1));
+  rsds_.Seed("obj", MiB(1), {});
+  ASSERT_TRUE(ReadSync("obj").ok());  // Miss (healthy) + admission.
+  ASSERT_TRUE(cluster_.Contains("obj"));
+  ASSERT_TRUE(ReadSync("obj").ok());  // Hit, slower than 1 us: strike one.
+  EXPECT_EQ(proxy_->breaker_state(), Proxy::BreakerState::kClosed);
+  ASSERT_TRUE(ReadSync("obj").ok());  // Strike two: trip.
+  EXPECT_EQ(proxy_->breaker_state(), Proxy::BreakerState::kOpen);
+  EXPECT_EQ(proxy_->stats().breaker_opens, 1u);
+}
+
+TEST_F(BreakerTest, OpenBreakerWritesGoDirectToRsds) {
+  MakeProxy(/*threshold=*/1);
+  rsds_.Seed("k0", MiB(1), {});
+  proxy_->InjectCacheFaultUntil(loop_.now() + Minutes(10));
+  ASSERT_TRUE(ReadSync("k0").ok());  // One failure trips a threshold of 1.
+  ASSERT_EQ(proxy_->breaker_state(), Proxy::BreakerState::kOpen);
+  ASSERT_TRUE(WriteSync("out", MiB(1)).ok());
+  EXPECT_EQ(proxy_->stats().breaker_bypassed_writes, 1u);
+  EXPECT_TRUE(rsds_.Exists("out"));
+  EXPECT_FALSE(cluster_.Contains("out"));  // Nothing touched the sick cache.
+}
+
+TEST_F(BreakerTest, CapacityRejectionIsNotACacheFailure) {
+  // kResourceExhausted from a full cache is normal back-pressure, not
+  // sickness: it must not open the breaker.
+  MakeProxy(/*threshold=*/1);
+  sim::EventLoop loop2;
+  store::ObjectStore rsds2(&loop2, sim::LatencyProfiles::SwiftRequest(), Rng(3), "swift2",
+                           sim::LatencyProfiles::SwiftControl());
+  rc::ClusterOptions tiny = MakeClusterOptions();
+  tiny.default_capacity = KiB(1);  // Every cached write is rejected for space.
+  rc::Cluster cluster2(&loop2, 2, tiny, Rng(4));
+  ProxyOptions options;
+  options.breaker_failure_threshold = 1;
+  Proxy proxy2(&loop2, &cluster2, &rsds2, options);
+  workloads::MediaDescriptor media;
+  media.kind = workloads::InputKind::kImage;
+  media.byte_size = MiB(1);
+  for (int i = 0; i < 3; ++i) {
+    Status status = InternalError("unset");
+    proxy2.Write(Ctx(), "w" + std::to_string(i), MiB(1), media,
+                 [&](Status s) { status = s; });
+    loop2.Run();
+    ASSERT_TRUE(status.ok());  // Falls back to the RSDS transparently.
+  }
+  EXPECT_EQ(proxy2.breaker_state(), Proxy::BreakerState::kClosed);
+  EXPECT_EQ(proxy2.stats().breaker_opens, 0u);
+}
+
 TEST_F(ProxyTest, ExternalWriteInvalidatesCache) {
   proxy_.InstallWebhooks();
   rsds_.Seed("obj", MiB(1), {});

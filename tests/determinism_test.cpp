@@ -15,6 +15,7 @@
 #include "src/faasload/injector.h"
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
+#include "tests/chaos_harness.h"
 
 namespace ofc {
 namespace {
@@ -165,6 +166,38 @@ TEST(DeterminismTest, DifferentSeedsDiverge) {
   const RunFingerprint a = RunScenario(Mode::kOfc, 7, 0, /*sim_minutes=*/3);
   const RunFingerprint b = RunScenario(Mode::kOfc, 8, 0, /*sim_minutes=*/3);
   EXPECT_NE(a.metrics_json, b.metrics_json);
+}
+
+TEST(DeterminismTest, OverloadShedReplayIsByteIdentical) {
+  // A burst over a queue-limited platform with a degraded cache sheds some
+  // requests and trips the breaker; the shed/complete split and every metric
+  // must replay byte-identically, including under a perturbed hash salt.
+  const auto run = [](std::uint64_t hash_salt) {
+    SetHashSalt(hash_salt);
+    chaos::ChaosScenarioOptions options;
+    options.seed = 29;
+    options.num_invocations = 10;
+    options.mean_interval_s = 6.0;
+    options.queue_limit = 4;
+    options.queue_deadline = Seconds(1);
+    options.breaker_threshold = 2;
+    options.burst_count = 25;
+    options.burst_at = Seconds(40);
+    options.plan.events.push_back(
+        {Seconds(35), fault::FaultKind::kCacheDegraded, -1, Seconds(30), 1.0});
+    chaos::ChaosReport report = chaos::RunChaosScenario(options);
+    SetHashSalt(0);
+    return report;
+  };
+  const chaos::ChaosReport first = run(0);
+  const chaos::ChaosReport second = run(0);
+  const chaos::ChaosReport salted = run(0x9e3779b97f4a7c15ull);
+  EXPECT_TRUE(first.ok()) << first.ViolationSummary();
+  EXPECT_GT(first.shed, 0);  // The scenario actually exercises shedding.
+  EXPECT_EQ(first.shed, second.shed);
+  EXPECT_EQ(first.completed, second.completed);
+  EXPECT_EQ(first.Fingerprint(), second.Fingerprint());
+  EXPECT_EQ(first.Fingerprint(), salted.Fingerprint());
 }
 
 #ifdef OFC_SIM_ASSERTS

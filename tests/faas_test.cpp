@@ -368,5 +368,189 @@ TEST_F(PlatformTest, DispatchOverheadAppliesToWarmStart) {
   EXPECT_EQ(warm.startup_time, Millis(8));
 }
 
+// ---- Overload protection ------------------------------------------------------
+
+TEST_F(PlatformTest, QueueDepthLimitShedsWithResourceExhausted) {
+  PlatformOptions options;
+  options.num_workers = 1;
+  options.worker_memory = MiB(512);  // Exactly one 512 MiB-booked sandbox fits.
+  options.max_queue_depth = 1;
+  MakePlatform(options);
+  RegisterTiny("f");
+  rsds_.Seed("in/obj", KiB(64), {});
+
+  std::vector<InvocationRecord> records;
+  for (int i = 0; i < 3; ++i) {
+    platform_->Invoke("f", {InputObject{"in/obj", TinyImage()}}, {},
+                      [&records](const InvocationRecord& r) { records.push_back(r); });
+  }
+  // The first runs, the second queues; the third finds the queue full and is
+  // shed synchronously-exactly-once, before either of the others completes.
+  while (records.size() < 3 && loop_.Step()) {
+  }
+  ASSERT_EQ(records.size(), 3u);
+  const InvocationRecord& shed = records.front();  // Shed completes first.
+  EXPECT_TRUE(shed.shed);
+  EXPECT_TRUE(shed.failed);
+  EXPECT_EQ(shed.final_status, StatusCode::kResourceExhausted);
+  int shed_count = 0;
+  int succeeded = 0;
+  for (const InvocationRecord& r : records) {
+    shed_count += r.shed ? 1 : 0;
+    succeeded += r.failed ? 0 : 1;
+  }
+  EXPECT_EQ(shed_count, 1);
+  EXPECT_EQ(succeeded, 2);  // The queued request still ran to completion.
+  EXPECT_EQ(platform_->stats().shed_requests, 1u);
+  EXPECT_EQ(platform_->metrics().CounterValue("ofc.overload.shed", "queue_full"), 1u);
+}
+
+TEST_F(PlatformTest, QueueDeadlineShedsLongWaiters) {
+  PlatformOptions options;
+  options.num_workers = 1;
+  options.worker_memory = MiB(512);
+  options.queue_deadline = Millis(50);  // Far below the 180 ms cold start.
+  MakePlatform(options);
+  RegisterTiny("f");
+  rsds_.Seed("in/obj", KiB(64), {});
+
+  std::vector<InvocationRecord> records;
+  for (int i = 0; i < 2; ++i) {
+    platform_->Invoke("f", {InputObject{"in/obj", TinyImage()}}, {},
+                      [&records](const InvocationRecord& r) { records.push_back(r); });
+  }
+  const SimTime start = loop_.now();
+  while (records.size() < 2 && loop_.Step()) {
+  }
+  ASSERT_EQ(records.size(), 2u);
+  const InvocationRecord& shed = records.front();
+  EXPECT_TRUE(shed.shed);
+  EXPECT_EQ(shed.final_status, StatusCode::kResourceExhausted);
+  // The shed fires at the deadline, not when the running invocation finishes.
+  EXPECT_EQ(shed.total, Millis(50));
+  EXPECT_FALSE(records.back().failed);
+  EXPECT_EQ(platform_->metrics().CounterValue("ofc.overload.shed", "deadline"), 1u);
+  // Queue residence never exceeds the deadline.
+  const obs::Series* wait = platform_->metrics().FindSeries("ofc.platform.queue_wait_ms");
+  ASSERT_NE(wait, nullptr);
+  EXPECT_LE(wait->running().max(), ToMillis(options.queue_deadline));
+  (void)start;
+}
+
+TEST_F(PlatformTest, ConcurrencyLimitQueuesWithoutShedding) {
+  PlatformOptions options;
+  options.max_concurrency_per_function = 1;  // Plenty of memory and workers.
+  MakePlatform(options);
+  RegisterTiny("f");
+  rsds_.Seed("in/obj", KiB(64), {});
+
+  std::vector<InvocationRecord> records;
+  for (int i = 0; i < 3; ++i) {
+    platform_->Invoke("f", {InputObject{"in/obj", TinyImage()}}, {},
+                      [&records](const InvocationRecord& r) { records.push_back(r); });
+  }
+  while (records.size() < 3 && loop_.Step()) {
+  }
+  ASSERT_EQ(records.size(), 3u);
+  for (const InvocationRecord& r : records) {
+    EXPECT_FALSE(r.failed);
+    EXPECT_FALSE(r.shed);
+  }
+  EXPECT_EQ(platform_->stats().shed_requests, 0u);
+  EXPECT_GE(platform_->stats().queued_requests, 2u);
+}
+
+TEST_F(PlatformTest, TenantConcurrencyLimitSpansFunctions) {
+  PlatformOptions options;
+  options.max_concurrency_per_tenant = 1;
+  MakePlatform(options);
+  RegisterTiny("f1");
+  RegisterTiny("f2");  // Same default tenant as f1.
+  rsds_.Seed("in/obj", KiB(64), {});
+
+  std::vector<InvocationRecord> records;
+  for (const char* fn : {"f1", "f2"}) {
+    platform_->Invoke(fn, {InputObject{"in/obj", TinyImage()}}, {},
+                      [&records](const InvocationRecord& r) { records.push_back(r); });
+  }
+  while (records.size() < 2 && loop_.Step()) {
+  }
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_FALSE(records[0].failed);
+  EXPECT_FALSE(records[1].failed);
+  // The second function queued behind the tenant cap despite free capacity.
+  EXPECT_GE(platform_->stats().queued_requests, 1u);
+}
+
+TEST_F(PlatformTest, OomReleaseReprobesWaitQueue) {
+  // Regression: a queued request whose function had no live sandboxes used to
+  // wait out the whole OOM-retry window, because the OOM path released its
+  // sandbox without re-probing the wait queue. With the ReleaseSandbox drain,
+  // the waiter reclaims the idle sandbox the moment the OOM kill releases it —
+  // before the killed invocation's retry fires — so it must finish first.
+  struct UnderpredictA : PlatformHooks {
+    Sizing SizeInvocation(const FunctionConfig& fn, const std::vector<InputObject>&,
+                          const std::vector<double>&) override {
+      if (fn.spec.name == "a" && calls++ == 0) {
+        return Sizing{MiB(64), false};  // Forces an OOM kill on a's first run.
+      }
+      return Sizing{fn.booked_memory, false};
+    }
+    int calls = 0;
+  } hooks;
+  PlatformOptions options;
+  options.num_workers = 1;
+  options.worker_memory = MiB(512);
+  MakePlatform(options, &hooks);
+  RegisterTiny("a");
+  RegisterTiny("b");
+  rsds_.Seed("in/obj", MiB(1), {});
+
+  std::vector<std::string> completion_order;
+  InvocationRecord record_a;
+  InvocationRecord record_b;
+  platform_->Invoke("a", {InputObject{"in/obj", TinyImage(MiB(1))}}, {},
+                    [&](const InvocationRecord& r) {
+                      record_a = r;
+                      completion_order.push_back("a");
+                    });
+  platform_->Invoke("b", {InputObject{"in/obj", TinyImage(MiB(1))}}, {},
+                    [&](const InvocationRecord& r) {
+                      record_b = r;
+                      completion_order.push_back("b");
+                    });
+  while (completion_order.size() < 2 && loop_.Step()) {
+  }
+  ASSERT_EQ(completion_order.size(), 2u);
+  EXPECT_TRUE(record_a.oom_killed);
+  EXPECT_FALSE(record_a.failed);
+  EXPECT_FALSE(record_b.failed);
+  EXPECT_EQ(completion_order.front(), "b");
+}
+
+TEST_F(PlatformTest, QueuedRequestDispatchesAfterWorkerRestore) {
+  PlatformOptions options;
+  options.num_workers = 1;
+  MakePlatform(options);
+  RegisterTiny("f");
+  rsds_.Seed("in/obj", KiB(64), {});
+
+  platform_->CrashWorker(0);
+  InvocationRecord record;
+  bool done = false;
+  platform_->Invoke("f", {InputObject{"in/obj", TinyImage()}}, {},
+                    [&](const InvocationRecord& r) {
+                      record = r;
+                      done = true;
+                    });
+  loop_.RunUntil(loop_.now() + Seconds(5));
+  EXPECT_FALSE(done);  // Nowhere to run: the request waits (unbounded queue).
+  platform_->RestoreWorker(0);
+  while (!done && loop_.Step()) {
+  }
+  EXPECT_TRUE(done);
+  EXPECT_FALSE(record.failed);
+}
+
 }  // namespace
 }  // namespace ofc::faas

@@ -12,6 +12,9 @@
 //           [--metrics-json=PATH] [--metrics-csv=PATH]
 //           [--trace-json=PATH] [--trace-sample=N] [--log-sim-time]
 //           [--fault-plan=PATH] [--crash-node-at=N:S[:D]]
+//           [--queue-limit=N] [--queue-deadline-s=S] [--max-concurrency=N]
+//           [--breaker-threshold=N] [--breaker-open-s=S] [--breaker-probes=N]
+//           [--breaker-slo-ms=MS]
 //           [--selfcheck-determinism]
 //
 // Examples:
@@ -21,6 +24,7 @@
 //   ofc_sim --fault-plan=chaos.json              # replay a declarative fault plan
 //   ofc_sim --crash-node-at=1:60:30              # crash node 1 at t=60s for 30s
 //   ofc_sim --selfcheck-determinism              # replay twice, diff metrics
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -59,6 +63,17 @@ struct Flags {
   // Declarative fault schedule (--fault-plan JSON plus --crash-node-at
   // shorthands), replayed by a FaultInjector alongside the workload.
   fault::FaultPlan fault_plan;
+  // Overload protection: platform admission control (queue depth / deadline /
+  // concurrency, 0 = unbounded) and the proxy's cache-path circuit breaker
+  // (threshold 0 = disabled).
+  std::size_t queue_limit = 0;
+  // simlint: allow(float-sim-time) -- CLI flag in seconds, converted to integral SimDuration before use
+  double queue_deadline_s = 0.0;
+  int max_concurrency = 0;
+  int breaker_threshold = 0;
+  double breaker_open_s = 5.0;
+  int breaker_probes = 3;
+  double breaker_slo_ms = 0.0;
   // Replays the scenario twice (same seed, perturbed unordered-container hash
   // salt) and diffs the metrics snapshots and event-loop fingerprint; exits
   // nonzero on any divergence.
@@ -162,6 +177,10 @@ int Usage() {
                "               [--metrics-json=PATH] [--metrics-csv=PATH]\n"
                "               [--trace-json=PATH] [--trace-sample=N] [--log-sim-time]\n"
                "               [--fault-plan=PATH] [--crash-node-at=N:S[:D]]\n"
+               "               [--queue-limit=N] [--queue-deadline-s=S]\n"
+               "               [--max-concurrency=N] [--breaker-threshold=N]\n"
+               "               [--breaker-open-s=S] [--breaker-probes=N]\n"
+               "               [--breaker-slo-ms=MS]\n"
                "               [--selfcheck-determinism]\n"
                "\navailable functions:\n");
   for (const workloads::FunctionSpec& spec : workloads::AllFunctions()) {
@@ -215,6 +234,16 @@ int RunScenario(const Flags& flags, bool quiet, std::uint64_t run_index, RunOutc
   faasload::EnvironmentOptions env_options;
   env_options.platform.num_workers = flags.workers;
   env_options.platform.worker_memory = GiB(flags.worker_gb);
+  env_options.platform.max_queue_depth = flags.queue_limit;
+  env_options.platform.queue_deadline =
+      static_cast<SimDuration>(flags.queue_deadline_s * 1e6);
+  env_options.platform.max_concurrency_per_function = flags.max_concurrency;
+  env_options.ofc.proxy.breaker_failure_threshold = flags.breaker_threshold;
+  env_options.ofc.proxy.breaker_open_duration =
+      static_cast<SimDuration>(flags.breaker_open_s * 1e6);
+  env_options.ofc.proxy.breaker_half_open_probes = flags.breaker_probes;
+  env_options.ofc.proxy.breaker_latency_slo =
+      static_cast<SimDuration>(flags.breaker_slo_ms * 1e3);
   env_options.seed = seed;
   faasload::Environment env(mode, env_options);
   if (!flags.trace_json.empty()) {
@@ -330,15 +359,24 @@ int RunScenario(const Flags& flags, bool quiet, std::uint64_t run_index, RunOutc
       std::printf("  cache used/capacity  %s / %s\n",
                   FormatBytes(env.cluster()->TotalUsed()).c_str(),
                   FormatBytes(env.cluster()->TotalCapacity()).c_str());
+      if (flags.breaker_threshold > 0) {
+        std::printf("  breaker              %llu opens, %llu closes, "
+                    "%llu bypassed reads, %llu bypassed writes\n",
+                    static_cast<unsigned long long>(proxy.breaker_opens),
+                    static_cast<unsigned long long>(proxy.breaker_closes),
+                    static_cast<unsigned long long>(proxy.breaker_bypassed_reads),
+                    static_cast<unsigned long long>(proxy.breaker_bypassed_writes));
+      }
     }
     const auto& platform = env.platform().stats();
     std::printf("\nplatform: %llu invocations, %llu cold starts, %llu OOM kills, "
-                "%llu rescues, %llu failures\n",
+                "%llu rescues, %llu failures, %llu shed\n",
                 static_cast<unsigned long long>(platform.invocations),
                 static_cast<unsigned long long>(platform.cold_starts),
                 static_cast<unsigned long long>(platform.oom_kills),
                 static_cast<unsigned long long>(platform.oom_rescues),
-                static_cast<unsigned long long>(platform.failed_invocations));
+                static_cast<unsigned long long>(platform.failed_invocations),
+                static_cast<unsigned long long>(platform.shed_requests));
   }
 
   out->metrics_json = env.metrics().SnapshotJson(env.loop().now());
@@ -453,7 +491,26 @@ int RunSelfcheck(const Flags& flags) {
       {Seconds(75), fault::FaultKind::kWorkerCrash, 0, Seconds(10), 2.0},
       {Seconds(90), fault::FaultKind::kPersistorDrop, -1, Seconds(15), 2.0},
   };
-  return SelfcheckPair(chaos, "chaos");
+  rc = SelfcheckPair(chaos, "chaos");
+  if (rc != 0) {
+    return rc;
+  }
+  // Third pair: overload — bursty arrivals against bounded admission with the
+  // breaker armed, the store browned out and the cache path degraded, so load
+  // shedding and breaker transitions are also held to byte-identical replays.
+  Flags overload = flags;
+  overload.arrivals = "bursty";
+  overload.interval_s = std::min(flags.interval_s, 5.0);
+  overload.queue_limit = 8;
+  overload.queue_deadline_s = 2.0;
+  overload.breaker_threshold = 3;
+  overload.breaker_open_s = 10.0;
+  overload.breaker_probes = 2;
+  overload.fault_plan.events = {
+      {Seconds(30), fault::FaultKind::kStoreBrownout, -1, Seconds(60), 4.0},
+      {Seconds(45), fault::FaultKind::kCacheDegraded, -1, Seconds(40), 2.0},
+  };
+  return SelfcheckPair(overload, "overload");
 }
 
 }  // namespace
@@ -508,6 +565,20 @@ int Main(int argc, char** argv) {
         return 1;
       }
       flags.fault_plan.events.push_back(event);
+    } else if (ParseFlag(argv[i], "--queue-limit", &value)) {
+      flags.queue_limit = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--queue-deadline-s", &value)) {
+      flags.queue_deadline_s = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--max-concurrency", &value)) {
+      flags.max_concurrency = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--breaker-threshold", &value)) {
+      flags.breaker_threshold = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--breaker-open-s", &value)) {
+      flags.breaker_open_s = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--breaker-probes", &value)) {
+      flags.breaker_probes = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--breaker-slo-ms", &value)) {
+      flags.breaker_slo_ms = std::atof(value.c_str());
     } else if (std::strcmp(argv[i], "--selfcheck-determinism") == 0) {
       flags.selfcheck = true;
     } else if (std::strcmp(argv[i], "--selfcheck-perturb") == 0) {
