@@ -2,6 +2,25 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
+
+namespace ofc {
+namespace {
+
+std::function<void(const std::string&)>& AssertHook() {
+  static std::function<void(const std::string&)> hook;
+  return hook;
+}
+
+}  // namespace
+
+void SetSimAssertHook(std::function<void(const std::string&)> hook) {
+  AssertHook() = std::move(hook);
+}
+
+void ClearSimAssertHook() { AssertHook() = nullptr; }
+
+}  // namespace ofc
 
 namespace ofc::internal {
 
@@ -13,6 +32,14 @@ AssertMessage::~AssertMessage() {
   const std::string text = stream_.str();
   std::fprintf(stderr, "%s\n", text.c_str());
   std::fflush(stderr);
+  // Hand the failure to the post-mortem hook (flight-recorder dump) before
+  // aborting. Cleared first so a failure inside the hook aborts immediately
+  // instead of recursing.
+  auto hook = std::move(AssertHook());
+  ClearSimAssertHook();
+  if (hook) {
+    hook(text);
+  }
   std::abort();
 }
 

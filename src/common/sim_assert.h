@@ -20,7 +20,20 @@
 #ifndef OFC_COMMON_SIM_ASSERT_H_
 #define OFC_COMMON_SIM_ASSERT_H_
 
+#include <functional>
 #include <sstream>
+
+namespace ofc {
+
+// Post-mortem hook: invoked exactly once, right before a failed SIM_ASSERT
+// aborts the process, with the formatted failure message. Used by the
+// flight-recorder dump-on-assert path; the hook must not assume the simulation
+// is in a consistent state (an invariant just failed). The hook is cleared
+// before it runs, so a SIM_ASSERT failing *inside* the hook cannot recurse.
+void SetSimAssertHook(std::function<void(const std::string& message)> hook);
+void ClearSimAssertHook();
+
+}  // namespace ofc
 
 namespace ofc::internal {
 

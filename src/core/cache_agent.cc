@@ -26,6 +26,7 @@ CacheAgent::CacheAgent(sim::EventLoop* loop, rc::Cluster* cluster, CacheAgentOpt
     metrics_ = owned_metrics_.get();
   }
   trace_ = options_.trace;
+  flight_ = options_.flight;
   m_.scale_ups = metrics_->GetCounter("ofc.cache_agent.scale_ups");
   m_.scale_downs_plain = metrics_->GetCounter("ofc.cache_agent.scale_downs_plain");
   m_.scale_downs_migration = metrics_->GetCounter("ofc.cache_agent.scale_downs_migration");
@@ -189,6 +190,10 @@ void CacheAgent::ApplyTarget(int worker) {
                      static_cast<std::uint64_t>(worker),
                      {{"target_bytes", std::to_string(target)}});
       }
+      if (FlightOn()) {
+        flight_->Record(loop_->now(), obs::FlightEventKind::kScaleUp, 0, 0, worker, "",
+                        std::to_string(target) + "B");
+      }
     }
     return;
   }
@@ -225,6 +230,10 @@ void CacheAgent::ApplyTarget(int worker) {
                    static_cast<std::uint64_t>(worker),
                    {{"target_bytes", std::to_string(target)},
                     {"mode", migrated ? "migration" : (evicted ? "eviction" : "plain")}});
+    }
+    if (FlightOn()) {
+      flight_->Record(loop_->now(), obs::FlightEventKind::kScaleDown, 0, 0, worker, "",
+                      migrated ? "migration" : (evicted ? "eviction" : "plain"));
     }
   }
 }
@@ -293,6 +302,10 @@ Bytes CacheAgent::FreeBytes(int worker, Bytes needed, bool* migrated, bool* evic
         trace_->Span("migrate-master", "cache", loop_->now(), migration->duration,
                      obs::kPidCache, static_cast<std::uint64_t>(worker),
                      {{"key", obj.key}});
+      }
+      if (FlightOn()) {
+        flight_->Record(loop_->now(), obs::FlightEventKind::kMigration, 0, 0, worker,
+                        obj.key, "to_" + std::to_string(migration->new_master));
       }
       continue;
     }
@@ -391,6 +404,9 @@ bool CacheAgent::UnderPressure(int worker) {
         trace_->Instant("pressure-exit", "overload", loop_->now(), obs::kPidCache,
                         static_cast<std::uint64_t>(worker));
       }
+      if (FlightOn()) {
+        flight_->Record(loop_->now(), obs::FlightEventKind::kPressureExit, 0, 0, worker);
+      }
     }
   } else if (ratio >= options_.pressure_high_watermark) {
     under_pressure_[w] = true;
@@ -398,6 +414,9 @@ bool CacheAgent::UnderPressure(int worker) {
     if (trace_ != nullptr && trace_->enabled()) {
       trace_->Instant("pressure-enter", "overload", loop_->now(), obs::kPidCache,
                       static_cast<std::uint64_t>(worker));
+    }
+    if (FlightOn()) {
+      flight_->Record(loop_->now(), obs::FlightEventKind::kPressureEnter, 0, 0, worker);
     }
   }
   return under_pressure_[w];

@@ -35,6 +35,7 @@
 #include "src/common/stats.h"
 #include "src/common/units.h"
 #include "src/faas/platform.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/ramcloud/cluster.h"
@@ -66,9 +67,11 @@ struct CacheAgentOptions {
   double pressure_high_watermark = 2.0;
   double pressure_low_watermark = 0.85;
   // Observability sinks (src/obs/). Null `metrics` -> private registry; null
-  // `trace` -> scaling/migration events are skipped.
+  // `trace` -> scaling/migration events are skipped; null `flight` -> no
+  // black-box scale/pressure/migration records.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
+  obs::FlightRecorder* flight = nullptr;
 };
 
 // Snapshot view over the agent's `ofc.cache_agent.*` registry cells.
@@ -192,6 +195,8 @@ class CacheAgent {
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  bool FlightOn() const { return flight_ != nullptr && flight_->enabled(); }
   Metrics m_;
   bool started_ = false;
 };

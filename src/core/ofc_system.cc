@@ -10,15 +10,18 @@ namespace ofc::core {
 namespace {
 
 CacheAgentOptions WithObs(CacheAgentOptions o, obs::MetricsRegistry* metrics,
-                          obs::TraceRecorder* trace) {
+                          obs::TraceRecorder* trace, obs::FlightRecorder* flight) {
   o.metrics = metrics;
   o.trace = trace;
+  o.flight = flight;
   return o;
 }
 
-ProxyOptions WithObs(ProxyOptions o, obs::MetricsRegistry* metrics, obs::TraceRecorder* trace) {
+ProxyOptions WithObs(ProxyOptions o, obs::MetricsRegistry* metrics, obs::TraceRecorder* trace,
+                     obs::FlightRecorder* flight) {
   o.metrics = metrics;
   o.trace = trace;
+  o.flight = flight;
   return o;
 }
 
@@ -34,8 +37,10 @@ OfcSystem::OfcSystem(sim::EventLoop* loop, rc::Cluster* cluster, store::ObjectSt
       registry_(options.model),
       predictor_(&registry_, metrics_),
       trainer_(&registry_, options.rsds_estimate, metrics_),
-      cache_agent_(loop, cluster, WithObs(options.cache_agent, metrics_, options.trace)),
-      proxy_(loop, cluster, rsds, WithObs(options.proxy, metrics_, options.trace)) {
+      cache_agent_(loop, cluster,
+                   WithObs(options.cache_agent, metrics_, options.trace, options.flight)),
+      proxy_(loop, cluster, rsds,
+             WithObs(options.proxy, metrics_, options.trace, options.flight)) {
   m_.model_predictions = metrics_->GetCounter("ofc.predictor.model_predictions");
   m_.booked_fallbacks = metrics_->GetCounter("ofc.predictor.booked_fallbacks");
   m_.good_predictions = metrics_->GetCounter("ofc.predictor.good_predictions");

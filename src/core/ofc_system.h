@@ -40,9 +40,10 @@ struct OfcOptions {
   store::StoreProfile rsds_estimate = store::StoreProfile::Swift();
   // Observability sinks (src/obs/), propagated into the CacheAgent and Proxy
   // sub-options so the whole assembly shares one registry. Null `metrics` ->
-  // the system owns a private registry.
+  // the system owns a private registry; null `flight` -> no black-box records.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
+  obs::FlightRecorder* flight = nullptr;
 };
 
 // Snapshot view over the `ofc.predictor.*` registry counters.

@@ -16,6 +16,7 @@ Proxy::Proxy(sim::EventLoop* loop, rc::Cluster* cluster, store::ObjectStore* rsd
     metrics_ = owned_metrics_.get();
   }
   trace_ = options_.trace;
+  flight_ = options_.flight;
   m_.cache_hits = metrics_->GetCounter("ofc.proxy.cache_hits");
   m_.cache_misses = metrics_->GetCounter("ofc.proxy.cache_misses");
   m_.admissions = metrics_->GetCounter("ofc.proxy.admissions");
@@ -172,6 +173,10 @@ void Proxy::Read(const faas::InvocationContext& ctx, const std::string& key,
                     elapsed <= options_.breaker_latency_slo);
       ++*m_.cache_hits;
       ++*fn.hits;
+      if (FlightOn()) {
+        flight_->Record(loop_->now(), obs::FlightEventKind::kCacheHit,
+                        ctx.invocation_id, 0, ctx.worker, key);
+      }
       done(hit->size);
       return;
     }
@@ -180,6 +185,10 @@ void Proxy::Read(const faas::InvocationContext& ctx, const std::string& key,
     BreakerReport(hit.status().code() == StatusCode::kNotFound);
     ++*m_.cache_misses;
     ++*fn.misses;
+    if (FlightOn()) {
+      flight_->Record(loop_->now(), obs::FlightEventKind::kCacheMiss,
+                      ctx.invocation_id, 0, ctx.worker, key);
+    }
     // Miss: fetch from the RSDS (with bounded kUnavailable retries), then admit
     // off the critical path.
     const SimTime read_deadline = loop_->now() + options_.rsds_deadline;
@@ -204,9 +213,14 @@ void Proxy::Read(const faas::InvocationContext& ctx, const std::string& key,
           ++*m_.admission_deferred;
         } else {
           CacheWrite(ctx.worker, key, size, version, rc::ObjectClass::kInput,
-                     /*dirty=*/false, [this](Status status) {
+                     /*dirty=*/false, [this, ctx, key](Status status) {
                        if (status.ok()) {
                          ++*m_.admissions;
+                         if (FlightOn()) {
+                           flight_->Record(loop_->now(),
+                                           obs::FlightEventKind::kCacheAdmit,
+                                           ctx.invocation_id, 0, ctx.worker, key);
+                         }
                        } else {
                          ++*m_.admission_failures;
                        }
@@ -328,7 +342,7 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
     // eviction), relying on RAMCloud's on-disk replication for durability.
     CacheWrite(ctx.worker, key, size, /*version=*/0, rc::ObjectClass::kFinalOutput,
                /*dirty=*/true,
-               [this, key, size, media, done = std::move(done)](Status status) {
+               [this, ctx, key, size, media, done = std::move(done)](Status status) {
                  BreakerReport(WriteHealthy(status));
                  if (!status.ok()) {
                    ++*m_.direct_writes;
@@ -336,6 +350,10 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
                    return;
                  }
                  ++*m_.cached_writes;
+                 if (FlightOn()) {
+                   flight_->Record(loop_->now(), obs::FlightEventKind::kCacheWrite,
+                                   ctx.invocation_id, 0, ctx.worker, key);
+                 }
                  done(OkStatus());
                });
     return;
@@ -350,7 +368,7 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
     bool cache_ok = true;
   };
   auto join = std::make_shared<JoinState>();
-  auto finish = [this, join, key, size, media, done = std::move(done)]() mutable {
+  auto finish = [this, ctx, join, key, size, media, done = std::move(done)]() mutable {
     if (--join->remaining > 0) {
       return;
     }
@@ -366,10 +384,15 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
           trace_->Instant("write-fallback", "degradation", loop_->now(), obs::kPidStore,
                           /*tid=*/0, {{"key", key}});
         }
+        if (FlightOn()) {
+          flight_->Record(loop_->now(), obs::FlightEventKind::kWriteFallback,
+                          ctx.invocation_id, 0, ctx.worker, key);
+        }
         PersistorJob job;
         job.key = key;
         job.size = size;
         job.drop_after = true;
+        job.invocation_id = ctx.invocation_id;
         // The store version this fallback supersedes, read through the
         // management plane (the data plane is down): the If-Match ETag for the
         // eventual compare-and-swap push. Anything newer landing after heal
@@ -392,11 +415,16 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
       return;
     }
     ++*m_.cached_writes;
+    if (FlightOn()) {
+      flight_->Record(loop_->now(), obs::FlightEventKind::kCacheWrite,
+                      ctx.invocation_id, 0, ctx.worker, key);
+    }
     PersistorJob job;
     job.key = key;
     job.version = join->version;
     job.size = size;
     job.drop_after = true;
+    job.invocation_id = ctx.invocation_id;
     job.epoch = write_epoch_[key] = next_write_epoch_++;
     SchedulePersistor(std::move(job));
     done(OkStatus());
@@ -498,6 +526,9 @@ void Proxy::BreakerTrip() {
   ++*m_.breaker_opens;
   m_.breaker_state->Set(1.0);
   TraceBreaker("breaker-open");
+  if (FlightOn()) {
+    flight_->Record(loop_->now(), obs::FlightEventKind::kBreakerOpen, 0, 0, -1, "breaker");
+  }
 }
 
 void Proxy::BreakerClose() {
@@ -507,6 +538,9 @@ void Proxy::BreakerClose() {
   ++*m_.breaker_closes;
   m_.breaker_state->Set(0.0);
   TraceBreaker("breaker-close");
+  if (FlightOn()) {
+    flight_->Record(loop_->now(), obs::FlightEventKind::kBreakerClose, 0, 0, -1, "breaker");
+  }
 }
 
 void Proxy::TraceBreaker(const char* what) {
@@ -519,6 +553,10 @@ void Proxy::SchedulePersistor(PersistorJob job, int attempt) {
   // The persistor runs as a helper FaaS function: one dispatch delay, then the
   // payload push to the RSDS.
   const SimTime scheduled = loop_->now();
+  if (attempt == 0 && FlightOn()) {
+    flight_->Record(scheduled, obs::FlightEventKind::kPersistorDispatch, 0,
+                    job.invocation_id, -1, job.key);
+  }
   loop_->ScheduleAfter(options_.persistor_dispatch,
                        [this, job = std::move(job), scheduled, attempt]() mutable {
                          RunPersistor(std::move(job), scheduled, attempt);
@@ -543,6 +581,10 @@ void Proxy::RunPersistor(PersistorJob job, SimTime scheduled, int attempt) {
     // shadow version ordering) converges the store, and pushing the stale
     // fallback payload would clobber it.
     ++*m_.persistor_conflicts;
+    if (FlightOn()) {
+      flight_->Record(loop_->now(), obs::FlightEventKind::kPersistorConflict, 0,
+                      job.invocation_id, -1, job.key, "stale_epoch");
+    }
     return;
   }
   ++*m_.persistor_runs;
@@ -555,12 +597,20 @@ void Proxy::RunPersistor(PersistorJob job, SimTime scheduled, int attempt) {
       // kAborted: a newer version already reached the RSDS; propagation
       // order is preserved by dropping the stale push.
       ++*m_.persistor_conflicts;
+      if (FlightOn()) {
+        flight_->Record(loop_->now(), obs::FlightEventKind::kPersistorConflict, 0,
+                        job.invocation_id, -1, job.key, "newer_version");
+      }
       return;
     }
     m_.persistor_ms->Observe(ToMillis(loop_->now() - scheduled));
     if (trace_ != nullptr && trace_->enabled()) {
       trace_->Span("persistor", "writeback", scheduled, loop_->now() - scheduled,
                    obs::kPidStore, /*tid=*/0, {{"key", job.key}});
+    }
+    if (FlightOn()) {
+      flight_->Record(loop_->now(), obs::FlightEventKind::kPersistorDone, 0,
+                      job.invocation_id, -1, job.key);
     }
     if (!EpochCurrent(job)) {
       // The push landed, but a newer acknowledged write took over the cached
@@ -592,6 +642,10 @@ void Proxy::RetryPersistor(PersistorJob job, int attempt) {
     return;
   }
   ++*m_.persistor_retries;
+  if (FlightOn()) {
+    flight_->Record(loop_->now(), obs::FlightEventKind::kPersistorRetry, 0,
+                    job.invocation_id, -1, job.key);
+  }
   const SimDuration backoff = Backoff(options_.persistor_retry_backoff, attempt);
   const SimTime scheduled = loop_->now();
   loop_->ScheduleAfter(backoff, [this, job = std::move(job), scheduled, attempt]() mutable {
@@ -627,6 +681,9 @@ void Proxy::Writeback(const std::string& key, std::function<void(Status)> done) 
   // otherwise create the object outright (relaxed mode / intermediates).
   const auto meta = rsds_->Stat(key);
   ++*m_.persistor_runs;
+  if (FlightOn()) {
+    flight_->Record(loop_->now(), obs::FlightEventKind::kWriteback, 0, 0, -1, key);
+  }
   if (meta.ok() && meta->IsShadow()) {
     rsds_->FinalizePayload(key, meta->latest_version, size,
                            [this, key, done = std::move(done)](Status status) {

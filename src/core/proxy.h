@@ -33,6 +33,7 @@
 
 #include "src/common/hash.h"
 #include "src/faas/platform.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/ramcloud/cluster.h"
@@ -83,9 +84,11 @@ struct ProxyOptions {
   SimDuration breaker_open_duration = Seconds(5);
   int breaker_half_open_probes = 3;
   // Observability sinks (src/obs/). Null `metrics` -> private registry; null
-  // `trace` -> persistor/webhook events are skipped.
+  // `trace` -> persistor/webhook events are skipped; null `flight` -> black-box
+  // cache/persistor records are skipped.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
+  obs::FlightRecorder* flight = nullptr;
 };
 
 // Snapshot view over the proxy's `ofc.proxy.*` registry counters.
@@ -241,6 +244,9 @@ class Proxy : public faas::DataService {
     bool drop_after = false;
     store::ObjectVersion fallback_base = 0;  // Meaningful when version == 0.
     std::uint64_t epoch = 0;
+    // Invocation whose write spawned this job; links the persistor chain back
+    // to its causal parent in the flight recorder (0 = cache-agent writeback).
+    std::uint64_t invocation_id = 0;
   };
 
   // Deterministic exponential backoff: base * 2^attempt, capped at 30 s.
@@ -290,6 +296,8 @@ class Proxy : public faas::DataService {
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  bool FlightOn() const { return flight_ != nullptr && flight_->enabled(); }
   SimTime persistor_drop_until_ = 0;  // Fault injection: dispatches before this are lost.
   SimTime cache_fault_until_ = 0;     // Fault injection: cluster ops before this fail.
   // Circuit-breaker state (all transitions are clock/counter-driven, so

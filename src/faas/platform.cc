@@ -62,6 +62,7 @@ Platform::Platform(sim::EventLoop* loop, PlatformOptions options, DataService* d
     metrics_ = owned_metrics_.get();
   }
   trace_ = options_.trace;
+  flight_ = options_.flight;
   m_.invocations = metrics_->GetCounter("ofc.platform.invocations");
   m_.cold_starts = metrics_->GetCounter("ofc.platform.cold_starts");
   m_.warm_starts = metrics_->GetCounter("ofc.platform.warm_starts");
@@ -235,6 +236,10 @@ void Platform::Invoke(const std::string& function, std::vector<InputObject> inpu
 
 void Platform::InvokeInternal(std::shared_ptr<Request> request) {
   ++*m_.invocations;
+  if (FlightOn()) {
+    flight_->Record(loop_->now(), obs::FlightEventKind::kSubmit, request->id,
+                    request->pipeline_id, -1, request->function);
+  }
   Dispatch(std::move(request));
 }
 
@@ -446,6 +451,11 @@ void Platform::RunOnSandbox(std::shared_ptr<Request> request, Sandbox* sandbox,
                  {{"worker", std::to_string(sandbox->worker)},
                   {"function", request->function}});
   }
+  if (FlightOn()) {
+    flight_->Record(loop_->now(),
+                    cold ? obs::FlightEventKind::kColdStart : obs::FlightEventKind::kWarmStart,
+                    request->id, request->pipeline_id, sandbox->worker, request->function);
+  }
 
   const std::uint64_t sandbox_id = sandbox->id;
   const std::uint64_t epoch = request->crash_epoch;
@@ -494,6 +504,11 @@ void Platform::ExecutePhases(std::shared_ptr<Request> request, std::uint64_t san
         trace_->Span("extract", "phase", extract_start, rec->extract_time,
                      obs::kPidInvocations, request->id);
       }
+      if (FlightOn()) {
+        flight_->Record(loop_->now(), obs::FlightEventKind::kExtract, request->id,
+                        request->pipeline_id, rec->worker, request->function,
+                        std::to_string(rec->input_bytes) + "B");
+      }
 
       // ---- Memory-limit check (OOM semantics, §5.3.1). ----
       SimDuration compute = demand.compute;
@@ -510,6 +525,10 @@ void Platform::ExecutePhases(std::shared_ptr<Request> request, std::uint64_t san
             trace_->Instant("oom-rescue", "oom", loop_->now(), obs::kPidInvocations,
                             request->id);
           }
+          if (FlightOn()) {
+            flight_->Record(loop_->now(), obs::FlightEventKind::kOomRescue, request->id,
+                            request->pipeline_id, rec->worker, request->function);
+          }
           compute += options_.cgroup_resize;  // Monitor raises the cap mid-run.
         } else {
           // OOM kill partway through the transform phase.
@@ -523,6 +542,12 @@ void Platform::ExecutePhases(std::shared_ptr<Request> request, std::uint64_t san
                                  if (Traced(request->id)) {
                                    trace_->Instant("oom-kill", "oom", loop_->now(),
                                                    obs::kPidInvocations, request->id);
+                                 }
+                                 if (FlightOn()) {
+                                   flight_->Record(loop_->now(),
+                                                   obs::FlightEventKind::kOomKill,
+                                                   request->id, request->pipeline_id,
+                                                   rec->worker, request->function);
                                  }
                                  FailAndMaybeRetry(std::move(request), sandbox_id, *rec);
                                });
@@ -540,6 +565,10 @@ void Platform::ExecutePhases(std::shared_ptr<Request> request, std::uint64_t san
         if (Traced(request->id)) {
           trace_->Span("transform", "phase", loop_->now() - rec->compute_time,
                        rec->compute_time, obs::kPidInvocations, request->id);
+        }
+        if (FlightOn()) {
+          flight_->Record(loop_->now(), obs::FlightEventKind::kTransform, request->id,
+                          request->pipeline_id, rec->worker, request->function);
         }
         // ---- Load phase: write the output object. ----
         const SimTime load_start = loop_->now();
@@ -560,6 +589,12 @@ void Platform::ExecutePhases(std::shared_ptr<Request> request, std::uint64_t san
                        if (Traced(request->id)) {
                          trace_->Span("load", "phase", load_start, rec->load_time,
                                       obs::kPidInvocations, request->id);
+                       }
+                       if (FlightOn()) {
+                         flight_->Record(loop_->now(), obs::FlightEventKind::kLoad,
+                                         request->id, request->pipeline_id, rec->worker,
+                                         request->output_key,
+                                         std::to_string(rec->output_bytes) + "B");
                        }
                        if (!status.ok()) {
                          FailAndMaybeRetry(std::move(request), sandbox_id, *rec);
@@ -594,6 +629,9 @@ void Platform::CrashWorker(int worker) {
   }
   worker_alive_[static_cast<std::size_t>(worker)] = false;
   ++*m_.worker_crashes;
+  if (FlightOn()) {
+    flight_->Record(loop_->now(), obs::FlightEventKind::kWorkerCrash, 0, 0, worker);
+  }
 
   // The worker's sandboxes are gone (busy ones included).
   for (auto it = sandboxes_.begin(); it != sandboxes_.end();) {
@@ -627,6 +665,10 @@ void Platform::CrashWorker(int worker) {
     ++request->retries;
     ++*m_.crash_retries;
     ++*m_.retries;
+    if (FlightOn()) {
+      flight_->Record(loop_->now(), obs::FlightEventKind::kRetry, request->id,
+                      request->pipeline_id, worker, request->function, "worker_crash");
+    }
     loop_->ScheduleAfter(options_.retry_delay, [this, request]() mutable {
       Dispatch(std::move(request));
     });
@@ -640,6 +682,9 @@ void Platform::RestoreWorker(int worker) {
   }
   worker_alive_[static_cast<std::size_t>(worker)] = true;
   ++*m_.worker_restores;
+  if (FlightOn()) {
+    flight_->Record(loop_->now(), obs::FlightEventKind::kWorkerRestore, 0, 0, worker);
+  }
   DrainWaitQueue();
 }
 
@@ -655,6 +700,10 @@ void Platform::FailAndMaybeRetry(std::shared_ptr<Request> request, std::uint64_t
     request->retries = 1;
     request->oom_killed = true;
     request->forced_limit = fn->booked_memory;
+    if (FlightOn()) {
+      flight_->Record(loop_->now(), obs::FlightEventKind::kRetry, request->id,
+                      request->pipeline_id, record.worker, request->function, "oom");
+    }
     loop_->ScheduleAfter(options_.retry_delay,
                          [this, request = std::move(request)]() mutable {
                            Dispatch(std::move(request));
@@ -669,6 +718,11 @@ void Platform::FailAndMaybeRetry(std::shared_ptr<Request> request, std::uint64_t
   if (Traced(request->id)) {
     trace_->Span(record.function, "invocation", request->arrival, record.total,
                  obs::kPidInvocations, request->id, {{"failed", "true"}});
+  }
+  if (FlightOn()) {
+    flight_->Record(loop_->now(), obs::FlightEventKind::kFail, request->id,
+                    request->pipeline_id, record.worker, request->function,
+                    record.oom_killed ? "oom" : "error");
   }
   if (fn != nullptr) {
     hooks_->OnInvocationComplete(*fn, request->inputs, request->args, record);
@@ -689,6 +743,10 @@ void Platform::FinishInvocation(std::shared_ptr<Request> request, std::uint64_t 
                  obs::kPidInvocations, request->id,
                  {{"worker", std::to_string(record.worker)},
                   {"cold_start", record.cold_start ? "true" : "false"}});
+  }
+  if (FlightOn()) {
+    flight_->Record(loop_->now(), obs::FlightEventKind::kComplete, request->id,
+                    request->pipeline_id, record.worker, request->function);
   }
   const FunctionConfig* fn = GetFunction(request->function);
   if (fn != nullptr) {
@@ -793,6 +851,10 @@ void Platform::EnqueueOrShed(std::shared_ptr<Request> request) {
     loop_->ScheduleAt(request->queue_deadline_at, [this, id] { ShedExpired(id); });
   }
   ++*m_.queued_requests;
+  if (FlightOn()) {
+    flight_->Record(now, obs::FlightEventKind::kQueue, request->id, request->pipeline_id, -1,
+                    request->function);
+  }
   wait_queue_.push_back(std::move(request));
 }
 
@@ -834,6 +896,10 @@ void Platform::Shed(std::shared_ptr<Request> request, obs::Counter* cell,
     trace_->Instant(std::string("shed-") + reason, "overload", loop_->now(),
                     obs::kPidInvocations, request->id,
                     {{"function", request->function}});
+  }
+  if (FlightOn()) {
+    flight_->Record(loop_->now(), obs::FlightEventKind::kShed, request->id,
+                    request->pipeline_id, -1, request->function, reason);
   }
   // Asynchronous completion, matching every other terminal path: Shed can fire
   // synchronously inside Invoke(), and callers must not observe completion
@@ -890,6 +956,10 @@ void Platform::InvokePipeline(const workloads::PipelineSpec& spec,
   state->objects = std::move(chunks);
   state->start = loop_->now();
   state->done = std::move(done);
+  if (FlightOn()) {
+    flight_->Record(loop_->now(), obs::FlightEventKind::kPipelineStart, 0, state->record.id,
+                    -1, spec.name, std::to_string(spec.stages.size()) + " stages");
+  }
 
   // Declared shared so stage completion can recursively launch the next stage.
   // Weak self-capture: the task-completion callbacks hold the strong
@@ -904,6 +974,11 @@ void Platform::InvokePipeline(const workloads::PipelineSpec& spec,
         trace_->Span(state->record.pipeline, "pipeline", state->start, state->record.total,
                      obs::kPidPipelines, state->record.id,
                      {{"tasks", std::to_string(state->record.num_tasks)}});
+      }
+      if (FlightOn()) {
+        flight_->Record(loop_->now(), obs::FlightEventKind::kPipelineEnd, 0,
+                        state->record.id, -1, state->record.pipeline,
+                        state->record.failed ? "failed" : "ok");
       }
       data_->OnPipelineComplete(state->record.id);
       state->done(state->record);

@@ -36,6 +36,7 @@
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/sim/event_loop.h"
@@ -66,9 +67,11 @@ struct PlatformOptions {
   int max_concurrency_per_tenant = 0;    // Running invocations per tenant.
   // Observability sinks (src/obs/). When `metrics` is null the platform owns a
   // private registry (standalone construction in unit tests); `trace` may stay
-  // null — lifecycle spans are then skipped entirely.
+  // null — lifecycle spans are then skipped entirely; `flight` may stay null —
+  // black-box lifecycle records are then skipped entirely.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
+  obs::FlightRecorder* flight = nullptr;
 };
 
 struct FunctionConfig {
@@ -366,6 +369,7 @@ class Platform {
   bool Traced(std::uint64_t invocation_id) const {
     return trace_ != nullptr && trace_->Sampled(invocation_id);
   }
+  bool FlightOn() const { return flight_ != nullptr && flight_->enabled(); }
 
   void InvokeInternal(std::shared_ptr<Request> request);
 
@@ -428,6 +432,7 @@ class Platform {
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   Metrics m_;
   // Ordered: ResetStats() and future per-function exports iterate this map, so
   // its order must not depend on hashing.

@@ -25,6 +25,11 @@ Environment::Environment(Mode mode, EnvironmentOptions options) : mode_(mode) {
     owned_trace_ = std::make_unique<obs::TraceRecorder>();  // Disabled by default.
     trace_ = owned_trace_.get();
   }
+  flight_ = options.flight;
+  if (flight_ == nullptr) {
+    owned_flight_ = std::make_unique<obs::FlightRecorder>();  // Disabled by default.
+    flight_ = owned_flight_.get();
+  }
 
   Rng rng(options.seed);
   const store::StoreProfile profile = options.rsds_profile.value_or(
@@ -35,18 +40,21 @@ Environment::Environment(Mode mode, EnvironmentOptions options) : mode_(mode) {
   faas::PlatformOptions platform_options = options.platform;
   platform_options.metrics = metrics_;
   platform_options.trace = trace_;
+  platform_options.flight = flight_;
 
   if (mode == Mode::kOfc) {
     // One RAMCloud storage server per invoker node (§6.1).
     rc::ClusterOptions cluster_options = options.cluster;
     cluster_options.default_capacity = 0;  // The CacheAgent sets real targets.
     cluster_options.metrics = metrics_;
+    cluster_options.flight = flight_;
     cluster_ = std::make_unique<rc::Cluster>(&loop_, options.platform.num_workers,
                                              cluster_options, rng.Fork());
     core::OfcOptions ofc_options = options.ofc;
     ofc_options.cache_agent.worker_memory = options.platform.worker_memory;
     ofc_options.metrics = metrics_;
     ofc_options.trace = trace_;
+    ofc_options.flight = flight_;
     ofc_ = std::make_unique<core::OfcSystem>(&loop_, cluster_.get(), rsds_.get(), ofc_options);
     platform_ = std::make_unique<faas::Platform>(&loop_, platform_options,
                                                  ofc_->data_service(), ofc_->hooks(),

@@ -16,6 +16,7 @@
 #include "src/core/ofc_system.h"
 #include "src/faas/direct_data_service.h"
 #include "src/faas/platform.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/ramcloud/cluster.h"
@@ -39,9 +40,11 @@ struct EnvironmentOptions {
   // Observability sinks injected into every layer (platform, cluster, OFC,
   // RSDS). Null `metrics` -> the environment owns a registry shared by all of
   // its components; null `trace` -> the environment owns a disabled recorder
-  // (enable via trace().set_enabled(true)).
+  // (enable via trace().set_enabled(true)); null `flight` -> the environment
+  // owns a disabled flight recorder (enable via flight().set_enabled(true)).
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
+  obs::FlightRecorder* flight = nullptr;
 };
 
 class Environment {
@@ -58,14 +61,17 @@ class Environment {
   // The registry/recorder every component of this environment reports into.
   obs::MetricsRegistry& metrics() { return *metrics_; }
   obs::TraceRecorder& trace() { return *trace_; }
+  obs::FlightRecorder& flight() { return *flight_; }
 
  private:
   Mode mode_;
   sim::EventLoop loop_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.
   std::unique_ptr<obs::TraceRecorder> owned_trace_;
+  std::unique_ptr<obs::FlightRecorder> owned_flight_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
   std::unique_ptr<store::ObjectStore> rsds_;
   std::unique_ptr<rc::Cluster> cluster_;
   std::unique_ptr<core::OfcSystem> ofc_;

@@ -15,6 +15,7 @@ FaultInjector::FaultInjector(sim::EventLoop* loop, FaultInjectorTargets targets,
     metrics_ = owned_metrics_.get();
   }
   trace_ = options.trace;
+  flight_ = options.flight;
   injected_ = metrics_->GetCounter("ofc.fault.injected");
   healed_ = metrics_->GetCounter("ofc.fault.healed");
   active_ = metrics_->GetGauge("ofc.fault.active");
@@ -87,12 +88,17 @@ void FaultInjector::TraceFault(const FaultEvent& event, const char* phase) {
 }
 
 void FaultInjector::Fire(const FaultEvent& event) {
+  const std::uint64_t fault_id = next_fault_id_++;
   ++*injected_;
   metrics_->GetCounter("ofc.fault.injected_by_kind",
                        std::string(FaultKindName(event.kind)))
       ->Add(1);
   active_->Add(1.0);
   TraceFault(event, "inject");
+  if (FlightOn()) {
+    flight_->Record(loop_->now(), obs::FlightEventKind::kFaultInject, 0, fault_id,
+                    event.target, std::string(FaultKindName(event.kind)));
+  }
   switch (event.kind) {
     case FaultKind::kWorkerCrash:
       if (++worker_crash_depth_[event.target] == 1) {
@@ -133,14 +139,18 @@ void FaultInjector::Fire(const FaultEvent& event) {
       break;
   }
   if (event.duration > 0) {
-    loop_->ScheduleAfter(event.duration, [this, event] { Heal(event); });
+    loop_->ScheduleAfter(event.duration, [this, event, fault_id] { Heal(event, fault_id); });
   }
 }
 
-void FaultInjector::Heal(const FaultEvent& event) {
+void FaultInjector::Heal(const FaultEvent& event, std::uint64_t fault_id) {
   ++*healed_;
   active_->Add(-1.0);
   TraceFault(event, "heal");
+  if (FlightOn()) {
+    flight_->Record(loop_->now(), obs::FlightEventKind::kFaultHeal, 0, fault_id,
+                    event.target, std::string(FaultKindName(event.kind)));
+  }
   switch (event.kind) {
     case FaultKind::kWorkerCrash:
       if (--worker_crash_depth_[event.target] == 0) {

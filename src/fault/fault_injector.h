@@ -22,6 +22,7 @@
 #include "src/core/proxy.h"
 #include "src/faas/platform.h"
 #include "src/fault/fault_plan.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/ramcloud/cluster.h"
@@ -41,9 +42,11 @@ struct FaultInjectorTargets {
 
 struct FaultInjectorOptions {
   // Observability sinks (src/obs/). Null `metrics` -> private registry; null
-  // `trace` -> fault events leave no spans.
+  // `trace` -> fault events leave no spans; null `flight` -> inject/heal pairs
+  // leave no black-box records.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
+  obs::FlightRecorder* flight = nullptr;
 };
 
 // Snapshot view over the injector's `ofc.fault.*` registry counters.
@@ -69,14 +72,19 @@ class FaultInjector {
   obs::MetricsRegistry& metrics() { return *metrics_; }
 
  private:
-  void Heal(const FaultEvent& event);
+  void Heal(const FaultEvent& event, std::uint64_t fault_id);
   void TraceFault(const FaultEvent& event, const char* phase);
+  bool FlightOn() const { return flight_ != nullptr && flight_->enabled(); }
 
   sim::EventLoop* loop_;
   FaultInjectorTargets targets_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  // Monotonic id shared by an inject record and its heal record, so the flight
+  // recorder's ChainFor() groups the pair as one causal fault window.
+  std::uint64_t next_fault_id_ = 1;
   // Overlap depths for store-wide conditions (see header comment).
   int outage_depth_ = 0;
   int brownout_depth_ = 0;

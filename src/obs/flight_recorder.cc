@@ -1,0 +1,188 @@
+#include "src/obs/flight_recorder.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "src/obs/export_util.h"
+
+namespace ofc::obs {
+
+const char* FlightEventKindName(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kSubmit:
+      return "submit";
+    case FlightEventKind::kQueue:
+      return "queue";
+    case FlightEventKind::kShed:
+      return "shed";
+    case FlightEventKind::kColdStart:
+      return "cold_start";
+    case FlightEventKind::kWarmStart:
+      return "warm_start";
+    case FlightEventKind::kExtract:
+      return "extract";
+    case FlightEventKind::kTransform:
+      return "transform";
+    case FlightEventKind::kLoad:
+      return "load";
+    case FlightEventKind::kOomRescue:
+      return "oom_rescue";
+    case FlightEventKind::kOomKill:
+      return "oom_kill";
+    case FlightEventKind::kRetry:
+      return "retry";
+    case FlightEventKind::kComplete:
+      return "complete";
+    case FlightEventKind::kFail:
+      return "fail";
+    case FlightEventKind::kWorkerCrash:
+      return "worker_crash";
+    case FlightEventKind::kWorkerRestore:
+      return "worker_restore";
+    case FlightEventKind::kPipelineStart:
+      return "pipeline_start";
+    case FlightEventKind::kPipelineEnd:
+      return "pipeline_end";
+    case FlightEventKind::kCacheHit:
+      return "cache_hit";
+    case FlightEventKind::kCacheMiss:
+      return "cache_miss";
+    case FlightEventKind::kCacheAdmit:
+      return "cache_admit";
+    case FlightEventKind::kCacheWrite:
+      return "cache_write";
+    case FlightEventKind::kWriteFallback:
+      return "write_fallback";
+    case FlightEventKind::kPersistorDispatch:
+      return "persistor_dispatch";
+    case FlightEventKind::kPersistorDone:
+      return "persistor_done";
+    case FlightEventKind::kPersistorRetry:
+      return "persistor_retry";
+    case FlightEventKind::kPersistorConflict:
+      return "persistor_conflict";
+    case FlightEventKind::kWriteback:
+      return "writeback";
+    case FlightEventKind::kBreakerOpen:
+      return "breaker_open";
+    case FlightEventKind::kBreakerClose:
+      return "breaker_close";
+    case FlightEventKind::kScaleUp:
+      return "scale_up";
+    case FlightEventKind::kScaleDown:
+      return "scale_down";
+    case FlightEventKind::kMigration:
+      return "migration";
+    case FlightEventKind::kPressureEnter:
+      return "pressure_enter";
+    case FlightEventKind::kPressureExit:
+      return "pressure_exit";
+    case FlightEventKind::kFaultInject:
+      return "fault_inject";
+    case FlightEventKind::kFaultHeal:
+      return "fault_heal";
+    case FlightEventKind::kNodeCrash:
+      return "node_crash";
+    case FlightEventKind::kNodeRestart:
+      return "node_restart";
+    case FlightEventKind::kNodeRecovered:
+      return "node_recovered";
+  }
+  return "unknown";
+}
+
+void FlightRecorder::set_capacity(std::size_t n) {
+  options_.capacity = n == 0 ? 1 : n;
+  while (ring_.size() > options_.capacity) {
+    ring_.pop_front();
+  }
+}
+
+void FlightRecorder::Record(SimTime time, FlightEventKind kind, std::uint64_t invocation_id,
+                            std::uint64_t parent_id, std::int32_t worker, std::string subject,
+                            std::string detail) {
+  if (!options_.enabled) {
+    return;
+  }
+  FlightEvent ev;
+  ev.seq = next_seq_++;
+  ev.time = time;
+  ev.kind = kind;
+  ev.invocation_id = invocation_id;
+  ev.parent_id = parent_id;
+  ev.worker = worker;
+  ev.subject = std::move(subject);
+  ev.detail = std::move(detail);
+  if (ring_.size() >= options_.capacity) {
+    ring_.pop_front();
+  }
+  ring_.push_back(std::move(ev));
+}
+
+std::vector<const FlightEvent*> FlightRecorder::ChainFor(std::uint64_t invocation_id) const {
+  std::vector<const FlightEvent*> chain;
+  for (const FlightEvent& ev : ring_) {
+    if (ev.invocation_id == invocation_id ||
+        (ev.parent_id == invocation_id && ev.parent_id != 0)) {
+      chain.push_back(&ev);
+    }
+  }
+  return chain;
+}
+
+std::string FlightRecorder::ToJson(const std::string& reason) const {
+  std::string out = "{";
+  if (!reason.empty()) {
+    out += "\"reason\": \"" + JsonEscape(reason) + "\", ";
+  }
+  out += "\"total_recorded\": " + std::to_string(next_seq_);
+  out += ", \"evicted\": " + std::to_string(evicted());
+  out += ", \"events\": [";
+  bool first = true;
+  for (const FlightEvent& ev : ring_) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += "\n{\"seq\": " + std::to_string(ev.seq);
+    out += ", \"t_us\": " + std::to_string(ev.time);
+    out += ", \"kind\": \"";
+    out += FlightEventKindName(ev.kind);
+    out += "\"";
+    if (ev.invocation_id != 0) {
+      out += ", \"inv\": " + std::to_string(ev.invocation_id);
+    }
+    if (ev.parent_id != 0) {
+      out += ", \"parent\": " + std::to_string(ev.parent_id);
+    }
+    if (ev.worker >= 0) {
+      out += ", \"worker\": " + std::to_string(ev.worker);
+    }
+    if (!ev.subject.empty()) {
+      out += ", \"subject\": \"" + JsonEscape(ev.subject) + "\"";
+    }
+    if (!ev.detail.empty()) {
+      out += ", \"detail\": \"" + JsonEscape(ev.detail) + "\"";
+    }
+    out += "}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool FlightRecorder::WriteJson(const std::string& path, const std::string& reason) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const std::string json = ToJson(reason);
+  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  return std::fclose(f) == 0 && written == json.size();
+}
+
+void FlightRecorder::Clear() {
+  ring_.clear();
+  next_seq_ = 0;
+}
+
+}  // namespace ofc::obs

@@ -1,0 +1,144 @@
+// FlightRecorder: a black-box ring of per-invocation causal lifecycle records.
+//
+// Every instrumented layer appends compact records (submit → queue → cold/warm
+// start → E/T/L phases → cache ops → persistor/write-back, plus control-plane
+// events: breaker trips, pressure hysteresis, injected faults, node crashes) to
+// a bounded ring. Parent ids link pipeline tasks to their pipeline and
+// persistor jobs back to the invocation that issued the write, so the causal
+// chain for any invocation can be reassembled after the fact.
+//
+// Unlike the TraceRecorder (off by default, sampled, unbounded categories),
+// the flight recorder is designed to be cheap enough to leave ON for long
+// runs: fixed-capacity ring (old records evicted), plain struct appends, no
+// string formatting until dump time. Its payoff is post-mortem triage — on a
+// SIM_ASSERT failure or a chaos-invariant breach the ring is dumped as JSON,
+// preserving the last N events that led up to the failure.
+//
+// Emit sites guard on `enabled()` exactly like trace emits (simlint enforces
+// this for src/ outside the obs layer), so tier-1 runtimes pay one untaken
+// branch when the recorder is off.
+#ifndef OFC_OBS_FLIGHT_RECORDER_H_
+#define OFC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/common/units.h"
+
+namespace ofc::obs {
+
+enum class FlightEventKind : std::uint8_t {
+  // faas/platform lifecycle.
+  kSubmit,
+  kQueue,
+  kShed,
+  kColdStart,
+  kWarmStart,
+  kExtract,
+  kTransform,
+  kLoad,
+  kOomRescue,
+  kOomKill,
+  kRetry,
+  kComplete,
+  kFail,
+  kWorkerCrash,
+  kWorkerRestore,
+  kPipelineStart,
+  kPipelineEnd,
+  // core/proxy + cache.
+  kCacheHit,
+  kCacheMiss,
+  kCacheAdmit,
+  kCacheWrite,
+  kWriteFallback,
+  kPersistorDispatch,
+  kPersistorDone,
+  kPersistorRetry,
+  kPersistorConflict,
+  kWriteback,
+  kBreakerOpen,
+  kBreakerClose,
+  // core/cache_agent.
+  kScaleUp,
+  kScaleDown,
+  kMigration,
+  kPressureEnter,
+  kPressureExit,
+  // fault/ + ramcloud/.
+  kFaultInject,
+  kFaultHeal,
+  kNodeCrash,
+  kNodeRestart,
+  kNodeRecovered,
+};
+
+// Stable wire name for dumps ("submit", "cache_hit", ...).
+const char* FlightEventKindName(FlightEventKind kind);
+
+struct FlightEvent {
+  std::uint64_t seq = 0;  // Monotonic append index (survives ring eviction).
+  SimTime time = 0;
+  FlightEventKind kind = FlightEventKind::kSubmit;
+  // Invocation this record belongs to; 0 for control-plane events that are not
+  // tied to a specific invocation (breaker trips, node crashes, ...).
+  std::uint64_t invocation_id = 0;
+  // Causal parent: pipeline id for pipeline tasks, invocation id for persistor
+  // jobs and write-backs, fault id for fault windows. 0 = no parent.
+  std::uint64_t parent_id = 0;
+  std::int32_t worker = -1;   // Worker/node index; -1 when not applicable.
+  std::string subject;        // Function name / object key / fault kind.
+  std::string detail;         // Free-form context (status, reason, sizes).
+};
+
+struct FlightRecorderOptions {
+  bool enabled = false;
+  std::size_t capacity = 4096;  // Ring size; oldest records evicted beyond it.
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options = {}) : options_(options) {}
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  bool enabled() const { return options_.enabled; }
+  void set_enabled(bool on) { options_.enabled = on; }
+  void set_capacity(std::size_t n);
+  const FlightRecorderOptions& options() const { return options_; }
+
+  // Appends a record; evicts the oldest when the ring is full. Callers guard
+  // on enabled() — Record() re-checks, so an unguarded call is safe, just
+  // slower than the branch the guard idiom buys.
+  void Record(SimTime time, FlightEventKind kind, std::uint64_t invocation_id,
+              std::uint64_t parent_id = 0, std::int32_t worker = -1, std::string subject = "",
+              std::string detail = "");
+
+  std::size_t size() const { return ring_.size(); }
+  std::uint64_t total_recorded() const { return next_seq_; }
+  std::uint64_t evicted() const { return next_seq_ - ring_.size(); }
+
+  // All retained records for one invocation id (matched on invocation_id or
+  // parent_id), in append order — the causal chain for post-mortem triage.
+  std::vector<const FlightEvent*> ChainFor(std::uint64_t invocation_id) const;
+
+  // Dump: {"total_recorded": N, "evicted": M, "events": [...]} with records in
+  // append order. `reason` annotates why the dump was taken (assert message,
+  // violated invariant).
+  std::string ToJson(const std::string& reason = "") const;
+  // Writes ToJson() to `path`; returns false on I/O failure.
+  bool WriteJson(const std::string& path, const std::string& reason = "") const;
+
+  void Clear();
+
+ private:
+  FlightRecorderOptions options_;
+  std::deque<FlightEvent> ring_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace ofc::obs
+
+#endif  // OFC_OBS_FLIGHT_RECORDER_H_

@@ -1,61 +1,12 @@
 #include "src/obs/metrics.h"
 
 #include <cassert>
-#include <cstdio>
+
+#include "src/obs/export_util.h"
 
 namespace ofc::obs {
 
 namespace {
-
-// Minimal JSON string escaping (metric names are ASCII identifiers, but labels
-// may carry arbitrary function/tenant names).
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-// JSON numbers must not render as "nan"/"inf"; counters render without a
-// fractional part so round-tripping through integer parsers is lossless.
-std::string JsonNumber(double v) {
-  if (v != v || v > 1e300 || v < -1e300) {
-    return "0";
-  }
-  char buf[64];
-  if (v == static_cast<double>(static_cast<std::int64_t>(v)) && v < 9.2e18 && v > -9.2e18) {
-    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
-  } else {
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
-  }
-  return buf;
-}
 
 const char* KindName(int kind) {
   switch (kind) {
@@ -198,41 +149,27 @@ std::string MetricsRegistry::SnapshotJson(SimTime now) const {
 
 std::string MetricsRegistry::SnapshotCsv(SimTime now) const {
   std::string out = "name,type,label,value,count,mean,min,max,p50,p95,p99\n";
-  auto csv_field = [](const std::string& s) {
-    if (s.find_first_of(",\"\n") == std::string::npos) {
-      return s;
-    }
-    std::string quoted = "\"";
-    for (char c : s) {
-      if (c == '"') {
-        quoted += '"';
-      }
-      quoted += c;
-    }
-    quoted += '"';
-    return quoted;
-  };
   (void)now;  // The snapshot time rides in the file name / caller context.
   for (const auto& [name, family] : families_) {
     const char* kind = KindName(static_cast<int>(family.kind));
     switch (family.kind) {
       case Kind::kCounter:
         for (const auto& [label, counter] : family.counters) {
-          out += name;
+          out += CsvField(name);
           out += ',';
           out += kind;
           out += ',';
-          out += csv_field(label);
+          out += CsvField(label);
           out += ',' + std::to_string(counter.value()) + ",,,,,,,\n";
         }
         break;
       case Kind::kGauge:
         for (const auto& [label, gauge] : family.gauges) {
-          out += name;
+          out += CsvField(name);
           out += ',';
           out += kind;
           out += ',';
-          out += csv_field(label);
+          out += CsvField(label);
           out += ',' + JsonNumber(gauge.value()) + ",,,,,,,\n";
         }
         break;
@@ -240,11 +177,11 @@ std::string MetricsRegistry::SnapshotCsv(SimTime now) const {
         for (const auto& [label, series] : family.series) {
           const RunningStat& running = series.running();
           const Samples& samples = series.samples();
-          out += name;
+          out += CsvField(name);
           out += ',';
           out += kind;
           out += ',';
-          out += csv_field(label);
+          out += CsvField(label);
           out += ",," + std::to_string(running.count());
           out += ',' + JsonNumber(running.mean());
           out += ',' + JsonNumber(running.min());
@@ -258,6 +195,43 @@ std::string MetricsRegistry::SnapshotCsv(SimTime now) const {
     }
   }
   return out;
+}
+
+void MetricsRegistry::VisitCounters(
+    const std::function<void(const std::string&, const std::string&, const Counter&)>& fn)
+    const {
+  for (const auto& [name, family] : families_) {
+    if (family.kind != Kind::kCounter) {
+      continue;
+    }
+    for (const auto& [label, cell] : family.counters) {
+      fn(name, label, cell);
+    }
+  }
+}
+
+void MetricsRegistry::VisitGauges(
+    const std::function<void(const std::string&, const std::string&, const Gauge&)>& fn) const {
+  for (const auto& [name, family] : families_) {
+    if (family.kind != Kind::kGauge) {
+      continue;
+    }
+    for (const auto& [label, cell] : family.gauges) {
+      fn(name, label, cell);
+    }
+  }
+}
+
+void MetricsRegistry::VisitSeries(
+    const std::function<void(const std::string&, const std::string&, const Series&)>& fn) const {
+  for (const auto& [name, family] : families_) {
+    if (family.kind != Kind::kSeries) {
+      continue;
+    }
+    for (const auto& [label, cell] : family.series) {
+      fn(name, label, cell);
+    }
+  }
 }
 
 void MetricsRegistry::Reset() {

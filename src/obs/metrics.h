@@ -21,6 +21,7 @@
 #define OFC_OBS_METRICS_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -107,6 +108,18 @@ class MetricsRegistry {
   // Sum across all labels of a counter family.
   std::uint64_t CounterTotal(const std::string& name) const;
   std::size_t NumFamilies() const { return families_.size(); }
+
+  // ---- Visitation (timeline scrapes) ---------------------------------------------
+  //
+  // Invokes the callback once per cell, in deterministic (family name, label)
+  // order — the registry's own map order — so scrape output is reproducible.
+  void VisitCounters(
+      const std::function<void(const std::string& name, const std::string& label,
+                               const Counter& cell)>& fn) const;
+  void VisitGauges(const std::function<void(const std::string& name, const std::string& label,
+                                            const Gauge& cell)>& fn) const;
+  void VisitSeries(const std::function<void(const std::string& name, const std::string& label,
+                                            const Series& cell)>& fn) const;
 
   // ---- Exporters ---------------------------------------------------------------
 

@@ -15,7 +15,8 @@
 //   * kPidPipelines   — tid = pipeline id; whole-pipeline spans;
 //   * kPidCache       — tid = worker/node id; CacheAgent scaling + migrations;
 //   * kPidStore       — tid = 0; persistor write-backs against the RSDS;
-//   * kPidFaults      — tid = 0; injected faults and heals (src/fault/).
+//   * kPidFaults      — tid = 0; injected faults and heals (src/fault/);
+//   * kPidSlo         — tid = SLO index; burn-rate alert fire/clear instants.
 #ifndef OFC_OBS_TRACE_H_
 #define OFC_OBS_TRACE_H_
 
@@ -33,6 +34,7 @@ inline constexpr int kPidPipelines = 2;
 inline constexpr int kPidCache = 3;
 inline constexpr int kPidStore = 4;
 inline constexpr int kPidFaults = 5;
+inline constexpr int kPidSlo = 6;
 
 struct TraceOptions {
   bool enabled = false;

@@ -20,6 +20,7 @@ Cluster::Cluster(sim::EventLoop* loop, int num_nodes, ClusterOptions options, Rn
     owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
     metrics_ = owned_metrics_.get();
   }
+  flight_ = options_.flight;
   m_.reads = metrics_->GetCounter("ofc.ramcloud.reads");
   m_.read_hits_local = metrics_->GetCounter("ofc.ramcloud.read_hits_local");
   m_.read_hits_remote = metrics_->GetCounter("ofc.ramcloud.read_hits_remote");
@@ -428,6 +429,9 @@ RecoveryResult Cluster::CrashNode(int node) {
   }
   crashed.alive = false;
   ++*m_.node_crashes;
+  if (FlightOn()) {
+    flight_->Record(loop_->now(), obs::FlightEventKind::kNodeCrash, 0, 0, node);
+  }
   // The crashed node's DRAM contents are gone.
   logs_[node] = SegmentedLog(options_.log);
   crashed.memory_used = 0;
@@ -515,6 +519,11 @@ RecoveryResult Cluster::CrashNode(int node) {
   m_.objects_recovered->Add(result.objects_recovered);
   m_.objects_lost->Add(result.objects_lost);
   m_.recovery_ms->Observe(ToMillis(result.duration));
+  if (FlightOn()) {
+    flight_->Record(loop_->now(), obs::FlightEventKind::kNodeRecovered, 0, 0, node, "",
+                    std::to_string(result.objects_recovered) + "_recovered_" +
+                        std::to_string(result.objects_lost) + "_lost");
+  }
   return result;
 }
 
@@ -525,6 +534,9 @@ void Cluster::RestartNode(int node) {
   }
   stats.alive = true;
   ++*m_.node_restarts;
+  if (FlightOn()) {
+    flight_->Record(loop_->now(), obs::FlightEventKind::kNodeRestart, 0, 0, node);
+  }
   // Objects written while the node was down picked backups among the survivors;
   // with fewer than rf alive peers they stayed under-replicated. The restarted
   // node's disk is empty but writable, so the coordinator re-replicates onto it.

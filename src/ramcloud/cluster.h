@@ -32,6 +32,7 @@
 #include "src/common/sim_assert.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
 #include "src/ramcloud/segmented_log.h"
 #include "src/sim/event_loop.h"
@@ -74,8 +75,11 @@ struct ClusterOptions {
   sim::LatencyModel remote_access = sim::LatencyProfiles::RamcloudRemote();
   sim::LatencyModel disk_read = sim::LatencyProfiles::BackupDiskRead();
   sim::LatencyModel disk_write = sim::LatencyProfiles::BackupDiskWrite();
-  // Observability sink (src/obs/). Null -> the cluster owns a private registry.
+  // Observability sinks (src/obs/). Null `metrics` -> the cluster owns a
+  // private registry; null `flight` -> node crash/restart/recovery lifecycle
+  // events are skipped.
   obs::MetricsRegistry* metrics = nullptr;
+  obs::FlightRecorder* flight = nullptr;
 };
 
 struct NodeStats {
@@ -281,6 +285,8 @@ class Cluster {
   std::map<std::string, CachedObject> objects_;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;
+  bool FlightOn() const { return flight_ != nullptr && flight_->enabled(); }
   Metrics m_;
 };
 

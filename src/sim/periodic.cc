@@ -1,0 +1,40 @@
+#include "src/sim/periodic.h"
+
+#include <cassert>
+#include <utility>
+
+namespace ofc::sim {
+
+PeriodicTask::PeriodicTask(EventLoop* loop, SimDuration interval, Callback cb)
+    : loop_(loop), interval_(interval), cb_(std::move(cb)) {}
+
+PeriodicTask::~PeriodicTask() { Stop(); }
+
+void PeriodicTask::Start() {
+  if (event_ != 0) {
+    return;
+  }
+  assert(interval_ > 0);
+  Arm();
+}
+
+void PeriodicTask::Stop() {
+  if (event_ == 0) {
+    return;
+  }
+  loop_->Cancel(event_);
+  event_ = 0;
+}
+
+void PeriodicTask::Arm() {
+  event_ = loop_->ScheduleAfter(interval_, [this] {
+    // Re-arm before running the callback: the callback may Stop() the task,
+    // and a stop must win over the tick that requested it.
+    event_ = 0;
+    Arm();
+    ++ticks_;
+    cb_(loop_->now());
+  });
+}
+
+}  // namespace ofc::sim

@@ -1,0 +1,51 @@
+// PeriodicTask: a self-rearming sim-clock timer.
+//
+// Drives recurring control-plane work (telemetry scrapes, sweeps) off the
+// deterministic event loop: the callback runs every `interval` of simulated
+// time, starting one interval after Start(). Like the platform's keep-alive
+// sweeps, a started task re-arms itself forever — the load injector's drain
+// logic already tolerates ever-rearming timers, and Stop() cancels the pending
+// event so the loop can go quiescent when the owner shuts down.
+#ifndef OFC_SIM_PERIODIC_H_
+#define OFC_SIM_PERIODIC_H_
+
+#include <functional>
+
+#include "src/common/units.h"
+#include "src/sim/event_loop.h"
+
+namespace ofc::sim {
+
+class PeriodicTask {
+ public:
+  using Callback = std::function<void(SimTime now)>;
+
+  // `loop` must outlive the task. `interval` must be > 0 when Start() is
+  // called; the callback fires at now+interval, now+2*interval, ...
+  PeriodicTask(EventLoop* loop, SimDuration interval, Callback cb);
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+  ~PeriodicTask();
+
+  // Arms the timer. No-op if already running.
+  void Start();
+  // Cancels the pending tick. No-op if not running.
+  void Stop();
+
+  bool running() const { return event_ != 0; }
+  SimDuration interval() const { return interval_; }
+  std::uint64_t ticks() const { return ticks_; }
+
+ private:
+  void Arm();
+
+  EventLoop* loop_;
+  SimDuration interval_;
+  Callback cb_;
+  EventLoop::EventId event_ = 0;
+  std::uint64_t ticks_ = 0;
+};
+
+}  // namespace ofc::sim
+
+#endif  // OFC_SIM_PERIODIC_H_

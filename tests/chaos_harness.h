@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
@@ -34,6 +35,9 @@
 #include "src/faasload/environment.h"
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
+#include "src/obs/slo.h"
+#include "src/obs/timeline.h"
+#include "src/sim/periodic.h"
 #include "src/workloads/functions.h"
 #include "src/workloads/media.h"
 
@@ -66,6 +70,18 @@ struct ChaosScenarioOptions {
   // at `burst_at` (1 ms apart), on top of the Poisson arrivals.
   int burst_count = 0;
   SimTime burst_at = Seconds(60);
+
+  // ---- Observability knobs (all default off = legacy behaviour) --------------
+  // Black-box ring recording every causal lifecycle event of the run.
+  bool flight_recorder = false;
+  std::size_t flight_capacity = 4096;
+  // When any invariant violates, dump the flight ring here (the violation
+  // summary becomes the dump reason) — post-mortem triage for chaos failures.
+  std::string dump_on_violation;
+  // Windowed telemetry scrapes; on when `timeline` is set or SLOs are declared.
+  bool timeline = false;
+  SimDuration scrape_interval = Seconds(10);
+  std::vector<obs::SloSpec> slos;
 };
 
 struct ChaosReport {
@@ -79,6 +95,20 @@ struct ChaosReport {
   double mean_el_ms = 0.0;
   std::vector<std::string> violations;
   std::string metrics_json;
+  std::string timeline_json;  // Empty unless timeline/SLO scraping was on.
+  std::string health_json;    // Empty unless scraping was on.
+  std::string flight_json;    // Empty unless the flight recorder was on.
+  std::uint64_t slo_alerts_fired = 0;
+  double worst_burn = 0.0;
+  // Timeline bracketing for acceptance audits: start of the first and end of
+  // the last retained window whose shed / breaker-open counter delta was
+  // nonzero (all 0 when scraping was off or the counter never moved). A
+  // correct timeline localizes the fault: these windows must bracket the
+  // injected fault/overload interval, not the whole run.
+  SimTime shed_first_window_start = 0;
+  SimTime shed_last_window_end = 0;
+  SimTime breaker_first_window_start = 0;
+  SimTime breaker_last_window_end = 0;
   // Selected fault-path counters (summed over labels), snapshotted before the
   // environment is torn down so tests can assert on them.
   std::map<std::string, std::uint64_t> counters;
@@ -95,7 +125,10 @@ struct ChaosReport {
     std::ostringstream out;
     out << scheduled << "/" << completed << "/" << succeeded << "/" << failed
         << "/" << shed << "@" << final_time << "#" << events_scheduled << "\n"
-        << metrics_json;
+        << metrics_json << "\n"
+        << timeline_json << "\n"
+        << health_json << "\n"
+        << flight_json;
     return out.str();
   }
   std::string ViolationSummary() const {
@@ -129,6 +162,34 @@ inline ChaosReport RunChaosScenario(const ChaosScenarioOptions& options) {
   }
   env_options.seed = options.seed;
   faasload::Environment env(faasload::Mode::kOfc, env_options);
+  if (options.flight_recorder) {
+    env.flight().set_capacity(options.flight_capacity);
+    env.flight().set_enabled(true);
+  }
+  // Post-mortem hook shared by every exit path (setup failures included):
+  // preserve the causal chain that led up to the breach.
+  auto finalize = [&]() -> ChaosReport& {
+    if (!report.ok() && !options.dump_on_violation.empty() && options.flight_recorder) {
+      (void)env.flight().WriteJson(options.dump_on_violation, report.ViolationSummary());
+    }
+    return report;
+  };
+
+  // ---- Telemetry scrape loop -------------------------------------------------
+  const bool scraping = options.timeline || !options.slos.empty();
+  std::unique_ptr<obs::SloMonitor> slo;
+  std::unique_ptr<obs::TimelineRecorder> timeline;
+  std::unique_ptr<sim::PeriodicTask> scraper;
+  if (scraping) {
+    slo = std::make_unique<obs::SloMonitor>(&env.metrics(), /*trace=*/nullptr, options.slos);
+    timeline = std::make_unique<obs::TimelineRecorder>(&env.metrics());
+    scraper = std::make_unique<sim::PeriodicTask>(
+        &env.loop(), options.scrape_interval, [&slo, &timeline](SimTime now) {
+          slo->Evaluate(now);
+          timeline->Scrape(now);
+        });
+    scraper->Start();
+  }
 
   // ---- Workload setup --------------------------------------------------------
   faas::FunctionConfig config;
@@ -136,7 +197,7 @@ inline ChaosReport RunChaosScenario(const ChaosScenarioOptions& options) {
   config.booked_memory = GiB(2);
   if (!env.platform().RegisterFunction(config).ok()) {
     violate("setup: RegisterFunction failed");
-    return report;
+    return finalize();
   }
   Rng pretrain_rng(options.seed + 17);
   env.ofc()->trainer().Pretrain(config.spec, 1000, pretrain_rng);
@@ -157,10 +218,10 @@ inline ChaosReport RunChaosScenario(const ChaosScenarioOptions& options) {
       &env.loop(),
       fault::FaultInjectorTargets{&env.platform(), env.cluster(), &env.rsds(),
                                   &env.ofc()->proxy()},
-      fault::FaultInjectorOptions{&env.metrics(), &env.trace()});
+      fault::FaultInjectorOptions{&env.metrics(), &env.trace(), &env.flight()});
   if (Status plan_status = injector.Schedule(options.plan); !plan_status.ok()) {
     violate("setup: fault plan rejected: " + plan_status.message());
-    return report;
+    return finalize();
   }
   SimTime quiesce_at = options.fault_horizon;
   for (const fault::FaultEvent& event : options.plan.events) {
@@ -214,6 +275,12 @@ inline ChaosReport RunChaosScenario(const ChaosScenarioOptions& options) {
   // All faults have healed by quiesce_at; give persistor retries a full drain
   // window beyond whatever point the workload finished at.
   env.loop().RunUntil(std::max(env.loop().now(), quiesce_at) + options.drain);
+  if (scraper != nullptr) {
+    scraper->Stop();
+    // Final partial window covering the tail of the drain.
+    slo->Evaluate(env.loop().now());
+    timeline->Scrape(env.loop().now());
+  }
 
   // ---- I3: exactly-once completion -------------------------------------------
   if (report.completed != total_invocations) {
@@ -360,9 +427,38 @@ inline ChaosReport RunChaosScenario(const ChaosScenarioOptions& options) {
         "ofc.cache_agent.writebacks_throttled"}) {
     report.counters[name] = env.metrics().CounterTotal(name);
   }
+  if (timeline != nullptr) {
+    report.timeline_json = timeline->ToJson();
+    auto bracket = [&timeline](const std::string& family, SimTime* first_start,
+                               SimTime* last_end) {
+      for (const obs::TimelineWindow& window : timeline->windows()) {
+        for (const obs::TimelineCounter& cell : window.counters) {
+          if (cell.name == family && cell.delta > 0) {
+            if (*last_end == 0) {
+              *first_start = window.start;
+            }
+            *last_end = window.end;
+            break;
+          }
+        }
+      }
+    };
+    bracket("ofc.overload.shed", &report.shed_first_window_start,
+            &report.shed_last_window_end);
+    bracket("ofc.breaker.opens", &report.breaker_first_window_start,
+            &report.breaker_last_window_end);
+  }
+  if (slo != nullptr) {
+    report.health_json = slo->HealthJson(env.loop().now());
+    report.slo_alerts_fired = slo->alerts_fired();
+    report.worst_burn = slo->worst_burn();
+  }
+  if (options.flight_recorder) {
+    report.flight_json = env.flight().ToJson("end_of_run");
+  }
   report.final_time = env.loop().now();
   report.events_scheduled = env.loop().total_scheduled();
-  return report;
+  return finalize();
 }
 
 }  // namespace ofc::chaos

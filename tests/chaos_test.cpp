@@ -1,6 +1,8 @@
 // Chaos tests: randomized-but-deterministic fault schedules against the full
 // platform, audited by the five invariants in chaos_harness.h. Every scenario
 // is replayable — same seed and plan must give a byte-identical fingerprint.
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -179,6 +181,89 @@ TEST(ChaosTest, OverloadScenarioReplaysByteIdentical) {
   const ChaosReport second = RunChaosScenario(OverloadScenario(13));
   ExpectClean(first);
   EXPECT_EQ(first.Fingerprint(), second.Fingerprint());
+}
+
+// The overload scenario with the full observability stack on: windowed
+// telemetry scrapes, burn-rate SLOs, and the flight recorder. The timeline
+// must localize the fault (shed/breaker activity brackets the injected
+// brownout + burst interval instead of smearing over the run), the shed-rate
+// SLO must fire a multi-window burn-rate alert, and the flight ring must hold
+// the causal story.
+ChaosScenarioOptions ObservedOverloadScenario(std::uint64_t seed) {
+  ChaosScenarioOptions options = OverloadScenario(seed);
+  options.flight_recorder = true;
+  options.timeline = true;
+  options.scrape_interval = Seconds(10);
+  std::string error;
+  EXPECT_TRUE(obs::ParseSloSpecs(
+      "warm=lat:ofc.platform.total_ms:p95:400:fast=30:slow=120:fastburn=3:slowburn=1.5;"
+      "shed=rate:ofc.overload.shed/ofc.platform.invocations:0.01"
+      ":fast=30:slow=120:fastburn=3:slowburn=1.5",
+      &options.slos, &error))
+      << error;
+  return options;
+}
+
+TEST(ChaosTest, TimelineBracketsFaultWindowAndSloAlertFires) {
+  const ChaosReport report = RunChaosScenario(ObservedOverloadScenario(13));
+  ExpectClean(report);
+  ASSERT_GT(report.shed, 0);
+  ASSERT_GT(report.counter("ofc.breaker.opens"), 0u);
+
+  // Shed activity is burst-driven (burst at t=60s, queue deadline 2s): the
+  // windows that saw nonzero shed deltas must bracket it tightly, not cover
+  // the whole run.
+  EXPECT_GE(report.shed_first_window_start, Seconds(40));
+  EXPECT_LE(report.shed_last_window_end, Seconds(120));
+  // Breaker opens are driven by the degraded-cache window (45s..85s; the
+  // breaker can re-open until the probe after heal succeeds).
+  EXPECT_GE(report.breaker_first_window_start, Seconds(30));
+  EXPECT_LE(report.breaker_last_window_end, Seconds(120));
+
+  // The shed-rate SLO fired a multi-window burn-rate alert and it shows up in
+  // the health artifact.
+  EXPECT_GE(report.slo_alerts_fired, 1u);
+  EXPECT_GT(report.worst_burn, 1.5);
+  EXPECT_NE(report.health_json.find("\"slo\": \"shed\""), std::string::npos);
+
+  // The flight ring carries the causal story: lifecycle, overload, breaker,
+  // and fault-window records all present.
+  for (const char* kind : {"\"kind\": \"submit\"", "\"kind\": \"complete\"",
+                           "\"kind\": \"shed\"", "\"kind\": \"breaker_open\"",
+                           "\"kind\": \"fault_inject\"", "\"kind\": \"fault_heal\""}) {
+    EXPECT_NE(report.flight_json.find(kind), std::string::npos) << kind;
+  }
+}
+
+TEST(ChaosTest, ObservedOverloadReplaysAllArtifactsByteIdentical) {
+  // Fingerprint() covers metrics, timeline, health, and flight JSON — this is
+  // the artifact-level determinism acceptance for the observability stack.
+  const ChaosReport first = RunChaosScenario(ObservedOverloadScenario(13));
+  const ChaosReport second = RunChaosScenario(ObservedOverloadScenario(13));
+  ExpectClean(first);
+  EXPECT_FALSE(first.timeline_json.empty());
+  EXPECT_FALSE(first.health_json.empty());
+  EXPECT_FALSE(first.flight_json.empty());
+  EXPECT_EQ(first.Fingerprint(), second.Fingerprint());
+}
+
+TEST(ChaosTest, ViolationDumpsFlightRingForPostMortem) {
+  // A plan that addresses a node the cluster does not have is the cheapest
+  // deterministic "breach": the harness must still honor dump_on_violation.
+  ChaosScenarioOptions options;
+  options.seed = 5;
+  options.flight_recorder = true;
+  options.dump_on_violation = ::testing::TempDir() + "/chaos_flight_dump.json";
+  options.plan.events = {FaultEvent{Seconds(1), FaultKind::kNodeCrash, 99, Seconds(5)}};
+  const ChaosReport report = RunChaosScenario(options);
+  EXPECT_FALSE(report.ok());
+
+  std::ifstream in(options.dump_on_violation);
+  ASSERT_TRUE(in.good()) << "dump file missing: " << options.dump_on_violation;
+  std::ostringstream dump;
+  dump << in.rdbuf();
+  EXPECT_NE(dump.str().find("\"reason\""), std::string::npos);
+  EXPECT_NE(dump.str().find("fault plan rejected"), std::string::npos);
 }
 
 TEST(ChaosTest, BreakerOpenMatchesNoCacheBaseline) {

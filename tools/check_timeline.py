@@ -1,0 +1,170 @@
+#!/usr/bin/env python3
+"""Structural validator for the observability artifacts ofc-sim writes.
+
+Used by CI (and usable by hand) to prove a run produced well-formed telemetry:
+
+  check_timeline.py --timeline timeline.json [--health health.json]
+                    [--flight flight.json] [--min-windows N]
+                    [--expect-alerts N] [--expect-counter NAME]
+
+Checks, beyond "it parses as JSON":
+  * timeline — windows are contiguous ((prev.end == next.start)), end times
+    strictly increase, retained-window count is consistent with
+    total_windows/evicted, and every counter cell's delta/rate is non-negative
+    with rate == 0 on zero-length windows;
+  * health   — the summary carries the slos/alerts/breaker/shed sections, every
+    alert names a declared SLO, and resolved alerts resolve after they fire;
+  * flight   — events are seq-ordered, timestamps are non-decreasing, and
+    total_recorded == evicted + len(events).
+
+Exit status: 0 clean, 1 validation failure, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+_errors = []
+
+
+def fail(msg):
+    _errors.append(msg)
+
+
+def load(path, what):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"{what}: cannot load {path}: {e}")
+        return None
+
+
+def check_timeline(doc, min_windows):
+    windows = doc.get("windows")
+    if not isinstance(windows, list):
+        fail("timeline: missing 'windows' array")
+        return
+    total = doc.get("total_windows", -1)
+    evicted = doc.get("evicted", -1)
+    if total != evicted + len(windows):
+        fail(f"timeline: total_windows={total} != evicted={evicted} + "
+             f"retained={len(windows)}")
+    if len(windows) < min_windows:
+        fail(f"timeline: only {len(windows)} windows, expected >= {min_windows}")
+    prev_end = None
+    prev_index = None
+    for i, w in enumerate(windows):
+        for key in ("index", "start_us", "end_us", "counters", "gauges", "series"):
+            if key not in w:
+                fail(f"timeline: window[{i}] missing '{key}'")
+                return
+        if w["end_us"] < w["start_us"]:
+            fail(f"timeline: window[{i}] ends before it starts")
+        if prev_index is not None and w["index"] != prev_index + 1:
+            fail(f"timeline: window indices jump {prev_index} -> {w['index']}")
+        if prev_end is not None and w["start_us"] != prev_end:
+            fail(f"timeline: window[{i}] starts at {w['start_us']}, "
+                 f"previous ended at {prev_end} (gap or overlap)")
+        prev_end = w["end_us"]
+        prev_index = w["index"]
+        for cell in w["counters"]:
+            if cell.get("delta", 0) < 0 or cell.get("rate_per_s", 0) < 0:
+                fail(f"timeline: negative delta/rate in window[{i}] "
+                     f"cell {cell.get('name')}")
+            if w["end_us"] == w["start_us"] and cell.get("rate_per_s", 0) != 0:
+                fail(f"timeline: zero-length window[{i}] reports a nonzero rate")
+
+
+def check_counter_present(doc, name):
+    for w in doc.get("windows", []):
+        for cell in w.get("counters", []):
+            if cell.get("name") == name:
+                return
+    fail(f"timeline: counter family '{name}' never appears in any window")
+
+
+def check_health(doc, expect_alerts):
+    for key in ("worst_burn", "alerts_fired", "slos", "alerts", "breaker",
+                "shed", "invocations"):
+        if key not in doc:
+            fail(f"health: missing '{key}'")
+            return
+    declared = {s.get("name") for s in doc["slos"]}
+    if doc["alerts_fired"] != len(doc["alerts"]):
+        fail(f"health: alerts_fired={doc['alerts_fired']} but "
+             f"{len(doc['alerts'])} alert records")
+    for a in doc["alerts"]:
+        if a.get("slo") not in declared:
+            fail(f"health: alert names undeclared SLO '{a.get('slo')}'")
+        resolved = a.get("resolved_at_us", 0)
+        if resolved != 0 and resolved < a.get("fired_at_us", 0):
+            fail(f"health: alert for '{a.get('slo')}' resolves before it fires")
+    if expect_alerts is not None and doc["alerts_fired"] < expect_alerts:
+        fail(f"health: alerts_fired={doc['alerts_fired']}, "
+             f"expected >= {expect_alerts}")
+
+
+def check_flight(doc):
+    events = doc.get("events")
+    if not isinstance(events, list):
+        fail("flight: missing 'events' array")
+        return
+    total = doc.get("total_recorded", -1)
+    evicted = doc.get("evicted", -1)
+    if total != evicted + len(events):
+        fail(f"flight: total_recorded={total} != evicted={evicted} + "
+             f"retained={len(events)}")
+    prev_seq = None
+    prev_time = None
+    for i, e in enumerate(events):
+        if "seq" not in e or "t_us" not in e or "kind" not in e:
+            fail(f"flight: event[{i}] missing seq/t_us/kind")
+            return
+        if prev_seq is not None and e["seq"] != prev_seq + 1:
+            fail(f"flight: seq jumps {prev_seq} -> {e['seq']}")
+        if prev_time is not None and e["t_us"] < prev_time:
+            fail(f"flight: time goes backwards at seq {e['seq']}")
+        prev_seq = e["seq"]
+        prev_time = e["t_us"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--timeline", help="timeline JSON path")
+    parser.add_argument("--health", help="health JSON path")
+    parser.add_argument("--flight", help="flight-recorder dump path")
+    parser.add_argument("--min-windows", type=int, default=1)
+    parser.add_argument("--expect-alerts", type=int, default=None,
+                        help="require at least N fired alerts in the health doc")
+    parser.add_argument("--expect-counter", action="append", default=[],
+                        help="counter family that must appear in the timeline")
+    args = parser.parse_args()
+    if not (args.timeline or args.health or args.flight):
+        parser.error("nothing to check: pass --timeline/--health/--flight")
+
+    if args.timeline:
+        doc = load(args.timeline, "timeline")
+        if doc is not None:
+            check_timeline(doc, args.min_windows)
+            for name in args.expect_counter:
+                check_counter_present(doc, name)
+    if args.health:
+        doc = load(args.health, "health")
+        if doc is not None:
+            check_health(doc, args.expect_alerts)
+    if args.flight:
+        doc = load(args.flight, "flight")
+        if doc is not None:
+            check_flight(doc)
+
+    if _errors:
+        for e in _errors:
+            print(f"check_timeline: {e}", file=sys.stderr)
+        return 1
+    print("check_timeline: all artifacts structurally sound")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

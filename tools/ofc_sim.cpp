@@ -11,6 +11,9 @@
 //           [--seed=N] [--pretrain=N] [--arrivals=poisson|periodic|bursty]
 //           [--metrics-json=PATH] [--metrics-csv=PATH]
 //           [--trace-json=PATH] [--trace-sample=N] [--log-sim-time]
+//           [--scrape-interval-s=S] [--timeline-json=PATH]
+//           [--slo=SPEC;...|@FILE] [--health-json=PATH]
+//           [--flight-recorder[=N]] [--flight-json=PATH] [--dump-on-assert=PATH]
 //           [--fault-plan=PATH] [--crash-node-at=N:S[:D]]
 //           [--queue-limit=N] [--queue-deadline-s=S] [--max-concurrency=N]
 //           [--breaker-threshold=N] [--breaker-open-s=S] [--breaker-probes=N]
@@ -21,6 +24,9 @@
 //   ofc_sim --mode=ofc --functions=wand_blur,wand_edge --duration-min=10
 //   ofc_sim --mode=owk-swift --pipelines=map_reduce --interval-s=30
 //   ofc_sim --mode=ofc --trace-json=trace.json   # open in ui.perfetto.dev
+//   ofc_sim --timeline-json=tl.json --scrape-interval-s=10   # windowed telemetry
+//   ofc_sim --slo='warm=lat:ofc.platform.total_ms:p99:250' --health-json=health.json
+//   ofc_sim --flight-recorder --dump-on-assert=blackbox.json # post-mortem ring
 //   ofc_sim --fault-plan=chaos.json              # replay a declarative fault plan
 //   ofc_sim --crash-node-at=1:60:30              # crash node 1 at t=60s for 30s
 //   ofc_sim --selfcheck-determinism              # replay twice, diff metrics
@@ -34,11 +40,15 @@
 
 #include "src/common/hash.h"
 #include "src/common/logging.h"
+#include "src/common/sim_assert.h"
 #include "src/common/stats.h"
 #include "src/faasload/environment.h"
 #include "src/faasload/injector.h"
 #include "src/fault/fault_injector.h"
 #include "src/fault/fault_plan.h"
+#include "src/obs/slo.h"
+#include "src/obs/timeline.h"
+#include "src/sim/periodic.h"
 
 namespace ofc {
 namespace {
@@ -60,6 +70,22 @@ struct Flags {
   std::string trace_json;
   std::uint64_t trace_sample = 1;
   bool log_sim_time = false;
+  // Telemetry scrapes: a sim-clock timer samples the registry into windowed
+  // timeline snapshots and (when SLOs are declared) evaluates burn rates.
+  // simlint: allow(float-sim-time) -- CLI flag in seconds, converted to integral SimDuration before use
+  double scrape_interval_s = 10.0;
+  std::string timeline_json;
+  std::vector<obs::SloSpec> slo_specs;
+  std::string health_json;
+  // Black-box flight recorder: 0 = off; --flight-recorder arms the default
+  // ring, --flight-recorder=N sizes it.
+  std::size_t flight_capacity = 0;
+  std::string flight_json;     // End-of-run ring dump (independent of asserts).
+  std::string dump_on_assert;  // Ring dump target when a SIM_ASSERT fires.
+  // Hidden test hook: fires a deliberate SIM_ASSERT breach at S seconds so CI
+  // can prove --dump-on-assert produces a dump on an invariant breach.
+  // simlint: allow(float-sim-time) -- CLI flag in seconds, converted to integral SimDuration before use
+  double inject_breach_at_s = 0.0;
   // Declarative fault schedule (--fault-plan JSON plus --crash-node-at
   // shorthands), replayed by a FaultInjector alongside the workload.
   fault::FaultPlan fault_plan;
@@ -87,6 +113,9 @@ struct Flags {
 // event-loop fingerprint (final simulated time, total events scheduled).
 struct RunOutcome {
   std::string metrics_json;
+  std::string timeline_json;  // Empty when no telemetry scraping was on.
+  std::string health_json;    // Empty when no scraping/SLOs were on.
+  std::string flight_json;    // Empty when the flight recorder was off.
   SimTime final_time = 0;
   std::uint64_t events_scheduled = 0;
   std::uint64_t invocations = 0;
@@ -176,6 +205,10 @@ int Usage() {
                "               [--workers=N] [--worker-gb=N] [--seed=N] [--pretrain=N]\n"
                "               [--metrics-json=PATH] [--metrics-csv=PATH]\n"
                "               [--trace-json=PATH] [--trace-sample=N] [--log-sim-time]\n"
+               "               [--scrape-interval-s=S] [--timeline-json=PATH]\n"
+               "               [--slo=SPEC;...|@FILE] [--health-json=PATH]\n"
+               "               [--flight-recorder[=N]] [--flight-json=PATH]\n"
+               "               [--dump-on-assert=PATH]\n"
                "               [--fault-plan=PATH] [--crash-node-at=N:S[:D]]\n"
                "               [--queue-limit=N] [--queue-deadline-s=S]\n"
                "               [--max-concurrency=N] [--breaker-threshold=N]\n"
@@ -250,6 +283,25 @@ int RunScenario(const Flags& flags, bool quiet, std::uint64_t run_index, RunOutc
     env.trace().set_enabled(true);
     env.trace().set_sample_period(flags.trace_sample);
   }
+  const bool flight_on = flags.flight_capacity > 0 || !flags.dump_on_assert.empty() ||
+                         !flags.flight_json.empty();
+  if (flight_on) {
+    if (flags.flight_capacity > 0) {
+      env.flight().set_capacity(flags.flight_capacity);
+    }
+    env.flight().set_enabled(true);
+  }
+  if (!flags.dump_on_assert.empty()) {
+    // Post-mortem: when any SIM_ASSERT fires, dump the black-box ring before
+    // the abort so the causal chain that led up to the breach survives.
+    SetSimAssertHook([&env, path = flags.dump_on_assert](const std::string& message) {
+      if (env.flight().WriteJson(path, message)) {
+        std::fprintf(stderr, "flight recorder dumped to %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      }
+    });
+  }
   if (flags.log_sim_time) {
     // Prefix every log line with the simulated clock, e.g. "t=12.345s".
     SetLogPrefixHook([&env] {
@@ -306,6 +358,33 @@ int RunScenario(const Flags& flags, bool quiet, std::uint64_t run_index, RunOutc
     }
   }
 
+  // Telemetry scrape loop: SLO evaluation folds the interval first so the
+  // ofc.slo.* cells land in the same timeline window the scrape captures.
+  const bool scraping = !flags.timeline_json.empty() || !flags.health_json.empty() ||
+                        !flags.slo_specs.empty();
+  std::unique_ptr<obs::TimelineRecorder> timeline;
+  std::unique_ptr<obs::SloMonitor> slo;
+  std::unique_ptr<sim::PeriodicTask> scraper;
+  if (scraping) {
+    slo = std::make_unique<obs::SloMonitor>(
+        &env.metrics(), flags.trace_json.empty() ? nullptr : &env.trace(), flags.slo_specs);
+    timeline = std::make_unique<obs::TimelineRecorder>(&env.metrics());
+    scraper = std::make_unique<sim::PeriodicTask>(
+        &env.loop(), static_cast<SimDuration>(flags.scrape_interval_s * 1e6),
+        [&slo, &timeline](SimTime now) {
+          slo->Evaluate(now);
+          timeline->Scrape(now);
+        });
+    scraper->Start();
+  }
+
+  if (flags.inject_breach_at_s > 0.0) {
+    env.loop().ScheduleAt(static_cast<SimTime>(flags.inject_breach_at_s * 1e6), [&env] {
+      SIM_ASSERT(false) << "; injected invariant breach (--inject-breach-at) at t="
+                        << ToSeconds(env.loop().now()) << "s";
+    });
+  }
+
   injector.PretrainModels(flags.pretrain);
   if (!quiet) {
     std::printf("mode=%s profile=%s workers=%dx%dGiB duration=%dmin seed=%llu\n\n",
@@ -318,6 +397,12 @@ int RunScenario(const Flags& flags, bool quiet, std::uint64_t run_index, RunOutc
     }
   }
   injector.Run(Minutes(flags.duration_min));
+  if (scraper != nullptr) {
+    scraper->Stop();
+    // Final partial window: capture the tail between the last tick and drain.
+    slo->Evaluate(env.loop().now());
+    timeline->Scrape(env.loop().now());
+  }
 
   if (!quiet) {
     std::printf("%-24s %-7s %-12s %-12s %-12s %-9s\n", "tenant", "runs", "median (ms)",
@@ -379,7 +464,32 @@ int RunScenario(const Flags& flags, bool quiet, std::uint64_t run_index, RunOutc
                 static_cast<unsigned long long>(platform.shed_requests));
   }
 
+  if (!quiet && slo != nullptr && !slo->specs().empty()) {
+    std::printf("\nSLOs: worst burn %.2f, %llu alert(s) fired\n", slo->worst_burn(),
+                static_cast<unsigned long long>(slo->alerts_fired()));
+    for (const obs::SloAlert& alert : slo->alerts()) {
+      if (alert.resolved_at == 0) {
+        std::printf("  %s fired at t=%.1fs (fast %.1f, slow %.1f) — still firing\n",
+                    alert.slo.c_str(), ToSeconds(alert.fired_at), alert.fast_burn,
+                    alert.slow_burn);
+      } else {
+        std::printf("  %s fired at t=%.1fs, cleared at t=%.1fs (fast %.1f, slow %.1f)\n",
+                    alert.slo.c_str(), ToSeconds(alert.fired_at),
+                    ToSeconds(alert.resolved_at), alert.fast_burn, alert.slow_burn);
+      }
+    }
+  }
+
   out->metrics_json = env.metrics().SnapshotJson(env.loop().now());
+  if (timeline != nullptr) {
+    out->timeline_json = timeline->ToJson();
+  }
+  if (slo != nullptr) {
+    out->health_json = slo->HealthJson(env.loop().now());
+  }
+  if (flight_on) {
+    out->flight_json = env.flight().ToJson("end_of_run");
+  }
   out->final_time = env.loop().now();
   out->events_scheduled = env.loop().total_scheduled();
   out->invocations = env.platform().stats().invocations;
@@ -391,14 +501,26 @@ int RunScenario(const Flags& flags, bool quiet, std::uint64_t run_index, RunOutc
   if (!flags.metrics_csv.empty()) {
     ok = WriteFile(flags.metrics_csv, env.metrics().SnapshotCsv(env.loop().now())) && ok;
   }
+  if (!flags.timeline_json.empty()) {
+    ok = WriteFile(flags.timeline_json, out->timeline_json) && ok;
+  }
+  if (!flags.health_json.empty()) {
+    ok = WriteFile(flags.health_json, out->health_json) && ok;
+  }
+  if (!flags.flight_json.empty()) {
+    ok = WriteFile(flags.flight_json, out->flight_json) && ok;
+  }
   if (!flags.trace_json.empty()) {
-    ok = env.trace().WriteJson(flags.trace_json) && ok;
-    if (!quiet) {
+    if (!env.trace().WriteJson(flags.trace_json)) {
+      std::fprintf(stderr, "cannot write %s\n", flags.trace_json.c_str());
+      ok = false;
+    } else if (!quiet) {
       std::printf("\ntrace: %zu events (%zu dropped) -> %s\n", env.trace().num_events(),
                   env.trace().num_dropped(), flags.trace_json.c_str());
     }
   }
-  ClearLogPrefixHook();  // The hook captures `env`, which dies with this frame.
+  ClearSimAssertHook();  // The hook captures `env`, which dies with this frame.
+  ClearLogPrefixHook();  // Likewise.
   return ok ? 0 : 1;
 }
 
@@ -443,20 +565,35 @@ int SelfcheckPair(const Flags& flags, const char* label) {
                  static_cast<unsigned long long>(second.invocations));
     identical = false;
   }
-  if (first.metrics_json != second.metrics_json) {
+  // Every artifact a replay can leave behind must be byte-identical: the
+  // end-of-run metrics snapshot plus (when enabled) the windowed timeline, the
+  // SLO health summary, and the flight-recorder ring.
+  const struct {
+    const char* what;
+    const std::string& a;
+    const std::string& b;
+  } artifacts[] = {
+      {"metrics JSON", first.metrics_json, second.metrics_json},
+      {"timeline JSON", first.timeline_json, second.timeline_json},
+      {"health JSON", first.health_json, second.health_json},
+      {"flight JSON", first.flight_json, second.flight_json},
+  };
+  for (const auto& artifact : artifacts) {
+    if (artifact.a == artifact.b) {
+      continue;
+    }
     // Point at the first differing line to make the divergence debuggable.
-    const std::string& a = first.metrics_json;
-    const std::string& b = second.metrics_json;
     std::size_t pos = 0;
     int line = 1;
-    while (pos < a.size() && pos < b.size() && a[pos] == b[pos]) {
-      if (a[pos] == '\n') {
+    while (pos < artifact.a.size() && pos < artifact.b.size() &&
+           artifact.a[pos] == artifact.b[pos]) {
+      if (artifact.a[pos] == '\n') {
         ++line;
       }
       ++pos;
     }
-    std::fprintf(stderr, "selfcheck[%s]: metrics JSON diverged at line %d (byte %zu)\n",
-                 label, line, pos);
+    std::fprintf(stderr, "selfcheck[%s]: %s diverged at line %d (byte %zu)\n", label,
+                 artifact.what, line, pos);
     identical = false;
   }
 
@@ -545,6 +682,39 @@ int Main(int argc, char** argv) {
       flags.trace_sample = std::strtoull(value.c_str(), nullptr, 10);
     } else if (std::strcmp(argv[i], "--log-sim-time") == 0) {
       flags.log_sim_time = true;
+    } else if (ParseFlag(argv[i], "--scrape-interval-s", &value)) {
+      flags.scrape_interval_s = std::atof(value.c_str());
+      if (flags.scrape_interval_s <= 0.0) {
+        std::fprintf(stderr, "--scrape-interval-s must be > 0\n");
+        return 1;
+      }
+    } else if (ParseFlag(argv[i], "--timeline-json", &flags.timeline_json)) {
+    } else if (ParseFlag(argv[i], "--slo", &value)) {
+      std::string text = value;
+      if (!text.empty() && text[0] == '@') {
+        text.clear();
+        if (!ReadFile(value.substr(1), &text)) {
+          return 1;
+        }
+      }
+      std::string error;
+      if (!obs::ParseSloSpecs(text, &flags.slo_specs, &error)) {
+        std::fprintf(stderr, "--slo: %s\n", error.c_str());
+        return 1;
+      }
+    } else if (ParseFlag(argv[i], "--health-json", &flags.health_json)) {
+    } else if (std::strcmp(argv[i], "--flight-recorder") == 0) {
+      flags.flight_capacity = 4096;
+    } else if (ParseFlag(argv[i], "--flight-recorder", &value)) {
+      flags.flight_capacity = std::strtoull(value.c_str(), nullptr, 10);
+      if (flags.flight_capacity == 0) {
+        std::fprintf(stderr, "--flight-recorder=N needs N > 0\n");
+        return 1;
+      }
+    } else if (ParseFlag(argv[i], "--flight-json", &flags.flight_json)) {
+    } else if (ParseFlag(argv[i], "--dump-on-assert", &flags.dump_on_assert)) {
+    } else if (ParseFlag(argv[i], "--inject-breach-at", &value)) {
+      flags.inject_breach_at_s = std::atof(value.c_str());
     } else if (ParseFlag(argv[i], "--fault-plan", &value)) {
       std::string body;
       if (!ReadFile(value, &body)) {

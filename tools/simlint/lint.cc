@@ -353,6 +353,44 @@ std::vector<Finding> LintSource(const std::string& file_label, std::string_view 
     }
   }
 
+  // unguarded-trace: trace/flight-recorder emits in component code must sit
+  // behind a cheap enabled()-style guard so disabled observability costs one
+  // untaken branch, not argument formatting. The obs layer itself (which
+  // implements the recorders and guards internally) is exempt.
+  const bool trace_rule_applies = file_label.rfind("src/", 0) == 0 &&
+                                  file_label.rfind("src/obs/", 0) != 0;
+  if (trace_rule_applies) {
+    static const std::regex kEmitRe(
+        R"(([A-Za-z_]\w*)\s*(?:\(\s*\))?\s*(?:->|\.)\s*(?:Span|Instant|CounterSample|Record)\s*\()");
+    static const std::regex kGuardRe(R"(\b(?:enabled|Enabled|Sampled|Traced|FlightOn)\s*\()");
+    constexpr int kGuardWindow = 10;  // Lines above the emit searched for a guard.
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      std::smatch m;
+      if (!std::regex_search(lines[i], m, kEmitRe)) {
+        continue;
+      }
+      const std::string receiver = m[1].str();
+      if (receiver.find("trace") == std::string::npos &&
+          receiver.find("flight") == std::string::npos) {
+        continue;  // Record()/Span() on something that is not a recorder.
+      }
+      bool guarded = false;
+      for (int back = 0; back <= kGuardWindow && !guarded; ++back) {
+        const int idx = static_cast<int>(i) - back;
+        if (idx < 0) {
+          break;
+        }
+        guarded = std::regex_search(lines[static_cast<std::size_t>(idx)], kGuardRe);
+      }
+      if (!guarded) {
+        report(static_cast<int>(i) + 1, "unguarded-trace",
+               "trace/flight emit via '" + receiver +
+                   "' without a nearby enabled()/Sampled()/FlightOn() guard; "
+                   "disabled observability must cost one branch, not formatting");
+      }
+    }
+  }
+
   std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
     return a.line < b.line || (a.line == b.line && a.rule < b.rule);
   });

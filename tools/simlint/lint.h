@@ -18,6 +18,12 @@
 //                    integral by design; floating accumulation drifts.
 //   naked-new        naked new/delete expressions — ownership goes through
 //                    containers and smart pointers.
+//   unguarded-trace  trace/flight-recorder emit calls (Span/Instant/
+//                    CounterSample/Record on a trace/flight receiver) in src/
+//                    without an enabled()/Sampled()/Traced()/FlightOn() guard
+//                    nearby — disabled observability must cost one untaken
+//                    branch, not string formatting. The obs layer itself is
+//                    exempt (it implements the recorders).
 //   suppression      a `simlint: allow(...)` comment without a justification.
 //
 // Suppressions: `// simlint: allow(rule-a,rule-b) -- why this is sound` on the

@@ -1,0 +1,47 @@
+// Fixture: unguarded-trace rule. Linted under a src/-prefixed label; emit
+// calls on trace/flight receivers must have an enabled()-style guard within
+// the preceding lines.
+#include <string>
+
+struct Recorder {
+  bool on = false;
+  std::string last;
+  bool IsOn() const { return on; }
+  void Instant(const std::string& name) { last = name; }
+  void Span(const std::string& name) { last = name; }
+  void Record(const std::string& name) { last = name; }
+};
+
+struct Component {
+  void Unguarded() {
+    trace_->Instant("bad");  // line 17: unguarded-trace
+    log_.Record("fine");     // non-recorder receiver: no finding
+    int x = 0;
+    x += 1;
+    x += 2;
+    x += 3;
+    x += 4;
+    x += 5;
+    x += 6;
+    x += 7;
+    x += 8;
+    (void)x;
+    flight_->Record("bad");  // line 29: unguarded-trace
+  }
+
+  void Guarded() {
+    if (trace_ != nullptr && trace_->enabled()) {
+      trace_->Instant("ok");  // guarded: enabled() two lines up
+    }
+    if (FlightOn()) {
+      flight_->Record("ok");  // guarded: FlightOn() one line up
+    }
+  }
+
+  bool FlightOn() const { return flight_ != nullptr && flight_->on; }
+  bool enabled() const { return true; }
+
+  Recorder* trace_ = nullptr;
+  Recorder* flight_ = nullptr;
+  Recorder log_;
+};
