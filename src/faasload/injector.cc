@@ -208,7 +208,9 @@ void LoadInjector::ScheduleTenant(Tenant& tenant, SimDuration horizon) {
   SimTime t = 0;
   auto fire_at = [&](SimTime when) {
     ++in_flight_;
-    env_->loop().ScheduleAt(when, [this, &tenant] { FireInvocation(tenant); });
+    // Capture the tenant by pointer, not reference: the callback outlives this
+    // frame, and `tenants_` owns the heap-allocated Tenant for the whole run.
+    env_->loop().ScheduleAt(when, [this, t = &tenant] { FireInvocation(*t); });
   };
   while (true) {
     switch (tenant.spec.arrivals) {

@@ -5,6 +5,7 @@
 
 #include "src/sim/event_loop.h"
 #include "src/sim/latency.h"
+#include "src/sim/periodic.h"
 
 namespace ofc::sim {
 namespace {
@@ -114,6 +115,51 @@ TEST(EventLoopTest, StepSkipsCancelledEvents) {
   EXPECT_TRUE(loop.Step());  // Skips the cancelled one, runs the live one.
   EXPECT_EQ(ran, 1);
   EXPECT_FALSE(loop.Step());
+}
+
+TEST(PeriodicTaskTest, FiresEveryIntervalUntilStopped) {
+  EventLoop loop;
+  int ticks = 0;
+  PeriodicTask task(&loop, Millis(10), [&](SimTime) { ++ticks; });
+  task.Start();
+  loop.RunFor(Millis(35));
+  EXPECT_EQ(ticks, 3);
+  EXPECT_TRUE(task.running());
+  task.Stop();
+  EXPECT_FALSE(task.running());
+  // A stopped task leaves no pending events: the loop is quiescent.
+  loop.Run();
+  EXPECT_EQ(ticks, 3);
+}
+
+TEST(PeriodicTaskTest, ScopedDestructionBeforeNextTickCancelsPendingEvent) {
+  // Regression: a PeriodicTask destroyed while its next tick is still pending
+  // must cancel that event. The re-arming callback captures [this], so a
+  // missed cancellation would have the loop call into a destroyed task —
+  // under ASan this test would report heap-use-after-free.
+  EventLoop loop;
+  int ticks = 0;
+  {
+    PeriodicTask task(&loop, Millis(10), [&](SimTime) { ++ticks; });
+    task.Start();
+    loop.RunFor(Millis(25));  // Two ticks fired; the third is pending.
+    EXPECT_EQ(ticks, 2);
+    EXPECT_TRUE(task.running());
+  }
+  // The destructor cancelled the pending tick: draining the loop runs nothing
+  // further and the tick count is frozen.
+  EXPECT_EQ(loop.pending_events(), 0u);
+  loop.Run();
+  EXPECT_EQ(ticks, 2);
+}
+
+TEST(PeriodicTaskTest, DestructionOfNeverStartedTaskIsInert) {
+  EventLoop loop;
+  {
+    PeriodicTask task(&loop, Millis(10), [](SimTime) {});
+    EXPECT_FALSE(task.running());
+  }
+  EXPECT_EQ(loop.pending_events(), 0u);
 }
 
 TEST(LatencyModelTest, BaseOnly) {

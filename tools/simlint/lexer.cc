@@ -1,0 +1,309 @@
+#include "tools/simlint/lexer.h"
+
+#include <cctype>
+
+namespace ofc::simlint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+// A cursor over the raw bytes that transparently skips line splices
+// (backslash-newline, optionally with a \r) everywhere except raw strings,
+// which the caller scans through the underlying buffer directly.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view src) : src_(src) { SkipSplices(); }
+
+  bool Eof() const { return pos_ >= src_.size(); }
+  int line() const { return line_; }
+  std::size_t pos() const { return pos_; }
+
+  char Peek(std::size_t ahead = 0) const {
+    std::size_t p = pos_;
+    int dummy_line = line_;
+    for (std::size_t k = 0; k < ahead; ++k) {
+      if (p >= src_.size()) {
+        return '\0';
+      }
+      Advance(&p, &dummy_line);
+      SkipSplicesAt(&p, &dummy_line);
+    }
+    return p < src_.size() ? src_[p] : '\0';
+  }
+
+  char Get() {
+    if (Eof()) {
+      return '\0';
+    }
+    const char c = src_[pos_];
+    Advance(&pos_, &line_);
+    SkipSplices();
+    return c;
+  }
+
+  // Raw access for raw-string bodies, where splices must not be folded.
+  char RawGet() {
+    if (Eof()) {
+      return '\0';
+    }
+    const char c = src_[pos_];
+    if (c == '\n') {
+      ++line_;
+    }
+    ++pos_;
+    return c;
+  }
+
+  bool RawStartsWith(std::string_view s) const {
+    return src_.compare(pos_, s.size(), s) == 0;
+  }
+
+ private:
+  void Advance(std::size_t* p, int* line) const {
+    if (src_[*p] == '\n') {
+      ++*line;
+    }
+    ++*p;
+  }
+
+  void SkipSplicesAt(std::size_t* p, int* line) const {
+    while (*p < src_.size() && src_[*p] == '\\') {
+      std::size_t q = *p + 1;
+      if (q < src_.size() && src_[q] == '\r') {
+        ++q;
+      }
+      if (q < src_.size() && src_[q] == '\n') {
+        *p = q + 1;
+        ++*line;
+      } else {
+        break;
+      }
+    }
+  }
+
+  void SkipSplices() { SkipSplicesAt(&pos_, &line_); }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// Encoding prefixes that may precede a string or char literal.
+bool IsLiteralPrefix(const std::string& id, bool* raw) {
+  if (id == "R" || id == "u8R" || id == "uR" || id == "UR" || id == "LR") {
+    *raw = true;
+    return true;
+  }
+  *raw = false;
+  return id == "u8" || id == "u" || id == "U" || id == "L";
+}
+
+// Multi-character punctuators, longest first within each leading char.
+// `>>` is intentionally split into two `>` tokens: the rules balance template
+// argument lists far more often than they meet a right shift, and two closes
+// are correct for the former while merely odd for the latter.
+const char* const kPuncts3[] = {"<<=", ">>=", "->*", "..."};
+const char* const kPuncts2[] = {"::", "->", "++", "--", "<<", "<=", ">=", "==", "!=",
+                                "&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+                                "^=", ".*", "##"};
+
+}  // namespace
+
+LexResult Lex(std::string_view src) {
+  LexResult out;
+  Cursor cur(src);
+
+  auto add_comment_char = [&out](int line, char c) {
+    if (out.comments.empty() || out.comments.back().line != line) {
+      out.comments.push_back({line, ""});
+    }
+    out.comments.back().text += c;
+  };
+
+  while (!cur.Eof()) {
+    const char c = cur.Peek();
+    const int line = cur.line();
+
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      cur.Get();
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && cur.Peek(1) == '/') {
+      cur.Get();
+      cur.Get();
+      // A splice continues a line comment onto the next physical line; the
+      // cursor folds it away, so the terminating '\n' here is a real one.
+      while (!cur.Eof() && cur.Peek() != '\n') {
+        add_comment_char(line, cur.Get());
+      }
+      continue;
+    }
+    if (c == '/' && cur.Peek(1) == '*') {
+      cur.Get();
+      cur.Get();
+      while (!cur.Eof() && !(cur.Peek() == '*' && cur.Peek(1) == '/')) {
+        const int comment_line = cur.line();
+        const char cc = cur.Get();
+        if (cc != '\n') {
+          add_comment_char(comment_line, cc);
+        }
+      }
+      if (!cur.Eof()) {
+        cur.Get();
+        cur.Get();
+      }
+      continue;
+    }
+
+    // Identifier, possibly a literal prefix.
+    if (IsIdentStart(c)) {
+      std::string id;
+      while (!cur.Eof() && IsIdentChar(cur.Peek())) {
+        id += cur.Get();
+      }
+      bool raw = false;
+      if (!cur.Eof() && IsLiteralPrefix(id, &raw)) {
+        if (raw && cur.Peek() == '"') {
+          // Raw string: R"delim( ... )delim" — scan the underlying bytes.
+          cur.Get();  // Consume the opening quote.
+          std::string delim;
+          while (!cur.Eof() && cur.Peek() != '(' && cur.Peek() != '"' &&
+                 cur.Peek() != '\n') {
+            delim += cur.RawGet();
+          }
+          if (cur.Eof() || cur.Peek() != '(') {
+            out.tokens.push_back({TokKind::kString, delim, line});
+            continue;
+          }
+          cur.RawGet();  // '('
+          const std::string closer = ")" + delim + "\"";
+          std::string body;
+          while (!cur.Eof() && !cur.RawStartsWith(closer)) {
+            body += cur.RawGet();
+          }
+          for (std::size_t k = 0; k < closer.size() && !cur.Eof(); ++k) {
+            cur.RawGet();
+          }
+          out.tokens.push_back({TokKind::kString, body, line});
+          continue;
+        }
+        if (!raw && (cur.Peek() == '"' || cur.Peek() == '\'')) {
+          // Fall through to the literal scanner below with the prefix folded
+          // into it: emit the literal, not the prefix identifier.
+          const char quote = cur.Get();
+          std::string body;
+          while (!cur.Eof() && cur.Peek() != quote && cur.Peek() != '\n') {
+            char cc = cur.Get();
+            if (cc == '\\' && !cur.Eof()) {
+              body += cc;
+              cc = cur.Get();
+            }
+            body += cc;
+          }
+          if (!cur.Eof() && cur.Peek() == quote) {
+            cur.Get();
+          }
+          out.tokens.push_back(
+              {quote == '"' ? TokKind::kString : TokKind::kChar, body, line});
+          continue;
+        }
+      }
+      out.tokens.push_back({TokKind::kIdentifier, id, line});
+      continue;
+    }
+
+    // pp-number: digits, digit separators, exponents, suffixes.
+    if (IsDigit(c) || (c == '.' && IsDigit(cur.Peek(1)))) {
+      std::string num;
+      num += cur.Get();
+      while (!cur.Eof()) {
+        const char n = cur.Peek();
+        if (IsIdentChar(n) || n == '.') {
+          num += cur.Get();
+          // Exponent signs: e+ e- p+ p- continue the pp-number.
+          if ((n == 'e' || n == 'E' || n == 'p' || n == 'P') &&
+              (cur.Peek() == '+' || cur.Peek() == '-')) {
+            num += cur.Get();
+          }
+          continue;
+        }
+        // A digit separator only continues the number when followed by an
+        // alphanumeric; otherwise it opens a char literal (e.g. `1'x'`... not
+        // valid C++, but the lexer must not swallow real code after it).
+        if (n == '\'' && IsIdentChar(cur.Peek(1))) {
+          num += cur.Get();
+          continue;
+        }
+        break;
+      }
+      out.tokens.push_back({TokKind::kNumber, num, line});
+      continue;
+    }
+
+    // Plain string / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = cur.Get();
+      std::string body;
+      while (!cur.Eof() && cur.Peek() != quote && cur.Peek() != '\n') {
+        char cc = cur.Get();
+        if (cc == '\\' && !cur.Eof()) {
+          body += cc;
+          cc = cur.Get();
+        }
+        body += cc;
+      }
+      if (!cur.Eof() && cur.Peek() == quote) {
+        cur.Get();
+      }
+      out.tokens.push_back(
+          {quote == '"' ? TokKind::kString : TokKind::kChar, body, line});
+      continue;
+    }
+
+    // Punctuators, maximal munch.
+    {
+      bool matched = false;
+      const char three[4] = {cur.Peek(0), cur.Peek(1), cur.Peek(2), '\0'};
+      for (const char* p : kPuncts3) {
+        if (three[0] == p[0] && three[1] == p[1] && three[2] == p[2]) {
+          cur.Get();
+          cur.Get();
+          cur.Get();
+          out.tokens.push_back({TokKind::kPunct, p, line});
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        continue;
+      }
+      const char two[3] = {cur.Peek(0), cur.Peek(1), '\0'};
+      for (const char* p : kPuncts2) {
+        if (two[0] == p[0] && two[1] == p[1]) {
+          cur.Get();
+          cur.Get();
+          out.tokens.push_back({TokKind::kPunct, p, line});
+          matched = true;
+          break;
+        }
+      }
+      if (matched) {
+        continue;
+      }
+      out.tokens.push_back({TokKind::kPunct, std::string(1, cur.Get()), line});
+    }
+  }
+  return out;
+}
+
+}  // namespace ofc::simlint

@@ -1,0 +1,58 @@
+// simlint lexer: a real (if deliberately small) C++ tokenizer.
+//
+// Produces the token stream the simlint v2 rules reason over. Unlike the v1
+// strip-and-regex pass, the lexer understands:
+//   - line splices (backslash-newline) anywhere, including inside line
+//     comments and identifiers, with original line numbers preserved;
+//   - string/char literals with escapes and encoding prefixes (u8 u U L),
+//     including char literals that contain a double quote;
+//   - raw string literals R"delim( ... )delim" (splices are *not* processed
+//     inside them, per the standard);
+//   - pp-numbers with digit separators (1'000'000) and exponent signs, so an
+//     apostrophe inside a number never opens a phantom char literal;
+//   - maximal-munch multi-character operators (++ -- += == :: -> ...), so the
+//     rules can tell `==` from `=` and `++` from `+`.
+//
+// Comments are not tokens: they are collected separately, one entry per
+// source line they cover, because the only thing simlint reads from comments
+// is the `simlint: allow(...)` suppression syntax.
+#ifndef OFC_TOOLS_SIMLINT_LEXER_H_
+#define OFC_TOOLS_SIMLINT_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ofc::simlint {
+
+enum class TokKind {
+  kIdentifier,  // Identifiers and keywords (rules match on spelling).
+  kNumber,      // pp-number, digit separators included in `text`.
+  kString,      // Any string literal; `text` is the contents without quotes.
+  kChar,        // Character literal; `text` is the contents without quotes.
+  kPunct,       // Operator / punctuator, maximal munch.
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character.
+};
+
+struct Comment {
+  int line = 0;        // 1-based.
+  std::string text;    // Comment text on this line (delimiters stripped).
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  // One entry per (line, text) of comment content, in file order. A block
+  // comment spanning three lines contributes three entries.
+  std::vector<Comment> comments;
+};
+
+LexResult Lex(std::string_view src);
+
+}  // namespace ofc::simlint
+
+#endif  // OFC_TOOLS_SIMLINT_LEXER_H_

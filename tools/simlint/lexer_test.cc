@@ -1,0 +1,178 @@
+#include "tools/simlint/lexer.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ofc::simlint {
+namespace {
+
+std::vector<std::string> Texts(const LexResult& lexed) {
+  std::vector<std::string> out;
+  out.reserve(lexed.tokens.size());
+  for (const Token& t : lexed.tokens) {
+    out.push_back(t.text);
+  }
+  return out;
+}
+
+const Token* FindToken(const LexResult& lexed, const std::string& text) {
+  for (const Token& t : lexed.tokens) {
+    if (t.text == text) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+TEST(LexerTest, TokenizesIdentifiersNumbersAndPunctuation) {
+  const auto lexed = Lex("int x = a->b + 3;");
+  EXPECT_EQ(Texts(lexed),
+            (std::vector<std::string>{"int", "x", "=", "a", "->", "b", "+", "3", ";"}));
+  EXPECT_EQ(lexed.tokens[0].kind, TokKind::kIdentifier);
+  EXPECT_EQ(lexed.tokens[2].kind, TokKind::kPunct);
+  EXPECT_EQ(lexed.tokens[7].kind, TokKind::kNumber);
+}
+
+TEST(LexerTest, StringContentsProduceNoTokens) {
+  const auto lexed = Lex("const char* s = \"rand() new delete\";");
+  EXPECT_EQ(FindToken(lexed, "rand"), nullptr);
+  const Token* str = FindToken(lexed, "rand() new delete");
+  ASSERT_NE(str, nullptr);
+  EXPECT_EQ(str->kind, TokKind::kString);
+}
+
+TEST(LexerTest, CharLiteralContainingDoubleQuoteDoesNotOpenAString) {
+  // A naive scanner treats the '"' char literal as a string opener and
+  // swallows the rest of the file.
+  const auto lexed = Lex("char q = '\"'; int rand_seed = rand();");
+  ASSERT_NE(FindToken(lexed, "rand"), nullptr);
+  EXPECT_EQ(FindToken(lexed, "rand")->kind, TokKind::kIdentifier);
+  const Token* ch = FindToken(lexed, "\"");
+  ASSERT_NE(ch, nullptr);
+  EXPECT_EQ(ch->kind, TokKind::kChar);
+}
+
+TEST(LexerTest, EscapedQuotesStayInsideLiterals) {
+  const auto lexed = Lex(R"x(auto s = "a\"b"; auto c = '\''; int after = 1;)x");
+  ASSERT_NE(FindToken(lexed, "after"), nullptr);
+  ASSERT_NE(FindToken(lexed, "a\\\"b"), nullptr);
+  EXPECT_EQ(FindToken(lexed, "a\\\"b")->kind, TokKind::kString);
+}
+
+TEST(LexerTest, RawStringsWithCustomDelimiters) {
+  // The inner )" must not close the raw string; only )lint" does.
+  const std::string src =
+      "auto s = R\"lint(body with )\" and \"quotes\" and newline\n"
+      "still body)lint\"; int after = 2;";
+  const auto lexed = Lex(src);
+  const Token* after = FindToken(lexed, "after");
+  ASSERT_NE(after, nullptr);
+  EXPECT_EQ(after->line, 2);
+  EXPECT_EQ(FindToken(lexed, "quotes"), nullptr);
+}
+
+TEST(LexerTest, EncodingPrefixedLiteralsAreLiterals) {
+  const auto lexed = Lex("auto a = u8\"x\"; auto b = L\"y\"; auto c = u'z';");
+  ASSERT_NE(FindToken(lexed, "x"), nullptr);
+  EXPECT_EQ(FindToken(lexed, "x")->kind, TokKind::kString);
+  ASSERT_NE(FindToken(lexed, "y"), nullptr);
+  EXPECT_EQ(FindToken(lexed, "y")->kind, TokKind::kString);
+  ASSERT_NE(FindToken(lexed, "z"), nullptr);
+  EXPECT_EQ(FindToken(lexed, "z")->kind, TokKind::kChar);
+  // The prefixes themselves do not surface as identifiers.
+  EXPECT_EQ(FindToken(lexed, "u8"), nullptr);
+  EXPECT_EQ(FindToken(lexed, "L"), nullptr);
+}
+
+TEST(LexerTest, LineCommentsAndBlockCommentsAreCollectedNotTokenized) {
+  const std::string src =
+      "int a = 1;  // trailing comment\n"
+      "/* block\n"
+      "   spanning */\n"
+      "int b = 2;\n";
+  const auto lexed = Lex(src);
+  EXPECT_EQ(FindToken(lexed, "trailing"), nullptr);
+  EXPECT_EQ(FindToken(lexed, "spanning"), nullptr);
+  ASSERT_EQ(lexed.comments.size(), 3u);  // One entry per commented line.
+  EXPECT_EQ(lexed.comments[0].line, 1);
+  EXPECT_EQ(lexed.comments[1].line, 2);
+  EXPECT_EQ(lexed.comments[2].line, 3);
+  EXPECT_NE(lexed.comments[0].text.find("trailing"), std::string::npos);
+  const Token* b = FindToken(lexed, "b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->line, 4);
+}
+
+TEST(LexerTest, LineSplicedCommentContinuesOntoNextLine) {
+  // The backslash-newline splices the comment across the physical line break,
+  // so `rand()` on line 2 is still commented out.
+  const std::string src =
+      "// a comment that continues \\\n"
+      "rand();\n"
+      "int live = 1;\n";
+  const auto lexed = Lex(src);
+  EXPECT_EQ(FindToken(lexed, "rand"), nullptr);
+  ASSERT_NE(FindToken(lexed, "live"), nullptr);
+  EXPECT_EQ(FindToken(lexed, "live")->line, 3);
+}
+
+TEST(LexerTest, LineSplicedTokenSpansPhysicalLines) {
+  const std::string src = "int spli\\\nced = 4;\n";
+  const auto lexed = Lex(src);
+  ASSERT_NE(FindToken(lexed, "spliced"), nullptr);
+  EXPECT_EQ(FindToken(lexed, "spliced")->line, 1);
+}
+
+TEST(LexerTest, DigitSeparatorsStayOneNumberToken) {
+  const auto lexed = Lex("long n = 1'000'000; auto m = 0x1F'FF;");
+  const Token* n = FindToken(lexed, "1'000'000");
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->kind, TokKind::kNumber);
+  EXPECT_NE(FindToken(lexed, "0x1F'FF"), nullptr);
+}
+
+TEST(LexerTest, ApostropheAfterNumberNotFollowedByAlnumIsAChar) {
+  // `(1,'a')` lexes 1 then the char 'a'; the separator rule requires an
+  // alphanumeric continuation.
+  const auto lexed = Lex("auto p = std::make_pair(1,'a');");
+  const Token* one = FindToken(lexed, "1");
+  ASSERT_NE(one, nullptr);
+  EXPECT_EQ(one->kind, TokKind::kNumber);
+  const Token* a = FindToken(lexed, "a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->kind, TokKind::kChar);
+}
+
+TEST(LexerTest, MaximalMunchOperators) {
+  const auto lexed = Lex("a <<= b; c->*d; e && f; g::h; i...");
+  EXPECT_NE(FindToken(lexed, "<<="), nullptr);
+  EXPECT_NE(FindToken(lexed, "->*"), nullptr);
+  EXPECT_NE(FindToken(lexed, "&&"), nullptr);
+  EXPECT_NE(FindToken(lexed, "::"), nullptr);
+  EXPECT_NE(FindToken(lexed, "..."), nullptr);
+}
+
+TEST(LexerTest, RightShiftSplitsForTemplateBalancing) {
+  // `>>` is deliberately two `>` tokens so nested template argument lists
+  // balance with a simple depth counter.
+  const auto lexed = Lex("std::vector<std::vector<int>> v;");
+  EXPECT_EQ(FindToken(lexed, ">>"), nullptr);
+  int closes = 0;
+  for (const Token& t : lexed.tokens) {
+    closes += (t.text == ">") ? 1 : 0;
+  }
+  EXPECT_EQ(closes, 2);
+}
+
+TEST(LexerTest, TokensCarryOneBasedLineNumbers) {
+  const auto lexed = Lex("one\ntwo\n\nthree\n");
+  ASSERT_EQ(lexed.tokens.size(), 3u);
+  EXPECT_EQ(lexed.tokens[0].line, 1);
+  EXPECT_EQ(lexed.tokens[1].line, 2);
+  EXPECT_EQ(lexed.tokens[2].line, 4);
+}
+
+}  // namespace
+}  // namespace ofc::simlint

@@ -2,405 +2,804 @@
 
 #include <algorithm>
 #include <cctype>
-#include <map>
 #include <regex>
-#include <set>
 #include <sstream>
 
+#include "tools/simlint/lexer.h"
+
 namespace ofc::simlint {
-namespace {
 
-// ---- Source preprocessing ----------------------------------------------------
-
-// `code` is the input with comments and string/char literals blanked out
-// (newlines preserved, so line numbers survive); `comments` holds the comment
-// text seen on each 1-based line, for suppression parsing.
-struct Stripped {
-  std::string code;
-  std::map<int, std::string> comments;
-};
-
-Stripped Strip(std::string_view in) {
-  Stripped out;
-  out.code.reserve(in.size());
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  State state = State::kCode;
-  int line = 1;
-  std::string raw_delim;  // Closing delimiter of an in-flight raw string.
-  for (std::size_t i = 0; i < in.size(); ++i) {
-    const char c = in[i];
-    const char next = i + 1 < in.size() ? in[i + 1] : '\0';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && next == '/') {
-          state = State::kLineComment;
-          out.code += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          state = State::kBlockComment;
-          out.code += "  ";
-          ++i;
-        } else if (c == 'R' && next == '"' &&
-                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(in[i - 1])) &&
-                               in[i - 1] != '_'))) {
-          // R"delim( ... )delim"
-          std::size_t open = in.find('(', i + 2);
-          if (open == std::string_view::npos) {
-            out.code += c;
-            break;
-          }
-          raw_delim = ")" + std::string(in.substr(i + 2, open - (i + 2))) + "\"";
-          out.code.append(open - i + 1, ' ');
-          i = open;
-          state = State::kRawString;
-        } else if (c == '"') {
-          state = State::kString;
-          out.code += ' ';
-        } else if (c == '\'') {
-          state = State::kChar;
-          out.code += ' ';
-        } else {
-          out.code += c;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          state = State::kCode;
-          out.code += '\n';
-        } else {
-          out.comments[line] += c;
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && next == '/') {
-          state = State::kCode;
-          out.code += "  ";
-          ++i;
-        } else if (c == '\n') {
-          out.code += '\n';
-        } else {
-          out.comments[line] += c;
-          out.code += ' ';
-        }
-        break;
-      case State::kString:
-      case State::kChar:
-        if (c == '\\') {
-          out.code += "  ";
-          ++i;
-          if (next == '\n') {
-            out.code.back() = '\n';
-          }
-        } else if ((state == State::kString && c == '"') ||
-                   (state == State::kChar && c == '\'')) {
-          state = State::kCode;
-          out.code += ' ';
-        } else {
-          out.code += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::kRawString:
-        if (in.compare(i, raw_delim.size(), raw_delim) == 0) {
-          out.code.append(raw_delim.size(), ' ');
-          i += raw_delim.size() - 1;
-          state = State::kCode;
-        } else {
-          out.code += c == '\n' ? '\n' : ' ';
-        }
-        break;
-    }
-    if (c == '\n') {
-      ++line;
-    }
-  }
-  return out;
-}
-
-std::vector<std::string> SplitLines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (char c : text) {
-    if (c == '\n') {
-      lines.push_back(current);
-      current.clear();
-    } else {
-      current += c;
-    }
-  }
-  lines.push_back(current);
-  return lines;
-}
-
-bool OnlyWhitespace(const std::string& s) {
-  return std::all_of(s.begin(), s.end(),
-                     [](unsigned char c) { return std::isspace(c) != 0; });
-}
-
-// ---- Suppressions ------------------------------------------------------------
-
-struct Suppression {
-  std::set<std::string> rules;  // "*" = all rules.
-  bool justified = false;
-};
-
-// Parses `simlint: allow(rule-a,rule-b) -- justification` from comment text.
-std::map<int, Suppression> ParseSuppressions(const Stripped& stripped,
-                                             std::vector<Finding>* findings,
-                                             const std::string& file) {
-  static const std::regex kAllowRe(
-      R"(simlint:\s*allow\(([A-Za-z*,\-\s]+)\)\s*(?:--\s*(\S.*))?)");
-  std::map<int, Suppression> out;
-  for (const auto& [line, text] : stripped.comments) {
-    std::smatch m;
-    if (!std::regex_search(text, m, kAllowRe)) {
+bool SuppressionMap::IsSuppressed(int line, const std::string& rule) const {
+  for (int candidate : {line, line - 1}) {
+    auto it = by_line.find(candidate);
+    if (it == by_line.end()) {
       continue;
     }
-    Suppression sup;
-    std::stringstream rules(m[1].str());
-    std::string rule;
-    while (std::getline(rules, rule, ',')) {
-      rule.erase(std::remove_if(rule.begin(), rule.end(),
-                                [](unsigned char c) { return std::isspace(c) != 0; }),
-                 rule.end());
-      if (!rule.empty()) {
-        sup.rules.insert(rule);
-      }
+    // A suppression comment on its own line covers the line below it; an
+    // end-of-line comment covers its own line.
+    if (candidate == line - 1 && lines_with_tokens.contains(candidate)) {
+      continue;
     }
-    sup.justified = m[2].matched;
-    if (!sup.justified) {
-      findings->push_back({file, line, "suppression",
-                           "simlint suppression without a justification; write "
-                           "`simlint: allow(rule) -- <why this is sound>`"});
+    // An unjustified suppression is itself a finding and earns no waiver.
+    if (it->second.justified &&
+        (it->second.rules.contains(rule) || it->second.rules.contains("*"))) {
+      return true;
     }
-    out[line] = std::move(sup);
   }
-  return out;
+  return false;
 }
 
-// ---- Rule helpers ------------------------------------------------------------
+namespace {
 
 bool EndsWith(const std::string& value, const std::string& suffix) {
   return value.size() >= suffix.size() &&
          value.compare(value.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-// Collects the names of variables/members declared as std::unordered_* in this
-// file (token-level: the identifier following the closing `>` of the template
-// argument list).
-std::set<std::string> UnorderedNames(const std::string& code) {
-  std::set<std::string> names;
-  static const std::regex kDeclRe(R"(\bunordered_(?:multi)?(?:map|set)\s*<)");
-  auto begin = std::sregex_iterator(code.begin(), code.end(), kDeclRe);
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    // Find the matching `>` by depth counting from the opening `<`.
-    std::size_t pos = static_cast<std::size_t>(it->position() + it->length());
-    int depth = 1;
-    while (pos < code.size() && depth > 0) {
-      if (code[pos] == '<') {
+bool StartsWith(const std::string& value, const std::string& prefix) {
+  return value.rfind(prefix, 0) == 0;
+}
+
+std::string Lower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+// ---- The analyzer ------------------------------------------------------------
+
+class Analyzer {
+ public:
+  Analyzer(const std::string& file_label, std::string_view content,
+           const LintOptions& options)
+      : file_(file_label), options_(options), lexed_(Lex(content)) {
+    in_src_ = StartsWith(file_, "src/");
+    in_obs_ = StartsWith(file_, "src/obs/");
+    rng_exempt_ = std::any_of(
+        options_.rng_exempt_suffixes.begin(), options_.rng_exempt_suffixes.end(),
+        [&](const std::string& suffix) { return EndsWith(file_, suffix); });
+    for (const Token& t : lexed_.tokens) {
+      out_.suppressions.lines_with_tokens.insert(t.line);
+    }
+  }
+
+  FileAnalysis Run() {
+    ParseSuppressions();
+    TokenRules();
+    UnguardedTrace();
+    UnorderedPass();
+    DanglingCapture();
+    DcheckSideEffect();
+    IncludesAndMetrics();
+    std::sort(out_.findings.begin(), out_.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                if (a.line != b.line) {
+                  return a.line < b.line;
+                }
+                if (a.rule != b.rule) {
+                  return a.rule < b.rule;
+                }
+                return a.message < b.message;
+              });
+    return std::move(out_);
+  }
+
+ private:
+  using Toks = std::vector<Token>;
+
+  const Token& Tok(std::size_t i) const { return lexed_.tokens[i]; }
+  std::size_t Size() const { return lexed_.tokens.size(); }
+  bool IsId(std::size_t i, const char* text) const {
+    return i < Size() && Tok(i).kind == TokKind::kIdentifier && Tok(i).text == text;
+  }
+  bool IsPunct(std::size_t i, const char* text) const {
+    return i < Size() && Tok(i).kind == TokKind::kPunct && Tok(i).text == text;
+  }
+
+  void Report(int line, const std::string& rule, const std::string& message) {
+    if (!out_.suppressions.IsSuppressed(line, rule)) {
+      out_.findings.push_back({file_, line, rule, message, "", false});
+    }
+  }
+
+  // Index just past the token matching the opener at `open` ('(' / '[' / '{').
+  // Returns Size() when unbalanced.
+  std::size_t Match(std::size_t open) const {
+    const std::string& o = Tok(open).text;
+    const std::string c = o == "(" ? ")" : o == "[" ? "]" : "}";
+    int depth = 0;
+    for (std::size_t i = open; i < Size(); ++i) {
+      if (Tok(i).kind != TokKind::kPunct) {
+        continue;
+      }
+      if (Tok(i).text == o) {
         ++depth;
-      } else if (code[pos] == '>') {
-        --depth;
-      }
-      ++pos;
-    }
-    // Skip whitespace, then read the declared identifier (if any; using-alias
-    // or function-return uses have none here and are fine to skip).
-    while (pos < code.size() && std::isspace(static_cast<unsigned char>(code[pos]))) {
-      ++pos;
-    }
-    std::string name;
-    while (pos < code.size() && (std::isalnum(static_cast<unsigned char>(code[pos])) ||
-                                 code[pos] == '_')) {
-      name += code[pos++];
-    }
-    if (!name.empty()) {
-      names.insert(name);
-    }
-  }
-  return names;
-}
-
-// Final identifier component of an expression like `segments_[i].entries` or
-// `obj->map_` (the container actually iterated).
-std::string FinalComponent(std::string expr) {
-  while (!expr.empty() && (std::isspace(static_cast<unsigned char>(expr.back())) != 0)) {
-    expr.pop_back();
-  }
-  std::size_t end = expr.size();
-  std::size_t start = end;
-  while (start > 0 && (std::isalnum(static_cast<unsigned char>(expr[start - 1])) ||
-                       expr[start - 1] == '_')) {
-    --start;
-  }
-  return expr.substr(start, end - start);
-}
-
-struct Rule {
-  std::string id;
-  std::regex pattern;
-  std::string message;
-};
-
-const std::vector<Rule>& LineRules() {
-  static const std::vector<Rule> rules = {
-      {"wall-clock",
-       std::regex(R"(\b(?:system_clock|steady_clock|high_resolution_clock)\b)"),
-       "wall-clock access; all time must come from sim::EventLoop::now()"},
-      {"ambient-rng",
-       std::regex(R"((?:\brand\s*\(|\bsrand\s*\(|\brandom_device\b|\bmt19937\w*\b|\bdefault_random_engine\b|\btime\s*\(\s*(?:nullptr|NULL|0)?\s*\)))"),
-       "ambient randomness; all randomness must flow through ofc::Rng (src/common/rng.h)"},
-      {"float-sim-time",
-       std::regex(R"(\b(?:float|double)\s+\w*(?:sim_?time|when|deadline)\w*\s*[;={])"),
-       "simulated time held in floating point; use the integral SimTime/SimDuration"},
-      {"naked-new",
-       std::regex(R"((?:^|[^:\w])new\s+[A-Za-z_(])"),
-       "naked new; use std::make_unique/containers"},
-      {"naked-new",
-       std::regex(R"((?:^|[^:\w=\s]\s*|^\s*)delete(?:\[\])?\s+[A-Za-z_(*])"),
-       "naked delete; ownership must live in smart pointers/containers"},
-  };
-  return rules;
-}
-
-}  // namespace
-
-std::vector<Finding> LintSource(const std::string& file_label, std::string_view content,
-                                const LintOptions& options) {
-  std::vector<Finding> findings;
-  const Stripped stripped = Strip(content);
-  const std::map<int, Suppression> suppressions =
-      ParseSuppressions(stripped, &findings, file_label);
-  const std::vector<std::string> lines = SplitLines(stripped.code);
-
-  const bool rng_exempt =
-      std::any_of(options.rng_exempt_suffixes.begin(), options.rng_exempt_suffixes.end(),
-                  [&](const std::string& suffix) { return EndsWith(file_label, suffix); });
-
-  auto suppressed = [&](int line, const std::string& rule) {
-    for (int candidate : {line, line - 1}) {
-      auto it = suppressions.find(candidate);
-      if (it == suppressions.end()) {
-        continue;
-      }
-      // A suppression comment on its own line covers the line below it; an
-      // end-of-line comment covers its own line.
-      if (candidate == line - 1 &&
-          !OnlyWhitespace(candidate - 1 < static_cast<int>(lines.size())
-                              ? lines[static_cast<std::size_t>(candidate - 1)]
-                              : std::string())) {
-        continue;
-      }
-      // An unjustified suppression is itself a finding and earns no waiver.
-      if (it->second.justified &&
-          (it->second.rules.contains(rule) || it->second.rules.contains("*"))) {
-        return true;
-      }
-    }
-    return false;
-  };
-
-  auto report = [&](int line, const std::string& rule, const std::string& message) {
-    if (!suppressed(line, rule)) {
-      findings.push_back({file_label, line, rule, message});
-    }
-  };
-
-  // Line-level pattern rules.
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    const int line = static_cast<int>(i) + 1;
-    for (const Rule& rule : LineRules()) {
-      if (rng_exempt && rule.id == "ambient-rng") {
-        continue;
-      }
-      if (std::regex_search(lines[i], rule.pattern)) {
-        report(line, rule.id, rule.message);
-      }
-    }
-  }
-
-  // unordered-iter: iteration over containers declared unordered in this file.
-  const std::set<std::string> unordered = UnorderedNames(stripped.code);
-  if (!unordered.empty()) {
-    static const std::regex kRangeForRe(R"(\bfor\s*\(([^;()]*[^;()<>])\))");
-    static const std::regex kBeginEndRe(R"(([A-Za-z_][\w\.\[\]\>\-]*)\s*\.\s*c?(?:begin|end)\s*\()");
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      const int line = static_cast<int>(i) + 1;
-      const std::string& text = lines[i];
-      std::smatch m;
-      if (std::regex_search(text, m, kRangeForRe)) {
-        const std::string head = m[1].str();
-        const std::size_t colon = head.rfind(':');
-        if (colon != std::string::npos && (colon == 0 || head[colon - 1] != ':') &&
-            (colon + 1 >= head.size() || head[colon + 1] != ':')) {
-          const std::string target = FinalComponent(head.substr(colon + 1));
-          if (unordered.contains(target)) {
-            report(line, "unordered-iter",
-                   "iteration over unordered container '" + target +
-                       "'; use std::map/sorted vector on event-visible or export paths");
-          }
-        }
-      }
-      for (auto it = std::sregex_iterator(text.begin(), text.end(), kBeginEndRe);
-           it != std::sregex_iterator(); ++it) {
-        const std::string target = FinalComponent((*it)[1].str());
-        if (unordered.contains(target)) {
-          report(line, "unordered-iter",
-                 "begin()/end() on unordered container '" + target +
-                     "'; bucket order is not deterministic");
-          break;  // One finding per line is enough.
+      } else if (Tok(i).text == c) {
+        if (--depth == 0) {
+          return i;
         }
       }
     }
+    return Size();
   }
 
-  // unguarded-trace: trace/flight-recorder emits in component code must sit
-  // behind a cheap enabled()-style guard so disabled observability costs one
-  // untaken branch, not argument formatting. The obs layer itself (which
-  // implements the recorders and guards internally) is exempt.
-  const bool trace_rule_applies = file_label.rfind("src/", 0) == 0 &&
-                                  file_label.rfind("src/obs/", 0) != 0;
-  if (trace_rule_applies) {
-    static const std::regex kEmitRe(
-        R"(([A-Za-z_]\w*)\s*(?:\(\s*\))?\s*(?:->|\.)\s*(?:Span|Instant|CounterSample|Record)\s*\()");
-    static const std::regex kGuardRe(R"(\b(?:enabled|Enabled|Sampled|Traced|FlightOn)\s*\()");
-    constexpr int kGuardWindow = 10;  // Lines above the emit searched for a guard.
-    for (std::size_t i = 0; i < lines.size(); ++i) {
-      std::smatch m;
-      if (!std::regex_search(lines[i], m, kEmitRe)) {
+  // For a '<' at `open`, finds the matching '>' by depth counting; gives up
+  // (returns Size()) at ';' or '{', which signal "not a template list".
+  std::size_t MatchAngle(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t i = open; i < Size(); ++i) {
+      if (Tok(i).kind != TokKind::kPunct) {
         continue;
       }
-      const std::string receiver = m[1].str();
+      const std::string& t = Tok(i).text;
+      if (t == "<") {
+        ++depth;
+      } else if (t == ">") {
+        if (--depth == 0) {
+          return i;
+        }
+      } else if (t == ";" || t == "{") {
+        break;
+      }
+    }
+    return Size();
+  }
+
+  // ---- Suppressions ----------------------------------------------------------
+
+  void ParseSuppressions() {
+    static const std::regex kAllowRe(
+        R"(simlint:\s*allow\(([A-Za-z*,\-\s]+)\)\s*(?:--\s*(\S.*))?)");
+    for (const Comment& comment : lexed_.comments) {
+      std::smatch m;
+      if (!std::regex_search(comment.text, m, kAllowRe)) {
+        continue;
+      }
+      SuppressionMap::Entry entry;
+      std::stringstream rules(m[1].str());
+      std::string rule;
+      while (std::getline(rules, rule, ',')) {
+        rule.erase(std::remove_if(rule.begin(), rule.end(),
+                                  [](unsigned char c) { return std::isspace(c) != 0; }),
+                   rule.end());
+        if (!rule.empty()) {
+          entry.rules.insert(rule);
+        }
+      }
+      entry.justified = m[2].matched;
+      if (!entry.justified) {
+        out_.findings.push_back(
+            {file_, comment.line, "suppression",
+             "simlint suppression without a justification; write "
+             "`simlint: allow(rule) -- <why this is sound>`",
+             "", false});
+      }
+      out_.suppressions.by_line[comment.line] = std::move(entry);
+    }
+  }
+
+  // ---- Simple token rules ----------------------------------------------------
+
+  void TokenRules() {
+    static const std::set<std::string> kClocks = {"system_clock", "steady_clock",
+                                                  "high_resolution_clock"};
+    static const std::set<std::string> kRngIds = {"random_device",
+                                                  "default_random_engine"};
+    for (std::size_t i = 0; i < Size(); ++i) {
+      const Token& t = Tok(i);
+      if (t.kind != TokKind::kIdentifier) {
+        continue;
+      }
+      if (kClocks.contains(t.text)) {
+        Report(t.line, "wall-clock",
+               "wall-clock access; all time must come from sim::EventLoop::now()");
+        continue;
+      }
+      if (!rng_exempt_) {
+        const bool is_rng_call =
+            ((t.text == "rand" || t.text == "srand") && IsPunct(i + 1, "("));
+        const bool is_rng_type =
+            kRngIds.contains(t.text) || StartsWith(t.text, "mt19937");
+        bool is_time_call = false;
+        if (t.text == "time" && IsPunct(i + 1, "(")) {
+          // time(), time(0), time(NULL), time(nullptr).
+          const std::size_t a = i + 2;
+          is_time_call = IsPunct(a, ")") ||
+                         ((IsId(a, "nullptr") || IsId(a, "NULL") ||
+                           (a < Size() && Tok(a).kind == TokKind::kNumber &&
+                            Tok(a).text == "0")) &&
+                          IsPunct(a + 1, ")"));
+        }
+        if (is_rng_call || is_rng_type || is_time_call) {
+          Report(t.line, "ambient-rng",
+                 "ambient randomness; all randomness must flow through ofc::Rng "
+                 "(src/common/rng.h)");
+          continue;
+        }
+      }
+      if ((t.text == "float" || t.text == "double") && i + 2 < Size() &&
+          Tok(i + 1).kind == TokKind::kIdentifier) {
+        const std::string name = Lower(Tok(i + 1).text);
+        const bool timeish = name.find("sim_time") != std::string::npos ||
+                             name.find("simtime") != std::string::npos ||
+                             name.find("when") != std::string::npos ||
+                             name.find("deadline") != std::string::npos;
+        if (timeish && (IsPunct(i + 2, ";") || IsPunct(i + 2, "=") || IsPunct(i + 2, "{"))) {
+          Report(t.line, "float-sim-time",
+                 "simulated time held in floating point; use the integral "
+                 "SimTime/SimDuration");
+        }
+        continue;
+      }
+      if (t.text == "new" && !IsPunct(i - 1, "::") &&
+          !(i > 0 && IsId(i - 1, "operator")) && i + 1 < Size() &&
+          (Tok(i + 1).kind == TokKind::kIdentifier || IsPunct(i + 1, "("))) {
+        Report(t.line, "naked-new", "naked new; use std::make_unique/containers");
+        continue;
+      }
+      if (t.text == "delete" && !(i > 0 && IsId(i - 1, "operator")) &&
+          !(i > 0 && IsPunct(i - 1, "="))) {
+        std::size_t a = i + 1;
+        if (IsPunct(a, "[") && IsPunct(a + 1, "]")) {
+          a += 2;
+        }
+        if (a < Size() && (Tok(a).kind == TokKind::kIdentifier || IsPunct(a, "(") ||
+                           IsPunct(a, "*"))) {
+          Report(t.line, "naked-new",
+                 "naked delete; ownership must live in smart pointers/containers");
+        }
+        continue;
+      }
+    }
+  }
+
+  // ---- unguarded-trace -------------------------------------------------------
+
+  void UnguardedTrace() {
+    if (!in_src_ || in_obs_) {
+      return;
+    }
+    static const std::set<std::string> kEmits = {"Span", "Instant", "CounterSample",
+                                                 "Record"};
+    static const std::set<std::string> kGuards = {"enabled", "Enabled", "Sampled",
+                                                  "Traced", "FlightOn"};
+    // Lines containing a guard call.
+    std::set<int> guard_lines;
+    for (std::size_t i = 0; i + 1 < Size(); ++i) {
+      if (Tok(i).kind == TokKind::kIdentifier && kGuards.contains(Tok(i).text) &&
+          IsPunct(i + 1, "(")) {
+        guard_lines.insert(Tok(i).line);
+      }
+    }
+    constexpr int kGuardWindow = 10;
+    for (std::size_t i = 0; i + 1 < Size(); ++i) {
+      if (Tok(i).kind != TokKind::kIdentifier || !kEmits.contains(Tok(i).text) ||
+          !IsPunct(i + 1, "(")) {
+        continue;
+      }
+      if (!(IsPunct(i - 1, ".") || IsPunct(i - 1, "->"))) {
+        continue;
+      }
+      // Receiver: walk back over an optional `()` call and take the
+      // identifier (e.g. `trace_->`, `flight()->`, `recorder.trace().`).
+      std::size_t r = i - 2;
+      if (r < Size() && IsPunct(r, ")") && r >= 1 && IsPunct(r - 1, "(")) {
+        r -= 2;
+      }
+      if (r >= Size() || Tok(r).kind != TokKind::kIdentifier) {
+        continue;
+      }
+      const std::string receiver = Lower(Tok(r).text);
       if (receiver.find("trace") == std::string::npos &&
           receiver.find("flight") == std::string::npos) {
-        continue;  // Record()/Span() on something that is not a recorder.
+        continue;
       }
       bool guarded = false;
       for (int back = 0; back <= kGuardWindow && !guarded; ++back) {
-        const int idx = static_cast<int>(i) - back;
-        if (idx < 0) {
-          break;
-        }
-        guarded = std::regex_search(lines[static_cast<std::size_t>(idx)], kGuardRe);
+        guarded = guard_lines.contains(Tok(i).line - back);
       }
       if (!guarded) {
-        report(static_cast<int>(i) + 1, "unguarded-trace",
-               "trace/flight emit via '" + receiver +
+        Report(Tok(i).line, "unguarded-trace",
+               "trace/flight emit via '" + Tok(r).text +
                    "' without a nearby enabled()/Sampled()/FlightOn() guard; "
                    "disabled observability must cost one branch, not formatting");
       }
     }
   }
 
-  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
-    return a.line < b.line || (a.line == b.line && a.rule < b.rule);
-  });
-  return findings;
+  // ---- unordered-iter (flow-aware, scope-tracked) ----------------------------
+
+  // True when the token range [begin, end) reaches event-visible state:
+  // scheduling, metrics, RNG draws, or trace/flight emits.
+  bool HasEventVisibleSink(std::size_t begin, std::size_t end) const {
+    static const std::set<std::string> kSinks = {
+        "ScheduleAt", "ScheduleAfter", "Observe",    "CounterSample", "Span",
+        "Instant",    "GetCounter",    "GetGauge",   "GetSeries"};
+    for (std::size_t i = begin; i < end && i < Size(); ++i) {
+      if (Tok(i).kind != TokKind::kIdentifier) {
+        continue;
+      }
+      if (kSinks.contains(Tok(i).text)) {
+        return true;
+      }
+      const std::string lower = Lower(Tok(i).text);
+      if (lower.find("rng") != std::string::npos ||
+          lower.find("metrics") != std::string::npos ||
+          lower.find("trace") != std::string::npos ||
+          lower.find("flight") != std::string::npos) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Token range of the statement/body that consumes an iteration at `i`:
+  // for a range-for header close at `close`, the `{...}` block or single
+  // statement after it; for begin()/end(), the enclosing statement.
+  std::size_t StatementEnd(std::size_t from) const {
+    for (std::size_t i = from; i < Size(); ++i) {
+      if (IsPunct(i, ";")) {
+        return i;
+      }
+      if (IsPunct(i, "{")) {
+        return Match(i);
+      }
+    }
+    return Size();
+  }
+
+  std::size_t StatementBegin(std::size_t from) const {
+    for (std::size_t i = from; i > 0; --i) {
+      if (IsPunct(i - 1, ";") || IsPunct(i - 1, "{") || IsPunct(i - 1, "}")) {
+        return i;
+      }
+    }
+    return 0;
+  }
+
+  void UnorderedPass() {
+    static const std::set<std::string> kUnordered = {
+        "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+    struct Scope {
+      std::set<std::string> names;
+      bool class_like = false;  // class/struct/namespace scope → exported.
+    };
+    std::vector<Scope> scopes(1);
+    scopes.front().class_like = true;  // File scope counts as exported.
+
+    auto visible = [&](const std::string& name) {
+      return std::any_of(scopes.begin(), scopes.end(),
+                         [&](const Scope& s) { return s.names.contains(name); });
+    };
+
+    for (std::size_t i = 0; i < Size(); ++i) {
+      if (IsPunct(i, "{")) {
+        Scope scope;
+        // Classify: scan back to the previous ; { } for class/struct/namespace.
+        for (std::size_t k = i; k > 0; --k) {
+          if (IsPunct(k - 1, ";") || IsPunct(k - 1, "{") || IsPunct(k - 1, "}")) {
+            break;
+          }
+          if (IsId(k - 1, "class") || IsId(k - 1, "struct") || IsId(k - 1, "namespace")) {
+            scope.class_like = true;
+            break;
+          }
+        }
+        scopes.push_back(scope);
+        continue;
+      }
+      if (IsPunct(i, "}")) {
+        if (scopes.size() > 1) {
+          scopes.pop_back();
+        }
+        continue;
+      }
+
+      // Declarations: unordered_xxx<...> [&*]? name [;={(,)]
+      if (Tok(i).kind == TokKind::kIdentifier && kUnordered.contains(Tok(i).text) &&
+          IsPunct(i + 1, "<")) {
+        std::size_t close = MatchAngle(i + 1);
+        if (close == Size()) {
+          continue;
+        }
+        std::size_t p = close + 1;
+        while (IsPunct(p, "&") || IsPunct(p, "*") || IsId(p, "const")) {
+          ++p;
+        }
+        if (p < Size() && Tok(p).kind == TokKind::kIdentifier) {
+          const std::string& name = Tok(p).text;
+          if (IsPunct(p + 1, ";") || IsPunct(p + 1, "=") || IsPunct(p + 1, "{") ||
+              IsPunct(p + 1, "(") || IsPunct(p + 1, ",") || IsPunct(p + 1, ")")) {
+            scopes.back().names.insert(name);
+            if (scopes.back().class_like) {
+              out_.unordered_members.push_back(name);
+            }
+          }
+        }
+        continue;
+      }
+
+      // Range-for: for ( ... : target )
+      if (IsId(i, "for") && IsPunct(i + 1, "(")) {
+        const std::size_t close = Match(i + 1);
+        if (close == Size()) {
+          continue;
+        }
+        // Top-level ':' inside the header (not '::', not nested).
+        std::size_t colon = Size();
+        int depth = 0;
+        for (std::size_t k = i + 2; k < close; ++k) {
+          if (Tok(k).kind != TokKind::kPunct) {
+            continue;
+          }
+          const std::string& t = Tok(k).text;
+          if (t == "(" || t == "[" || t == "{") {
+            ++depth;
+          } else if (t == ")" || t == "]" || t == "}") {
+            --depth;
+          } else if (t == ":" && depth == 0) {
+            colon = k;
+            break;
+          }
+        }
+        if (colon == Size()) {
+          continue;
+        }
+        // Final identifier of the target expression = the container iterated.
+        std::string target;
+        int target_line = Tok(colon).line;
+        for (std::size_t k = close; k > colon; --k) {
+          if (Tok(k - 1).kind == TokKind::kIdentifier) {
+            target = Tok(k - 1).text;
+            target_line = Tok(k - 1).line;
+            break;
+          }
+        }
+        if (target.empty()) {
+          continue;
+        }
+        const std::size_t body_end = StatementEnd(close + 1);
+        const bool sink = HasEventVisibleSink(close + 1, body_end);
+        if (visible(target)) {
+          if (sink) {
+            Report(target_line, "unordered-iter",
+                   "iteration over unordered container '" + target +
+                       "' reaches event-visible state (scheduling/metrics/RNG/"
+                       "trace); use std::map or a sorted vector");
+          }
+        } else if (sink && Tok(colon + 1).kind == TokKind::kIdentifier) {
+          // Unresolved in-file: candidate for the cross-file pass. Only worth
+          // exporting when a sink is present.
+          out_.iteration_sites.push_back({target, target_line});
+        }
+        continue;
+      }
+
+      // x.begin() style iteration. Only the begin() family counts: every real
+      // iteration calls begin(), while a lone end() is almost always a
+      // `find(...) != end()` membership check with deterministic result.
+      static const std::set<std::string> kBeginEnd = {"begin", "cbegin", "rbegin"};
+      if (Tok(i).kind == TokKind::kIdentifier && kBeginEnd.contains(Tok(i).text) &&
+          IsPunct(i + 1, "(") && i >= 2 && (IsPunct(i - 1, ".") || IsPunct(i - 1, "->")) &&
+          Tok(i - 2).kind == TokKind::kIdentifier) {
+        const std::string& target = Tok(i - 2).text;
+        const std::size_t stmt_begin = StatementBegin(i);
+        const std::size_t stmt_end = StatementEnd(i);
+        const bool sink = HasEventVisibleSink(stmt_begin, stmt_end);
+        if (visible(target)) {
+          if (sink) {
+            Report(Tok(i).line, "unordered-iter",
+                   "begin()/end() on unordered container '" + target +
+                       "' feeds event-visible state; bucket order is not "
+                       "deterministic");
+          }
+        } else if (sink) {
+          out_.iteration_sites.push_back({target, Tok(i).line});
+        }
+        continue;
+      }
+    }
+    std::sort(out_.unordered_members.begin(), out_.unordered_members.end());
+    out_.unordered_members.erase(
+        std::unique(out_.unordered_members.begin(), out_.unordered_members.end()),
+        out_.unordered_members.end());
+  }
+
+  // ---- dangling-capture ------------------------------------------------------
+
+  void DanglingCapture() {
+    if (!in_src_) {
+      return;
+    }
+    static const std::set<std::string> kSchedulers = {"ScheduleAt", "ScheduleAfter",
+                                                      "PeriodicTask"};
+    for (std::size_t i = 0; i < Size(); ++i) {
+      if (Tok(i).kind != TokKind::kIdentifier || !kSchedulers.contains(Tok(i).text)) {
+        continue;
+      }
+      // The argument list opens within the next few tokens: `ScheduleAt(`,
+      // `PeriodicTask sweep(`, `make_unique<PeriodicTask>(`.
+      std::size_t open = Size();
+      for (std::size_t k = i + 1; k < i + 4 && k < Size(); ++k) {
+        if (IsPunct(k, "(")) {
+          open = k;
+          break;
+        }
+        if (Tok(k).kind != TokKind::kIdentifier && !IsPunct(k, ">")) {
+          break;
+        }
+      }
+      if (open == Size()) {
+        continue;
+      }
+      const std::size_t close = Match(open);
+      for (std::size_t k = open + 1; k < close; ++k) {
+        if (!IsPunct(k, "[")) {
+          continue;
+        }
+        // Lambda introducer vs subscript: a lambda's '[' follows '(', ',',
+        // '=', '{' or a keyword, never a value expression.
+        const bool lambda = IsPunct(k - 1, "(") || IsPunct(k - 1, ",") ||
+                            IsPunct(k - 1, "=") || IsPunct(k - 1, "{") ||
+                            IsId(k - 1, "return");
+        const std::size_t intro_close = Match(k);
+        if (!lambda || intro_close == Size()) {
+          continue;
+        }
+        for (std::size_t c = k + 1; c < intro_close; ++c) {
+          if (!IsPunct(c, "&") && !IsPunct(c, "&&")) {
+            continue;
+          }
+          // A by-reference capture's '&' starts a capture item, i.e. directly
+          // follows '[' or ','. Elsewhere ('t = &x') it is address-of, which
+          // is by-value and fine.
+          if (!IsPunct(c - 1, "[") && !IsPunct(c - 1, ",")) {
+            continue;
+          }
+          Report(Tok(k).line, "dangling-capture",
+                 "by-reference capture in a callback scheduled into the event "
+                 "loop via " + Tok(i).text +
+                     "; the frame is gone when the callback runs — capture by "
+                     "value (and guarantee the lifetime of captured pointers)");
+          break;
+        }
+        k = intro_close;
+      }
+      i = open;
+    }
+  }
+
+  // ---- dcheck-side-effect ----------------------------------------------------
+
+  // Root identifier of the postfix chain ending at token `k` (inclusive):
+  // walks back over `a.b`, `a->b`, `a[i].b` chains. Empty when the chain
+  // does not start at a plain identifier.
+  std::string ChainRootBack(std::size_t k) const {
+    while (k < Size()) {
+      if (Tok(k).kind == TokKind::kPunct && Tok(k).text == "]") {
+        // Skip the bracketed subscript backwards.
+        int depth = 0;
+        while (k < Size()) {
+          if (IsPunct(k, "]")) {
+            ++depth;
+          } else if (IsPunct(k, "[")) {
+            if (--depth == 0) {
+              break;
+            }
+          }
+          if (k == 0) {
+            return "";
+          }
+          --k;
+        }
+        if (k == 0) {
+          return "";
+        }
+        --k;
+        continue;
+      }
+      if (Tok(k).kind != TokKind::kIdentifier) {
+        return "";
+      }
+      if (k >= 2 && (IsPunct(k - 1, ".") || IsPunct(k - 1, "->")) &&
+          (Tok(k - 2).kind == TokKind::kIdentifier || IsPunct(k - 2, "]"))) {
+        k -= 2;
+        continue;
+      }
+      return Tok(k).text;
+    }
+    return "";
+  }
+
+  void DcheckSideEffect() {
+    static const std::set<std::string> kMacros = {"SIM_DCHECK", "SIM_ASSERT"};
+    static const std::set<std::string> kAssignOps = {"=",  "+=", "-=",  "*=",  "/=",
+                                                     "%=", "&=", "|=",  "^=",  "<<=",
+                                                     ">>="};
+    static const std::set<std::string> kMutators = {
+        "erase",        "clear",      "insert",     "emplace",   "emplace_back",
+        "emplace_front", "push_back", "push_front", "pop_back",  "pop_front",
+        "reset",        "release",    "swap",       "assign",    "resize"};
+    for (std::size_t i = 0; i + 1 < Size(); ++i) {
+      if (Tok(i).kind != TokKind::kIdentifier || !kMacros.contains(Tok(i).text) ||
+          !IsPunct(i + 1, "(")) {
+        continue;
+      }
+      const std::size_t open = i + 1;
+      const std::size_t close = Match(open);
+      if (close == Size()) {
+        continue;
+      }
+      const std::string& macro = Tok(i).text;
+
+      // Pass 1: names declared inside the macro argument (IIFE locals, lambda
+      // parameters, loop variables, init captures) are invisible outside —
+      // mutating them is fine. Also mark declaration-initializer '=' tokens
+      // and lambda capture introducer ranges.
+      std::set<std::string> locals;
+      std::set<std::size_t> init_eq;       // '=' tokens that are initializers.
+      std::set<std::size_t> intro_tokens;  // Tokens inside [...] introducers.
+      for (std::size_t k = open + 1; k < close; ++k) {
+        // Lambda capture introducer (or structured binding bracket).
+        if (IsPunct(k, "[") &&
+            (IsPunct(k - 1, "(") || IsPunct(k - 1, ",") || IsPunct(k - 1, "=") ||
+             IsPunct(k - 1, "{") || IsId(k - 1, "return") || IsId(k - 1, "auto") ||
+             IsPunct(k - 1, "&"))) {
+          const std::size_t intro_close = Match(k);
+          for (std::size_t c = k; c <= intro_close && c < close; ++c) {
+            intro_tokens.insert(c);
+            if (Tok(c).kind == TokKind::kIdentifier && !IsId(c, "this")) {
+              // Captured / bound names behave like locals of the expression:
+              // by-value captures mutate the closure's copy, structured
+              // bindings are fresh names.
+              locals.insert(Tok(c).text);
+            }
+          }
+          k = intro_close;
+          continue;
+        }
+        // Two-token declaration pattern: <type-ish> <name> <terminator>.
+        if (Tok(k).kind == TokKind::kIdentifier && k + 1 < close && k > open) {
+          const Token& prev = Tok(k - 1);
+          const bool typeish =
+              prev.kind == TokKind::kIdentifier ||
+              (prev.kind == TokKind::kPunct &&
+               (prev.text == "&" || prev.text == "*" || prev.text == ">"));
+          if (!typeish) {
+            continue;
+          }
+          // `a ? b : c`, `a.b`, casts etc. never put two identifiers back to
+          // back, so <id> <id> is a declaration for our purposes.
+          if (prev.kind == TokKind::kIdentifier &&
+              (IsPunct(k - 2, ".") || IsPunct(k - 2, "->") || IsPunct(k - 2, "::"))) {
+            continue;  // Qualified name, not "type name".
+          }
+          const std::string& next = Tok(k + 1).text;
+          if (Tok(k + 1).kind == TokKind::kPunct &&
+              (next == "=" || next == ";" || next == ":" || next == "," ||
+               next == ")" || next == "{")) {
+            locals.insert(Tok(k).text);
+            if (next == "=") {
+              init_eq.insert(k + 1);
+            }
+          }
+        }
+      }
+
+      // Pass 2: flag side effects whose target lives outside the expression.
+      auto flag = [&](int line, const std::string& what, const std::string& root) {
+        Report(line, "dcheck-side-effect",
+               what + (root.empty() ? std::string() : " on '" + root + "'") +
+                   " inside " + macro +
+                   "; the argument compiles out in Release builds, taking the "
+                   "side effect with it — hoist the mutation out of the macro");
+      };
+      for (std::size_t k = open + 1; k < close; ++k) {
+        if (Tok(k).kind != TokKind::kPunct || intro_tokens.contains(k)) {
+          continue;
+        }
+        const std::string& t = Tok(k).text;
+        if (t == "++" || t == "--") {
+          std::string root;
+          if (k + 1 < close && Tok(k + 1).kind == TokKind::kIdentifier &&
+              !(k > open && (Tok(k - 1).kind == TokKind::kIdentifier ||
+                             IsPunct(k - 1, "]") || IsPunct(k - 1, ")")))) {
+            root = Tok(k + 1).text;  // Prefix.
+          } else {
+            root = ChainRootBack(k - 1);  // Postfix.
+          }
+          if (!locals.contains(root)) {
+            flag(Tok(k).line, t == "++" ? "increment" : "decrement", root);
+          }
+          continue;
+        }
+        if (kAssignOps.contains(t)) {
+          if (init_eq.contains(k)) {
+            continue;
+          }
+          const std::string root = ChainRootBack(k - 1);
+          if (!locals.contains(root)) {
+            flag(Tok(k).line, "assignment", root);
+          }
+          continue;
+        }
+        if ((t == "." || t == "->") && k + 2 < close &&
+            Tok(k + 1).kind == TokKind::kIdentifier &&
+            kMutators.contains(Tok(k + 1).text) && IsPunct(k + 2, "(")) {
+          const std::string root = ChainRootBack(k - 1);
+          if (!locals.contains(root)) {
+            flag(Tok(k + 1).line, "mutating call '." + Tok(k + 1).text + "()'", root);
+          }
+          continue;
+        }
+      }
+      i = close;
+    }
+  }
+
+  // ---- Includes, metric registrations, metric grammar ------------------------
+
+  void IncludesAndMetrics() {
+    static const std::map<std::string, std::string> kRegs = {
+        {"GetCounter", "counter"}, {"GetGauge", "gauge"}, {"GetSeries", "series"}};
+    static const std::regex kNameRe(R"(^ofc\.[a-z][a-z0-9_]*\.[a-z][a-z0-9_]*$)");
+    for (std::size_t i = 0; i < Size(); ++i) {
+      if (IsPunct(i, "#") && IsId(i + 1, "include") && i + 2 < Size() &&
+          Tok(i + 2).kind == TokKind::kString) {
+        out_.includes.push_back({Tok(i + 2).text, Tok(i + 2).line});
+        continue;
+      }
+      if (Tok(i).kind == TokKind::kIdentifier && kRegs.contains(Tok(i).text) &&
+          IsPunct(i + 1, "(") && (IsPunct(i - 1, ".") || IsPunct(i - 1, "->"))) {
+        const std::string& kind = kRegs.at(Tok(i).text);
+        if (i + 2 < Size() && Tok(i + 2).kind == TokKind::kString) {
+          const std::string& name = Tok(i + 2).text;
+          out_.metrics.push_back({name, kind, Tok(i + 2).line});
+          if (in_src_ && !std::regex_match(name, kNameRe)) {
+            Report(Tok(i + 2).line, "metric-name-audit",
+                   "metric family name '" + name +
+                       "' violates the grammar `ofc.<component>.<name>` "
+                       "(lower_snake segments, exactly three)");
+          }
+        } else if (in_src_) {
+          Report(Tok(i).line, "metric-name-audit",
+                 "metric family name passed to " + Tok(i).text +
+                     " must be a string literal so it can be audited against "
+                     "the DESIGN.md metrics table");
+        }
+      }
+    }
+  }
+
+  std::string file_;
+  const LintOptions& options_;
+  LexResult lexed_;
+  FileAnalysis out_;
+  bool in_src_ = false;
+  bool in_obs_ = false;
+  bool rng_exempt_ = false;
+};
+
+}  // namespace
+
+FileAnalysis AnalyzeSource(const std::string& file_label, std::string_view content,
+                           const LintOptions& options) {
+  return Analyzer(file_label, content, options).Run();
+}
+
+std::vector<Finding> LintSource(const std::string& file_label, std::string_view content,
+                                const LintOptions& options) {
+  return AnalyzeSource(file_label, content, options).findings;
 }
 
 std::string FormatFinding(const Finding& finding) {
   std::ostringstream out;
   out << finding.file << ":" << finding.line << ": [" << finding.rule << "] "
       << finding.message;
+  if (finding.baselined) {
+    out << " (baselined)";
+  }
   return out.str();
 }
 

@@ -59,12 +59,95 @@ TEST(SimlintTest, RngImplementationIsExempt) {
   EXPECT_TRUE(findings.empty());
 }
 
-TEST(SimlintTest, FlagsUnorderedIteration) {
+TEST(SimlintTest, FlagsUnorderedIterationOnlyWhenSinkReached) {
   const auto findings = LintFixture("violation_unordered_iter.cc");
-  EXPECT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings.size(), 2u) << (findings.empty() ? "" : FormatFinding(findings[0]));
   EXPECT_TRUE(AllRule(findings, "unordered-iter"));
-  EXPECT_TRUE(HasFinding(findings, "unordered-iter", 11));  // range-for
-  EXPECT_TRUE(HasFinding(findings, "unordered-iter", 14));  // .begin()/.end()
+  EXPECT_TRUE(HasFinding(findings, "unordered-iter", 20));  // range-for → ScheduleAt
+  EXPECT_TRUE(HasFinding(findings, "unordered-iter", 23));  // begin() → Observe
+  // The accumulate-only loop and the copy-then-sort idiom stay clean.
+}
+
+TEST(SimlintTest, FindEndMembershipCheckIsClean) {
+  const std::string src =
+      "#include <string>\n"
+      "#include <unordered_map>\n"
+      "struct S {\n"
+      "  bool Has(const std::string& k) {\n"
+      "    return m_.find(k) != m_.end() && metrics_ != nullptr;\n"
+      "  }\n"
+      "  std::unordered_map<std::string, int> m_;\n"
+      "  int* metrics_ = nullptr;\n"
+      "};\n";
+  EXPECT_TRUE(LintSource("src/core/s.h", src).empty());
+}
+
+TEST(SimlintTest, FlagsDanglingCaptures) {
+  const auto findings = LintSource("src/core/violation_dangling_capture.cc",
+                                   ReadFixture("violation_dangling_capture.cc"));
+  EXPECT_EQ(findings.size(), 4u) << (findings.empty() ? "" : FormatFinding(findings[0]));
+  EXPECT_TRUE(AllRule(findings, "dangling-capture"));
+  EXPECT_TRUE(HasFinding(findings, "dangling-capture", 17));  // [&]
+  EXPECT_TRUE(HasFinding(findings, "dangling-capture", 18));  // [&local]
+  EXPECT_TRUE(HasFinding(findings, "dangling-capture", 19));  // [&v = local]
+  EXPECT_TRUE(HasFinding(findings, "dangling-capture", 20));  // PeriodicTask cb
+  // [p = &local] (address-of, by value) and [local] stay clean.
+}
+
+TEST(SimlintTest, DanglingCaptureRuleOnlyAppliesUnderSrc) {
+  // Tests drive loops synchronously within the frame; by-ref captures there
+  // are routine.
+  const std::string content = ReadFixture("violation_dangling_capture.cc");
+  EXPECT_TRUE(LintSource("tests/sim_test.cpp", content).empty());
+}
+
+TEST(SimlintTest, FlagsDcheckSideEffects) {
+  const auto findings = LintFixture("violation_dcheck_side_effect.cc");
+  EXPECT_EQ(findings.size(), 3u) << (findings.empty() ? "" : FormatFinding(findings[0]));
+  EXPECT_TRUE(AllRule(findings, "dcheck-side-effect"));
+  EXPECT_TRUE(HasFinding(findings, "dcheck-side-effect", 10));  // .pop_front()
+  EXPECT_TRUE(HasFinding(findings, "dcheck-side-effect", 11));  // counter++
+  EXPECT_TRUE(HasFinding(findings, "dcheck-side-effect", 12));  // counter = 1
+  // The pure read and the IIFE mutating its own locals stay clean.
+}
+
+TEST(SimlintTest, HoistedMutationOutsideDcheckIsClean) {
+  const std::string src =
+      "void PeriodicTask::Stop() {\n"
+      "  const bool cancelled = loop_->Cancel(event_);\n"
+      "  SIM_ASSERT(cancelled) << \"lost tick\";\n"
+      "}\n";
+  EXPECT_TRUE(LintSource("src/sim/periodic.cc", src).empty());
+}
+
+TEST(SimlintTest, FlagsMetricNameViolations) {
+  const auto findings = LintSource("src/core/violation_metric_name.cc",
+                                   ReadFixture("violation_metric_name.cc"));
+  EXPECT_EQ(findings.size(), 4u) << (findings.empty() ? "" : FormatFinding(findings[0]));
+  EXPECT_TRUE(AllRule(findings, "metric-name-audit"));
+  EXPECT_TRUE(HasFinding(findings, "metric-name-audit", 12));  // missing ofc.
+  EXPECT_TRUE(HasFinding(findings, "metric-name-audit", 13));  // not lower_snake
+  EXPECT_TRUE(HasFinding(findings, "metric-name-audit", 14));  // two segments
+  EXPECT_TRUE(HasFinding(findings, "metric-name-audit", 15));  // non-literal
+}
+
+TEST(SimlintTest, AnalyzeSourceExportsIncludesMetricsAndMembers) {
+  const std::string src =
+      "#include \"src/obs/metrics.h\"\n"
+      "#include <unordered_map>\n"
+      "struct Agent {\n"
+      "  explicit Agent(Registry* r) : hits_(r->GetCounter(\"ofc.agent.hits\")) {}\n"
+      "  int* hits_;\n"
+      "  std::unordered_map<int, int> table_;\n"
+      "};\n";
+  const FileAnalysis fa = AnalyzeSource("src/core/agent.h", src);
+  ASSERT_EQ(fa.includes.size(), 1u);
+  EXPECT_EQ(fa.includes[0].path, "src/obs/metrics.h");
+  ASSERT_EQ(fa.metrics.size(), 1u);
+  EXPECT_EQ(fa.metrics[0].name, "ofc.agent.hits");
+  EXPECT_EQ(fa.metrics[0].kind, "counter");
+  ASSERT_EQ(fa.unordered_members.size(), 1u);
+  EXPECT_EQ(fa.unordered_members[0], "table_");
 }
 
 TEST(SimlintTest, FlagsFloatSimTime) {

@@ -1,0 +1,340 @@
+#include "tools/simlint/project.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ofc::simlint {
+namespace {
+
+std::vector<Finding> FindingsFor(const ProjectResult& result, const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : result.findings) {
+    if (f.rule == rule) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+ProjectOptions NoDesign() {
+  ProjectOptions options;
+  options.design_md.clear();
+  return options;
+}
+
+// ---- layer-cycle -------------------------------------------------------------
+
+TEST(ProjectTest, UpwardIncludeViolatesLayerDag) {
+  const std::vector<SourceFile> files = {
+      {"src/store/swift.h", "#include \"src/core/proxy.h\"\n"},
+      {"src/core/proxy.h", "int x;\n"},
+  };
+  const auto result = AnalyzeProject(files, NoDesign());
+  const auto findings = FindingsFor(result, "layer-cycle");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/store/swift.h");
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[0].message.find("src/store may not include src/core"),
+            std::string::npos);
+}
+
+TEST(ProjectTest, DownwardIncludesConformToLayerDag) {
+  const std::vector<SourceFile> files = {
+      {"src/core/proxy.h",
+       "#include \"src/faas/platform.h\"\n#include \"src/sim/event_loop.h\"\n"},
+      {"src/faas/platform.h", "#include \"src/store/swift.h\"\n"},
+      {"src/store/swift.h", "#include \"src/common/units.h\"\n"},
+      {"src/sim/event_loop.h", "#include \"src/common/units.h\"\n"},
+      {"src/common/units.h", "int u;\n"},
+  };
+  const auto result = AnalyzeProject(files, NoDesign());
+  EXPECT_TRUE(result.findings.empty()) << result.findings.front().message;
+}
+
+TEST(ProjectTest, UnknownSubsystemIsFlagged) {
+  const std::vector<SourceFile> files = {
+      {"src/experimental/x.h", "#include \"src/common/units.h\"\n"},
+      {"src/common/units.h", "int u;\n"},
+  };
+  const auto result = AnalyzeProject(files, NoDesign());
+  const auto findings = FindingsFor(result, "layer-cycle");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("not in the architecture DAG"), std::string::npos);
+}
+
+TEST(ProjectTest, IncludeCycleIsDetectedOnce) {
+  const std::vector<SourceFile> files = {
+      {"src/sim/a.h", "#include \"src/sim/b.h\"\n"},
+      {"src/sim/b.h", "#include \"src/sim/c.h\"\n"},
+      {"src/sim/c.h", "#include \"src/sim/a.h\"\n"},
+  };
+  const auto result = AnalyzeProject(files, NoDesign());
+  const auto findings = FindingsFor(result, "layer-cycle");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("include cycle"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("src/sim/a.h -> src/sim/b.h -> src/sim/c.h"),
+            std::string::npos);
+}
+
+TEST(ProjectTest, SuppressedUpwardIncludeIsHonored) {
+  const std::vector<SourceFile> files = {
+      {"src/store/swift.h",
+       "// simlint: allow(layer-cycle) -- transitional shim, tracked in DESIGN.md\n"
+       "#include \"src/core/proxy.h\"\n"},
+      {"src/core/proxy.h", "int x;\n"},
+  };
+  const auto result = AnalyzeProject(files, NoDesign());
+  EXPECT_TRUE(FindingsFor(result, "layer-cycle").empty());
+}
+
+// ---- metric-name-audit (cross-file) ------------------------------------------
+
+TEST(ProjectTest, ConflictingMetricKindsAreFlagged) {
+  const std::vector<SourceFile> files = {
+      {"src/core/a.cc", "void A(R* r) { r->GetCounter(\"ofc.core.widgets\"); }\n"},
+      {"src/core/b.cc", "void B(R* r) { r->GetGauge(\"ofc.core.widgets\"); }\n"},
+  };
+  const auto result = AnalyzeProject(files, NoDesign());
+  const auto findings = FindingsFor(result, "metric-name-audit");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("conflicting kinds"), std::string::npos);
+  EXPECT_EQ(findings[0].file, "src/core/a.cc");  // First registering file.
+}
+
+TEST(ProjectTest, MetricMissingFromDesignTableIsFlagged) {
+  ProjectOptions options;
+  options.design_md = "| `ofc.core.documented` | counter | src/core/a.cc |\n";
+  const std::vector<SourceFile> files = {
+      {"src/core/a.cc",
+       "void A(R* r) {\n"
+       "  r->GetCounter(\"ofc.core.documented\");\n"
+       "  r->GetCounter(\"ofc.core.undocumented\");\n"
+       "}\n"},
+  };
+  const auto result = AnalyzeProject(files, options);
+  const auto findings = FindingsFor(result, "metric-name-audit");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3);
+  EXPECT_NE(findings[0].message.find("ofc.core.undocumented"), std::string::npos);
+}
+
+TEST(ProjectTest, StaleDesignRowAndKindMismatchAnchorAtDesignMd) {
+  ProjectOptions options;
+  options.design_md =
+      "| `ofc.core.gone` | counter | src/core/a.cc |\n"
+      "| `ofc.core.kept` | gauge | src/core/a.cc |\n";
+  const std::vector<SourceFile> files = {
+      {"src/core/a.cc", "void A(R* r) { r->GetSeries(\"ofc.core.kept\"); }\n"},
+  };
+  const auto result = AnalyzeProject(files, options);
+  const auto findings = FindingsFor(result, "metric-name-audit");
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].file, "DESIGN.md");
+  EXPECT_EQ(findings[1].file, "DESIGN.md");
+  // Stale row anchored at line 1, kind mismatch at line 2.
+  EXPECT_NE(findings[0].message.find("nothing in src/ registers it"), std::string::npos);
+  EXPECT_EQ(findings[0].line, 1);
+  EXPECT_NE(findings[1].message.find("as a gauge but the code registers a series"),
+            std::string::npos);
+  EXPECT_EQ(findings[1].line, 2);
+}
+
+TEST(ProjectTest, MetricInventoryIsSortedAndMarkdownRendered) {
+  const std::vector<SourceFile> files = {
+      {"src/core/z.cc", "void Z(R* r) { r->GetGauge(\"ofc.core.zeta\"); }\n"},
+      {"src/core/a.cc", "void A(R* r) { r->GetCounter(\"ofc.core.alpha\"); }\n"},
+  };
+  const auto result = AnalyzeProject(files, NoDesign());
+  ASSERT_EQ(result.metrics.size(), 2u);
+  EXPECT_EQ(result.metrics[0].name, "ofc.core.alpha");
+  EXPECT_EQ(result.metrics[1].name, "ofc.core.zeta");
+  EXPECT_EQ(MetricsMarkdown(result),
+            "| `ofc.core.alpha` | counter | src/core/a.cc |\n"
+            "| `ofc.core.zeta` | gauge | src/core/z.cc |\n");
+}
+
+// ---- unordered-iter (cross-file) ---------------------------------------------
+
+TEST(ProjectTest, IterationOverMemberDeclaredInIncludedHeaderIsFlagged) {
+  const std::vector<SourceFile> files = {
+      {"src/core/agent.h",
+       "#include <unordered_map>\n"
+       "struct Agent {\n"
+       "  std::unordered_map<int, int> table_;\n"
+       "  void Sweep();\n"
+       "};\n"},
+      {"src/core/agent.cc",
+       "#include \"src/core/agent.h\"\n"
+       "void Agent::Sweep() {\n"
+       "  for (auto& [k, v] : table_) {\n"
+       "    loop_->ScheduleAt(v, k);\n"
+       "  }\n"
+       "}\n"},
+  };
+  const auto result = AnalyzeProject(files, NoDesign());
+  const auto findings = FindingsFor(result, "unordered-iter");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].file, "src/core/agent.cc");
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(ProjectTest, SinklessIterationOverIncludedMemberIsClean) {
+  const std::vector<SourceFile> files = {
+      {"src/core/agent.h",
+       "#include <unordered_map>\n"
+       "struct Agent {\n"
+       "  std::unordered_map<int, int> table_;\n"
+       "  int Sum();\n"
+       "};\n"},
+      {"src/core/agent.cc",
+       "#include \"src/core/agent.h\"\n"
+       "int Agent::Sum() {\n"
+       "  int total = 0;\n"
+       "  for (auto& [k, v] : table_) {\n"
+       "    total += v;\n"
+       "  }\n"
+       "  return total;\n"
+       "}\n"},
+  };
+  const auto result = AnalyzeProject(files, NoDesign());
+  EXPECT_TRUE(FindingsFor(result, "unordered-iter").empty());
+}
+
+// ---- Stable ids --------------------------------------------------------------
+
+TEST(ProjectTest, FindingIdsAreStableAcrossUnrelatedEdits) {
+  const SourceFile before = {"src/core/a.cc",
+                             "void A(R* r) { r->GetCounter(\"bad name\"); }\n"};
+  const SourceFile after = {"src/core/a.cc",
+                            "// A new comment shifts every line.\n"
+                            "int unrelated;\n"
+                            "void A(R* r) { r->GetCounter(\"bad name\"); }\n"};
+  const auto r1 = AnalyzeProject({before}, NoDesign());
+  const auto r2 = AnalyzeProject({after}, NoDesign());
+  ASSERT_EQ(r1.findings.size(), 1u);
+  ASSERT_EQ(r2.findings.size(), 1u);
+  EXPECT_EQ(r1.findings[0].rule, "metric-name-audit");
+  EXPECT_EQ(r1.findings[0].id, r2.findings[0].id);  // Line shift: id survives.
+  EXPECT_NE(r1.findings[0].line, r2.findings[0].line);
+}
+
+TEST(ProjectTest, EditingTheFlaggedLineChangesTheId) {
+  const SourceFile before = {"src/core/a.cc",
+                             "void A(R* r) { r->GetCounter(\"bad name\"); }\n"};
+  const SourceFile after = {"src/core/a.cc",
+                            "void A(R* r) { r->GetCounter(\"bad renamed\"); }\n"};
+  const auto r1 = AnalyzeProject({before}, NoDesign());
+  const auto r2 = AnalyzeProject({after}, NoDesign());
+  ASSERT_EQ(r1.findings.size(), 1u);
+  ASSERT_EQ(r2.findings.size(), 1u);
+  EXPECT_NE(r1.findings[0].id, r2.findings[0].id);
+}
+
+TEST(ProjectTest, IdenticalAnchorLinesGetDistinctOrdinalIds) {
+  const SourceFile file = {"src/core/a.cc",
+                           "void A(R* r) { r->GetCounter(\"bad name\"); }\n"
+                           "void B(R* r) { r->GetCounter(\"bad name\"); }\n"};
+  const auto result = AnalyzeProject({file}, NoDesign());
+  ASSERT_EQ(result.findings.size(), 2u);
+  EXPECT_NE(result.findings[0].id, result.findings[1].id);
+}
+
+// ---- Baseline ----------------------------------------------------------------
+
+TEST(ProjectTest, BaselineRoundTripAddSuppressResurface) {
+  const SourceFile file = {"src/core/a.cc",
+                           "void A(R* r) { r->GetCounter(\"bad name\"); }\n"};
+  // 1. The finding surfaces.
+  auto result = AnalyzeProject({file}, NoDesign());
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_FALSE(result.findings[0].baselined);
+
+  // 2. Accept it into a baseline, add a justification, round-trip through the
+  //    serialized form, and the finding reports as baselined.
+  Baseline accepted = BaselineFromFindings(result);
+  accepted.entries[0].justification = "legacy name, rename tracked separately";
+  Baseline parsed;
+  std::string error;
+  ASSERT_TRUE(ParseBaseline(SerializeBaseline(accepted), &parsed, &error)) << error;
+  ASSERT_EQ(parsed.entries.size(), 1u);
+  EXPECT_EQ(parsed.entries[0].justification, accepted.entries[0].justification);
+
+  result = AnalyzeProject({file}, NoDesign());
+  ApplyBaseline(parsed, "tools/simlint/baseline.json", &result);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_TRUE(result.findings[0].baselined);
+
+  // 3. Editing the flagged line changes the id: the finding resurfaces as new
+  //    and the old entry reports stale.
+  const SourceFile edited = {"src/core/a.cc",
+                             "void A(R* r) { r->GetCounter(\"bad renamed\"); }\n"};
+  auto result2 = AnalyzeProject({edited}, NoDesign());
+  ApplyBaseline(parsed, "tools/simlint/baseline.json", &result2);
+  ASSERT_EQ(result2.findings.size(), 2u);
+  const auto fresh = FindingsFor(result2, "metric-name-audit");
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_FALSE(fresh[0].baselined);
+  const auto stale = FindingsFor(result2, "baseline-stale");
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].file, "tools/simlint/baseline.json");
+}
+
+TEST(ProjectTest, UnjustifiedBaselineEntryIsAFindingAndNotHonored) {
+  const SourceFile file = {"src/core/a.cc",
+                           "void A(R* r) { r->GetCounter(\"bad name\"); }\n"};
+  auto result = AnalyzeProject({file}, NoDesign());
+  const Baseline empty_just = BaselineFromFindings(result);
+  ApplyBaseline(empty_just, "tools/simlint/baseline.json", &result);
+  // The original finding is NOT baselined, and the entry itself is flagged.
+  const auto original = FindingsFor(result, "metric-name-audit");
+  ASSERT_EQ(original.size(), 1u);
+  EXPECT_FALSE(original[0].baselined);
+  EXPECT_EQ(FindingsFor(result, "baseline-unjustified").size(), 1u);
+}
+
+TEST(ProjectTest, MalformedBaselineIsRejectedWithError) {
+  Baseline baseline;
+  std::string error;
+  EXPECT_FALSE(ParseBaseline("{\"entries\": [{]", &baseline, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(ParseBaseline("{\n  \"entries\": []\n}\n", &baseline, &error)) << error;
+  EXPECT_TRUE(baseline.entries.empty());
+}
+
+// ---- Output ------------------------------------------------------------------
+
+TEST(ProjectTest, FindingsJsonIsByteDeterministicAcrossInputOrder) {
+  const std::vector<SourceFile> forward = {
+      {"src/core/a.cc", "void A(R* r) { r->GetCounter(\"bad a\"); }\n"},
+      {"src/core/b.cc", "void B(R* r) { r->GetCounter(\"bad b\"); }\n"},
+  };
+  std::vector<SourceFile> reversed = forward;
+  std::reverse(reversed.begin(), reversed.end());
+  const std::string j1 = FindingsJson(AnalyzeProject(forward, NoDesign()));
+  const std::string j2 = FindingsJson(AnalyzeProject(reversed, NoDesign()));
+  EXPECT_EQ(j1, j2);
+  EXPECT_NE(j1.find("\"schema\": \"simlint-v2\""), std::string::npos);
+  EXPECT_NE(j1.find("\"counts\": {\"total\": 2, \"new\": 2, \"baselined\": 0}"),
+            std::string::npos);
+}
+
+TEST(ProjectTest, GithubAnnotationsSkipBaselinedFindings) {
+  const SourceFile file = {"src/core/a.cc",
+                           "void A(R* r) { r->GetCounter(\"bad name\"); }\n"};
+  auto result = AnalyzeProject({file}, NoDesign());
+  Baseline accepted = BaselineFromFindings(result);
+  accepted.entries[0].justification = "accepted";
+  ApplyBaseline(accepted, "baseline.json", &result);
+  EXPECT_EQ(GithubAnnotations(result), "");
+
+  auto fresh = AnalyzeProject({file}, NoDesign());
+  const std::string annotations = GithubAnnotations(fresh);
+  EXPECT_NE(annotations.find("::error file=src/core/a.cc,line=1::[simlint:"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ofc::simlint

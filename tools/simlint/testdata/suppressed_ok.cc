@@ -9,10 +9,11 @@ long Now() {
   return t.time_since_epoch().count();
 }
 
-int Total() {
+int Total(int* metrics_cell) {
   std::unordered_map<std::string, int> counts;
   int total = 0;
   for (const auto& [key, value] : counts) {  // simlint: allow(unordered-iter) -- fixture exercises same-line suppression
+    *metrics_cell += value;
     total += value;
   }
   return total;

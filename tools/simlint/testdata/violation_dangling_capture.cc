@@ -1,0 +1,23 @@
+// Fixture: dangling-capture — by-reference captures escaping into callbacks
+// the event loop runs after the enclosing frame is gone. Lint under a src/
+// label; the rule is scoped to component code.
+struct Loop {
+  template <typename F>
+  void ScheduleAt(long when, F f);
+  template <typename F>
+  void ScheduleAfter(long delay, F f);
+};
+struct PeriodicTask {
+  template <typename F>
+  PeriodicTask(Loop* loop, long interval, F f);
+};
+
+void Schedule(Loop& loop) {
+  int local = 0;
+  loop.ScheduleAt(10, [&] { ++local; });          // line 17: [&]
+  loop.ScheduleAfter(5, [&local] { ++local; });   // line 18: [&local]
+  loop.ScheduleAt(20, [&v = local] { ++v; });     // line 19: by-ref init-capture
+  PeriodicTask sweep(&loop, 10, [&] { ++local; });  // line 20: periodic callback
+  loop.ScheduleAt(30, [p = &local] { ++*p; });    // clean: address-of, by value
+  loop.ScheduleAt(40, [local] { (void)local; });  // clean: by value
+}

@@ -1,0 +1,21 @@
+// Fixture: dcheck-side-effect — SIM_DCHECK/SIM_ASSERT arguments parse but
+// never evaluate when disabled, so mutations of outside state vanish in
+// Release builds. Mutations of locals declared inside the argument are
+// invisible outside and must stay clean.
+#include <deque>
+
+extern int counter;
+
+void Check(std::deque<int>& q) {
+  SIM_DCHECK(!q.empty() && (q.pop_front(), true));  // line 10: mutating call
+  SIM_ASSERT(counter++ > 0);                        // line 11: increment
+  SIM_DCHECK((counter = 1) == 1);                   // line 12: assignment
+  SIM_DCHECK(q.size() == 1);                        // clean: pure read
+  SIM_ASSERT([&] {
+    int live = 0;
+    for (int v : q) {
+      live += v;  // clean: `live` is declared inside the argument
+    }
+    return live >= 0;
+  }());
+}

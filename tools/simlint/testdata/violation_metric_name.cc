@@ -1,0 +1,16 @@
+// Fixture: metric-name-audit (file-local half) — metric family names must be
+// string literals matching `ofc.<component>.<name>` with lower_snake
+// segments. Lint under a src/ label; the rule is scoped to component code.
+struct Registry {
+  int* GetCounter(const char* name, const char* label = nullptr);
+  int* GetGauge(const char* name);
+  int* GetSeries(const char* name);
+};
+
+void Register(Registry& reg, const char* dynamic) {
+  reg.GetCounter("ofc.proxy.cache_hits");  // clean
+  reg.GetCounter("proxy.cache_hits");      // line 12: missing ofc. prefix
+  reg.GetGauge("ofc.Proxy.cacheHits");     // line 13: not lower_snake
+  reg.GetSeries("ofc.proxy");              // line 14: two segments, not three
+  reg.GetCounter(dynamic);                 // line 15: non-literal name
+}

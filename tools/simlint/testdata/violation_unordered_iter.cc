@@ -1,18 +1,31 @@
-// Fixture: unordered-iter rule.
+// Fixture: flow-aware unordered-iter — only iterations whose bodies reach
+// event-visible state (scheduling, metrics, RNG, trace) fire.
+#include <algorithm>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
-int Total() {
+struct Loop {
+  void ScheduleAt(long when, int id);
+};
+struct Series {
+  void Observe(double v);
+};
+
+int Run(Loop& loop, Series& lat) {
   std::unordered_map<std::string, int> counts;
   std::unordered_set<int> ids;
   counts["a"] = 1;
+  for (const auto& [key, value] : counts) {  // line 20: body schedules an event
+    loop.ScheduleAt(10, value);
+  }
+  lat.Observe(static_cast<double>(*ids.begin()));  // line 23: begin() feeds a metric
   int total = 0;
-  for (const auto& [key, value] : counts) {  // line 11: unordered-iter
+  for (const auto& [key, value] : counts) {  // clean: pure local accumulation
     total += value;
   }
-  for (auto it = ids.begin(); it != ids.end(); ++it) {  // line 14: unordered-iter
-    total += *it;
-  }
-  return total;
+  std::vector<int> sorted_ids(ids.begin(), ids.end());  // clean: copy...
+  std::sort(sorted_ids.begin(), sorted_ids.end());      // ...then sort
+  return total + static_cast<int>(sorted_ids.size());
 }
