@@ -1,0 +1,137 @@
+// The pre-overhaul EventLoop, preserved verbatim (modulo inlining) as the
+// baseline side of the scale-stress event-loop comparison. It is the
+// implementation the simulator shipped with before the hot-path rewrite:
+// per-event std::function callbacks kept in a hash map keyed by event id, a
+// std::priority_queue of (when, seq, id) entries, and lazy tombstones for
+// cancellation. bench/scale_stress drives this and the optimized
+// sim::EventLoop through an identical synthetic scenario and reports both
+// events/sec figures in BENCH_scale.json — the "pre-PR baseline" column of the
+// README's perf table.
+//
+// Do NOT modernize this file: its value is being a faithful snapshot of the
+// old cost model.
+#ifndef OFC_BENCH_LEGACY_EVENT_LOOP_H_
+#define OFC_BENCH_LEGACY_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/hash.h"
+#include "src/common/sim_assert.h"
+#include "src/common/units.h"
+
+namespace ofc::bench {
+
+class LegacyEventLoop {
+ public:
+  using Callback = std::function<void()>;
+  using EventId = std::uint64_t;
+
+  LegacyEventLoop() = default;
+  LegacyEventLoop(const LegacyEventLoop&) = delete;
+  LegacyEventLoop& operator=(const LegacyEventLoop&) = delete;
+
+  SimTime now() const { return now_; }
+
+  EventId ScheduleAfter(SimDuration delay, Callback cb) {
+    SIM_ASSERT(delay >= 0) << "; scheduling into the past, delay=" << delay;
+    return ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  EventId ScheduleAt(SimTime when, Callback cb) {
+    SIM_ASSERT(when >= now_) << "; scheduling into the past, when=" << when
+                             << " now=" << now_;
+    const EventId id = next_id_++;
+    queue_.push(Event{when, next_seq_++, id});
+    callbacks_.emplace(id, std::move(cb));
+    return id;
+  }
+
+  bool Cancel(EventId id) {
+    auto it = callbacks_.find(id);
+    if (it == callbacks_.end()) {
+      return false;
+    }
+    callbacks_.erase(it);
+    ++cancelled_;
+    return true;
+  }
+
+  void Run() {
+    while (!queue_.empty()) {
+      Event ev = queue_.top();
+      queue_.pop();
+      Dispatch(ev);
+    }
+  }
+
+  void RunUntil(SimTime deadline) {
+    while (!queue_.empty() && queue_.top().when <= deadline) {
+      Event ev = queue_.top();
+      queue_.pop();
+      Dispatch(ev);
+    }
+    if (now_ < deadline) {
+      now_ = deadline;
+    }
+  }
+
+  void RunFor(SimDuration duration) { RunUntil(now_ + duration); }
+
+  bool Step() {
+    while (!queue_.empty()) {
+      Event ev = queue_.top();
+      queue_.pop();
+      const bool live = callbacks_.contains(ev.id);
+      Dispatch(ev);
+      if (live) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  std::size_t pending_events() const { return queue_.size() - cancelled_; }
+  std::uint64_t total_scheduled() const { return next_seq_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    EventId id;
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  void Dispatch(const Event& ev) {
+    auto it = callbacks_.find(ev.id);
+    if (it == callbacks_.end()) {
+      --cancelled_;  // Cancelled event: drop its queue slot.
+      return;
+    }
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    SIM_ASSERT(ev.when >= now_) << "; event at " << ev.when << " dispatched at " << now_;
+    now_ = ev.when;
+    cb();
+  }
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::unordered_map<EventId, Callback, DetHash<EventId>> callbacks_;
+  std::size_t cancelled_ = 0;
+};
+
+}  // namespace ofc::bench
+
+#endif  // OFC_BENCH_LEGACY_EVENT_LOOP_H_

@@ -63,6 +63,25 @@ Proxy::FnMetrics& Proxy::FnMetricsFor(const std::string& function) {
   return it->second;
 }
 
+Proxy::FnMetrics& Proxy::FnMetricsForCtx(const faas::InvocationContext& ctx) {
+  const std::uint32_t idx = ctx.fn_index;
+  if (idx == 0 || idx >= kMaxFnIndexCache) {
+    return FnMetricsFor(ctx.function);
+  }
+  if (idx < fn_metrics_by_index_.size()) {
+    IndexedFnCells& slot = fn_metrics_by_index_[idx];
+    if (slot.cells != nullptr && slot.function == ctx.function) {
+      return *slot.cells;
+    }
+  }
+  FnMetrics& cells = FnMetricsFor(ctx.function);
+  if (idx >= fn_metrics_by_index_.size()) {
+    fn_metrics_by_index_.resize(idx + 1);
+  }
+  fn_metrics_by_index_[idx] = IndexedFnCells{ctx.function, &cells};
+  return cells;
+}
+
 ProxyStats Proxy::stats() const {
   ProxyStats stats;
   stats.cache_hits = m_.cache_hits->value();
@@ -164,7 +183,7 @@ void Proxy::Read(const faas::InvocationContext& ctx, const std::string& key,
   const SimTime issued = loop_->now();
   CacheRead(ctx.worker, key,
             [this, ctx, key, issued, done = std::move(done)](Result<rc::CachedObject> hit) {
-    FnMetrics& fn = FnMetricsFor(ctx.function);
+    FnMetrics& fn = FnMetricsForCtx(ctx);
     if (hit.ok()) {
       // A hit slower than the latency SLO counts against the breaker even
       // though it is served — a crawling cache is a sick cache.

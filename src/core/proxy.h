@@ -229,6 +229,17 @@ class Proxy : public faas::DataService {
     obs::Counter* misses = nullptr;
   };
   FnMetrics& FnMetricsFor(const std::string& function);
+  // Fast path keyed on ctx.fn_index (the platform's dense function index).
+  // Unlike the platform the proxy cannot trust the index alone — contexts may
+  // be hand-built by tests or come from a foreign platform — so each cached
+  // slot revalidates the function name and falls back to the map on mismatch.
+  FnMetrics& FnMetricsForCtx(const faas::InvocationContext& ctx);
+  struct IndexedFnCells {
+    std::string function;
+    FnMetrics* cells = nullptr;
+  };
+  // Bounds fn_index-cache growth against absurd indices (slots are ~48 bytes).
+  static constexpr std::uint32_t kMaxFnIndexCache = 1u << 16;
 
   // One pending write-back. `version` 0 means the write degraded during an
   // outage and never got a shadow; `fallback_base` then carries the store
@@ -312,6 +323,7 @@ class Proxy : public faas::DataService {
   // Ordered: ResetStats() and future per-function exports iterate this map, so
   // its order must not depend on hashing.
   std::map<std::string, FnMetrics> fn_metrics_;
+  std::vector<IndexedFnCells> fn_metrics_by_index_;  // ctx.fn_index fast path.
   // Intermediate objects written per in-flight pipeline (§6.3 cleanup). Looked
   // up by id, never iterated; salted hashing keeps that honest under test.
   std::unordered_map<std::uint64_t, std::vector<std::string>, DetHash<std::uint64_t>>

@@ -103,6 +103,21 @@ Platform::FnMetrics& Platform::FnMetricsFor(const std::string& function) {
   return it->second;
 }
 
+Platform::FnMetrics& Platform::FnMetricsAt(std::uint32_t fn_index, const std::string& function) {
+  if (fn_index == 0) {
+    return FnMetricsFor(function);
+  }
+  if (fn_index < fn_metrics_by_index_.size() && fn_metrics_by_index_[fn_index] != nullptr) {
+    return *fn_metrics_by_index_[fn_index];
+  }
+  FnMetrics& cells = FnMetricsFor(function);
+  if (fn_index >= fn_metrics_by_index_.size()) {
+    fn_metrics_by_index_.resize(fn_index + 1, nullptr);
+  }
+  fn_metrics_by_index_[fn_index] = &cells;
+  return cells;
+}
+
 PlatformStats Platform::stats() const {
   PlatformStats stats;
   stats.invocations = m_.invocations->value();
@@ -161,7 +176,7 @@ void Platform::RecordCompletion(const InvocationRecord& record) {
   m_.total_ms->Observe(ToMillis(record.total));
   m_.input_bytes->Add(static_cast<std::uint64_t>(record.input_bytes));
   m_.output_bytes->Add(static_cast<std::uint64_t>(record.output_bytes));
-  FnMetrics& fn = FnMetricsFor(record.function);
+  FnMetrics& fn = FnMetricsAt(record.fn_index, record.function);
   ++*fn.invocations;
   if (record.cold_start) {
     ++*fn.cold_starts;
@@ -175,10 +190,12 @@ Status Platform::RegisterFunction(FunctionConfig config) {
   }
   config.booked_memory =
       std::clamp(config.booked_memory, options_.min_sandbox_memory, options_.max_sandbox_memory);
+  config.fn_index = next_fn_index_;
   auto [it, inserted] = functions_.emplace(config.spec.name, std::move(config));
   if (!inserted) {
     return AlreadyExistsError("function already registered: " + it->first);
   }
+  ++next_fn_index_;
   return OkStatus();
 }
 
@@ -223,7 +240,7 @@ int Platform::HomeWorker(const FunctionConfig& fn) const {
 
 void Platform::Invoke(const std::string& function, std::vector<InputObject> inputs,
                       std::vector<double> args, InvokeCallback done) {
-  auto request = std::make_shared<Request>();
+  auto request = request_pool_.Make();
   request->id = next_invocation_id_++;
   request->function = function;
   request->inputs = std::move(inputs);
@@ -278,6 +295,9 @@ workloads::MediaDescriptor Platform::AggregateMedia(const std::vector<InputObjec
 
 void Platform::Dispatch(std::shared_ptr<Request> request) {
   const FunctionConfig* fn = GetFunction(request->function);
+  if (fn != nullptr) {
+    request->fn_index = fn->fn_index;
+  }
   if (fn == nullptr) {
     InvocationRecord record;
     record.id = request->id;
@@ -422,6 +442,7 @@ void Platform::RunOnSandbox(std::shared_ptr<Request> request, Sandbox* sandbox,
   InvocationRecord record;
   record.id = request->id;
   record.function = request->function;
+  record.fn_index = request->fn_index;
   record.worker = sandbox->worker;
   record.cold_start = cold;
   record.retries = request->retries;
@@ -475,6 +496,7 @@ void Platform::ExecutePhases(std::shared_ptr<Request> request, std::uint64_t san
   InvocationContext ctx;
   ctx.invocation_id = request->id;
   ctx.function = request->function;
+  ctx.fn_index = request->fn_index;
   ctx.worker = record.worker;
   ctx.pipeline_id = request->pipeline_id;
   ctx.final_stage = request->final_stage;
@@ -1008,7 +1030,7 @@ void Platform::InvokePipeline(const workloads::PipelineSpec& spec,
     auto remaining = std::make_shared<std::size_t>(num_tasks);
     const bool final_stage = state->stage + 1 == state->spec.stages.size();
     for (std::size_t t = 0; t < num_tasks; ++t) {
-      auto request = std::make_shared<Request>();
+      auto request = request_pool_.Make();
       request->id = next_invocation_id_++;
       request->function = stage.function;
       request->inputs = std::move(task_inputs[t]);

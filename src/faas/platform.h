@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/recycling_pool.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
@@ -78,6 +79,10 @@ struct FunctionConfig {
   workloads::FunctionSpec spec;
   std::string tenant = "default";
   Bytes booked_memory = GiB(2);
+  // Dense per-platform function index, assigned at registration (1, 2, ...).
+  // 0 = not registered. Rides along in InvocationContext / InvocationRecord so
+  // hot-path metric-cell lookups index a vector instead of hashing the name.
+  std::uint32_t fn_index = 0;
 };
 
 // One input object of an invocation: its store key plus the descriptive
@@ -90,6 +95,7 @@ struct InputObject {
 struct InvocationRecord {
   std::uint64_t id = 0;
   std::string function;
+  std::uint32_t fn_index = 0;  // FunctionConfig::fn_index (0 = unregistered).
   int worker = -1;
   bool cold_start = false;
   bool oom_killed = false;   // At least one OOM kill occurred (before retry).
@@ -132,6 +138,11 @@ struct PipelineRecord {
 struct InvocationContext {
   std::uint64_t invocation_id = 0;
   std::string function;
+  // FunctionConfig::fn_index — a per-read fast path for data services that
+  // cache per-function metric cells (0 = unassigned; name lookup applies).
+  // Hand-built contexts may leave it 0; consumers must validate `function`
+  // before trusting a cached slot.
+  std::uint32_t fn_index = 0;
   int worker = -1;
   std::uint64_t pipeline_id = 0;  // 0 for single-stage invocations.
   bool final_stage = true;
@@ -309,6 +320,7 @@ class Platform {
   struct Request {
     std::uint64_t id = 0;
     std::string function;
+    std::uint32_t fn_index = 0;  // Resolved at first dispatch (0 until then).
     std::vector<InputObject> inputs;
     std::vector<double> args;
     InvokeCallback done;
@@ -365,6 +377,10 @@ class Platform {
     obs::Series* total_ms = nullptr;
   };
   FnMetrics& FnMetricsFor(const std::string& function);
+  // Index fast path: record/context fn_index values are platform-assigned, so
+  // a non-zero index resolves through fn_metrics_by_index_ without hashing
+  // `function`; 0 (unregistered function) falls back to the name lookup.
+  FnMetrics& FnMetricsAt(std::uint32_t fn_index, const std::string& function);
   void RecordCompletion(const InvocationRecord& record);
   bool Traced(std::uint64_t invocation_id) const {
     return trace_ != nullptr && trace_->Sampled(invocation_id);
@@ -437,6 +453,12 @@ class Platform {
   // Ordered: ResetStats() and future per-function exports iterate this map, so
   // its order must not depend on hashing.
   std::map<std::string, FnMetrics> fn_metrics_;
+  // fn_index → cell pointers (stable: fn_metrics_ is a node-based map).
+  std::vector<FnMetrics*> fn_metrics_by_index_;
+  std::uint32_t next_fn_index_ = 1;
+  // Request blocks are recycled: completion frees into the pool, the next
+  // Invoke() reuses — zero steady-state allocation for request records.
+  RecyclingPool<Request> request_pool_;
   std::uint64_t next_invocation_id_ = 1;
   std::uint64_t next_sandbox_id_ = 1;
   std::uint64_t next_pipeline_id_ = 1;

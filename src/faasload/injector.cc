@@ -1,6 +1,7 @@
 #include "src/faasload/injector.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "src/common/logging.h"
 #include "src/faas/direct_data_service.h"
@@ -179,6 +180,37 @@ Status LoadInjector::AddTenant(TenantSpec spec) {
   return OkStatus();
 }
 
+Status LoadInjector::AddScaleTrace(const workloads::ScaleTrace& trace) {
+  for (const workloads::ScaleTraceTenant& t : trace.tenants) {
+    TenantSpec spec;
+    spec.name = t.name;
+    spec.function = t.function;
+    spec.mean_interval_s = t.mean_interval_s;
+    spec.burst_size = t.burst_size;
+    spec.burst_spacing_s = t.burst_spacing_s;
+    spec.diurnal_period_s = t.diurnal_period_s;
+    spec.diurnal_amplitude = t.diurnal_amplitude;
+    spec.dataset_objects = t.dataset_objects;
+    spec.object_size = t.object_size;
+    switch (t.arrivals) {
+      case workloads::ScaleArrivals::kPoisson:
+        spec.arrivals = ArrivalPattern::kExponential;
+        break;
+      case workloads::ScaleArrivals::kDiurnal:
+        spec.arrivals = ArrivalPattern::kDiurnal;
+        break;
+      case workloads::ScaleArrivals::kBursty:
+        spec.arrivals = ArrivalPattern::kBursty;
+        break;
+      case workloads::ScaleArrivals::kPeriodic:
+        spec.arrivals = ArrivalPattern::kPeriodic;
+        break;
+    }
+    OFC_RETURN_IF_ERROR(AddTenant(std::move(spec)));
+  }
+  return OkStatus();
+}
+
 void LoadInjector::PretrainModels(int invocations_per_function) {
   core::OfcSystem* ofc = env_->ofc();
   if (ofc == nullptr) {
@@ -204,55 +236,110 @@ void LoadInjector::AddSampler(SimDuration period, std::function<void()> sampler)
   samplers_.push_back(SamplerSpec{period, std::move(sampler)});
 }
 
-void LoadInjector::ScheduleTenant(Tenant& tenant, SimDuration horizon) {
-  SimTime t = 0;
-  auto fire_at = [&](SimTime when) {
+// Plants exactly one future arrival event for `tenant` — the event body
+// (OnArrival) fires the invocation and re-arms. Compared to the old
+// schedule-everything-up-front design this keeps the event heap at
+// O(num_tenants + in-flight work) instead of O(total invocations), which is
+// what makes 10M-invocation traces feasible; the cost is that a tenant's RNG
+// now interleaves arrival draws with input/argument draws (a different but
+// equally deterministic stream).
+void LoadInjector::ScheduleNextArrival(Tenant& tenant) {
+  const TenantSpec& spec = tenant.spec;
+  while (true) {
+    SimTime when;
+    if (tenant.burst_remaining > 0) {
+      // Tail of an in-progress burst: fixed spacing after the previous member.
+      --tenant.burst_remaining;
+      tenant.burst_next += static_cast<SimDuration>(spec.burst_spacing_s * 1e6);
+      when = tenant.burst_next;
+      if (when > horizon_end_) {
+        tenant.burst_remaining = 0;  // Truncate the burst at the horizon...
+        continue;                    // ...but keep drawing later burst gaps.
+      }
+    } else {
+      SimTime& t = tenant.arrival_cursor;
+      switch (spec.arrivals) {
+        case ArrivalPattern::kExponential:
+          t += static_cast<SimDuration>(tenant.rng.Exponential(spec.mean_interval_s) * 1e6);
+          break;
+        case ArrivalPattern::kPeriodic:
+          t += static_cast<SimDuration>(spec.mean_interval_s * 1e6);
+          break;
+        case ArrivalPattern::kDiurnal: {
+          // Thinned Poisson: draw candidates at the peak rate and accept with
+          // probability rate(t)/peak — an exact simulation of the
+          // inhomogeneous process, still one event per accepted arrival.
+          const double amplitude = std::clamp(spec.diurnal_amplitude, 0.0, 1.0);
+          const double base_rate = 1.0 / spec.mean_interval_s;
+          const double peak_rate = base_rate * (1.0 + amplitude);
+          while (true) {
+            t += static_cast<SimDuration>(tenant.rng.Exponential(1.0 / peak_rate) * 1e6);
+            const double phase =
+                2.0 * 3.14159265358979323846 * (static_cast<double>(t) / 1e6) /
+                spec.diurnal_period_s;
+            const double rate = base_rate * (1.0 + amplitude * std::sin(phase));
+            if (tenant.rng.NextDouble() * peak_rate <= rate || t > horizon_end_) {
+              break;
+            }
+          }
+          break;
+        }
+        case ArrivalPattern::kBursty:
+          // A gap, then a train of closely spaced invocations; the first
+          // member fires at the burst start.
+          t += static_cast<SimDuration>(tenant.rng.Exponential(spec.mean_interval_s) * 1e6);
+          tenant.burst_next = t;
+          tenant.burst_remaining = std::max(0, spec.burst_size - 1);
+          break;
+      }
+      when = spec.arrivals == ArrivalPattern::kBursty ? tenant.burst_next : t;
+      if (when > horizon_end_) {
+        return;  // Horizon reached: this tenant stops re-arming.
+      }
+    }
+    // A tenant whose bursts overlap (gap shorter than the burst span) can draw
+    // a next-burst start before the current burst's tail — in the past by the
+    // time the tail member re-arms. Such arrivals fire immediately: the law's
+    // epochs (cursor/burst_next) keep their logical values, only dispatch is
+    // clamped to the present.
+    if (when < env_->loop().now()) {
+      when = env_->loop().now();
+    }
     ++in_flight_;
     // Capture the tenant by pointer, not reference: the callback outlives this
     // frame, and `tenants_` owns the heap-allocated Tenant for the whole run.
-    env_->loop().ScheduleAt(when, [this, t = &tenant] { FireInvocation(*t); });
-  };
-  while (true) {
-    switch (tenant.spec.arrivals) {
-      case ArrivalPattern::kExponential:
-        t += static_cast<SimDuration>(tenant.rng.Exponential(tenant.spec.mean_interval_s) *
-                                      1e6);
-        break;
-      case ArrivalPattern::kPeriodic:
-        t += static_cast<SimDuration>(tenant.spec.mean_interval_s * 1e6);
-        break;
-      case ArrivalPattern::kBursty: {
-        // A gap, then a train of closely spaced invocations.
-        t += static_cast<SimDuration>(tenant.rng.Exponential(tenant.spec.mean_interval_s) *
-                                      1e6);
-        for (int b = 0; b < tenant.spec.burst_size; ++b) {
-          const SimTime when =
-              t + static_cast<SimDuration>(b * tenant.spec.burst_spacing_s * 1e6);
-          if (when > horizon) {
-            break;
-          }
-          fire_at(when);
-        }
-        if (t > horizon) {
-          return;
-        }
-        continue;  // The burst was scheduled above.
-      }
-    }
-    if (t > horizon) {
-      break;
-    }
-    fire_at(t);
+    env_->loop().ScheduleAt(when, [this, t = &tenant] { OnArrival(*t); });
+    return;
+  }
+}
+
+void LoadInjector::OnArrival(Tenant& tenant) {
+  FireInvocation(tenant);       // Carries this arrival's in_flight_ count.
+  ScheduleNextArrival(tenant);  // Re-arm (adds its own count if within horizon).
+}
+
+void LoadInjector::RecordInvocation(TenantResult& result,
+                                    const faas::InvocationRecord& record) {
+  if (result.invocations.size() < max_records_per_tenant_) {
+    result.invocations.push_back(record);
+  }
+}
+
+void LoadInjector::RecordPipeline(TenantResult& result, const faas::PipelineRecord& record) {
+  if (result.pipelines.size() < max_records_per_tenant_) {
+    result.pipelines.push_back(record);
   }
 }
 
 void LoadInjector::FireInvocation(Tenant& tenant) {
   TenantResult& result = results_[tenant.result_index];
+  ++fired_;
   if (tenant.spec.is_pipeline) {
     const workloads::PipelineSpec* pipeline = workloads::FindPipeline(tenant.spec.function);
     env_->platform().InvokePipeline(*pipeline, tenant.pipeline_chunks,
                                     [this, &result](const faas::PipelineRecord& record) {
-                                      result.pipelines.push_back(record);
+                                      RecordPipeline(result, record);
+                                      ++completed_;
                                       --in_flight_;
                                     });
     return;
@@ -263,7 +350,8 @@ void LoadInjector::FireInvocation(Tenant& tenant) {
   std::vector<double> args = workloads::SampleArgs(*fn, tenant.rng);
   env_->platform().Invoke(tenant.spec.function, {input}, std::move(args),
                           [this, &result](const faas::InvocationRecord& record) {
-                            result.invocations.push_back(record);
+                            RecordInvocation(result, record);
+                            ++completed_;
                             --in_flight_;
                           });
 }
@@ -271,7 +359,8 @@ void LoadInjector::FireInvocation(Tenant& tenant) {
 void LoadInjector::Run(SimDuration duration) {
   horizon_end_ = env_->loop().now() + duration;
   for (auto& tenant : tenants_) {
-    ScheduleTenant(*tenant, duration);
+    tenant->arrival_cursor = env_->loop().now();
+    ScheduleNextArrival(*tenant);
   }
   for (const SamplerSpec& sampler : samplers_) {
     for (SimTime t = sampler.period; t <= duration; t += sampler.period) {

@@ -10,6 +10,7 @@
 #ifndef OFC_FAASLOAD_INJECTOR_H_
 #define OFC_FAASLOAD_INJECTOR_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -18,6 +19,7 @@
 #include "src/faasload/environment.h"
 #include "src/workloads/media.h"
 #include "src/workloads/pipelines.h"
+#include "src/workloads/scale_trace.h"
 
 namespace ofc::faasload {
 
@@ -33,6 +35,7 @@ enum class ArrivalPattern {
   kExponential,  // Poisson arrivals with the given mean interval.
   kPeriodic,     // Fixed interval.
   kBursty,       // Long exponential gaps separating short back-to-back bursts.
+  kDiurnal,      // Poisson with a sinusoidally modulated rate (thinned).
 };
 
 struct TenantSpec {
@@ -45,6 +48,10 @@ struct TenantSpec {
   // Bursty only: invocations per burst and intra-burst spacing.
   int burst_size = 5;
   double burst_spacing_s = 1.0;
+  // Diurnal only: rate(t) = base * (1 + amplitude * sin(2*pi*t / period)),
+  // where base = 1 / mean_interval_s. Amplitude is clamped to [0, 1].
+  double diurnal_period_s = 86400.0;
+  double diurnal_amplitude = 0.8;
   // Input dataset: number of distinct objects prepared in the RSDS. FAASLOAD
   // "prepares the input data for the invocations of each function".
   int dataset_objects = 3;
@@ -78,6 +85,11 @@ class LoadInjector {
   // booking and prepares its dataset in the RSDS.
   Status AddTenant(TenantSpec spec);
 
+  // Maps every tenant of a synthesized scale trace onto AddTenant. The trace
+  // carries arrival-law parameters only; concrete arrival times are drawn
+  // lazily while the run progresses.
+  Status AddScaleTrace(const workloads::ScaleTrace& trace);
+
   // Pretrains OFC models offline (no-op in baseline modes) so macro runs start
   // with mature predictors, as the artifact's offline ML stage does.
   void PretrainModels(int invocations_per_function);
@@ -92,6 +104,16 @@ class LoadInjector {
   const std::vector<TenantResult>& results() const { return results_; }
   const TenantResult* ResultFor(const std::string& tenant) const;
 
+  // Exactly-once accounting across the whole run: every fired invocation (or
+  // pipeline) must produce exactly one completion record.
+  std::uint64_t invocations_fired() const { return fired_; }
+  std::uint64_t invocations_completed() const { return completed_; }
+
+  // Record retention. Defaults to keeping every record (the macro figures
+  // aggregate them afterwards); scale runs cap or disable retention so a
+  // 10M-invocation run does not hold 10M InvocationRecords.
+  void set_max_records_per_tenant(std::size_t n) { max_records_per_tenant_ = n; }
+
  private:
   struct Tenant {
     TenantSpec spec;
@@ -99,10 +121,22 @@ class LoadInjector {
     std::vector<faas::InputObject> pipeline_chunks;    // Pipeline input chunks.
     Rng rng;
     std::size_t result_index = 0;
+    // Lazy arrival state: exactly one pending arrival event per tenant. The
+    // cursor is the last arrival-law epoch (burst start for bursty tenants);
+    // burst_remaining/burst_next walk the tail of an in-progress burst.
+    SimTime arrival_cursor = 0;
+    SimTime burst_next = 0;
+    int burst_remaining = 0;
   };
 
-  void ScheduleTenant(Tenant& tenant, SimDuration horizon);
+  // Draws the tenant's next arrival instant and plants one event there (or
+  // stops re-arming once the draw crosses the horizon).
+  void ScheduleNextArrival(Tenant& tenant);
+  // Arrival event body: fire, then re-arm.
+  void OnArrival(Tenant& tenant);
   void FireInvocation(Tenant& tenant);
+  void RecordInvocation(TenantResult& result, const faas::InvocationRecord& record);
+  void RecordPipeline(TenantResult& result, const faas::PipelineRecord& record);
 
   Environment* env_;
   TenantProfile profile_;
@@ -116,6 +150,9 @@ class LoadInjector {
   };
   std::vector<SamplerSpec> samplers_;
   SimTime horizon_end_ = 0;
+  std::uint64_t fired_ = 0;
+  std::uint64_t completed_ = 0;
+  std::size_t max_records_per_tenant_ = SIZE_MAX;
 };
 
 }  // namespace ofc::faasload

@@ -93,9 +93,18 @@ const char* FlightEventKindName(FlightEventKind kind) {
 
 void FlightRecorder::set_capacity(std::size_t n) {
   options_.capacity = n == 0 ? 1 : n;
-  while (ring_.size() > options_.capacity) {
-    ring_.pop_front();
+  if (ring_.size() <= options_.capacity && start_ == 0) {
+    return;  // Still growing in append order; nothing to rearrange.
   }
+  // Linearize the newest `capacity` records into a fresh buffer.
+  const std::size_t keep = ring_.size() < options_.capacity ? ring_.size() : options_.capacity;
+  std::vector<FlightEvent> linear;
+  linear.reserve(keep);
+  for (std::size_t i = ring_.size() - keep; i < ring_.size(); ++i) {
+    linear.push_back(std::move(ring_[(start_ + i) % ring_.size()]));
+  }
+  ring_ = std::move(linear);
+  start_ = 0;
 }
 
 void FlightRecorder::Record(SimTime time, FlightEventKind kind, std::uint64_t invocation_id,
@@ -104,24 +113,33 @@ void FlightRecorder::Record(SimTime time, FlightEventKind kind, std::uint64_t in
   if (!options_.enabled) {
     return;
   }
-  FlightEvent ev;
-  ev.seq = next_seq_++;
-  ev.time = time;
-  ev.kind = kind;
-  ev.invocation_id = invocation_id;
-  ev.parent_id = parent_id;
-  ev.worker = worker;
-  ev.subject = std::move(subject);
-  ev.detail = std::move(detail);
-  if (ring_.size() >= options_.capacity) {
-    ring_.pop_front();
+  FlightEvent* ev;
+  if (ring_.size() < options_.capacity) {
+    if (ring_.size() == ring_.capacity()) {
+      // Grow geometrically but never past the ring bound, so the buffer ends
+      // at exactly `capacity` slots with no overshoot to trim.
+      std::size_t want = ring_.capacity() == 0 ? 16 : ring_.capacity() * 2;
+      ring_.reserve(want < options_.capacity ? want : options_.capacity);
+    }
+    ev = &ring_.emplace_back();
+  } else {
+    ev = &ring_[start_];  // Overwrite the oldest record in place.
+    start_ = (start_ + 1) % ring_.size();
   }
-  ring_.push_back(std::move(ev));
+  ev->seq = next_seq_++;
+  ev->time = time;
+  ev->kind = kind;
+  ev->invocation_id = invocation_id;
+  ev->parent_id = parent_id;
+  ev->worker = worker;
+  ev->subject = std::move(subject);
+  ev->detail = std::move(detail);
 }
 
 std::vector<const FlightEvent*> FlightRecorder::ChainFor(std::uint64_t invocation_id) const {
   std::vector<const FlightEvent*> chain;
-  for (const FlightEvent& ev : ring_) {
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const FlightEvent& ev = at(i);
     if (ev.invocation_id == invocation_id ||
         (ev.parent_id == invocation_id && ev.parent_id != 0)) {
       chain.push_back(&ev);
@@ -139,7 +157,8 @@ std::string FlightRecorder::ToJson(const std::string& reason) const {
   out += ", \"evicted\": " + std::to_string(evicted());
   out += ", \"events\": [";
   bool first = true;
-  for (const FlightEvent& ev : ring_) {
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const FlightEvent& ev = at(i);
     if (!first) {
       out += ",";
     }
@@ -181,7 +200,8 @@ bool FlightRecorder::WriteJson(const std::string& path, const std::string& reaso
 }
 
 void FlightRecorder::Clear() {
-  ring_.clear();
+  ring_.clear();  // Keeps the buffer: a cleared recorder is about to refill.
+  start_ = 0;
   next_seq_ = 0;
 }
 

@@ -21,7 +21,6 @@
 #define OFC_OBS_FLIGHT_RECORDER_H_
 
 #include <cstdint>
-#include <deque>
 #include <string>
 #include <vector>
 
@@ -119,6 +118,9 @@ class FlightRecorder {
   std::size_t size() const { return ring_.size(); }
   std::uint64_t total_recorded() const { return next_seq_; }
   std::uint64_t evicted() const { return next_seq_ - ring_.size(); }
+  // The i-th retained record in append order (0 = oldest). Storage is a
+  // circular vector, so there is no contiguous view to hand out.
+  const FlightEvent& at(std::size_t i) const { return ring_[(start_ + i) % ring_.size()]; }
 
   // All retained records for one invocation id (matched on invocation_id or
   // parent_id), in append order — the causal chain for post-mortem triage.
@@ -134,8 +136,14 @@ class FlightRecorder {
   void Clear();
 
  private:
+  // Circular buffer: grows by push_back until `capacity` records are retained,
+  // then overwrites in place starting at start_ (the oldest record). The old
+  // deque paid a node allocation per eviction cycle and never returned memory;
+  // the vector's footprint is fixed at capacity × sizeof(FlightEvent) (the
+  // grow phase trims any geometric overshoot once, on reaching capacity).
   FlightRecorderOptions options_;
-  std::deque<FlightEvent> ring_;
+  std::vector<FlightEvent> ring_;
+  std::size_t start_ = 0;  // Index of the oldest retained record.
   std::uint64_t next_seq_ = 0;
 };
 

@@ -13,49 +13,173 @@ EventLoop::EventId EventLoop::ScheduleAfter(SimDuration delay, Callback cb) {
 
 EventLoop::EventId EventLoop::ScheduleAt(SimTime when, Callback cb) {
   SIM_ASSERT(when >= now_) << "; scheduling into the past, when=" << when << " now=" << now_;
-  const EventId id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
-  return id;
+  const std::uint32_t slot = AcquireSlot();
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  s.armed = true;
+  HeapPush(HeapEntry{when, next_seq_++, slot});
+  return MakeId(slot, s.generation);
 }
 
 bool EventLoop::Cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id >> 32);
+  const std::uint32_t generation = static_cast<std::uint32_t>(id);
+  if (slot >= slots_.size()) {
     return false;
   }
-  callbacks_.erase(it);
+  Slot& s = slots_[slot];
+  if (!s.armed || s.generation != generation) {
+    return false;  // Already ran, already cancelled, or the slot was reused.
+  }
+  s.cb = Callback();  // Destroy captured state now, not at pop time.
+  s.armed = false;    // Tombstone: the heap entry is dropped when popped.
   ++cancelled_;
+  MaybeCompact();
   return true;
 }
 
-void EventLoop::Dispatch(const Event& ev) {
-  auto it = callbacks_.find(ev.id);
-  if (it == callbacks_.end()) {
-    --cancelled_;  // Cancelled event: drop its queue slot.
+std::uint32_t EventLoop::AcquireSlot() {
+  std::uint32_t index;
+  if (free_head_ != kNoSlot) {
+    index = free_head_;
+    free_head_ = slots_[index].next_free;
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    SIM_ASSERT(index != kNoSlot) << "; event slot slab exhausted";
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[index];
+  if (++s.generation == 0) {  // Skip 0 so EventId 0 stays a "no event" sentinel.
+    ++s.generation;
+  }
+  s.next_free = kNoSlot;
+  return index;
+}
+
+void EventLoop::ReleaseSlot(std::uint32_t index) {
+  Slot& s = slots_[index];
+  s.armed = false;
+  s.next_free = free_head_;
+  free_head_ = index;
+}
+
+void EventLoop::HeapPush(HeapEntry entry) {
+  // Sift up in a 4-ary min-heap: fewer levels than binary, and the four-child
+  // compare in SiftDown runs over one cache line of 16-byte entries.
+  std::size_t i = heap_.size();
+  heap_.push_back(entry);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!Before(heap_[i], heap_[parent])) {
+      break;
+    }
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void EventLoop::SiftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) {
+      return;
+    }
+    std::size_t best = first_child;
+    const std::size_t last_child = first_child + 4 < n ? first_child + 4 : n;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (Before(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!Before(heap_[best], heap_[i])) {
+      return;
+    }
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
+void EventLoop::HeapPopTop() {
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    SiftDown(0);
+  }
+}
+
+void EventLoop::Heapify() {
+  if (heap_.size() < 2) {
     return;
   }
-  Callback cb = std::move(it->second);
-  callbacks_.erase(it);
+  for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) {
+    SiftDown(i);
+  }
+}
+
+void EventLoop::MaybeCompact() {
+  // Compact when tombstones outnumber live entries (amortized O(1) per cancel;
+  // the trigger depends only on deterministic counters, so replays compact at
+  // identical points — not that order could drift: (when, seq) is total).
+  if (cancelled_ < 64 || cancelled_ * 2 < heap_.size()) {
+    return;
+  }
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const std::uint32_t slot = heap_[i].slot;
+    if (slots_[slot].armed) {
+      heap_[kept++] = heap_[i];
+    } else {
+      ReleaseSlot(slot);
+    }
+  }
+  heap_.resize(kept);
+  cancelled_ = 0;
+  Heapify();
+}
+
+bool EventLoop::TakeTop(Callback* out) {
+  const HeapEntry top = heap_.front();
+  HeapPopTop();
+  Slot& s = slots_[top.slot];
+  if (!s.armed) {
+    --cancelled_;
+    ReleaseSlot(top.slot);
+    return false;
+  }
+  *out = std::move(s.cb);
+  s.cb = Callback();
+  ReleaseSlot(top.slot);
   // Event-loop monotonicity: simulated time never moves backwards.
-  SIM_ASSERT(ev.when >= now_) << "; event at " << ev.when << " dispatched at " << now_;
-  now_ = ev.when;
-  cb();
+  SIM_ASSERT(top.when >= now_) << "; event at " << top.when << " dispatched at " << now_;
+  now_ = top.when;
+  ++dispatched_;
+  return true;
 }
 
 void EventLoop::Run() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    Dispatch(ev);
+  Callback cb;
+  while (!heap_.empty()) {
+    if (dispatch_budget_exhausted()) {
+      return;
+    }
+    if (TakeTop(&cb)) {
+      cb();
+      cb = Callback();  // Release captured state before the next event runs.
+    }
   }
 }
 
 void EventLoop::RunUntil(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    Event ev = queue_.top();
-    queue_.pop();
-    Dispatch(ev);
+  Callback cb;
+  while (!heap_.empty() && heap_.front().when <= deadline) {
+    if (dispatch_budget_exhausted()) {
+      return;  // Leave now() where it is: the run is resumable.
+    }
+    if (TakeTop(&cb)) {
+      cb();
+      cb = Callback();  // Release captured state before the next event runs.
+    }
   }
   if (now_ < deadline) {
     now_ = deadline;
@@ -63,12 +187,13 @@ void EventLoop::RunUntil(SimTime deadline) {
 }
 
 bool EventLoop::Step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    const bool live = callbacks_.contains(ev.id);
-    Dispatch(ev);
-    if (live) {
+  Callback cb;
+  while (!heap_.empty()) {
+    if (dispatch_budget_exhausted()) {
+      return false;
+    }
+    if (TakeTop(&cb)) {
+      cb();
       return true;
     }
   }

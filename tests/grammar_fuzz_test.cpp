@@ -1,0 +1,224 @@
+// Grammar property/fuzz tests for the two user-facing text formats:
+//
+//  * FaultPlan JSON (`ofc-sim --fault-plan=...`, src/fault/fault_plan.h)
+//  * SLO spec strings (`ofc-sim --slo=...`, src/obs/slo.h)
+//
+// Three layers per grammar, driven by checked-in corpora under
+// tests/testdata/{fault_plans,slo_specs}/:
+//
+//  1. valid corpus: every file parses, and serialization is a fixed point
+//     (format -> parse -> format is byte-stable);
+//  2. hostile corpus: every file is rejected cleanly — a structured error, a
+//     failed Validate(), never a crash;
+//  3. deterministic mutation fuzz: seeded byte mutations of the valid corpus
+//     must never crash the parser, whatever they return.
+//
+// The corpora are data so a future grammar change that invalidates an input
+// shows up as a reviewable testdata diff, not a silent behavior shift.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/fault/fault_plan.h"
+#include "src/obs/slo.h"
+
+namespace ofc {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadFileOrDie(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream body;
+  body << in.rdbuf();
+  return body.str();
+}
+
+// Corpus files in deterministic (sorted) order; fails the test when the
+// directory is missing or empty so a lost corpus cannot pass vacuously.
+std::vector<fs::path> Corpus(const std::string& subdir) {
+  const fs::path dir = fs::path(OFC_TESTDATA_DIR) / subdir;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  EXPECT_FALSE(files.empty()) << "empty corpus: " << dir;
+  return files;
+}
+
+// Seeded in-place byte mutations: 1-4 positions replaced with bytes drawn
+// from a pool of structural characters, digits, and raw bytes — the inputs
+// most likely to confuse a hand-rolled lexer.
+std::string Mutate(const std::string& body, Rng* rng) {
+  static constexpr char kPool[] = "{}[]\":,.-+eE0123456789 \n\t\\/xp=;#\x00\x7f\xff";
+  std::string mutated = body;
+  if (mutated.empty()) {
+    mutated.push_back('{');
+  }
+  const int edits = static_cast<int>(rng->UniformInt(1, 4));
+  for (int i = 0; i < edits; ++i) {
+    const std::size_t pos = rng->Index(mutated.size());
+    mutated[pos] = kPool[rng->Index(sizeof(kPool) - 1)];
+  }
+  return mutated;
+}
+
+// ---- FaultPlan JSON --------------------------------------------------------
+
+TEST(FaultPlanGrammarTest, ValidCorpusParsesAndRoundTrips) {
+  for (const fs::path& file : Corpus("fault_plans/valid")) {
+    SCOPED_TRACE(file.filename().string());
+    const std::string body = ReadFileOrDie(file);
+    const auto plan = fault::ParseFaultPlanJson(body);
+    ASSERT_TRUE(plan.ok()) << plan.status().message();
+
+    // Round trip: serialize and re-parse; the corpus is authored in whole
+    // milliseconds, so the event lists must compare equal exactly.
+    const std::string json = fault::FaultPlanToJson(*plan);
+    const auto replayed = fault::ParseFaultPlanJson(json);
+    ASSERT_TRUE(replayed.ok()) << replayed.status().message();
+    EXPECT_EQ(plan->events, replayed->events);
+  }
+}
+
+TEST(FaultPlanGrammarTest, HostileCorpusRejectedCleanly) {
+  for (const fs::path& file : Corpus("fault_plans/hostile")) {
+    SCOPED_TRACE(file.filename().string());
+    const std::string body = ReadFileOrDie(file);
+    const auto plan = fault::ParseFaultPlanJson(body);
+    if (plan.ok()) {
+      // Structurally well-formed but semantically bogus (negative times,
+      // out-of-range targets): Validate is the layer that must reject it.
+      EXPECT_FALSE(plan->Validate(/*num_workers=*/8, /*num_nodes=*/8).ok())
+          << "hostile input accepted end-to-end";
+    } else {
+      EXPECT_FALSE(plan.status().message().empty()) << "rejection carries no message";
+    }
+  }
+}
+
+TEST(FaultPlanGrammarTest, SerializationIsAFixedPoint) {
+  // Randomly synthesized plans carry sub-millisecond times, which truncate on
+  // the first serialization; after one parse the representation must be
+  // byte-stable forever.
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    Rng rng(seed);
+    fault::ChaosPlanOptions options;
+    options.num_events = 8;
+    options.include_cache_faults = (seed % 2) == 0;
+    const fault::FaultPlan plan = fault::RandomFaultPlan(options, &rng);
+
+    const std::string once = fault::FaultPlanToJson(plan);
+    const auto parsed = fault::ParseFaultPlanJson(once);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    const std::string twice = fault::FaultPlanToJson(*parsed);
+    EXPECT_EQ(once, twice);
+  }
+}
+
+TEST(FaultPlanGrammarTest, MutationFuzzNeverCrashes) {
+  Rng rng(0xFA51'F00D);
+  for (const fs::path& file : Corpus("fault_plans/valid")) {
+    const std::string body = ReadFileOrDie(file);
+    for (int i = 0; i < 300; ++i) {
+      const std::string mutated = Mutate(body, &rng);
+      const auto plan = fault::ParseFaultPlanJson(mutated);
+      if (plan.ok()) {
+        // Whatever survives parsing must also survive the rest of the
+        // pipeline: validation and re-serialization.
+        (void)plan->Validate(8, 8);
+        (void)fault::FaultPlanToJson(*plan);
+      }
+    }
+  }
+}
+
+// ---- SLO spec grammar ------------------------------------------------------
+
+// Canonical formatter for a parsed spec: every field spelled out, so
+// format -> parse -> format is a fixed point even for specs that relied on
+// defaults or derived fields.
+std::string FormatSpec(const obs::SloSpec& spec) {
+  char buf[512];
+  if (spec.type == obs::SloSpec::Type::kLatency) {
+    std::snprintf(buf, sizeof(buf), "%s=lat:%s:p%.6g:%.6g", spec.name.c_str(),
+                  spec.series.c_str(), spec.quantile * 100.0, spec.target_ms);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s=rate:%s/%s:%.6g", spec.name.c_str(),
+                  spec.numerator.c_str(), spec.denominator.c_str(), spec.budget);
+  }
+  std::string out = buf;
+  std::snprintf(buf, sizeof(buf), ":fast=%.6g:slow=%.6g:fastburn=%.6g:slowburn=%.6g",
+                spec.fast_window_s, spec.slow_window_s, spec.fast_burn_threshold,
+                spec.slow_burn_threshold);
+  return out + buf;
+}
+
+std::string FormatSpecs(const std::vector<obs::SloSpec>& specs) {
+  std::string out;
+  for (const obs::SloSpec& spec : specs) {
+    out += FormatSpec(spec);
+    out.push_back('\n');
+  }
+  return out;
+}
+
+TEST(SloGrammarTest, ValidCorpusParsesAndRoundTrips) {
+  for (const fs::path& file : Corpus("slo_specs/valid")) {
+    SCOPED_TRACE(file.filename().string());
+    std::vector<obs::SloSpec> specs;
+    std::string error;
+    ASSERT_TRUE(obs::ParseSloSpecs(ReadFileOrDie(file), &specs, &error)) << error;
+    EXPECT_FALSE(specs.empty());
+
+    const std::string canonical = FormatSpecs(specs);
+    std::vector<obs::SloSpec> replayed;
+    ASSERT_TRUE(obs::ParseSloSpecs(canonical, &replayed, &error)) << error;
+    EXPECT_EQ(canonical, FormatSpecs(replayed));
+  }
+}
+
+TEST(SloGrammarTest, HostileCorpusRejectedCleanly) {
+  for (const fs::path& file : Corpus("slo_specs/hostile")) {
+    SCOPED_TRACE(file.filename().string());
+    std::vector<obs::SloSpec> specs;
+    std::string error;
+    EXPECT_FALSE(obs::ParseSloSpecs(ReadFileOrDie(file), &specs, &error));
+    EXPECT_FALSE(error.empty()) << "rejection carries no message";
+  }
+}
+
+TEST(SloGrammarTest, MutationFuzzNeverCrashes) {
+  Rng rng(0x510'FA22);
+  for (const fs::path& file : Corpus("slo_specs/valid")) {
+    const std::string body = ReadFileOrDie(file);
+    for (int i = 0; i < 300; ++i) {
+      const std::string mutated = Mutate(body, &rng);
+      std::vector<obs::SloSpec> specs;
+      std::string error;
+      if (obs::ParseSloSpecs(mutated, &specs, &error)) {
+        // Accepted mutants must survive re-serialization and re-parsing.
+        std::vector<obs::SloSpec> replayed;
+        (void)obs::ParseSloSpecs(FormatSpecs(specs), &replayed, &error);
+      } else {
+        EXPECT_FALSE(error.empty());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ofc

@@ -1,0 +1,138 @@
+// Scale regression tests: a downscaled (50k-invocation) version of the
+// bench/scale_stress harness run as part of the test suite, asserting the
+// properties the million-invocation run relies on — exactly-once completion
+// accounting, a wall-clock throughput floor, bounded peak memory, and
+// byte-identical same-seed metrics output.
+//
+// Tagged with the `scale` ctest label so the CI fast tier can exclude it;
+// the thresholds are deliberately loose (an order of magnitude below typical
+// local numbers) so the test gates against pathological regressions, not
+// machine noise.
+#include <sys/resource.h>
+
+#include <chrono>  // simlint: allow(wall-clock) -- asserts the simulator's real throughput, not simulated time
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/faasload/environment.h"
+#include "src/faasload/injector.h"
+#include "src/workloads/scale_trace.h"
+
+namespace ofc {
+namespace {
+
+constexpr std::uint64_t kTargetInvocations = 50'000;
+
+// Peak resident set size in MiB (ru_maxrss is KiB on Linux).
+double PeakRssMb() {
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    return 0.0;
+  }
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+struct ScaleRun {
+  std::uint64_t fired = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t dispatched = 0;
+  SimTime final_time = 0;
+  double run_wall_s = 0.0;
+  std::string metrics_json;
+};
+
+// Mirrors bench/scale_stress's full-stack run at 1/20th scale: synthesized
+// multi-tenant trace, full OFC stack, counters-only record retention.
+ScaleRun RunScaleScenario(std::uint64_t seed) {
+  workloads::ScaleTraceOptions trace_options;
+  trace_options.seed = seed;
+  trace_options.num_tenants = 32;
+  trace_options.duration_s = 600.0;
+  trace_options.target_invocations = kTargetInvocations;
+  const workloads::ScaleTrace trace = workloads::GenerateScaleTrace(trace_options);
+
+  faasload::EnvironmentOptions env_options;
+  env_options.seed = seed;
+  env_options.platform.num_workers = 8;
+  env_options.platform.worker_memory = GiB(32);
+  faasload::Environment env(faasload::Mode::kOfc, env_options);
+  faasload::LoadInjector injector(&env, faasload::TenantProfile::kNormal, seed);
+  injector.set_max_records_per_tenant(0);
+  EXPECT_TRUE(injector.AddScaleTrace(trace).ok());
+  injector.PretrainModels(40);
+
+  const auto start = std::chrono::steady_clock::now();  // simlint: allow(wall-clock) -- throughput assertion
+  injector.Run(static_cast<SimDuration>(trace_options.duration_s * 1e6));
+  const auto elapsed = std::chrono::steady_clock::now() - start;  // simlint: allow(wall-clock) -- throughput assertion
+  const double wall = std::chrono::duration<double>(elapsed).count();
+
+  ScaleRun run;
+  run.fired = injector.invocations_fired();
+  run.completed = injector.invocations_completed();
+  run.dispatched = env.loop().total_dispatched();
+  run.final_time = env.loop().now();
+  run.run_wall_s = wall;
+  run.metrics_json = env.metrics().SnapshotJson(env.loop().now());
+  return run;
+}
+
+TEST(ScaleTest, FiftyThousandInvocationsCompleteExactlyOnceWithinBudgets) {
+  const ScaleRun run = RunScaleScenario(/*seed=*/42);
+
+  // Exactly-once: every fired invocation completed, none twice. The generator
+  // targets 50k in expectation, so the realized count must land near it.
+  EXPECT_EQ(run.fired, run.completed);
+  EXPECT_GT(run.fired, kTargetInvocations / 2);
+  EXPECT_LT(run.fired, kTargetInvocations * 2);
+
+  // Throughput floor: an order of magnitude below typical local numbers
+  // (~300k events/s) so only a pathological hot-path regression trips it.
+  ASSERT_GT(run.run_wall_s, 0.0);
+  const double events_per_sec = static_cast<double>(run.dispatched) / run.run_wall_s;
+  EXPECT_GE(events_per_sec, 30'000.0)
+      << "simulator throughput regressed: " << events_per_sec << " events/s over "
+      << run.dispatched << " events in " << run.run_wall_s << "s";
+
+  // Memory bound: counters-only retention means the run's footprint must not
+  // scale with invocation count. 2 GiB is the same ceiling the perf-smoke
+  // floor (bench/scale_floor.json) enforces for the downscaled bench.
+  EXPECT_LT(PeakRssMb(), 2048.0);
+}
+
+TEST(ScaleTest, SameSeedRunsProduceByteIdenticalMetrics) {
+  const ScaleRun first = RunScaleScenario(/*seed=*/7);
+  const ScaleRun second = RunScaleScenario(/*seed=*/7);
+
+  EXPECT_EQ(first.fired, second.fired);
+  EXPECT_EQ(first.completed, second.completed);
+  EXPECT_EQ(first.dispatched, second.dispatched);
+  EXPECT_EQ(first.final_time, second.final_time);
+  ASSERT_EQ(first.metrics_json.size(), second.metrics_json.size());
+  EXPECT_TRUE(first.metrics_json == second.metrics_json)
+      << "same-seed metrics snapshots diverged";
+}
+
+TEST(ScaleTest, DifferentSeedsProduceDifferentSchedules) {
+  // Guards against the generator ignoring its seed (which would make the
+  // byte-identical assertion above vacuous).
+  workloads::ScaleTraceOptions options;
+  options.num_tenants = 8;
+  options.target_invocations = 1000;
+  options.seed = 1;
+  const workloads::ScaleTrace a = workloads::GenerateScaleTrace(options);
+  options.seed = 2;
+  const workloads::ScaleTrace b = workloads::GenerateScaleTrace(options);
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.tenants.size(); ++i) {
+    if (a.tenants[i].mean_interval_s != b.tenants[i].mean_interval_s) {
+      any_different = true;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace ofc

@@ -18,6 +18,7 @@
 //           [--queue-limit=N] [--queue-deadline-s=S] [--max-concurrency=N]
 //           [--breaker-threshold=N] [--breaker-open-s=S] [--breaker-probes=N]
 //           [--breaker-slo-ms=MS]
+//           [--progress] [--max-events=N]
 //           [--selfcheck-determinism]
 //
 // Examples:
@@ -100,6 +101,12 @@ struct Flags {
   double breaker_open_s = 5.0;
   int breaker_probes = 3;
   double breaker_slo_ms = 0.0;
+  // Run guards: --progress prints a heartbeat line every tenth of the horizon
+  // (simulated time, invocations fired/completed, events dispatched) so long
+  // scale runs are observably alive; --max-events caps the event loop's
+  // dispatch budget so a runaway scenario terminates instead of spinning.
+  bool progress = false;
+  std::uint64_t max_events = 0;
   // Replays the scenario twice (same seed, perturbed unordered-container hash
   // salt) and diffs the metrics snapshots and event-loop fingerprint; exits
   // nonzero on any divergence.
@@ -214,6 +221,7 @@ int Usage() {
                "               [--max-concurrency=N] [--breaker-threshold=N]\n"
                "               [--breaker-open-s=S] [--breaker-probes=N]\n"
                "               [--breaker-slo-ms=MS]\n"
+               "               [--progress] [--max-events=N]\n"
                "               [--selfcheck-determinism]\n"
                "\navailable functions:\n");
   for (const workloads::FunctionSpec& spec : workloads::AllFunctions()) {
@@ -396,7 +404,40 @@ int RunScenario(const Flags& flags, bool quiet, std::uint64_t run_index, RunOutc
                   fault::FaultPlanToJson(flags.fault_plan).c_str());
     }
   }
+  // Progress heartbeat: a sim-clock timer reporting liveness every tenth of
+  // the horizon. Goes to stderr so it never pollutes piped table output.
+  std::unique_ptr<sim::PeriodicTask> progress;
+  if (flags.progress && !quiet) {
+    const SimDuration horizon = Minutes(flags.duration_min);
+    const SimDuration step = horizon >= 10 ? horizon / 10 : SimDuration{1};
+    progress = std::make_unique<sim::PeriodicTask>(
+        &env.loop(), step, [&env, &injector](SimTime now) {
+          std::fprintf(stderr,
+                       "progress: t=%.1fs fired=%llu completed=%llu events=%llu\n",
+                       ToSeconds(now),
+                       static_cast<unsigned long long>(injector.invocations_fired()),
+                       static_cast<unsigned long long>(injector.invocations_completed()),
+                       static_cast<unsigned long long>(env.loop().total_dispatched()));
+        });
+    progress->Start();
+  }
+  if (flags.max_events > 0) {
+    env.loop().set_dispatch_budget(flags.max_events);
+  }
   injector.Run(Minutes(flags.duration_min));
+  if (progress != nullptr) {
+    progress->Stop();
+  }
+  const bool budget_hit = env.loop().dispatch_budget_exhausted();
+  if (budget_hit) {
+    std::fprintf(stderr,
+                 "note: --max-events budget (%llu) exhausted at t=%.1fs; "
+                 "run truncated (%llu invocations still in flight)\n",
+                 static_cast<unsigned long long>(flags.max_events),
+                 ToSeconds(env.loop().now()),
+                 static_cast<unsigned long long>(injector.invocations_fired() -
+                                                 injector.invocations_completed()));
+  }
   if (scraper != nullptr) {
     scraper->Stop();
     // Final partial window: capture the tail between the last tick and drain.
@@ -749,6 +790,14 @@ int Main(int argc, char** argv) {
       flags.breaker_probes = std::atoi(value.c_str());
     } else if (ParseFlag(argv[i], "--breaker-slo-ms", &value)) {
       flags.breaker_slo_ms = std::atof(value.c_str());
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      flags.progress = true;
+    } else if (ParseFlag(argv[i], "--max-events", &value)) {
+      flags.max_events = std::strtoull(value.c_str(), nullptr, 10);
+      if (flags.max_events == 0) {
+        std::fprintf(stderr, "--max-events=N needs N > 0\n");
+        return 1;
+      }
     } else if (std::strcmp(argv[i], "--selfcheck-determinism") == 0) {
       flags.selfcheck = true;
     } else if (std::strcmp(argv[i], "--selfcheck-perturb") == 0) {
