@@ -1,0 +1,69 @@
+// Deterministic, salt-independent payload checksums for the cache data plane.
+//
+// The simulator carries no real payload bytes, so a checksum over (key, size)
+// stands in for a CRC over the object's contents, and mixing in the version
+// models the "checksum changes when the data changes" property end-to-end:
+// the proxy stamps a fingerprint at write time, Cluster replicas and
+// ObjectStore objects store the version-stamped checksum, and every read path
+// re-derives the expectation and compares.
+//
+// CRITICAL: unlike DetHash (src/common/hash.h), these functions must NOT mix
+// in the global hash salt. Checksums are event-visible state — they decide
+// whether a read self-heals, which replica is promoted, and when a node is
+// quarantined — so they must be bit-identical under the salt perturbation that
+// tests/determinism_test.cpp and `ofc-sim --selfcheck-determinism` apply.
+#ifndef OFC_COMMON_CHECKSUM_H_
+#define OFC_COMMON_CHECKSUM_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "src/common/units.h"
+
+namespace ofc {
+
+using Checksum = std::uint64_t;
+
+// FNV-1a over the key bytes, then the payload-size surrogate folded in. This is
+// the content fingerprint: what a real system would compute as CRC(payload).
+// Version-independent, so a write path can stamp it before the store assigns
+// the landing version (see StampChecksum).
+inline Checksum PayloadFingerprint(std::string_view key, Bytes size) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV offset basis.
+  for (const char c : key) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x00000100000001b3ULL;  // FNV prime.
+  }
+  h ^= static_cast<std::uint64_t>(size);
+  h *= 0x00000100000001b3ULL;
+  return h;
+}
+
+// Folds the version into a fingerprint to produce the checksum actually stored
+// alongside a replica or store object. SplitMix64-style finalizer for full
+// avalanche — a corrupted (flipped) stored checksum never accidentally matches
+// the expectation for any other version.
+inline Checksum StampChecksum(Checksum fingerprint, std::uint64_t version) {
+  std::uint64_t h = fingerprint ^ (version + 0x9e3779b97f4a7c15ULL);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+// Convenience: the expected stored checksum for (key, size, version).
+inline Checksum ExpectedChecksum(std::string_view key, Bytes size,
+                                 std::uint64_t version) {
+  return StampChecksum(PayloadFingerprint(key, size), version);
+}
+
+// Deterministic corruption: how a fault injector or rot event damages a stored
+// checksum. XOR with a fixed pattern is its own inverse, which tests exploit,
+// but the data plane never "repairs" by re-flipping — repair always re-derives
+// the expected checksum from a healthy copy.
+inline Checksum CorruptChecksum(Checksum checksum) {
+  return checksum ^ 0xDEADBEEFDEADBEEFULL;
+}
+
+}  // namespace ofc
+
+#endif  // OFC_COMMON_CHECKSUM_H_

@@ -28,6 +28,7 @@ enum class StatusCode {
   kAborted,            // e.g. version conflict on a conditional write
   kDeadlineExceeded,
   kInternal,
+  kDataLoss,           // e.g. checksum mismatch with no healthy replica left
 };
 
 // Human-readable name for a status code ("OK", "NOT_FOUND", ...).
@@ -65,6 +66,7 @@ Status UnavailableError(std::string message);
 Status AbortedError(std::string message);
 Status DeadlineExceededError(std::string message);
 Status InternalError(std::string message);
+Status DataLossError(std::string message);
 
 // A value of type T or an error Status. Accessing value() on an error aborts, so
 // callers must test ok() first (or use value_or()).

@@ -44,6 +44,8 @@ Proxy::Proxy(sim::EventLoop* loop, rc::Cluster* cluster, store::ObjectStore* rsd
   m_.breaker_bypassed_reads = metrics_->GetCounter("ofc.breaker.bypassed_reads");
   m_.breaker_bypassed_writes = metrics_->GetCounter("ofc.breaker.bypassed_writes");
   m_.admission_deferred = metrics_->GetCounter("ofc.overload.admission_deferred");
+  m_.corrupt_acked = metrics_->GetCounter("ofc.integrity.corrupt_acked");
+  m_.reread_from_rsds = metrics_->GetCounter("ofc.integrity.reread_from_rsds");
   m_.breaker_state = metrics_->GetGauge("ofc.breaker.state");
   m_.breaker_open_time_us = metrics_->GetGauge("ofc.breaker.open_time_us");
   m_.persistor_ms = metrics_->GetSeries("ofc.proxy.persistor_ms");
@@ -110,6 +112,8 @@ ProxyStats Proxy::stats() const {
   stats.breaker_bypassed_reads = m_.breaker_bypassed_reads->value();
   stats.breaker_bypassed_writes = m_.breaker_bypassed_writes->value();
   stats.admission_deferred = m_.admission_deferred->value();
+  stats.corrupt_acked = m_.corrupt_acked->value();
+  stats.reread_from_rsds = m_.reread_from_rsds->value();
   return stats;
 }
 
@@ -140,6 +144,8 @@ void Proxy::ResetStats() {
   m_.breaker_bypassed_reads->Reset();
   m_.breaker_bypassed_writes->Reset();
   m_.admission_deferred->Reset();
+  m_.corrupt_acked->Reset();
+  m_.reread_from_rsds->Reset();
   m_.breaker_open_time_us->Reset();
   // The state gauge reflects live state, not a window: re-assert it.
   m_.breaker_state->Reset();
@@ -192,6 +198,11 @@ void Proxy::Read(const faas::InvocationContext& ctx, const std::string& key,
                     elapsed <= options_.breaker_latency_slo);
       ++*m_.cache_hits;
       ++*fn.hits;
+      if (hit->checksum != ExpectedChecksum(key, hit->size, hit->version)) {
+        // I6 tripwire: the cluster's self-healing read must never surface a
+        // corrupt payload. Counted (the chaos audit asserts zero), not fatal.
+        ++*m_.corrupt_acked;
+      }
       if (FlightOn()) {
         flight_->Record(loop_->now(), obs::FlightEventKind::kCacheHit,
                         ctx.invocation_id, 0, ctx.worker, key);
@@ -199,9 +210,17 @@ void Proxy::Read(const faas::InvocationContext& ctx, const std::string& key,
       done(hit->size);
       return;
     }
+    const bool data_loss = hit.status().code() == StatusCode::kDataLoss;
+    if (data_loss) {
+      // Every cache copy was corrupt: the cluster dropped the object and this
+      // read falls through to the RSDS below, re-admitting a good copy. The
+      // detection is the integrity machinery working, not a sick cache path,
+      // so the breaker sees it as a plain miss.
+      ++*m_.reread_from_rsds;
+    }
     // A plain miss is a healthy cache answering "not here"; any other error
     // (injected fault, cluster trouble) is a cache-path failure.
-    BreakerReport(hit.status().code() == StatusCode::kNotFound);
+    BreakerReport(data_loss || hit.status().code() == StatusCode::kNotFound);
     ++*m_.cache_misses;
     ++*fn.misses;
     if (FlightOn()) {
@@ -412,6 +431,7 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
         job.size = size;
         job.drop_after = true;
         job.invocation_id = ctx.invocation_id;
+        job.checksum = PayloadFingerprint(key, size);
         // The store version this fallback supersedes, read through the
         // management plane (the data plane is down): the If-Match ETag for the
         // eventual compare-and-swap push. Anything newer landing after heal
@@ -444,6 +464,7 @@ void Proxy::Write(const faas::InvocationContext& ctx, const std::string& key, By
     job.size = size;
     job.drop_after = true;
     job.invocation_id = ctx.invocation_id;
+    job.checksum = PayloadFingerprint(key, size);
     job.epoch = write_epoch_[key] = next_write_epoch_++;
     SchedulePersistor(std::move(job));
     done(OkStatus());
@@ -487,7 +508,10 @@ void Proxy::CacheWrite(int worker, const std::string& key, Bytes size,
     });
     return;
   }
-  cluster_->Write(worker, key, size, version, object_class, dirty, std::move(done));
+  // Every proxy-side cache write carries the payload fingerprint, so the
+  // replica checksums stamped by the cluster are verifiable end to end.
+  cluster_->Write(worker, key, size, version, object_class, dirty,
+                  PayloadFingerprint(key, size), std::move(done));
 }
 
 bool Proxy::BreakerBypasses() {
@@ -647,10 +671,12 @@ void Proxy::RunPersistor(PersistorJob job, SimTime scheduled, int attempt) {
     // Degraded write (no shadow was ever created): push the full payload, but
     // only if the store still holds what the fallback ack superseded — any
     // write that landed after heal is newer and must win (kAborted here).
-    rsds_->PutIfVersion(job.key, job.fallback_base, job.size, {}, std::move(on_pushed));
+    rsds_->PutIfVersion(job.key, job.fallback_base, job.size, {}, job.checksum,
+                        std::move(on_pushed));
     return;
   }
-  rsds_->FinalizePayload(job.key, job.version, job.size, std::move(on_pushed));
+  rsds_->FinalizePayload(job.key, job.version, job.size, job.checksum,
+                         std::move(on_pushed));
 }
 
 void Proxy::RetryPersistor(PersistorJob job, int attempt) {
@@ -704,7 +730,7 @@ void Proxy::Writeback(const std::string& key, std::function<void(Status)> done) 
     flight_->Record(loop_->now(), obs::FlightEventKind::kWriteback, 0, 0, -1, key);
   }
   if (meta.ok() && meta->IsShadow()) {
-    rsds_->FinalizePayload(key, meta->latest_version, size,
+    rsds_->FinalizePayload(key, meta->latest_version, size, PayloadFingerprint(key, size),
                            [this, key, done = std::move(done)](Status status) {
                              if (status.ok()) {
                                (void)cluster_->MarkPersisted(key);

@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/checksum.h"
 #include "src/common/hash.h"
 #include "src/faas/platform.h"
 #include "src/obs/flight_recorder.h"
@@ -119,6 +120,8 @@ struct ProxyStats {
   std::uint64_t breaker_bypassed_reads = 0;  // Reads served RSDS-direct while open.
   std::uint64_t breaker_bypassed_writes = 0; // Writes sent RSDS-direct while open.
   std::uint64_t admission_deferred = 0;      // Admissions skipped under memory pressure.
+  std::uint64_t corrupt_acked = 0;           // I6 tripwire: must stay 0 forever.
+  std::uint64_t reread_from_rsds = 0;        // Cache data loss healed via RSDS re-read.
 
   double HitRatio() const {
     const double total = static_cast<double>(cache_hits + cache_misses);
@@ -219,6 +222,8 @@ class Proxy : public faas::DataService {
     obs::Counter* breaker_bypassed_reads = nullptr;
     obs::Counter* breaker_bypassed_writes = nullptr;
     obs::Counter* admission_deferred = nullptr;
+    obs::Counter* corrupt_acked = nullptr;
+    obs::Counter* reread_from_rsds = nullptr;
     obs::Gauge* breaker_state = nullptr;        // 0 closed / 1 open / 2 half-open.
     obs::Gauge* breaker_open_time_us = nullptr; // Cumulative open time (on exit).
     obs::Series* persistor_ms = nullptr;  // Dispatch to RSDS-converged latency.
@@ -255,6 +260,10 @@ class Proxy : public faas::DataService {
     bool drop_after = false;
     store::ObjectVersion fallback_base = 0;  // Meaningful when version == 0.
     std::uint64_t epoch = 0;
+    // Payload fingerprint stamped when the write was acknowledged; the RSDS
+    // verifies it at landing so a payload damaged in the cache after ack is
+    // rejected (kDataLoss) instead of silently persisted.
+    Checksum checksum = 0;
     // Invocation whose write spawned this job; links the persistor chain back
     // to its causal parent in the flight recorder (0 = cache-agent writeback).
     std::uint64_t invocation_id = 0;

@@ -70,6 +70,18 @@ Status FaultInjector::Schedule(const FaultPlan& plan) {
           return FailedPreconditionError("plan degrades the cache but no proxy is wired");
         }
         break;
+      case FaultKind::kCorruptReplica:
+      case FaultKind::kCorruptSegment:
+        if (targets_.cluster == nullptr) {
+          return FailedPreconditionError(
+              "plan corrupts cache copies but no cluster is wired");
+        }
+        break;
+      case FaultKind::kStoreRot:
+        if (targets_.rsds == nullptr) {
+          return FailedPreconditionError("plan rots the store but no RSDS is wired");
+        }
+        break;
     }
   }
   for (const FaultEvent& event : plan.events) {
@@ -137,6 +149,27 @@ void FaultInjector::Fire(const FaultEvent& event) {
       ++webhook_drop_depth_;
       targets_.rsds->SetWebhooksEnabled(false);
       break;
+    case FaultKind::kCorruptReplica:
+      metrics_->GetCounter("ofc.fault.objects_corrupted")
+          ->Add(static_cast<std::uint64_t>(targets_.cluster->CorruptReplica(
+              event.target, static_cast<int>(event.severity))));
+      break;
+    case FaultKind::kCorruptSegment:
+      metrics_->GetCounter("ofc.fault.objects_corrupted")
+          ->Add(static_cast<std::uint64_t>(targets_.cluster->CorruptSegment(
+              event.target, static_cast<int>(event.severity))));
+      break;
+    case FaultKind::kStoreRot:
+      metrics_->GetCounter("ofc.fault.objects_corrupted")
+          ->Add(static_cast<std::uint64_t>(
+              targets_.rsds->Rot(static_cast<int>(event.severity))));
+      break;
+  }
+  if (event.kind == FaultKind::kCorruptReplica ||
+      event.kind == FaultKind::kCorruptSegment || event.kind == FaultKind::kStoreRot) {
+    // Corruption fires and completes in the same instant — the damage outlives
+    // the event, but there is no open window for `ofc.fault.active` to track.
+    active_->Add(-1.0);
   }
   if (event.duration > 0) {
     loop_->ScheduleAfter(event.duration, [this, event, fault_id] { Heal(event, fault_id); });
@@ -187,6 +220,12 @@ void FaultInjector::Heal(const FaultEvent& event, std::uint64_t fault_id) {
       if (--webhook_drop_depth_ == 0) {
         targets_.rsds->SetWebhooksEnabled(true);
       }
+      break;
+    case FaultKind::kCorruptReplica:
+    case FaultKind::kCorruptSegment:
+    case FaultKind::kStoreRot:
+      // Unreachable: Validate rejects corruption events with a duration, so no
+      // heal is ever scheduled — repair belongs to scrub/self-healing reads.
       break;
   }
 }

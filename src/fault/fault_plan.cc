@@ -23,6 +23,9 @@ constexpr KindNamePair kKindNames[] = {
     {FaultKind::kPersistorDrop, "persistor_drop"},
     {FaultKind::kWebhookDrop, "webhook_drop"},
     {FaultKind::kCacheDegraded, "cache_degraded"},
+    {FaultKind::kCorruptReplica, "corrupt_replica"},
+    {FaultKind::kCorruptSegment, "corrupt_segment"},
+    {FaultKind::kStoreRot, "store_rot"},
 };
 
 // Minimal recursive-descent parser for the fault-plan JSON subset: objects,
@@ -228,6 +231,24 @@ Status FaultPlan::Validate(int num_workers, int num_nodes) const {
         break;
       case FaultKind::kStoreOutage:
         break;
+      case FaultKind::kCorruptReplica:
+      case FaultKind::kCorruptSegment:
+        if (event.target < 0 || event.target >= num_nodes) {
+          return InvalidArgumentError("corruption node target out of range" + at_event);
+        }
+        [[fallthrough]];
+      case FaultKind::kStoreRot:
+        if (event.severity < 1.0) {
+          return InvalidArgumentError("corruption flip count must be >= 1" + at_event);
+        }
+        if (event.duration != 0) {
+          // Corruption is instantaneous damage: scrub/self-healing repairs it,
+          // not a scheduled heal. A duration here means the plan author expects
+          // an un-corrupt event that will never come.
+          return InvalidArgumentError("corruption events must have duration 0" +
+                                      at_event);
+        }
+        break;
     }
   }
   return OkStatus();
@@ -288,7 +309,10 @@ std::string FaultPlanToJson(const FaultPlan& plan) {
     if (event.duration > 0) {
       out << ", \"duration_ms\": " << event.duration / 1000;
     }
-    if (event.kind == FaultKind::kStoreBrownout) {
+    if (event.kind == FaultKind::kStoreBrownout ||
+        event.kind == FaultKind::kCorruptReplica ||
+        event.kind == FaultKind::kCorruptSegment ||
+        event.kind == FaultKind::kStoreRot) {
       out << ", \"severity\": " << event.severity;
     }
     out << "}";
@@ -319,6 +343,13 @@ FaultPlan RandomFaultPlan(const ChaosPlanOptions& options, Rng* rng) {
   if (options.include_cache_faults) {
     kinds.push_back(FaultKind::kCacheDegraded);
   }
+  if (options.include_corruption_faults) {
+    if (options.num_nodes > 0) {
+      kinds.push_back(FaultKind::kCorruptReplica);
+      kinds.push_back(FaultKind::kCorruptSegment);
+    }
+    kinds.push_back(FaultKind::kStoreRot);
+  }
 
   FaultPlan plan;
   if (kinds.empty() || options.horizon <= options.start) {
@@ -348,6 +379,16 @@ FaultPlan RandomFaultPlan(const ChaosPlanOptions& options, Rng* rng) {
       case FaultKind::kPersistorDrop:
       case FaultKind::kWebhookDrop:
       case FaultKind::kCacheDegraded:
+        break;
+      case FaultKind::kCorruptReplica:
+      case FaultKind::kCorruptSegment:
+        event.target = static_cast<int>(rng->UniformInt(0, options.num_nodes - 1));
+        [[fallthrough]];
+      case FaultKind::kStoreRot:
+        // Integral flip count rides in `severity`; duration must be 0
+        // (corruption persists until scrub/self-healing, not a heal event).
+        event.duration = 0;
+        event.severity = static_cast<double>(rng->UniformInt(1, 4));
         break;
     }
     plan.events.push_back(event);

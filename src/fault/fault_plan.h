@@ -35,6 +35,12 @@ enum class FaultKind {
   kPersistorDrop,  // Persistor dispatches are lost for `duration`.
   kWebhookDrop,    // External ops bypass the consistency webhooks.
   kCacheDegraded,  // Proxy cache-path ops fail for `duration` (breaker trips).
+  // Data-corruption kinds: instantaneous (duration must be 0 — damage persists
+  // until a read self-heals it or the scrubber repairs it, not until a heal
+  // event). `severity` carries the integral flip count (>= 1).
+  kCorruptReplica,  // Cluster::CorruptReplica: rot backup copies on `target`.
+  kCorruptSegment,  // Cluster::CorruptSegment: rot master copies on `target`.
+  kStoreRot,        // ObjectStore::Rot: rot RSDS objects (no target).
 };
 
 std::string_view FaultKindName(FaultKind kind);
@@ -90,6 +96,9 @@ struct ChaosPlanOptions {
   // Default off: adding a kind to the pool would reshuffle every existing
   // seeded random plan. Overload scenarios opt in explicitly.
   bool include_cache_faults = false;
+  // Default off for the same reshuffle reason: corruption kinds join the pool
+  // only when a scenario opts in (integrity/scrub chaos runs).
+  bool include_corruption_faults = false;
 };
 FaultPlan RandomFaultPlan(const ChaosPlanOptions& options, Rng* rng);
 

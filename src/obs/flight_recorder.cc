@@ -87,6 +87,12 @@ const char* FlightEventKindName(FlightEventKind kind) {
       return "node_restart";
     case FlightEventKind::kNodeRecovered:
       return "node_recovered";
+    case FlightEventKind::kCorruptionDetected:
+      return "corruption_detected";
+    case FlightEventKind::kCorruptionRepaired:
+      return "corruption_repaired";
+    case FlightEventKind::kNodeQuarantined:
+      return "node_quarantined";
   }
   return "unknown";
 }

@@ -72,6 +72,10 @@ enum class FlightEventKind : std::uint8_t {
   kNodeCrash,
   kNodeRestart,
   kNodeRecovered,
+  // Data integrity (checksum verify / scrub / quarantine).
+  kCorruptionDetected,
+  kCorruptionRepaired,
+  kNodeQuarantined,
 };
 
 // Stable wire name for dumps ("submit", "cache_hit", ...).

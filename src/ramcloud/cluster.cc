@@ -35,6 +35,10 @@ Cluster::Cluster(sim::EventLoop* loop, int num_nodes, ClusterOptions options, Rn
   m_.node_restarts = metrics_->GetCounter("ofc.ramcloud.node_restarts");
   m_.objects_recovered = metrics_->GetCounter("ofc.ramcloud.objects_recovered");
   m_.objects_lost = metrics_->GetCounter("ofc.ramcloud.objects_lost");
+  m_.checksum_failures = metrics_->GetCounter("ofc.integrity.checksum_failures");
+  m_.integrity_repairs = metrics_->GetCounter("ofc.integrity.repairs");
+  m_.read_data_loss = metrics_->GetCounter("ofc.integrity.read_data_loss");
+  m_.nodes_quarantined = metrics_->GetCounter("ofc.ramcloud.nodes_quarantined");
   m_.recovery_ms = metrics_->GetSeries("ofc.ramcloud.recovery_ms");
 }
 
@@ -54,6 +58,10 @@ ClusterStats Cluster::stats() const {
   stats.node_restarts = m_.node_restarts->value();
   stats.objects_recovered = m_.objects_recovered->value();
   stats.objects_lost = m_.objects_lost->value();
+  stats.checksum_failures = m_.checksum_failures->value();
+  stats.integrity_repairs = m_.integrity_repairs->value();
+  stats.read_data_loss = m_.read_data_loss->value();
+  stats.nodes_quarantined = m_.nodes_quarantined->value();
   return stats;
 }
 
@@ -72,7 +80,27 @@ void Cluster::ResetStats() {
   m_.node_restarts->Reset();
   m_.objects_recovered->Reset();
   m_.objects_lost->Reset();
+  m_.checksum_failures->Reset();
+  m_.integrity_repairs->Reset();
+  m_.read_data_loss->Reset();
+  m_.nodes_quarantined->Reset();
   m_.recovery_ms->Reset();
+}
+
+void Cluster::NoteCorruption(const std::string& key, int node, const char* where) {
+  ++*m_.checksum_failures;
+  if (FlightOn()) {
+    flight_->Record(loop_->now(), obs::FlightEventKind::kCorruptionDetected, 0, 0, node,
+                    key, where);
+  }
+}
+
+void Cluster::NoteRepair(const std::string& key, int node, const char* source) {
+  ++*m_.integrity_repairs;
+  if (FlightOn()) {
+    flight_->Record(loop_->now(), obs::FlightEventKind::kCorruptionRepaired, 0, 0, node,
+                    key, source);
+  }
 }
 
 int Cluster::CheckNode(int node) const {
@@ -132,7 +160,7 @@ std::vector<int> Cluster::PickBackups(int master, int count) const {
 
 Status Cluster::ApplyWrite(int client_node, const std::string& key, Bytes size,
                            std::uint64_t version, ObjectClass object_class, bool dirty,
-                           SimDuration* cost) {
+                           Checksum fingerprint, SimDuration* cost) {
   if (size <= 0 || size > options_.max_object_size) {
     ++*m_.write_rejects;
     return InvalidArgumentError("object size outside cacheable range");
@@ -176,6 +204,13 @@ Status Cluster::ApplyWrite(int client_node, const std::string& key, Bytes size,
   for (int b : obj.backups) {
     nodes_[b].disk_used += size;
   }
+  // Stamp the stored checksum: the caller's fingerprint (proxy edge) when one
+  // was carried through, else derived here. Every replica starts healthy.
+  if (fingerprint == 0) {
+    fingerprint = PayloadFingerprint(key, size);
+  }
+  obj.checksum = StampChecksum(fingerprint, version);
+  obj.backup_checksums.assign(obj.backups.size(), obj.checksum);
   objects_.emplace(key, obj);
   ++*m_.writes;
   ++nodes_[master].writes_served;
@@ -194,9 +229,16 @@ Status Cluster::ApplyWrite(int client_node, const std::string& key, Bytes size,
 void Cluster::Write(int client_node, const std::string& key, Bytes size,
                     std::uint64_t version, ObjectClass object_class, bool dirty,
                     Callback done) {
+  Write(client_node, key, size, version, object_class, dirty, /*fingerprint=*/0,
+        std::move(done));
+}
+
+void Cluster::Write(int client_node, const std::string& key, Bytes size,
+                    std::uint64_t version, ObjectClass object_class, bool dirty,
+                    Checksum fingerprint, Callback done) {
   SimDuration cost = 0;
   const Status status = ApplyWrite(client_node, key, size, version, object_class, dirty,
-                                   &cost);
+                                   fingerprint, &cost);
   loop_->ScheduleAfter(cost, [done = std::move(done), status] { done(status); });
 }
 
@@ -215,7 +257,7 @@ void Cluster::ConditionalWrite(int client_node, const std::string& key, Bytes si
   }
   SimDuration cost = 0;
   const Status status = ApplyWrite(client_node, key, size, new_version, object_class,
-                                   dirty, &cost);
+                                   dirty, /*fingerprint=*/0, &cost);
   loop_->ScheduleAfter(cost, [done = std::move(done), status] { done(status); });
 }
 
@@ -247,7 +289,7 @@ void Cluster::Commit(int client_node, std::vector<TxWrite> writes, Callback done
   for (const TxWrite& write : writes) {
     const Status status = ApplyWrite(client_node, write.key, write.size,
                                      write.new_version, write.object_class, write.dirty,
-                                     &cost);
+                                     /*fingerprint=*/0, &cost);
     if (!status.ok()) {
       for (const std::string& key : applied) {
         (void)Remove(key);
@@ -282,8 +324,43 @@ void Cluster::Read(int client_node, const std::string& key, ReadCallback done) {
     ++*m_.read_hits_remote;
   }
   ++nodes_[obj.master].reads_served;
-  const SimDuration cost =
+  SimDuration cost =
       (local ? options_.local_access : options_.remote_access).Cost(obj.size, &rng_);
+
+  // Integrity gate: verify the master copy before serving. A mismatch
+  // self-heals from the first healthy backup replica (extra disk load at the
+  // backup); with every copy corrupt the object is dropped and the read fails
+  // kDataLoss so the caller falls through to the RSDS — never ack corruption.
+  const Checksum expected = ExpectedChecksum(obj.key, obj.size, obj.version);
+  if (obj.checksum != expected) {
+    NoteCorruption(key, obj.master, "read_master");
+    int healthy = -1;
+    for (std::size_t i = 0; i < obj.backups.size(); ++i) {
+      if (nodes_[static_cast<std::size_t>(obj.backups[i])].alive &&
+          obj.backup_checksums[i] == expected) {
+        healthy = static_cast<int>(i);
+        break;
+      }
+    }
+    if (healthy < 0) {
+      ++*m_.read_data_loss;
+      // Drop the object everywhere: a re-fetch from the RSDS re-admits a good
+      // copy, which is the repair path when no replica survives.
+      (void)logs_[obj.master].Free(obj.log_entry);
+      SyncUsed(obj.master);
+      for (int b : obj.backups) {
+        nodes_[b].disk_used -= obj.size;
+      }
+      objects_.erase(it);
+      loop_->ScheduleAfter(cost, [done = std::move(done), key] {
+        done(DataLossError("all copies corrupt: " + key));
+      });
+      return;
+    }
+    obj.checksum = expected;
+    cost += options_.disk_read.Cost(obj.size, &rng_);
+    NoteRepair(key, obj.master, "replica");
+  }
   CachedObject snapshot = obj;
   loop_->ScheduleAfter(cost, [done = std::move(done), snapshot = std::move(snapshot)] {
     done(snapshot);
@@ -408,6 +485,26 @@ Result<MigrationResult> Cluster::MigrateMaster(const std::string& key) {
   SyncUsed(new_master);
   nodes_[new_master].disk_used -= obj.size;
   nodes_[old_master].disk_used += obj.size;
+  // Checksums ride the role swap: the new master adopts the checksum its disk
+  // replica stored, verified on load — a rotted replica is repaired from the
+  // (still alive, still healthy) old master's copy before promotion. The old
+  // master's copy becomes the backup copy in that slot.
+  const auto slot = std::find(obj.backups.begin(), obj.backups.end(), new_master);
+  SIM_ASSERT(slot != obj.backups.end()) << "; migrate target is not a backup";
+  const std::size_t slot_idx =
+      static_cast<std::size_t>(std::distance(obj.backups.begin(), slot));
+  Checksum promoted = obj.backup_checksums[slot_idx];
+  const Checksum expected = ExpectedChecksum(obj.key, obj.size, obj.version);
+  if (promoted != expected) {
+    NoteCorruption(key, new_master, "migrate_load");
+    if (obj.checksum == expected) {
+      promoted = expected;  // Re-fetched from the old master over the network.
+      cleaning_cost += options_.remote_access.Cost(obj.size, &rng_);
+      NoteRepair(key, new_master, "replica");
+    }
+  }
+  obj.backup_checksums[slot_idx] = obj.checksum;
+  obj.checksum = promoted;
   std::replace(obj.backups.begin(), obj.backups.end(), new_master, old_master);
   obj.master = new_master;
   obj.log_entry = new_entry;
@@ -443,18 +540,34 @@ RecoveryResult Cluster::CrashNode(int node) {
   for (auto& [key, obj] : objects_) {
     if (obj.master == node) {
       // Promote a surviving backup (partitioned recovery: spread by free mem).
-      std::vector<int> order = obj.backups;
-      std::sort(order.begin(), order.end(),
-                [&](int a, int b) { return FreeMemory(a) > FreeMemory(b); });
+      // Recovery re-replication verifies the copy it loads: healthy replicas
+      // are preferred, and a corrupt promotion repairs from any surviving
+      // healthy copy before new replicas are cut from it.
+      const Checksum expected = ExpectedChecksum(obj.key, obj.size, obj.version);
+      std::vector<std::size_t> order(obj.backups.size());
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+      }
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        const bool healthy_a = obj.backup_checksums[a] == expected;
+        const bool healthy_b = obj.backup_checksums[b] == expected;
+        if (healthy_a != healthy_b) {
+          return healthy_a;
+        }
+        return FreeMemory(obj.backups[a]) > FreeMemory(obj.backups[b]);
+      });
       int new_master = -1;
+      std::size_t promoted_idx = 0;
       SegmentedLog::EntryId new_entry = 0;
-      for (int b : order) {
+      for (std::size_t i : order) {
+        const int b = obj.backups[i];
         if (!nodes_[b].alive) {
           continue;
         }
         auto entry = logs_[b].Append(obj.size, nodes_[b].memory_capacity, nullptr);
         if (entry.ok()) {
           new_master = b;
+          promoted_idx = i;
           new_entry = *entry;
           break;
         }
@@ -464,10 +577,27 @@ RecoveryResult Cluster::CrashNode(int node) {
         ++result.objects_lost;
         continue;
       }
+      Checksum promoted = obj.backup_checksums[promoted_idx];
+      if (promoted != expected) {
+        NoteCorruption(key, new_master, "recovery_load");
+        // Only corrupt copies could host; repair from any healthy survivor
+        // (a copy that lost the capacity race still has good bits on disk).
+        for (std::size_t i = 0; i < obj.backups.size(); ++i) {
+          if (i != promoted_idx && nodes_[obj.backups[i]].alive &&
+              obj.backup_checksums[i] == expected) {
+            promoted = expected;
+            NoteRepair(key, new_master, "replica");
+            break;
+          }
+        }
+      }
       SyncUsed(new_master);
       nodes_[new_master].disk_used -= obj.size;
-      obj.backups.erase(std::find(obj.backups.begin(), obj.backups.end(), new_master));
+      obj.backups.erase(obj.backups.begin() + static_cast<std::ptrdiff_t>(promoted_idx));
+      obj.backup_checksums.erase(obj.backup_checksums.begin() +
+                                 static_cast<std::ptrdiff_t>(promoted_idx));
       obj.master = new_master;
+      obj.checksum = promoted;
       obj.log_entry = new_entry;
       per_node_load[static_cast<std::size_t>(new_master)] +=
           options_.disk_read.Cost(obj.size, &rng_);
@@ -487,18 +617,23 @@ RecoveryResult Cluster::CrashNode(int node) {
           break;  // Not enough distinct alive nodes.
         }
         obj.backups.push_back(fresh);
+        obj.backup_checksums.push_back(obj.checksum);
         nodes_[fresh].disk_used += obj.size;
       }
     }
-    // Re-replicate backup copies that lived on the crashed node.
+    // Re-replicate backup copies that lived on the crashed node. The fresh
+    // copy is cut from the master's (verified-at-promotion) copy.
     auto backup_it = std::find(obj.backups.begin(), obj.backups.end(), node);
     if (backup_it != obj.backups.end()) {
+      const std::ptrdiff_t idx = std::distance(obj.backups.begin(), backup_it);
       obj.backups.erase(backup_it);
+      obj.backup_checksums.erase(obj.backup_checksums.begin() + idx);
       nodes_[node].disk_used -= obj.size;
       for (int candidate : PickBackups(obj.master, num_nodes())) {
         if (std::find(obj.backups.begin(), obj.backups.end(), candidate) ==
             obj.backups.end()) {
           obj.backups.push_back(candidate);
+          obj.backup_checksums.push_back(obj.checksum);
           nodes_[candidate].disk_used += obj.size;
           break;
         }
@@ -547,9 +682,227 @@ void Cluster::RestartNode(int node) {
     }
     if (static_cast<int>(obj.backups.size()) < options_.replication_factor) {
       obj.backups.push_back(node);
+      obj.backup_checksums.push_back(obj.checksum);  // Fresh copy from the master.
       nodes_[node].disk_used += obj.size;
     }
   }
+}
+
+int Cluster::CorruptReplica(int node, int flips) {
+  CheckNode(node);
+  int corrupted = 0;
+  // Key order: replays flip the same copies. Only healthy copies are damaged,
+  // so repeated events escalate instead of accidentally un-flipping (XOR).
+  for (auto& [key, obj] : objects_) {
+    if (corrupted >= flips) {
+      break;
+    }
+    const Checksum expected = ExpectedChecksum(key, obj.size, obj.version);
+    for (std::size_t i = 0; i < obj.backups.size(); ++i) {
+      if (obj.backups[i] == node && obj.backup_checksums[i] == expected) {
+        obj.backup_checksums[i] = CorruptChecksum(obj.backup_checksums[i]);
+        ++corrupted;
+        break;
+      }
+    }
+  }
+  return corrupted;
+}
+
+int Cluster::CorruptSegment(int node, int flips) {
+  CheckNode(node);
+  int corrupted = 0;
+  for (auto& [key, obj] : objects_) {
+    if (corrupted >= flips) {
+      break;
+    }
+    if (obj.master == node &&
+        obj.checksum == ExpectedChecksum(key, obj.size, obj.version)) {
+      obj.checksum = CorruptChecksum(obj.checksum);
+      ++corrupted;
+    }
+  }
+  return corrupted;
+}
+
+Cluster::ScrubResult Cluster::ScrubObject(const std::string& key) {
+  ScrubResult result;
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return result;  // Raced an eviction, drop, or crash: nothing to scrub.
+  }
+  CachedObject& obj = it->second;
+  const Checksum expected = ExpectedChecksum(key, obj.size, obj.version);
+  // Repair source for the flight record: a surviving healthy copy when one
+  // exists (replica-to-replica copy), else the authoritative RSDS payload.
+  bool any_healthy = obj.checksum == expected;
+  for (const Checksum c : obj.backup_checksums) {
+    any_healthy = any_healthy || c == expected;
+  }
+  const char* source = any_healthy ? "replica" : "rsds";
+  if (obj.checksum != expected) {
+    NoteCorruption(key, obj.master, "scrub_master");
+    obj.checksum = expected;
+    NoteRepair(key, obj.master, source);
+    ++result.corrupt_copies;
+    result.corrupt_nodes.push_back(obj.master);
+  }
+  for (std::size_t i = 0; i < obj.backups.size(); ++i) {
+    if (obj.backup_checksums[i] != expected) {
+      NoteCorruption(key, obj.backups[i], "scrub_replica");
+      obj.backup_checksums[i] = expected;
+      NoteRepair(key, obj.backups[i], source);
+      ++result.corrupt_copies;
+      result.corrupt_nodes.push_back(obj.backups[i]);
+    }
+  }
+  return result;
+}
+
+std::vector<std::string> Cluster::KeysAfter(const std::string& after,
+                                            std::size_t limit) const {
+  std::vector<std::string> keys;
+  for (auto it = objects_.upper_bound(after);
+       it != objects_.end() && keys.size() < limit; ++it) {
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+RecoveryResult Cluster::QuarantineNode(int node) {
+  NodeStats& stats = nodes_[CheckNode(node)];
+  if (!stats.alive || AliveNodes() <= 1) {
+    return RecoveryResult{};  // Already down, or nowhere to drain to.
+  }
+  // Mark the node dead first so placement/backup selection excludes it; unlike
+  // a crash its copies remain readable for the drain below.
+  stats.alive = false;
+  ++*m_.nodes_quarantined;
+  if (FlightOn()) {
+    flight_->Record(loop_->now(), obs::FlightEventKind::kNodeQuarantined, 0, 0, node);
+  }
+
+  RecoveryResult result;
+  std::vector<SimDuration> per_node_load(nodes_.size(), 0);
+  std::vector<std::string> to_drop;
+  for (auto& [key, obj] : objects_) {
+    const Checksum expected = ExpectedChecksum(key, obj.size, obj.version);
+    if (obj.master == node) {
+      // Re-master onto a backup (its disk already holds a copy). The drain
+      // verifies whatever it loads against the RSDS, so — unlike crash
+      // recovery — the new master always starts healthy.
+      std::vector<std::size_t> order(obj.backups.size());
+      for (std::size_t i = 0; i < order.size(); ++i) {
+        order[i] = i;
+      }
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        const bool healthy_a = obj.backup_checksums[a] == expected;
+        const bool healthy_b = obj.backup_checksums[b] == expected;
+        if (healthy_a != healthy_b) {
+          return healthy_a;
+        }
+        return FreeMemory(obj.backups[a]) > FreeMemory(obj.backups[b]);
+      });
+      int new_master = -1;
+      std::size_t promoted_idx = 0;
+      SegmentedLog::EntryId new_entry = 0;
+      for (std::size_t i : order) {
+        const int b = obj.backups[i];
+        if (!nodes_[b].alive) {
+          continue;
+        }
+        auto entry = logs_[b].Append(obj.size, nodes_[b].memory_capacity, nullptr);
+        if (entry.ok()) {
+          new_master = b;
+          promoted_idx = i;
+          new_entry = *entry;
+          break;
+        }
+      }
+      if (new_master < 0) {
+        to_drop.push_back(key);
+        ++result.objects_lost;
+        continue;
+      }
+      if (obj.backup_checksums[promoted_idx] != expected) {
+        NoteCorruption(key, new_master, "quarantine_drain");
+        NoteRepair(key, new_master, "rsds");
+      }
+      (void)logs_[node].Free(obj.log_entry);
+      SyncUsed(node);
+      SyncUsed(new_master);
+      nodes_[new_master].disk_used -= obj.size;
+      obj.backups.erase(obj.backups.begin() + static_cast<std::ptrdiff_t>(promoted_idx));
+      obj.backup_checksums.erase(obj.backup_checksums.begin() +
+                                 static_cast<std::ptrdiff_t>(promoted_idx));
+      obj.master = new_master;
+      obj.checksum = expected;
+      obj.log_entry = new_entry;
+      per_node_load[static_cast<std::size_t>(new_master)] +=
+          options_.disk_read.Cost(obj.size, &rng_);
+      ++result.objects_recovered;
+      while (static_cast<int>(obj.backups.size()) < options_.replication_factor) {
+        int fresh = -1;
+        for (int candidate : PickBackups(obj.master, num_nodes())) {
+          if (std::find(obj.backups.begin(), obj.backups.end(), candidate) ==
+              obj.backups.end()) {
+            fresh = candidate;
+            break;
+          }
+        }
+        if (fresh < 0) {
+          break;  // Not enough distinct alive nodes.
+        }
+        obj.backups.push_back(fresh);
+        obj.backup_checksums.push_back(expected);
+        nodes_[fresh].disk_used += obj.size;
+      }
+    }
+    // Evacuate backup copies off the quarantined node; the replacement copy is
+    // verified against the RSDS, so a rotted copy is repaired on the way out.
+    auto backup_it = std::find(obj.backups.begin(), obj.backups.end(), node);
+    if (backup_it != obj.backups.end()) {
+      const std::ptrdiff_t idx = std::distance(obj.backups.begin(), backup_it);
+      const bool was_corrupt =
+          obj.backup_checksums[static_cast<std::size_t>(idx)] != expected;
+      obj.backups.erase(backup_it);
+      obj.backup_checksums.erase(obj.backup_checksums.begin() + idx);
+      nodes_[node].disk_used -= obj.size;
+      if (was_corrupt) {
+        NoteCorruption(key, node, "quarantine_drain");
+      }
+      for (int candidate : PickBackups(obj.master, num_nodes())) {
+        if (std::find(obj.backups.begin(), obj.backups.end(), candidate) ==
+            obj.backups.end()) {
+          obj.backups.push_back(candidate);
+          obj.backup_checksums.push_back(expected);
+          nodes_[candidate].disk_used += obj.size;
+          if (was_corrupt) {
+            NoteRepair(key, candidate, "rsds");
+          }
+          break;
+        }
+      }
+    }
+  }
+  for (const std::string& key : to_drop) {
+    auto it = objects_.find(key);
+    for (int b : it->second.backups) {
+      nodes_[b].disk_used -= it->second.size;
+    }
+    objects_.erase(it);
+  }
+  // The drain emptied the node's DRAM; reset the log so a later RestartNode
+  // brings it back clean, mirroring crash recovery.
+  logs_[node] = SegmentedLog(options_.log);
+  stats.memory_used = 0;
+  for (SimDuration d : per_node_load) {
+    result.duration = std::max(result.duration, d);
+  }
+  m_.objects_recovered->Add(result.objects_recovered);
+  m_.objects_lost->Add(result.objects_lost);
+  m_.recovery_ms->Observe(ToMillis(result.duration));
+  return result;
 }
 
 int Cluster::AliveNodes() const {

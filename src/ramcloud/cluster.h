@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/checksum.h"
 #include "src/common/rng.h"
 #include "src/common/sim_assert.h"
 #include "src/common/status.h"
@@ -60,6 +61,13 @@ struct CachedObject {
   std::vector<int> backups;
   // Entry in the master's log-structured memory.
   SegmentedLog::EntryId log_entry = 0;
+  // Integrity: the checksum stored with the master copy, plus one per backup
+  // copy (parallel to `backups`). A healthy copy stores
+  // ExpectedChecksum(key, size, version); anything else is corruption. The
+  // checksums live in coordinator metadata, so they survive log-cleaner
+  // relocation and migration with the object.
+  Checksum checksum = 0;
+  std::vector<Checksum> backup_checksums;
 };
 
 struct ClusterOptions {
@@ -119,6 +127,10 @@ struct ClusterStats {
   std::uint64_t node_restarts = 0;
   std::uint64_t objects_recovered = 0;  // Backup promotions after crashes.
   std::uint64_t objects_lost = 0;       // No surviving replica at crash time.
+  std::uint64_t checksum_failures = 0;  // Corrupt copies detected (read/scrub/recovery).
+  std::uint64_t integrity_repairs = 0;  // Copies restored from replica or RSDS.
+  std::uint64_t read_data_loss = 0;     // Reads failed: every copy corrupt.
+  std::uint64_t nodes_quarantined = 0;  // Graceful drains triggered by scrub.
 };
 
 class Cluster {
@@ -140,9 +152,21 @@ class Cluster {
   // (disk flush continues in the background, as in RAMCloud).
   void Write(int client_node, const std::string& key, Bytes size, std::uint64_t version,
              ObjectClass object_class, bool dirty, Callback done);
+  // Write with a caller-supplied payload fingerprint (the proxy stamps
+  // PayloadFingerprint(key, size) at the edge); the stored checksum becomes
+  // StampChecksum(fingerprint, version). The fingerprint-less overload derives
+  // it internally, so legacy callers stay verifiable.
+  void Write(int client_node, const std::string& key, Bytes size, std::uint64_t version,
+             ObjectClass object_class, bool dirty, Checksum fingerprint, Callback done);
 
   // Reads an object from its master; latency depends on whether `client_node`
   // is the master (local) or not (remote). Bumps n_access / T_access.
+  //
+  // Integrity: the master copy's checksum is verified first. A mismatch
+  // self-heals from the first healthy backup replica (extra local-disk load at
+  // the backup, counted into the completion latency); if no healthy copy
+  // survives the object is dropped and the read completes with kDataLoss — a
+  // corrupt payload is never returned.
   void Read(int client_node, const std::string& key, ReadCallback done);
 
   // Conditional write (RAMCloud's reject rules, the primitive behind the
@@ -223,6 +247,38 @@ class Cluster {
   bool Alive(int node) const { return nodes_[CheckNode(node)].alive; }
   int AliveNodes() const;
 
+  // ---- Data integrity ------------------------------------------------------------
+
+  // Fault injection: flips the stored checksum of up to `flips` currently
+  // healthy backup copies held on `node` (kCorruptReplica) or master log
+  // entries on `node` (kCorruptSegment), in key order so runs are replayable.
+  // Returns how many copies were actually damaged.
+  int CorruptReplica(int node, int flips);
+  int CorruptSegment(int node, int flips);
+
+  // Scrub support: verifies every copy of `key` against the expected checksum
+  // and repairs divergent copies (from a healthy replica when one exists,
+  // otherwise from the authoritative RSDS payload, which is always derivable
+  // here). Unknown keys return an empty result — the scrubber's incremental
+  // walk races evictions and crashes by design.
+  struct ScrubResult {
+    int corrupt_copies = 0;
+    std::vector<int> corrupt_nodes;  // Where each corrupt copy lived.
+  };
+  ScrubResult ScrubObject(const std::string& key);
+
+  // Keys in lexicographic order strictly after `after`, at most `limit` — the
+  // scrubber's incremental cursor walk (deterministic across replays).
+  std::vector<std::string> KeysAfter(const std::string& after, std::size_t limit) const;
+
+  // Graceful drain of a node whose corruption rate crossed the scrubber's
+  // threshold: like CrashNode, but the node's copies are still reachable, so
+  // every object mastered there is re-mastered with an RSDS-verified checksum
+  // and every backup copy is re-replicated verified — no data is lost to the
+  // drain itself (only capacity exhaustion can drop objects). The node ends
+  // !Alive until RestartNode. No-op on a dead node or the last alive node.
+  RecoveryResult QuarantineNode(int node);
+
   // Assembled on demand from the metrics registry.
   ClusterStats stats() const;
   void ResetStats();
@@ -251,9 +307,14 @@ class Cluster {
   }
   // Synchronous core of Write: frees any previous entry, places the payload in
   // a log, installs the object, and accumulates the simulated data-path cost.
+  // `fingerprint` == 0 derives the payload fingerprint internally.
   Status ApplyWrite(int client_node, const std::string& key, Bytes size,
                     std::uint64_t version, ObjectClass object_class, bool dirty,
-                    SimDuration* cost);
+                    Checksum fingerprint, SimDuration* cost);
+  // Flight + metric bookkeeping for a detected corrupt copy and (optionally)
+  // its repair. `source` names where the good bits came from.
+  void NoteCorruption(const std::string& key, int node, const char* where);
+  void NoteRepair(const std::string& key, int node, const char* source);
 
   // Registry cells behind ClusterStats; bumped through cached pointers.
   struct Metrics {
@@ -271,6 +332,10 @@ class Cluster {
     obs::Counter* node_restarts = nullptr;
     obs::Counter* objects_recovered = nullptr;
     obs::Counter* objects_lost = nullptr;
+    obs::Counter* checksum_failures = nullptr;
+    obs::Counter* integrity_repairs = nullptr;
+    obs::Counter* read_data_loss = nullptr;
+    obs::Counter* nodes_quarantined = nullptr;
     obs::Series* recovery_ms = nullptr;  // Per-crash recovery makespan.
   };
 

@@ -40,6 +40,9 @@ void ObjectStore::InitMetrics(obs::MetricsRegistry* metrics) {
   m_.deletes = metrics_->GetCounter("ofc.store.deletes", name_);
   m_.unavailable_errors = metrics_->GetCounter("ofc.store.unavailable_errors", name_);
   m_.webhook_bypasses = metrics_->GetCounter("ofc.store.webhook_bypasses", name_);
+  m_.checksum_failures =
+      metrics_->GetCounter("ofc.integrity.store_checksum_failures", name_);
+  m_.integrity_repairs = metrics_->GetCounter("ofc.integrity.store_repairs", name_);
   m_.bytes_read = metrics_->GetCounter("ofc.store.bytes_read", name_);
   m_.bytes_written = metrics_->GetCounter("ofc.store.bytes_written", name_);
 }
@@ -53,6 +56,8 @@ StoreStats ObjectStore::stats() const {
   stats.deletes = m_.deletes->value();
   stats.unavailable_errors = m_.unavailable_errors->value();
   stats.webhook_bypasses = m_.webhook_bypasses->value();
+  stats.checksum_failures = m_.checksum_failures->value();
+  stats.integrity_repairs = m_.integrity_repairs->value();
   stats.bytes_read = static_cast<Bytes>(m_.bytes_read->value());
   stats.bytes_written = static_cast<Bytes>(m_.bytes_written->value());
   return stats;
@@ -66,6 +71,8 @@ void ObjectStore::ResetStats() {
   m_.deletes->Reset();
   m_.unavailable_errors->Reset();
   m_.webhook_bypasses->Reset();
+  m_.checksum_failures->Reset();
+  m_.integrity_repairs->Reset();
   m_.bytes_read->Reset();
   m_.bytes_written->Reset();
 }
@@ -133,6 +140,7 @@ void ObjectStore::Put(const std::string& key, Bytes size, Tags tags, Callback do
       obj.created_at = loop_->now();
     }
     obj.modified_at = loop_->now();
+    obj.checksum = ExpectedChecksum(key, obj.size, obj.rsds_version);
     // A full-payload write leaves the object in the converged state.
     SIM_ASSERT(!obj.IsShadow()) << "; Put left a shadow: " << key;
     ++*m_.writes;
@@ -143,12 +151,27 @@ void ObjectStore::Put(const std::string& key, Bytes size, Tags tags, Callback do
 
 void ObjectStore::PutIfVersion(const std::string& key, ObjectVersion expected_latest,
                                Bytes size, Tags tags, Callback done) {
+  PutIfVersion(key, expected_latest, size, std::move(tags), /*fingerprint=*/0,
+               std::move(done));
+}
+
+void ObjectStore::PutIfVersion(const std::string& key, ObjectVersion expected_latest,
+                               Bytes size, Tags tags, Checksum fingerprint,
+                               Callback done) {
   if (FailIfUnavailable("put_if_version", key, done)) {
     return;
   }
   const SimDuration cost = WriteCost(size);
-  After(cost, [this, key, expected_latest, size, tags = std::move(tags),
+  After(cost, [this, key, expected_latest, size, fingerprint, tags = std::move(tags),
                done = std::move(done)]() mutable {
+    // The carried fingerprint is verified before anything lands: a payload
+    // damaged between the acknowledging write and this push must never be
+    // installed as the authoritative copy.
+    if (fingerprint != 0 && fingerprint != PayloadFingerprint(key, size)) {
+      ++*m_.checksum_failures;
+      done(DataLossError("put_if_version: corrupt payload push: " + key));
+      return;
+    }
     auto it = objects_.find(key);
     const ObjectVersion current = it == objects_.end() ? 0 : it->second.latest_version;
     // Checked when the write *lands*, not when it starts: an atomic
@@ -170,6 +193,7 @@ void ObjectStore::PutIfVersion(const std::string& key, ObjectVersion expected_la
       obj.created_at = loop_->now();
     }
     obj.modified_at = loop_->now();
+    obj.checksum = ExpectedChecksum(key, obj.size, obj.rsds_version);
     SIM_ASSERT(!obj.IsShadow()) << "; PutIfVersion left a shadow: " << key;
     ++*m_.writes;
     m_.bytes_written->Add(static_cast<std::uint64_t>(size));
@@ -203,11 +227,21 @@ void ObjectStore::PutShadow(const std::string& key, Bytes pending_size, MetaCall
 
 void ObjectStore::FinalizePayload(const std::string& key, ObjectVersion version, Bytes size,
                                   Callback done) {
+  FinalizePayload(key, version, size, /*fingerprint=*/0, std::move(done));
+}
+
+void ObjectStore::FinalizePayload(const std::string& key, ObjectVersion version, Bytes size,
+                                  Checksum fingerprint, Callback done) {
   if (FailIfUnavailable("finalize", key, done)) {
     return;
   }
   const SimDuration cost = WriteCost(size);
-  After(cost, [this, key, version, size, done = std::move(done)]() {
+  After(cost, [this, key, version, size, fingerprint, done = std::move(done)]() {
+    if (fingerprint != 0 && fingerprint != PayloadFingerprint(key, size)) {
+      ++*m_.checksum_failures;
+      done(DataLossError("finalize: corrupt payload push: " + key));
+      return;
+    }
     auto it = objects_.find(key);
     if (it == objects_.end()) {
       done(NotFoundError("finalize: " + key));
@@ -220,6 +254,7 @@ void ObjectStore::FinalizePayload(const std::string& key, ObjectVersion version,
     }
     obj.rsds_version = version;
     obj.size = size;
+    obj.checksum = ExpectedChecksum(key, obj.size, obj.rsds_version);
     // Persistors only install versions that a shadow write announced: the
     // RSDS-resident version catches up but never overtakes latest_version.
     SIM_ASSERT(obj.rsds_version <= obj.latest_version)
@@ -242,7 +277,7 @@ void ObjectStore::Get(const std::string& key, MetaCallback done) {
   auto it = objects_.find(key);
   // Cost is computed up front from the current size; a miss costs one RTT.
   const SimDuration cost = it == objects_.end() ? ControlCost() : ReadCost(it->second.size);
-  After(cost, [this, key, done = std::move(done)]() {
+  After(cost, [this, key, done = std::move(done)]() mutable {
     auto it2 = objects_.find(key);
     if (it2 == objects_.end()) {
       done(NotFoundError("get: " + key));
@@ -250,7 +285,27 @@ void ObjectStore::Get(const std::string& key, MetaCallback done) {
     }
     ++*m_.reads;
     m_.bytes_read->Add(static_cast<std::uint64_t>(it2->second.size));
-    done(it2->second);
+    ObjectMetadata& obj = it2->second;
+    const Checksum expected = ExpectedChecksum(key, obj.size, obj.rsds_version);
+    if (obj.checksum != expected) {
+      // Rotted copy: object stores hold their own internal redundancy, so the
+      // read is retried against another replica (one extra payload read) and
+      // the damaged copy repaired in place. Corrupt data is never returned.
+      ++*m_.checksum_failures;
+      obj.checksum = expected;
+      ++*m_.integrity_repairs;
+      After(ReadCost(obj.size), [this, key, done = std::move(done)]() {
+        auto it3 = objects_.find(key);
+        if (it3 == objects_.end()) {
+          done(NotFoundError("get: " + key));
+          return;
+        }
+        m_.bytes_read->Add(static_cast<std::uint64_t>(it3->second.size));
+        done(it3->second);
+      });
+      return;
+    }
+    done(obj);
   });
 }
 
@@ -351,6 +406,41 @@ void ObjectStore::Seed(const std::string& key, Bytes size, Tags tags) {
   obj.tags = std::move(tags);
   obj.created_at = loop_->now();
   obj.modified_at = loop_->now();
+  obj.checksum = ExpectedChecksum(key, obj.size, obj.rsds_version);
+}
+
+int ObjectStore::Rot(int flips) {
+  int flipped = 0;
+  for (auto& [key, obj] : objects_) {
+    if (flipped >= flips) {
+      break;
+    }
+    const Checksum expected = ExpectedChecksum(key, obj.size, obj.rsds_version);
+    // Only damage currently-healthy copies: CorruptChecksum is an involution,
+    // so re-corrupting an already-rotted object would silently heal it.
+    if (obj.checksum != expected) {
+      continue;
+    }
+    obj.checksum = CorruptChecksum(obj.checksum);
+    ++flipped;
+  }
+  return flipped;
+}
+
+int ObjectStore::ScrubKey(const std::string& key) {
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return 0;
+  }
+  ObjectMetadata& obj = it->second;
+  const Checksum expected = ExpectedChecksum(key, obj.size, obj.rsds_version);
+  if (obj.checksum == expected) {
+    return 0;
+  }
+  ++*m_.checksum_failures;
+  obj.checksum = expected;
+  ++*m_.integrity_repairs;
+  return 1;
 }
 
 }  // namespace ofc::store

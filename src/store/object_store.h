@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/checksum.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/common/units.h"
@@ -51,6 +52,10 @@ struct ObjectMetadata {
   Tags tags;
   SimTime created_at = 0;
   SimTime modified_at = 0;
+  // Integrity: checksum stored with the RSDS-resident payload. Healthy objects
+  // hold ExpectedChecksum(key, size, rsds_version); shadow writes leave it
+  // untouched (the resident payload has not changed yet).
+  Checksum checksum = 0;
 
   // A shadow object's payload has not yet been persisted by a persistor task.
   bool IsShadow() const { return rsds_version < latest_version; }
@@ -66,6 +71,8 @@ struct StoreStats {
   std::uint64_t deletes = 0;
   std::uint64_t unavailable_errors = 0;  // Ops rejected during an outage.
   std::uint64_t webhook_bypasses = 0;    // External ops while webhooks dropped.
+  std::uint64_t checksum_failures = 0;   // Corrupt payloads detected (get/scrub/land).
+  std::uint64_t integrity_repairs = 0;   // Repaired from the store's own redundancy.
   Bytes bytes_read = 0;
   Bytes bytes_written = 0;
 };
@@ -139,6 +146,12 @@ class ObjectStore {
   // never clobber a write acknowledged after the store healed.
   void PutIfVersion(const std::string& key, ObjectVersion expected_latest, Bytes size,
                     Tags tags, Callback done);
+  // PutIfVersion carrying the payload fingerprint the proxy stamped at write
+  // time: a fingerprint that fails verification at landing is rejected with
+  // kDataLoss instead of being installed — a conflict-safe write-back stays
+  // verifiable end to end. `fingerprint` == 0 skips the check (legacy callers).
+  void PutIfVersion(const std::string& key, ObjectVersion expected_latest, Bytes size,
+                    Tags tags, Checksum fingerprint, Callback done);
 
   // Shadow write: synchronously records a placeholder for a new version whose
   // payload currently lives only in the cache. Constant latency (empty body).
@@ -149,6 +162,10 @@ class ObjectStore {
   // in order (§6.2). Unknown keys return kNotFound.
   void FinalizePayload(const std::string& key, ObjectVersion version, Bytes size,
                        Callback done);
+  // Fingerprint-carrying variant, mirroring PutIfVersion: a corrupt payload
+  // push is rejected with kDataLoss at landing and counted, never installed.
+  void FinalizePayload(const std::string& key, ObjectVersion version, Bytes size,
+                       Checksum fingerprint, Callback done);
 
   // Payload read; latency scales with the object size.
   void Get(const std::string& key, MetaCallback done);
@@ -188,6 +205,18 @@ class ObjectStore {
   void SetWebhooksEnabled(bool enabled) { webhooks_enabled_ = enabled; }
   bool webhooks_enabled() const { return webhooks_enabled_; }
 
+  // Bit rot (kStoreRot): flips the stored checksum of up to `flips` currently
+  // healthy objects in key order (replayable). Returns how many were damaged.
+  // Detection happens on the next Get or scrub pass; repair uses the store's
+  // own internal redundancy (object stores keep 3 copies), so unlike the cache
+  // a rotted RSDS object self-repairs without an external good copy.
+  int Rot(int flips);
+
+  // Scrub support: verifies `key` and repairs a rotted checksum in place.
+  // Returns 1 when corruption was found (and repaired), 0 otherwise (including
+  // unknown keys — the scrubber's walk races deletes by design).
+  int ScrubKey(const std::string& key);
+
   // ---- Management / test plane (synchronous, zero simulated cost) ----
 
   Result<ObjectMetadata> Stat(const std::string& key) const;
@@ -213,6 +242,8 @@ class ObjectStore {
     obs::Counter* deletes = nullptr;
     obs::Counter* unavailable_errors = nullptr;
     obs::Counter* webhook_bypasses = nullptr;
+    obs::Counter* checksum_failures = nullptr;
+    obs::Counter* integrity_repairs = nullptr;
     obs::Counter* bytes_read = nullptr;
     obs::Counter* bytes_written = nullptr;
   };

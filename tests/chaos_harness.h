@@ -13,7 +13,11 @@
 //        has an alive master and min(rf, alive-1) distinct alive backups;
 //   I5 — overload resolves explicitly: every submission is either completed or
 //        shed with kResourceExhausted (never parked forever), and no request
-//        waits in the queue past its configured deadline.
+//        waits in the queue past its configured deadline;
+//   I6 — no corrupt payload is ever acked: the proxy's corrupt-acked tripwire
+//        stays at zero, and (when the scrubber runs) every surviving cache
+//        copy and store object verifies against its expected checksum after
+//        the drain — injected corruption was detected and repaired.
 //
 // Everything is deterministic: (seed, options, plan) fully determine the run,
 // so ChaosReport::Fingerprint() must be byte-identical across replays.
@@ -29,7 +33,9 @@
 #include <string>
 #include <vector>
 
+#include "src/common/checksum.h"
 #include "src/common/rng.h"
+#include "src/core/scrubber.h"
 #include "src/faas/direct_data_service.h"
 #include "src/faas/platform.h"
 #include "src/faasload/environment.h"
@@ -70,6 +76,14 @@ struct ChaosScenarioOptions {
   // at `burst_at` (1 ms apart), on top of the Poisson arrivals.
   int burst_count = 0;
   SimTime burst_at = Seconds(60);
+
+  // ---- Integrity knobs (all default off = legacy behaviour) ------------------
+  // Background scrubber sweeping cluster + store copies; 0 = no scrubber. It
+  // runs through the drain window, so injected corruption must be repaired by
+  // the time the I6 end-state sweep runs.
+  SimDuration scrub_interval = 0;
+  int scrub_objects_per_cycle = 64;
+  int scrub_quarantine_threshold = 8;  // Corrupt copies per node before drain.
 
   // ---- Observability knobs (all default off = legacy behaviour) --------------
   // Black-box ring recording every causal lifecycle event of the run.
@@ -228,6 +242,19 @@ inline ChaosReport RunChaosScenario(const ChaosScenarioOptions& options) {
     quiesce_at = std::max(quiesce_at, event.at + event.duration);
   }
 
+  // ---- Background scrubber ---------------------------------------------------
+  std::unique_ptr<core::Scrubber> scrubber;
+  if (options.scrub_interval > 0) {
+    core::ScrubberOptions scrub_options;
+    scrub_options.interval = options.scrub_interval;
+    scrub_options.objects_per_cycle = options.scrub_objects_per_cycle;
+    scrub_options.quarantine_threshold = options.scrub_quarantine_threshold;
+    scrub_options.metrics = &env.metrics();
+    scrubber = std::make_unique<core::Scrubber>(&env.loop(), env.cluster(), &env.rsds(),
+                                                scrub_options);
+    scrubber->Start();
+  }
+
   // ---- Poisson arrivals + optional burst -------------------------------------
   const int total_invocations = options.num_invocations + options.burst_count;
   std::vector<faas::InvocationRecord> records(
@@ -280,6 +307,9 @@ inline ChaosReport RunChaosScenario(const ChaosScenarioOptions& options) {
     // Final partial window covering the tail of the drain.
     slo->Evaluate(env.loop().now());
     timeline->Scrape(env.loop().now());
+  }
+  if (scrubber != nullptr) {
+    scrubber->Stop();
   }
 
   // ---- I3: exactly-once completion -------------------------------------------
@@ -401,6 +431,42 @@ inline ChaosReport RunChaosScenario(const ChaosScenarioOptions& options) {
     }
   }
 
+  // ---- I6: no corrupt payload ever acked -------------------------------------
+  if (env.metrics().CounterTotal("ofc.integrity.corrupt_acked") > 0) {
+    violate("I6: " +
+            std::to_string(env.metrics().CounterTotal("ofc.integrity.corrupt_acked")) +
+            " corrupt payloads were acked to functions");
+  }
+  if (options.scrub_interval > 0) {
+    // End-state convergence sweep: with the scrubber running through the drain,
+    // every injected corruption must have been found and repaired by now.
+    for (int node = 0; node < cluster->num_nodes(); ++node) {
+      for (const std::string& key : cluster->KeysOn(node)) {
+        const auto obj = cluster->Inspect(key);
+        if (!obj.ok()) {
+          continue;
+        }
+        const Checksum expected = ExpectedChecksum(key, obj->size, obj->version);
+        if (obj->checksum != expected) {
+          violate("I6: cached object " + key + " master copy still corrupt after drain");
+        }
+        for (std::size_t b = 0; b < obj->backup_checksums.size(); ++b) {
+          if (obj->backup_checksums[b] != expected) {
+            violate("I6: cached object " + key + " backup copy on node " +
+                    std::to_string(obj->backups[b]) + " still corrupt after drain");
+          }
+        }
+      }
+    }
+    for (const std::string& key : env.rsds().Keys()) {
+      const auto meta = env.rsds().Stat(key);
+      if (meta.ok() &&
+          meta->checksum != ExpectedChecksum(key, meta->size, meta->rsds_version)) {
+        violate("I6: store object " + key + " still corrupt after drain");
+      }
+    }
+  }
+
   // Mean extract+load over successes (breaker-bypass vs no-cache comparisons).
   double el_sum_ms = 0.0;
   int el_count = 0;
@@ -424,7 +490,13 @@ inline ChaosReport RunChaosScenario(const ChaosScenarioOptions& options) {
         "ofc.store.webhook_bypasses", "ofc.overload.shed",
         "ofc.overload.admission_deferred", "ofc.breaker.opens", "ofc.breaker.closes",
         "ofc.breaker.bypassed_reads", "ofc.breaker.bypassed_writes",
-        "ofc.cache_agent.writebacks_throttled"}) {
+        "ofc.cache_agent.writebacks_throttled", "ofc.fault.objects_corrupted",
+        "ofc.integrity.checksum_failures", "ofc.integrity.repairs",
+        "ofc.integrity.read_data_loss", "ofc.integrity.corrupt_acked",
+        "ofc.integrity.reread_from_rsds", "ofc.integrity.store_checksum_failures",
+        "ofc.integrity.store_repairs", "ofc.ramcloud.nodes_quarantined",
+        "ofc.scrub.cycles", "ofc.scrub.objects_scanned", "ofc.scrub.corruptions_found",
+        "ofc.scrub.repairs", "ofc.scrub.quarantines"}) {
     report.counters[name] = env.metrics().CounterTotal(name);
   }
   if (timeline != nullptr) {

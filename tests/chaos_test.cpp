@@ -294,6 +294,130 @@ TEST(ChaosTest, BreakerOpenMatchesNoCacheBaseline) {
   EXPECT_NEAR(a.mean_el_ms, b.mean_el_ms, 0.05 * b.mean_el_ms);
 }
 
+// ---- Data integrity: corruption storms, scrubbing, self-healing ----------------
+
+// The ISSUE 9 acceptance scenario: a bit-flip storm hits replicas, master
+// segments, and the RSDS while the scrubber sweeps in the background. Every
+// injected corruption must be detected and repaired by the end of the drain
+// (the I6 end-state sweep), and no corrupt payload may ever reach a function.
+ChaosScenarioOptions BitFlipStormScenario(std::uint64_t seed) {
+  ChaosScenarioOptions options;
+  options.seed = seed;
+  options.num_invocations = 40;
+  options.mean_interval_s = 4.0;
+  options.scrub_interval = Seconds(5);
+  options.scrub_quarantine_threshold = 0;  // Repair-only; quarantine tested below.
+  options.flight_recorder = true;
+  options.plan.events = {
+      FaultEvent{Seconds(30), FaultKind::kCorruptSegment, 0, 0, 3.0},
+      FaultEvent{Seconds(50), FaultKind::kCorruptReplica, 1, 0, 3.0},
+      FaultEvent{Seconds(80), FaultKind::kStoreRot, -1, 0, 4.0},
+      FaultEvent{Seconds(110), FaultKind::kCorruptSegment, 2, 0, 2.0},
+      FaultEvent{Seconds(140), FaultKind::kStoreRot, -1, 0, 2.0},
+  };
+  options.plan.Sort();
+  return options;
+}
+
+TEST(ChaosTest, BitFlipStormIsDetectedAndRepaired) {
+  const ChaosReport report = RunChaosScenario(BitFlipStormScenario(9));
+  ExpectClean(report);  // Includes I6: tripwire at zero + end-state sweep clean.
+  EXPECT_GT(report.counter("ofc.fault.objects_corrupted"), 0u);
+  // Detection happened somewhere: a verifying read, the scrubber, or both.
+  EXPECT_GT(report.counter("ofc.integrity.checksum_failures") +
+                report.counter("ofc.scrub.corruptions_found") +
+                report.counter("ofc.integrity.store_checksum_failures"),
+            0u);
+  // ... and so did repair (the sweep already proved it was complete).
+  EXPECT_GT(report.counter("ofc.integrity.repairs") +
+                report.counter("ofc.scrub.repairs") +
+                report.counter("ofc.integrity.store_repairs"),
+            0u);
+  EXPECT_EQ(report.counter("ofc.integrity.corrupt_acked"), 0u);
+  // The scrubber made full passes and the black box kept the causal story.
+  EXPECT_GT(report.counter("ofc.scrub.cycles"), 0u);
+  EXPECT_NE(report.flight_json.find("\"kind\": \"corruption_detected\""),
+            std::string::npos);
+  EXPECT_NE(report.flight_json.find("\"kind\": \"corruption_repaired\""),
+            std::string::npos);
+}
+
+TEST(ChaosTest, BitFlipStormReplaysByteIdentical) {
+  const ChaosReport first = RunChaosScenario(BitFlipStormScenario(9));
+  const ChaosReport second = RunChaosScenario(BitFlipStormScenario(9));
+  ExpectClean(first);
+  EXPECT_EQ(first.Fingerprint(), second.Fingerprint());
+}
+
+TEST(ChaosTest, RepeatedCorruptionQuarantinesTheSickNode) {
+  // Node 1 keeps rotting its copies; once the scrubber has found enough
+  // corrupt copies there it must drain the node gracefully and re-establish
+  // replication elsewhere (I4 then holds against the reduced pool).
+  ChaosScenarioOptions options;
+  options.seed = 11;
+  options.num_invocations = 30;
+  options.scrub_interval = Seconds(5);
+  options.scrub_quarantine_threshold = 2;
+  options.flight_recorder = true;
+  options.plan.events = {
+      FaultEvent{Seconds(40), FaultKind::kCorruptSegment, 1, 0, 4.0},
+      FaultEvent{Seconds(60), FaultKind::kCorruptReplica, 1, 0, 4.0},
+      FaultEvent{Seconds(80), FaultKind::kCorruptSegment, 1, 0, 4.0},
+      FaultEvent{Seconds(100), FaultKind::kCorruptReplica, 1, 0, 4.0},
+  };
+  options.plan.Sort();
+  const ChaosReport report = RunChaosScenario(options);
+  ExpectClean(report);
+  EXPECT_GE(report.counter("ofc.scrub.quarantines"), 1u);
+  EXPECT_GE(report.counter("ofc.ramcloud.nodes_quarantined"), 1u);
+  EXPECT_NE(report.flight_json.find("\"kind\": \"node_quarantined\""),
+            std::string::npos);
+}
+
+TEST(ChaosTest, ScrubInterleavesWithCrashRecoveryCleanly) {
+  // The scrub walk races the full lifecycle machinery: a master crashes right
+  // after its segments rot (recovery must promote healthy copies or repair),
+  // more corruption lands while the node is down, and the store rots during
+  // the crash window. No double-repair, no assert, and a clean end state.
+  ChaosScenarioOptions options;
+  options.seed = 29;
+  options.num_invocations = 30;
+  options.scrub_interval = Seconds(5);
+  options.scrub_quarantine_threshold = 0;
+  options.plan.events = {
+      FaultEvent{Seconds(40), FaultKind::kCorruptSegment, 1, 0, 3.0},
+      FaultEvent{Seconds(42), FaultKind::kNodeCrash, 1, Seconds(30)},
+      FaultEvent{Seconds(50), FaultKind::kCorruptReplica, 0, 0, 3.0},
+      FaultEvent{Seconds(55), FaultKind::kStoreRot, -1, 0, 3.0},
+  };
+  options.plan.Sort();
+  const ChaosReport report = RunChaosScenario(options);
+  ExpectClean(report);
+  EXPECT_EQ(report.counter("ofc.ramcloud.node_crashes"), 1u);
+  EXPECT_EQ(report.counter("ofc.ramcloud.node_restarts"), 1u);
+}
+
+TEST(ChaosTest, ScrubbedCrashRunReplaysByteIdentical) {
+  auto scenario = [] {
+    ChaosScenarioOptions options;
+    options.seed = 29;
+    options.num_invocations = 30;
+    options.scrub_interval = Seconds(5);
+    options.flight_recorder = true;
+    options.plan.events = {
+        FaultEvent{Seconds(40), FaultKind::kCorruptSegment, 1, 0, 3.0},
+        FaultEvent{Seconds(42), FaultKind::kNodeCrash, 1, Seconds(30)},
+        FaultEvent{Seconds(55), FaultKind::kStoreRot, -1, 0, 3.0},
+    };
+    options.plan.Sort();
+    return options;
+  };
+  const ChaosReport first = RunChaosScenario(scenario());
+  const ChaosReport second = RunChaosScenario(scenario());
+  ExpectClean(first);
+  EXPECT_EQ(first.Fingerprint(), second.Fingerprint());
+}
+
 // Randomized schedules: the plan is drawn from the seed, so each seed is a
 // distinct-but-reproducible chaos run. Invariants must hold for every seed.
 class RandomChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
@@ -337,6 +461,26 @@ TEST_P(RandomChaosTest, RandomScheduleReplaysByteIdentical) {
   }
   EXPECT_TRUE(reports[0].ok()) << reports[0].ViolationSummary();
   EXPECT_EQ(reports[0].Fingerprint(), reports[1].Fingerprint());
+}
+
+TEST_P(RandomChaosTest, CorruptionScheduleWithScrubberStaysClean) {
+  // Random schedules drawn from the corruption-enabled pool, scrubber on:
+  // whatever interleaving of crashes and bit flips the seed produces, the six
+  // invariants (including the I6 end-state sweep) must hold.
+  const std::uint64_t seed = GetParam();
+  Rng plan_rng(seed * 2000003);
+  fault::ChaosPlanOptions plan_options = RandomPlanOptions();
+  plan_options.include_corruption_faults = true;
+  ChaosScenarioOptions options;
+  options.seed = seed;
+  options.fault_horizon = Minutes(3);
+  options.num_invocations = 20;
+  options.scrub_interval = Seconds(5);
+  options.plan = fault::RandomFaultPlan(plan_options, &plan_rng);
+  ASSERT_FALSE(options.plan.empty());
+  const ChaosReport report = RunChaosScenario(options);
+  ExpectClean(report);
+  EXPECT_EQ(report.counter("ofc.integrity.corrupt_acked"), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomChaosTest, ::testing::Values(1u, 2u, 3u));

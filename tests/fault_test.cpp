@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/checksum.h"
 #include "src/core/proxy.h"
 #include "src/faasload/environment.h"
 #include "src/fault/fault_injector.h"
@@ -24,7 +25,8 @@ TEST(FaultPlanTest, KindNamesRoundTrip) {
   for (FaultKind kind :
        {FaultKind::kWorkerCrash, FaultKind::kNodeCrash, FaultKind::kMachineCrash,
         FaultKind::kStoreOutage, FaultKind::kStoreBrownout, FaultKind::kPersistorDrop,
-        FaultKind::kWebhookDrop}) {
+        FaultKind::kWebhookDrop, FaultKind::kCorruptReplica, FaultKind::kCorruptSegment,
+        FaultKind::kStoreRot}) {
     const auto parsed = FaultKindFromName(FaultKindName(kind));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, kind);
@@ -146,6 +148,81 @@ TEST(FaultPlanTest, RandomPlanIsDeterministicAndValid) {
   }
   Rng c(100);
   EXPECT_NE(RandomFaultPlan(options, &c).events, first.events);
+}
+
+TEST(FaultPlanTest, CorruptionEventsValidateTargetsSeverityAndInstantaneity) {
+  auto one = [](FaultEvent event) {
+    FaultPlan plan;
+    plan.events = {event};
+    return plan;
+  };
+  // Valid baselines: node-targeted cache corruption and untargeted store rot.
+  EXPECT_TRUE(one(FaultEvent{Seconds(1), FaultKind::kCorruptReplica, 1, 0, 3.0})
+                  .Validate(2, 2)
+                  .ok());
+  EXPECT_TRUE(one(FaultEvent{Seconds(1), FaultKind::kCorruptSegment, 0, 0, 1.0})
+                  .Validate(2, 2)
+                  .ok());
+  EXPECT_TRUE(
+      one(FaultEvent{Seconds(1), FaultKind::kStoreRot, -1, 0, 2.0}).Validate(2, 2).ok());
+  // Out-of-range node targets.
+  EXPECT_FALSE(one(FaultEvent{Seconds(1), FaultKind::kCorruptReplica, 2, 0, 1.0})
+                   .Validate(2, 2)
+                   .ok());
+  EXPECT_FALSE(one(FaultEvent{Seconds(1), FaultKind::kCorruptSegment, -1, 0, 1.0})
+                   .Validate(2, 2)
+                   .ok());
+  // Severity is a flip count: at least one.
+  EXPECT_FALSE(one(FaultEvent{Seconds(1), FaultKind::kCorruptReplica, 0, 0, 0.0})
+                   .Validate(2, 2)
+                   .ok());
+  EXPECT_FALSE(one(FaultEvent{Seconds(1), FaultKind::kStoreRot, -1, 0, -2.0})
+                   .Validate(2, 2)
+                   .ok());
+  // Corruption is instantaneous: durations are rejected, not silently ignored.
+  EXPECT_FALSE(one(FaultEvent{Seconds(1), FaultKind::kCorruptSegment, 0, Seconds(5), 1.0})
+                   .Validate(2, 2)
+                   .ok());
+  EXPECT_FALSE(one(FaultEvent{Seconds(1), FaultKind::kStoreRot, -1, Seconds(1), 1.0})
+                   .Validate(2, 2)
+                   .ok());
+}
+
+TEST(FaultPlanTest, CorruptionEventsRoundTripThroughJson) {
+  FaultPlan plan;
+  plan.events = {
+      FaultEvent{Seconds(10), FaultKind::kCorruptSegment, 0, 0, 3.0},
+      FaultEvent{Seconds(20), FaultKind::kCorruptReplica, 1, 0, 1.0},
+      FaultEvent{Seconds(30), FaultKind::kStoreRot, -1, 0, 4.0},
+  };
+  const auto reparsed = ParseFaultPlanJson(FaultPlanToJson(plan));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().message();
+  EXPECT_EQ(reparsed->events, plan.events);  // Severity (flip count) survives.
+}
+
+TEST(FaultPlanTest, RandomPlanAddsCorruptionKindsOnlyWhenOptedIn) {
+  ChaosPlanOptions options;
+  options.num_workers = 3;
+  options.num_nodes = 3;
+  options.num_events = 40;
+  auto has_corruption = [](const FaultPlan& plan) {
+    for (const FaultEvent& event : plan.events) {
+      if (event.kind == FaultKind::kCorruptReplica ||
+          event.kind == FaultKind::kCorruptSegment ||
+          event.kind == FaultKind::kStoreRot) {
+        return true;
+      }
+    }
+    return false;
+  };
+  Rng off(3);
+  EXPECT_FALSE(has_corruption(RandomFaultPlan(options, &off)));
+
+  options.include_corruption_faults = true;
+  Rng on(3);
+  const FaultPlan plan = RandomFaultPlan(options, &on);
+  EXPECT_TRUE(has_corruption(plan));
+  EXPECT_TRUE(plan.Validate(options.num_workers, options.num_nodes).ok());
 }
 
 // ---- ObjectStore fault hooks -------------------------------------------------------
@@ -426,6 +503,52 @@ TEST_F(ProxyFaultTest, StaleFallbackDoesNotClobberNewerWrite) {
   EXPECT_FALSE(cluster_.Contains("out"));  // Dropped by the *newer* persistor.
 }
 
+// ISSUE 9 satellite: the degraded-mode fallback path carries the payload
+// fingerprint end to end — the durable-cache ack, the retried CAS push, and
+// the winning object all verify, whether the fallback lands or stands down.
+TEST_F(ProxyFaultTest, FallbackWritesCarryChecksumsEndToEnd) {
+  rsds_.SetAvailable(false);
+  loop_.ScheduleAfter(Seconds(1), [this] { rsds_.SetAvailable(true); });
+  Status ack = InternalError("unset");
+  proxy_.Write(Ctx(), "out", MiB(1), Media(MiB(1)), [&](Status s) { ack = s; });
+  loop_.RunUntil(Millis(500));
+  ASSERT_TRUE(ack.ok());
+  // The durable cache copy acked under the outage already verifies.
+  const auto cached = cluster_.Inspect("out");
+  ASSERT_TRUE(cached.ok());
+  EXPECT_EQ(cached->checksum, ExpectedChecksum("out", cached->size, cached->version));
+
+  loop_.Run();  // Heal; the retried fallback push lands through PutIfVersion.
+  const auto meta = rsds_.Stat("out");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_FALSE(meta->IsShadow());
+  EXPECT_EQ(meta->checksum, ExpectedChecksum("out", meta->size, meta->rsds_version));
+  EXPECT_EQ(rsds_.stats().checksum_failures, 0u);
+  EXPECT_EQ(proxy_.stats().corrupt_acked, 0u);
+}
+
+// And when a newer write beats the stale fallback, the winner's checksum is
+// the one that survives — the losing CAS never half-stamps the object.
+TEST_F(ProxyFaultTest, NewerWriteBeatingStaleFallbackKeepsVerifiableChecksum) {
+  rsds_.SetAvailable(false);
+  loop_.ScheduleAfter(Seconds(1), [this] { rsds_.SetAvailable(true); });
+  Status first = InternalError("unset");
+  proxy_.Write(Ctx(), "out", MiB(1), Media(MiB(1)), [&](Status s) { first = s; });
+  loop_.RunUntil(Millis(500));
+  ASSERT_TRUE(first.ok());
+  Status second = InternalError("unset");
+  loop_.ScheduleAt(Seconds(1) + Millis(50), [&, this] {
+    proxy_.Write(Ctx(), "out", MiB(2), Media(MiB(2)), [&](Status s) { second = s; });
+  });
+  loop_.Run();
+  ASSERT_TRUE(second.ok());
+  const auto meta = rsds_.Stat("out");
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->size, MiB(2));
+  EXPECT_EQ(meta->checksum, ExpectedChecksum("out", meta->size, meta->rsds_version));
+  EXPECT_EQ(rsds_.stats().checksum_failures, 0u);  // No corrupt push was attempted.
+}
+
 // Regression: an external client's write after heal beats the stale fallback
 // through the store-side compare-and-swap (no proxy epoch involved).
 TEST_F(ProxyFaultTest, ExternalWriteAfterHealBeatsStaleFallback) {
@@ -684,6 +807,52 @@ TEST(FaultInjectorTest, MachineCrashTakesDownWorkerAndNode) {
   EXPECT_TRUE(env.cluster()->Alive(0));
   EXPECT_EQ(env.metrics().CounterTotal("ofc.fault.injected"), 1u);
   EXPECT_EQ(env.metrics().CounterTotal("ofc.fault.healed"), 1u);
+}
+
+TEST(FaultInjectorTest, CorruptionFiresInstantlyAndCountsDamagedObjects) {
+  faasload::EnvironmentOptions env_options;
+  env_options.platform.num_workers = 2;
+  env_options.seed = 8;
+  faasload::Environment env(faasload::Mode::kOfc, env_options);
+  FaultInjector injector(&env.loop(),
+                         FaultInjectorTargets{&env.platform(), env.cluster(), &env.rsds(),
+                                              &env.ofc()->proxy()},
+                         FaultInjectorOptions{&env.metrics(), &env.trace()});
+  // One cache object mastered on node 0, one durable store object. The events
+  // fire shortly after the write lands, before the cache agent's sweeps can
+  // reclaim the untouched object.
+  for (int node = 0; node < env.cluster()->num_nodes(); ++node) {
+    ASSERT_TRUE(env.cluster()->SetCapacity(node, MiB(64)).ok());
+  }
+  Status write = InternalError("unset");
+  env.cluster()->Write(0, "k", MiB(1), 1, rc::ObjectClass::kInput, false,
+                       [&](Status s) { write = s; });
+  env.loop().RunUntil(Millis(50));  // Environment timers never drain: bounded run.
+  ASSERT_TRUE(write.ok());
+  env.rsds().Seed("c/x", KiB(64), {});
+
+  FaultPlan plan;
+  plan.events = {
+      FaultEvent{Millis(100), FaultKind::kCorruptSegment, 0, 0, 4.0},
+      FaultEvent{Millis(100), FaultKind::kStoreRot, -1, 0, 4.0},
+  };
+  ASSERT_TRUE(injector.Schedule(plan).ok());
+  env.loop().RunUntil(Millis(200));
+
+  // Each event flipped the one healthy object in its blast radius; severity
+  // above the population does not inflate the count.
+  EXPECT_EQ(env.metrics().CounterTotal("ofc.fault.objects_corrupted"), 2u);
+  EXPECT_EQ(injector.stats().injected, 2u);
+  // Instantaneous faults never open a heal window: the active gauge is flat
+  // and no heal is pending at any future time.
+  EXPECT_EQ(injector.stats().healed, 0u);
+  EXPECT_EQ(env.metrics().GetGauge("ofc.fault.active")->value(), 0.0);
+
+  // The damage itself outlives the event until scrubbed or read.
+  const auto obj = env.cluster()->Inspect("k");
+  ASSERT_TRUE(obj.ok());
+  EXPECT_NE(obj->checksum, ExpectedChecksum("k", obj->size, obj->version));
+  EXPECT_EQ(env.cluster()->ScrubObject("k").corrupt_copies, 1);
 }
 
 // ---- Cluster crash/restart mechanics ----------------------------------------------

@@ -119,6 +119,7 @@ TEST(FaultPlanGrammarTest, SerializationIsAFixedPoint) {
     fault::ChaosPlanOptions options;
     options.num_events = 8;
     options.include_cache_faults = (seed % 2) == 0;
+    options.include_corruption_faults = (seed % 3) == 0;
     const fault::FaultPlan plan = fault::RandomFaultPlan(options, &rng);
 
     const std::string once = fault::FaultPlanToJson(plan);

@@ -16,8 +16,12 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/checksum.h"
+#include "src/core/scrubber.h"
 #include "src/faasload/environment.h"
 #include "src/faasload/injector.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
 #include "src/workloads/scale_trace.h"
 
 namespace ofc {
@@ -112,6 +116,105 @@ TEST(ScaleTest, SameSeedRunsProduceByteIdenticalMetrics) {
   ASSERT_EQ(first.metrics_json.size(), second.metrics_json.size());
   EXPECT_TRUE(first.metrics_json == second.metrics_json)
       << "same-seed metrics snapshots diverged";
+}
+
+TEST(ScaleTest, IntegrityHoldsThroughBitFlipStormAtScale) {
+  // ISSUE 9 acceptance at scale: a rolling bit-flip storm (replica, segment,
+  // and store rot every 20 s) rides the 50k-invocation trace with the
+  // background scrubber on. I6 must hold — no corrupt payload is ever acked —
+  // and after a scrub-long drain every surviving copy verifies.
+  workloads::ScaleTraceOptions trace_options;
+  trace_options.seed = 97;
+  trace_options.num_tenants = 32;
+  trace_options.duration_s = 600.0;
+  trace_options.target_invocations = kTargetInvocations;
+  const workloads::ScaleTrace trace = workloads::GenerateScaleTrace(trace_options);
+
+  faasload::EnvironmentOptions env_options;
+  env_options.seed = 97;
+  env_options.platform.num_workers = 8;
+  env_options.platform.worker_memory = GiB(32);
+  faasload::Environment env(faasload::Mode::kOfc, env_options);
+  faasload::LoadInjector injector(&env, faasload::TenantProfile::kNormal, 97);
+  injector.set_max_records_per_tenant(0);
+  ASSERT_TRUE(injector.AddScaleTrace(trace).ok());
+  injector.PretrainModels(40);
+
+  const int num_nodes = env.cluster()->num_nodes();
+  fault::FaultPlan plan;
+  for (int i = 0; i < 24; ++i) {
+    const SimTime at = Seconds(60 + i * 20);
+    switch (i % 3) {
+      case 0:
+        plan.events.push_back(
+            fault::FaultEvent{at, fault::FaultKind::kCorruptSegment, i % num_nodes, 0, 4.0});
+        break;
+      case 1:
+        plan.events.push_back(fault::FaultEvent{
+            at, fault::FaultKind::kCorruptReplica, (i + 3) % num_nodes, 0, 4.0});
+        break;
+      default:
+        plan.events.push_back(
+            fault::FaultEvent{at, fault::FaultKind::kStoreRot, -1, 0, 6.0});
+        break;
+    }
+  }
+  plan.Sort();
+  fault::FaultInjector fault_injector(
+      &env.loop(),
+      fault::FaultInjectorTargets{&env.platform(), env.cluster(), &env.rsds(),
+                                  &env.ofc()->proxy()},
+      fault::FaultInjectorOptions{&env.metrics(), nullptr, nullptr});
+  ASSERT_TRUE(fault_injector.Schedule(plan).ok());
+
+  core::ScrubberOptions scrub_options;
+  scrub_options.interval = Seconds(5);
+  scrub_options.objects_per_cycle = 4096;  // The store accumulates ~50k outputs.
+  scrub_options.quarantine_threshold = 0;  // Keep all 8 nodes for the trace.
+  scrub_options.metrics = &env.metrics();
+  core::Scrubber scrubber(&env.loop(), env.cluster(), &env.rsds(), scrub_options);
+  scrubber.Start();
+
+  injector.Run(static_cast<SimDuration>(trace_options.duration_s * 1e6));
+  // Post-trace drain: enough full scrub passes to cover every store object
+  // even if the last rot landed just before the trace ended.
+  env.loop().RunUntil(env.loop().now() + Minutes(5));
+  scrubber.Stop();
+
+  EXPECT_EQ(injector.invocations_fired(), injector.invocations_completed());
+  EXPECT_GT(injector.invocations_fired(), kTargetInvocations / 2);
+  EXPECT_GT(env.metrics().CounterTotal("ofc.fault.objects_corrupted"), 0u);
+  // I6 proper: the tripwire never moved.
+  EXPECT_EQ(env.metrics().CounterTotal("ofc.integrity.corrupt_acked"), 0u);
+  // Detection and repair kept up with the storm.
+  EXPECT_GT(env.metrics().CounterTotal("ofc.scrub.corruptions_found") +
+                env.metrics().CounterTotal("ofc.integrity.checksum_failures") +
+                env.metrics().CounterTotal("ofc.integrity.store_checksum_failures"),
+            0u);
+  // End-state sweep: every surviving cache copy and store object verifies.
+  rc::Cluster* cluster = env.cluster();
+  for (int node = 0; node < cluster->num_nodes(); ++node) {
+    for (const std::string& key : cluster->KeysOn(node)) {
+      const auto obj = cluster->Inspect(key);
+      if (!obj.ok()) {
+        continue;
+      }
+      const Checksum expected = ExpectedChecksum(key, obj->size, obj->version);
+      EXPECT_EQ(obj->checksum, expected) << "corrupt master copy survived: " << key;
+      for (const Checksum backup : obj->backup_checksums) {
+        EXPECT_EQ(backup, expected) << "corrupt backup copy survived: " << key;
+      }
+    }
+  }
+  int corrupt_store_objects = 0;
+  for (const std::string& key : env.rsds().Keys()) {
+    const auto meta = env.rsds().Stat(key);
+    if (meta.ok() &&
+        meta->checksum != ExpectedChecksum(key, meta->size, meta->rsds_version)) {
+      ++corrupt_store_objects;
+    }
+  }
+  EXPECT_EQ(corrupt_store_objects, 0);
 }
 
 TEST(ScaleTest, DifferentSeedsProduceDifferentSchedules) {

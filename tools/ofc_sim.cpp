@@ -15,6 +15,7 @@
 //           [--slo=SPEC;...|@FILE] [--health-json=PATH]
 //           [--flight-recorder[=N]] [--flight-json=PATH] [--dump-on-assert=PATH]
 //           [--fault-plan=PATH] [--crash-node-at=N:S[:D]]
+//           [--scrub-interval-s=S]
 //           [--queue-limit=N] [--queue-deadline-s=S] [--max-concurrency=N]
 //           [--breaker-threshold=N] [--breaker-open-s=S] [--breaker-probes=N]
 //           [--breaker-slo-ms=MS]
@@ -30,6 +31,7 @@
 //   ofc_sim --flight-recorder --dump-on-assert=blackbox.json # post-mortem ring
 //   ofc_sim --fault-plan=chaos.json              # replay a declarative fault plan
 //   ofc_sim --crash-node-at=1:60:30              # crash node 1 at t=60s for 30s
+//   ofc_sim --fault-plan=rot.json --scrub-interval-s=5   # corruption + scrubbing
 //   ofc_sim --selfcheck-determinism              # replay twice, diff metrics
 #include <algorithm>
 #include <cstdio>
@@ -43,6 +45,7 @@
 #include "src/common/logging.h"
 #include "src/common/sim_assert.h"
 #include "src/common/stats.h"
+#include "src/core/scrubber.h"
 #include "src/faasload/environment.h"
 #include "src/faasload/injector.h"
 #include "src/fault/fault_injector.h"
@@ -90,6 +93,10 @@ struct Flags {
   // Declarative fault schedule (--fault-plan JSON plus --crash-node-at
   // shorthands), replayed by a FaultInjector alongside the workload.
   fault::FaultPlan fault_plan;
+  // Background integrity scrubber: 0 = off. Walks cache copies and store
+  // objects incrementally, repairing checksum divergence as it is found.
+  // simlint: allow(float-sim-time) -- CLI flag in seconds, converted to integral SimDuration before use
+  double scrub_interval_s = 0.0;
   // Overload protection: platform admission control (queue depth / deadline /
   // concurrency, 0 = unbounded) and the proxy's cache-path circuit breaker
   // (threshold 0 = disabled).
@@ -217,6 +224,7 @@ int Usage() {
                "               [--flight-recorder[=N]] [--flight-json=PATH]\n"
                "               [--dump-on-assert=PATH]\n"
                "               [--fault-plan=PATH] [--crash-node-at=N:S[:D]]\n"
+               "               [--scrub-interval-s=S]\n"
                "               [--queue-limit=N] [--queue-deadline-s=S]\n"
                "               [--max-concurrency=N] [--breaker-threshold=N]\n"
                "               [--breaker-open-s=S] [--breaker-probes=N]\n"
@@ -366,6 +374,21 @@ int RunScenario(const Flags& flags, bool quiet, std::uint64_t run_index, RunOutc
     }
   }
 
+  // Background integrity scrubber: needs the cache cluster, so OFC mode only.
+  std::unique_ptr<core::Scrubber> scrubber;
+  if (flags.scrub_interval_s > 0.0) {
+    if (env.cluster() == nullptr) {
+      std::fprintf(stderr, "--scrub-interval-s needs a cache cluster (--mode=ofc)\n");
+      return 1;
+    }
+    core::ScrubberOptions scrub_options;
+    scrub_options.interval = static_cast<SimDuration>(flags.scrub_interval_s * 1e6);
+    scrub_options.metrics = &env.metrics();
+    scrubber = std::make_unique<core::Scrubber>(&env.loop(), env.cluster(), &env.rsds(),
+                                                scrub_options);
+    scrubber->Start();
+  }
+
   // Telemetry scrape loop: SLO evaluation folds the interval first so the
   // ofc.slo.* cells land in the same timeline window the scrape captures.
   const bool scraping = !flags.timeline_json.empty() || !flags.health_json.empty() ||
@@ -437,6 +460,9 @@ int RunScenario(const Flags& flags, bool quiet, std::uint64_t run_index, RunOutc
                  ToSeconds(env.loop().now()),
                  static_cast<unsigned long long>(injector.invocations_fired() -
                                                  injector.invocations_completed()));
+  }
+  if (scrubber != nullptr) {
+    scrubber->Stop();
   }
   if (scraper != nullptr) {
     scraper->Stop();
@@ -688,7 +714,22 @@ int RunSelfcheck(const Flags& flags) {
       {Seconds(30), fault::FaultKind::kStoreBrownout, -1, Seconds(60), 4.0},
       {Seconds(45), fault::FaultKind::kCacheDegraded, -1, Seconds(40), 2.0},
   };
-  return SelfcheckPair(overload, "overload");
+  rc = SelfcheckPair(overload, "overload");
+  if (rc != 0) {
+    return rc;
+  }
+  // Fourth pair: corruption — bit flips across the cache and the durable store
+  // with the background scrubber on, so detection, self-healing reads, and
+  // scrub repairs are also held to byte-identical replays.
+  Flags corruption = flags;
+  corruption.scrub_interval_s = 5.0;
+  corruption.fault_plan.events = {
+      {Seconds(30), fault::FaultKind::kCorruptSegment, 0, 0, 3.0},
+      {Seconds(50), fault::FaultKind::kCorruptReplica,
+       flags.workers > 1 ? 1 : 0, 0, 3.0},
+      {Seconds(70), fault::FaultKind::kStoreRot, -1, 0, 4.0},
+  };
+  return SelfcheckPair(corruption, "corruption");
 }
 
 }  // namespace
@@ -776,6 +817,12 @@ int Main(int argc, char** argv) {
         return 1;
       }
       flags.fault_plan.events.push_back(event);
+    } else if (ParseFlag(argv[i], "--scrub-interval-s", &value)) {
+      flags.scrub_interval_s = std::atof(value.c_str());
+      if (flags.scrub_interval_s <= 0.0) {
+        std::fprintf(stderr, "--scrub-interval-s must be > 0\n");
+        return 1;
+      }
     } else if (ParseFlag(argv[i], "--queue-limit", &value)) {
       flags.queue_limit = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--queue-deadline-s", &value)) {
