@@ -27,6 +27,20 @@ CacheAgent::CacheAgent(sim::EventLoop* loop, rc::Cluster* cluster, CacheAgentOpt
   }
   trace_ = options_.trace;
   flight_ = options_.flight;
+  policy_ = options_.policy;
+  if (policy_ == nullptr) {
+    // Standalone agent (tests, benches without an OfcSystem): own a default
+    // lru engine so there is exactly one reclamation code path.
+    CachePolicyEngineOptions peo;
+    peo.config.sweep_min_access = options_.sweep_min_access;
+    peo.config.sweep_max_idle = options_.sweep_max_idle;
+    peo.config.sweep_period = options_.sweep_period;
+    peo.metrics = metrics_;
+    peo.flight = flight_;
+    auto engine = CachePolicyEngine::Create("lru", std::move(peo));
+    owned_policy_ = std::move(*engine);  // "lru" always parses.
+    policy_ = owned_policy_.get();
+  }
   m_.scale_ups = metrics_->GetCounter("ofc.cache_agent.scale_ups");
   m_.scale_downs_plain = metrics_->GetCounter("ofc.cache_agent.scale_downs_plain");
   m_.scale_downs_migration = metrics_->GetCounter("ofc.cache_agent.scale_downs_migration");
@@ -126,30 +140,32 @@ void CacheAgent::SlackAdjustTick() {
 
 void CacheAgent::SweepOnce() {
   const SimTime now = loop_->now();
+  std::vector<std::string> live;
+  live.reserve(cluster_->NumObjects());
   for (int node = 0; node < cluster_->num_nodes(); ++node) {
-    for (const std::string& key : cluster_->KeysOn(node)) {
-      const auto obj = cluster_->Inspect(key);
-      if (!obj.ok()) {
-        continue;
-      }
+    for (const rc::CachedObject& obj : cluster_->ObjectsOn(node)) {
+      live.push_back(obj.key);
       // Only consider objects that have been resident for at least one sweep
-      // period; otherwise every freshly admitted object would be purged.
-      if (now - obj->created_at < options_.sweep_period) {
+      // period; otherwise every freshly admitted object would be purged. This
+      // residency guard is policy-independent.
+      if (now - obj.created_at < options_.sweep_period) {
         continue;
       }
-      const bool cold = obj->access_count < options_.sweep_min_access ||
-                        now - obj->last_access > options_.sweep_max_idle;
-      if (!cold) {
+      if (!policy_->SweepCold(obj, now)) {
         continue;
       }
-      if (obj->dirty) {
-        LaunchWriteback(node, key, /*count_swept=*/true);
+      if (obj.dirty) {
+        LaunchWriteback(node, obj.key, /*count_swept=*/true);
         continue;
       }
-      (void)cluster_->Remove(key);
+      (void)cluster_->Remove(obj.key);
       ++*m_.objects_swept;
+      policy_->NoteEviction(obj, EvictionReason::kSweep, node, now);
     }
   }
+  // GC per-key policy state down to the live object population (keys removed
+  // above were already dropped via NoteEviction; stragglers go here).
+  policy_->Prune(std::move(live));
 }
 
 void CacheAgent::OnSandboxMemoryChange(const faas::SandboxMemoryEvent& event) {
@@ -239,25 +255,27 @@ void CacheAgent::ApplyTarget(int worker) {
 }
 
 Bytes CacheAgent::FreeBytes(int worker, Bytes needed, bool* migrated, bool* evicted) {
+  const SimTime now = loop_->now();
   Bytes freed = 0;
-  std::vector<std::string> keys = cluster_->KeysOn(worker);
+  // One bulk snapshot of the worker's mastered objects feeds all three phases.
+  // The phases run synchronously (no event-loop yield), so the only state the
+  // snapshot can miss is our own phase-1 removals — and those are persisted
+  // clean outputs, which phases 2 and 3 skip by class/dirty tests anyway.
+  const std::vector<rc::CachedObject> objects = cluster_->ObjectsOn(worker);
 
   // Phase 1: discard persisted output objects (final outputs first, §6.4).
-  for (const std::string& key : keys) {
+  for (const rc::CachedObject& obj : objects) {
     if (freed >= needed) {
       return freed;
     }
-    const auto obj = cluster_->Inspect(key);
-    if (!obj.ok()) {
-      continue;
-    }
-    const bool output = obj->object_class != rc::ObjectClass::kInput;
-    if (output && obj->persisted && !obj->dirty) {
-      freed += obj->size;
-      (void)cluster_->Remove(key);
+    const bool output = obj.object_class != rc::ObjectClass::kInput;
+    if (output && obj.persisted && !obj.dirty) {
+      freed += obj.size;
+      (void)cluster_->Remove(obj.key);
       ++*m_.objects_evicted;
       *evicted = true;
       AddScaleDownTime(options_.eviction_op_cost);
+      policy_->NoteEviction(obj, EvictionReason::kPersistedDiscard, worker, now);
     }
   }
 
@@ -265,28 +283,24 @@ Bytes CacheAgent::FreeBytes(int worker, Bytes needed, bool* migrated, bool* evic
   // persistor completes (asynchronous, so not counted in `freed`). The
   // in-flight budget (max_inflight_writebacks) bounds the storm a large shrink
   // would otherwise unleash on the RSDS.
-  for (const std::string& key : keys) {
-    const auto obj = cluster_->Inspect(key);
-    if (!obj.ok() || !obj->dirty || obj->object_class == rc::ObjectClass::kInput) {
+  for (const rc::CachedObject& obj : objects) {
+    if (!obj.dirty || obj.object_class == rc::ObjectClass::kInput) {
       continue;
     }
-    LaunchWriteback(worker, key, /*count_swept=*/false);
+    LaunchWriteback(worker, obj.key, /*count_swept=*/false);
   }
 
-  // Phase 3: input objects, LRU order. Prefer migrating the master copy to a
-  // backup node (keeps the object cached, no data transfer); evict when no
-  // backup can host it.
+  // Phase 3: input objects, in the policy's eviction order (the default lru
+  // policy ranks by last_access, the paper's order). Prefer migrating the
+  // master copy to a backup node (keeps the object cached, no data transfer);
+  // evict when no backup can host it.
   std::vector<rc::CachedObject> inputs;
-  for (const std::string& key : keys) {
-    const auto obj = cluster_->Inspect(key);
-    if (obj.ok() && obj->master == worker && obj->object_class == rc::ObjectClass::kInput) {
-      inputs.push_back(*obj);
+  for (const rc::CachedObject& obj : objects) {
+    if (obj.master == worker && obj.object_class == rc::ObjectClass::kInput) {
+      inputs.push_back(obj);
     }
   }
-  std::sort(inputs.begin(), inputs.end(),
-            [](const rc::CachedObject& a, const rc::CachedObject& b) {
-              return a.last_access < b.last_access;
-            });
+  policy_->RankEvictionCandidates(&inputs, now);
   for (const rc::CachedObject& obj : inputs) {
     if (freed >= needed) {
       break;
@@ -314,6 +328,7 @@ Bytes CacheAgent::FreeBytes(int worker, Bytes needed, bool* migrated, bool* evic
     ++*m_.objects_evicted;
     *evicted = true;
     AddScaleDownTime(options_.eviction_op_cost);
+    policy_->NoteEviction(obj, EvictionReason::kCapacity, worker, now);
   }
   return freed;
 }
@@ -331,9 +346,16 @@ void CacheAgent::LaunchWriteback(int worker, const std::string& key, bool count_
     const std::string k = key;
     writeback_(k, [this, k, count_swept](Status status) {
       if (status.ok()) {
+        const auto obj = cluster_->Inspect(k);
         (void)cluster_->Remove(k);
         if (count_swept) {
           ++*m_.objects_swept;
+        }
+        if (obj.ok()) {
+          policy_->NoteEviction(*obj,
+                                count_swept ? EvictionReason::kSweep
+                                            : EvictionReason::kCapacity,
+                                obj->master, loop_->now());
         }
       }
     });
@@ -360,9 +382,16 @@ void CacheAgent::StartWriteback(int worker, const std::string& key, bool count_s
     --inflight_writebacks_[idx];
     writeback_pending_[idx].erase(key);
     if (status.ok()) {
+      const auto obj = cluster_->Inspect(key);
       (void)cluster_->Remove(key);
       if (count_swept) {
         ++*m_.objects_swept;
+      }
+      if (obj.ok()) {
+        policy_->NoteEviction(*obj,
+                              count_swept ? EvictionReason::kSweep
+                                          : EvictionReason::kCapacity,
+                              obj->master, loop_->now());
       }
     }
     DrainWritebackBacklog(worker);

@@ -16,12 +16,18 @@
 // Shrinking follows the paper's reclamation order:
 //   1. discard output objects already persisted to the RSDS;
 //   2. trigger write-back of dirty output objects (discarded on completion);
-//   3. evict input objects on an LRU basis — but first try to keep hot inputs
-//      cached by migrating their master copy to a backup node (§6.4's
-//      no-transfer promotion).
+//   3. evict input objects in the order the configured cache policy ranks
+//      them (the default `lru` policy reproduces the paper byte-for-byte) —
+//      but first try to keep hot inputs cached by migrating their master copy
+//      to a backup node (§6.4's no-transfer promotion).
 //
-// Independently, a periodic sweep (every 300 s) evicts objects that are cold:
-// n_access < 5 or idle for more than 30 minutes (§6.3).
+// Independently, a periodic sweep (every 300 s) evicts objects the policy
+// deems cold — under `lru`, the paper's n_access < 5 or idle > 30 min test
+// (§6.3). The residency guard (objects younger than one sweep period are
+// never swept) is policy-independent and stays here. Which objects to drop is
+// delegated to the CachePolicyEngine (cache_policy.h); *how* to drop them
+// (write-back of dirty objects, migration preference, capacity bookkeeping)
+// remains this agent's job.
 #ifndef OFC_CORE_CACHE_AGENT_H_
 #define OFC_CORE_CACHE_AGENT_H_
 
@@ -34,6 +40,7 @@
 
 #include "src/common/stats.h"
 #include "src/common/units.h"
+#include "src/core/cache_policy.h"
 #include "src/faas/platform.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
@@ -66,6 +73,10 @@ struct CacheAgentOptions {
   // latency. high > 1.0 disables pressure signalling (the default).
   double pressure_high_watermark = 2.0;
   double pressure_low_watermark = 0.85;
+  // Eviction/sweep policy engine (cache_policy.h), normally owned by the
+  // OfcSystem so the Proxy's data-plane notifications feed the same instance.
+  // Null: the agent owns a private default engine (the paper's lru policy).
+  CachePolicyEngine* policy = nullptr;
   // Observability sinks (src/obs/). Null `metrics` -> private registry; null
   // `trace` -> scaling/migration events are skipped; null `flight` -> no
   // black-box scale/pressure/migration records.
@@ -192,6 +203,8 @@ class CacheAgent {
   std::vector<std::set<std::string>> writeback_pending_;
   std::vector<bool> under_pressure_;  // Hysteresis state per worker.
   std::vector<obs::Gauge*> pressure_gauges_;  // ofc.overload.cache_pressure{w}
+  std::unique_ptr<CachePolicyEngine> owned_policy_;  // When none injected.
+  CachePolicyEngine* policy_ = nullptr;
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;  // When none injected.
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::TraceRecorder* trace_ = nullptr;

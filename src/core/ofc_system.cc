@@ -25,6 +25,41 @@ ProxyOptions WithObs(ProxyOptions o, obs::MetricsRegistry* metrics, obs::TraceRe
   return o;
 }
 
+CacheAgentOptions WithPolicy(CacheAgentOptions o, CachePolicyEngine* policy) {
+  o.policy = policy;
+  return o;
+}
+
+ProxyOptions WithPolicy(ProxyOptions o, CachePolicyEngine* policy) {
+  o.policy = policy;
+  return o;
+}
+
+// Builds the shared policy engine from the options. An invalid spec downgrades
+// to the paper-faithful lru default (with a warning) rather than failing the
+// whole assembly; ofc-sim validates the flag up front for a hard error.
+std::unique_ptr<CachePolicyEngine> MakePolicyEngine(const OfcOptions& options,
+                                                    ModelRegistry* registry,
+                                                    obs::MetricsRegistry* metrics) {
+  CachePolicyEngineOptions engine_options;
+  engine_options.config.sweep_min_access = options.cache_agent.sweep_min_access;
+  engine_options.config.sweep_max_idle = options.cache_agent.sweep_max_idle;
+  engine_options.config.sweep_period = options.cache_agent.sweep_period;
+  engine_options.config.store_profile = options.rsds_estimate;
+  engine_options.benefit = [registry](const std::string& function) {
+    return registry->CachingBenefitConfidence(function);
+  };
+  engine_options.metrics = metrics;
+  engine_options.flight = options.flight;
+  auto engine = CachePolicyEngine::Create(options.cache_policy, engine_options);
+  if (!engine.ok()) {
+    OFC_LOG(Warning) << "invalid cache policy spec '" << options.cache_policy << "' ("
+                     << engine.status().message() << "); falling back to lru";
+    engine = CachePolicyEngine::Create("lru", engine_options);
+  }
+  return std::move(*engine);
+}
+
 }  // namespace
 
 OfcSystem::OfcSystem(sim::EventLoop* loop, rc::Cluster* cluster, store::ObjectStore* rsds,
@@ -37,10 +72,14 @@ OfcSystem::OfcSystem(sim::EventLoop* loop, rc::Cluster* cluster, store::ObjectSt
       registry_(options.model),
       predictor_(&registry_, metrics_),
       trainer_(&registry_, options.rsds_estimate, metrics_),
+      policy_engine_(MakePolicyEngine(options, &registry_, metrics_)),
       cache_agent_(loop, cluster,
-                   WithObs(options.cache_agent, metrics_, options.trace, options.flight)),
+                   WithPolicy(WithObs(options.cache_agent, metrics_, options.trace,
+                                      options.flight),
+                              policy_engine_.get())),
       proxy_(loop, cluster, rsds,
-             WithObs(options.proxy, metrics_, options.trace, options.flight)) {
+             WithPolicy(WithObs(options.proxy, metrics_, options.trace, options.flight),
+                        policy_engine_.get())) {
   m_.model_predictions = metrics_->GetCounter("ofc.predictor.model_predictions");
   m_.booked_fallbacks = metrics_->GetCounter("ofc.predictor.booked_fallbacks");
   m_.good_predictions = metrics_->GetCounter("ofc.predictor.good_predictions");

@@ -33,6 +33,7 @@
 
 #include "src/common/checksum.h"
 #include "src/common/hash.h"
+#include "src/core/cache_policy.h"
 #include "src/faas/platform.h"
 #include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
@@ -90,6 +91,11 @@ struct ProxyOptions {
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
   obs::FlightRecorder* flight = nullptr;
+  // Cache policy engine (cache_policy.h) fed with data-plane lifecycle events:
+  // admissions and cached writes (OnAdmit), hits (OnAccess), and proxy-driven
+  // removals (OnRemove). Null (default): notifications are skipped — the lru
+  // policy needs none of them, so standalone proxies lose nothing.
+  CachePolicyEngine* policy = nullptr;
 };
 
 // Snapshot view over the proxy's `ofc.proxy.*` registry counters.
@@ -308,6 +314,11 @@ class Proxy : public faas::DataService {
   void CacheWrite(int worker, const std::string& key, Bytes size,
                   store::ObjectVersion version, rc::ObjectClass object_class, bool dirty,
                   rc::Cluster::Callback done);
+
+  // Policy-engine notification helpers; no-ops when no engine is wired.
+  void PolicyAdmit(const std::string& key, Bytes size, const std::string& function);
+  void PolicyAccess(const std::string& key, Bytes size, const std::string& function);
+  void PolicyRemove(const std::string& key);
 
   sim::EventLoop* loop_;
   rc::Cluster* cluster_;

@@ -73,6 +73,8 @@ const char* FlightEventKindName(FlightEventKind kind) {
       return "scale_down";
     case FlightEventKind::kMigration:
       return "migration";
+    case FlightEventKind::kEvict:
+      return "evict";
     case FlightEventKind::kPressureEnter:
       return "pressure_enter";
     case FlightEventKind::kPressureExit:

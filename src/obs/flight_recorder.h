@@ -64,6 +64,7 @@ enum class FlightEventKind : std::uint8_t {
   kScaleUp,
   kScaleDown,
   kMigration,
+  kEvict,  // Object left the cache; detail = eviction reason (policy engine).
   kPressureEnter,
   kPressureExit,
   // fault/ + ramcloud/.

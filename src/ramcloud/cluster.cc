@@ -393,6 +393,16 @@ std::vector<std::string> Cluster::KeysOn(int node) const {
   return keys;
 }
 
+std::vector<CachedObject> Cluster::ObjectsOn(int node) const {
+  std::vector<CachedObject> snapshot;
+  for (const auto& [key, obj] : objects_) {
+    if (obj.master == node) {
+      snapshot.push_back(obj);
+    }
+  }
+  return snapshot;
+}
+
 Status Cluster::Remove(const std::string& key) {
   auto it = objects_.find(key);
   if (it == objects_.end()) {

@@ -200,6 +200,12 @@ class Cluster {
   // Keys mastered on `node`, unsorted (CacheAgent applies its own policy order).
   std::vector<std::string> KeysOn(int node) const;
 
+  // Bulk metadata export: a snapshot of every object mastered on `node`, with
+  // its access statistics (n_access, T_access, created_at), in the same order
+  // KeysOn yields keys. One map walk instead of KeysOn + per-key Inspect — the
+  // cache policy engine ranks reclamation candidates from this.
+  std::vector<CachedObject> ObjectsOn(int node) const;
+
   // ---- Object management ------------------------------------------------------
 
   // Drops an object everywhere (memory + disk bookkeeping).

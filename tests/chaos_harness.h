@@ -1,6 +1,6 @@
 // Chaos harness: runs a Poisson invocation workload against the full OFC stack
 // (platform + proxy + cache + RSDS) while a fault::FaultInjector replays a
-// FaultPlan, then audits the end state against four invariants:
+// FaultPlan, then audits the end state against six invariants:
 //
 //   I1 — no acknowledged write is lost: every successful invocation's output
 //        object is present, fully persisted, and has the acknowledged size;
@@ -72,6 +72,9 @@ struct ChaosScenarioOptions {
   // Baseline mode for breaker-bypass comparisons: the OFC stack runs but no
   // object is cacheable, so every read/write goes straight to the RSDS.
   bool disable_cache = false;
+  // Cache eviction/sweep policy spec (src/core/cache_policy.h); the invariants
+  // must hold no matter which policy picks eviction victims.
+  std::string cache_policy = "lru";
   // Arrival burst: `burst_count` extra invocations land back-to-back starting
   // at `burst_at` (1 ms apart), on top of the Poisson arrivals.
   int burst_count = 0;
@@ -154,7 +157,7 @@ struct ChaosReport {
   }
 };
 
-// Runs one chaos scenario to quiescence and audits the five invariants.
+// Runs one chaos scenario to quiescence and audits the six invariants.
 inline ChaosReport RunChaosScenario(const ChaosScenarioOptions& options) {
   ChaosReport report;
   auto violate = [&report](const std::string& what) {
@@ -174,6 +177,7 @@ inline ChaosReport RunChaosScenario(const ChaosScenarioOptions& options) {
   if (options.disable_cache) {
     env_options.ofc.proxy.max_cacheable_size = 0;  // Everything bypasses cache.
   }
+  env_options.ofc.cache_policy = options.cache_policy;
   env_options.seed = options.seed;
   faasload::Environment env(faasload::Mode::kOfc, env_options);
   if (options.flight_recorder) {

@@ -1,5 +1,5 @@
 // Chaos tests: randomized-but-deterministic fault schedules against the full
-// platform, audited by the five invariants in chaos_harness.h. Every scenario
+// platform, audited by the six invariants in chaos_harness.h. Every scenario
 // is replayable — same seed and plan must give a byte-identical fingerprint.
 #include <fstream>
 #include <sstream>

@@ -4,27 +4,13 @@
 // OFC and prints per-tenant latency summaries plus OFC's internal counters —
 // the quickest way to explore the system without writing code.
 //
-// Usage:
-//   ofc_sim [--mode=ofc|owk-swift|owk-redis] [--profile=normal|naive|advanced]
-//           [--functions=wand_blur,wand_sepia,...] [--pipelines=map_reduce,...]
-//           [--duration-min=N] [--interval-s=N] [--workers=N] [--worker-gb=N]
-//           [--seed=N] [--pretrain=N] [--arrivals=poisson|periodic|bursty]
-//           [--metrics-json=PATH] [--metrics-csv=PATH]
-//           [--trace-json=PATH] [--trace-sample=N] [--log-sim-time]
-//           [--scrape-interval-s=S] [--timeline-json=PATH]
-//           [--slo=SPEC;...|@FILE] [--health-json=PATH]
-//           [--flight-recorder[=N]] [--flight-json=PATH] [--dump-on-assert=PATH]
-//           [--fault-plan=PATH] [--crash-node-at=N:S[:D]]
-//           [--scrub-interval-s=S]
-//           [--queue-limit=N] [--queue-deadline-s=S] [--max-concurrency=N]
-//           [--breaker-threshold=N] [--breaker-open-s=S] [--breaker-probes=N]
-//           [--breaker-slo-ms=MS]
-//           [--progress] [--max-events=N]
-//           [--selfcheck-determinism]
+// The full flag reference lives in kFlagDocs below (the single source of
+// truth behind --help and the generated docs/cli.md; see tools/gen_cli_docs.py).
 //
 // Examples:
 //   ofc_sim --mode=ofc --functions=wand_blur,wand_edge --duration-min=10
 //   ofc_sim --mode=owk-swift --pipelines=map_reduce --interval-s=30
+//   ofc_sim --cache-policy=gdsf                  # non-paper eviction policy
 //   ofc_sim --mode=ofc --trace-json=trace.json   # open in ui.perfetto.dev
 //   ofc_sim --timeline-json=tl.json --scrape-interval-s=10   # windowed telemetry
 //   ofc_sim --slo='warm=lat:ofc.platform.total_ms:p99:250' --health-json=health.json
@@ -45,6 +31,7 @@
 #include "src/common/logging.h"
 #include "src/common/sim_assert.h"
 #include "src/common/stats.h"
+#include "src/core/cache_policy.h"
 #include "src/core/scrubber.h"
 #include "src/faasload/environment.h"
 #include "src/faasload/injector.h"
@@ -69,6 +56,9 @@ struct Flags {
   int worker_gb = 16;
   std::uint64_t seed = 42;
   int pretrain = 1000;
+  // Cache eviction/sweep policy spec, "NAME[,function=NAME]..." — validated
+  // against core::KnownCachePolicies() at parse time (OFC mode only).
+  std::string cache_policy = "lru";
   std::string metrics_json;
   std::string metrics_csv;
   std::string trace_json;
@@ -209,35 +199,81 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
   return false;
 }
 
+// One flag's documentation. The table below is the single source of truth for
+// the flag reference: Usage() renders it to stderr and tools/gen_cli_docs.py
+// parses it into docs/cli.md (CI runs the generator with --check, so this
+// table, the Main() parser, and the committed docs cannot drift apart).
+struct FlagDoc {
+  const char* group;  // Section heading; consecutive entries share a group.
+  const char* spec;   // Flag grammar, e.g. "--mode=ofc|owk-swift|owk-redis".
+  const char* help;   // One-line description (docs table cell).
+};
+
+// FLAG-TABLE-BEGIN (parsed by tools/gen_cli_docs.py; keep one entry per line)
+constexpr FlagDoc kFlagDocs[] = {
+    {"Scenario", "--mode=ofc|owk-swift|owk-redis", "System under test: OFC, or the vanilla OpenWhisk baselines against Swift/Redis (default ofc)."},
+    {"Scenario", "--profile=normal|naive|advanced", "Tenant memory-booking profile: honest, 2x over-booked, or finely tuned (default normal)."},
+    {"Scenario", "--functions=f1,f2,...", "Comma-separated function tenants (default wand_blur,wand_sepia,wand_edge; see `available functions` in --help)."},
+    {"Scenario", "--pipelines=p1,...", "Comma-separated pipeline tenants (see `available pipelines` in --help)."},
+    {"Scenario", "--arrivals=poisson|periodic|bursty", "Inter-arrival process per tenant (default poisson)."},
+    {"Scenario", "--duration-min=N", "Simulated run length in minutes (default 10)."},
+    {"Scenario", "--interval-s=N", "Mean inter-arrival interval per tenant in seconds (default 30)."},
+    {"Scenario", "--workers=N", "Number of worker nodes (default 4)."},
+    {"Scenario", "--worker-gb=N", "Memory per worker in GiB (default 16)."},
+    {"Scenario", "--seed=N", "Root RNG seed; same seed + same flags = byte-identical run (default 42)."},
+    {"Scenario", "--pretrain=N", "Offline pretraining invocations per function before the run (default 1000)."},
+    {"Cache policy", "--cache-policy=NAME[,function=NAME...]", "Cache eviction/sweep policy: lru (paper-faithful default), gdsf, lfu-decay, or cost-aware; optional per-function overrides, e.g. gdsf,wand_blur=lru. OFC mode only."},
+    {"Observability", "--metrics-json=PATH", "Write the end-of-run metrics snapshot as JSON."},
+    {"Observability", "--metrics-csv=PATH", "Write the end-of-run metrics snapshot as CSV (one row per cell)."},
+    {"Observability", "--trace-json=PATH", "Record Chrome trace-event JSON of invocation/control-plane spans (open in ui.perfetto.dev)."},
+    {"Observability", "--trace-sample=N", "With --trace-json: record every Nth invocation id (default 1 = all)."},
+    {"Observability", "--log-sim-time", "Prefix every log line with the simulated clock (t=<seconds>s)."},
+    {"Observability", "--scrape-interval-s=S", "Telemetry scrape period for the timeline/SLO loop (default 10)."},
+    {"Observability", "--timeline-json=PATH", "Write windowed counter/gauge/series snapshots scraped on the sim clock."},
+    {"Observability", "--slo=SPEC;...|@FILE", "SLO burn-rate specs (name=lat:metric:pN:ms or name=rate:num/den:frac), inline or @file."},
+    {"Observability", "--health-json=PATH", "Write the SLO health summary (worst burn, alerts) at end of run."},
+    {"Observability", "--flight-recorder[=N]", "Arm the black-box event ring (default capacity 4096; =N sizes it)."},
+    {"Observability", "--flight-json=PATH", "Dump the flight-recorder ring to PATH at end of run."},
+    {"Observability", "--dump-on-assert=PATH", "Dump the flight-recorder ring to PATH when a SIM_ASSERT fires."},
+    {"Fault injection", "--fault-plan=PATH", "Replay a declarative JSON fault schedule alongside the workload."},
+    {"Fault injection", "--crash-node-at=N:S[:D]", "Crash node N at S seconds, restart after D seconds (omitted/0 = stays down)."},
+    {"Fault injection", "--scrub-interval-s=S", "Arm the background integrity scrubber with the given period (OFC mode only)."},
+    {"Overload protection", "--queue-limit=N", "Platform admission queue depth bound (0 = unbounded)."},
+    {"Overload protection", "--queue-deadline-s=S", "Shed queued invocations older than S seconds (0 = never)."},
+    {"Overload protection", "--max-concurrency=N", "Per-function concurrent invocation cap (0 = unbounded)."},
+    {"Overload protection", "--breaker-threshold=N", "Cache-path circuit breaker: open after N consecutive failures (0 = disabled)."},
+    {"Overload protection", "--breaker-open-s=S", "Breaker open-state duration before half-open probing (default 5)."},
+    {"Overload protection", "--breaker-probes=N", "Successful half-open probes required to close the breaker (default 3)."},
+    {"Overload protection", "--breaker-slo-ms=MS", "Treat cache reads slower than MS as breaker failures (0 = latency ignored)."},
+    {"Run guards", "--progress", "Print a liveness heartbeat to stderr every tenth of the horizon."},
+    {"Run guards", "--max-events=N", "Cap the event loop's dispatch budget; a runaway run truncates instead of spinning."},
+    {"Self-checks", "--selfcheck-determinism", "Replay the scenario twice (perturbed hash salt) and diff all artifacts; nonzero exit on divergence."},
+    {"Self-checks", "--selfcheck-perturb", "Test hook: leak the replay index into the seed so the selfcheck must fail."},
+    {"Self-checks", "--inject-breach-at=S", "Test hook: fire a deliberate SIM_ASSERT at S seconds (proves --dump-on-assert works)."},
+};
+// FLAG-TABLE-END
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage: ofc_sim [--mode=ofc|owk-swift|owk-redis]\n"
-               "               [--profile=normal|naive|advanced]\n"
-               "               [--functions=f1,f2,...] [--pipelines=p1,...]\n"
-               "               [--arrivals=poisson|periodic|bursty]\n"
-               "               [--duration-min=N] [--interval-s=N]\n"
-               "               [--workers=N] [--worker-gb=N] [--seed=N] [--pretrain=N]\n"
-               "               [--metrics-json=PATH] [--metrics-csv=PATH]\n"
-               "               [--trace-json=PATH] [--trace-sample=N] [--log-sim-time]\n"
-               "               [--scrape-interval-s=S] [--timeline-json=PATH]\n"
-               "               [--slo=SPEC;...|@FILE] [--health-json=PATH]\n"
-               "               [--flight-recorder[=N]] [--flight-json=PATH]\n"
-               "               [--dump-on-assert=PATH]\n"
-               "               [--fault-plan=PATH] [--crash-node-at=N:S[:D]]\n"
-               "               [--scrub-interval-s=S]\n"
-               "               [--queue-limit=N] [--queue-deadline-s=S]\n"
-               "               [--max-concurrency=N] [--breaker-threshold=N]\n"
-               "               [--breaker-open-s=S] [--breaker-probes=N]\n"
-               "               [--breaker-slo-ms=MS]\n"
-               "               [--progress] [--max-events=N]\n"
-               "               [--selfcheck-determinism]\n"
-               "\navailable functions:\n");
+  std::fprintf(stderr, "usage: ofc_sim [flags]\n");
+  const char* group = "";
+  for (const FlagDoc& doc : kFlagDocs) {
+    if (std::strcmp(group, doc.group) != 0) {
+      group = doc.group;
+      std::fprintf(stderr, "\n%s:\n", group);
+    }
+    std::fprintf(stderr, "  %s\n      %s\n", doc.spec, doc.help);
+  }
+  std::fprintf(stderr, "\navailable functions:\n");
   for (const workloads::FunctionSpec& spec : workloads::AllFunctions()) {
     std::fprintf(stderr, "  %s\n", spec.name.c_str());
   }
   std::fprintf(stderr, "available pipelines:\n");
   for (const workloads::PipelineSpec& spec : workloads::AllPipelines()) {
     std::fprintf(stderr, "  %s\n", spec.name.c_str());
+  }
+  std::fprintf(stderr, "available cache policies:\n");
+  for (const std::string& name : core::KnownCachePolicies()) {
+    std::fprintf(stderr, "  %s\n", name.c_str());
   }
   return 2;
 }
@@ -293,6 +329,7 @@ int RunScenario(const Flags& flags, bool quiet, std::uint64_t run_index, RunOutc
   env_options.ofc.proxy.breaker_half_open_probes = flags.breaker_probes;
   env_options.ofc.proxy.breaker_latency_slo =
       static_cast<SimDuration>(flags.breaker_slo_ms * 1e3);
+  env_options.ofc.cache_policy = flags.cache_policy;
   env_options.seed = seed;
   faasload::Environment env(mode, env_options);
   if (!flags.trace_json.empty()) {
@@ -757,6 +794,12 @@ int Main(int argc, char** argv) {
       flags.seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (ParseFlag(argv[i], "--pretrain", &value)) {
       flags.pretrain = std::atoi(value.c_str());
+    } else if (ParseFlag(argv[i], "--cache-policy", &flags.cache_policy)) {
+      const auto spec = core::ParseCachePolicySpec(flags.cache_policy);
+      if (!spec.ok()) {
+        std::fprintf(stderr, "--cache-policy: %s\n", spec.status().message().c_str());
+        return Usage();
+      }
     } else if (ParseFlag(argv[i], "--metrics-json", &flags.metrics_json)) {
     } else if (ParseFlag(argv[i], "--metrics-csv", &flags.metrics_csv)) {
     } else if (ParseFlag(argv[i], "--trace-json", &flags.trace_json)) {
